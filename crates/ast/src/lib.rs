@@ -1,0 +1,39 @@
+//! Abstract syntax for **mini-BSML**, the core calculus of
+//! *A Polymorphic Type System for Bulk Synchronous Parallel ML*
+//! (Gava & Loulergue, 2003).
+//!
+//! The crate provides:
+//!
+//! * [`Expr`] / [`ExprKind`] — the expression grammar of the paper's
+//!   Figure 3, extended with the paper's §6 "future work" constructs
+//!   (sum types, lists) and with runtime-only parallel vectors
+//!   `⟨e₀, …, e_{p−1}⟩` (the *extended expressions* of §3),
+//! * [`Const`] and [`Op`] — constants and primitive operators,
+//!   including the four BSP primitives `mkpar`, `apply`, `put` and the
+//!   `nc`/`isnc` pair standing in for OCaml's `option`,
+//! * value classification ([`value`]) implementing Figure 4
+//!   (local vs. global values),
+//! * a pretty-printer ([`pretty`]) and a builder DSL ([`build`]) used
+//!   by the standard library and the test suites.
+//!
+//! # Example
+//!
+//! ```
+//! use bsml_ast::build::*;
+//!
+//! // mkpar (fun pid -> pid)
+//! let e = app(op(bsml_ast::Op::Mkpar), fun_("pid", var("pid")));
+//! assert_eq!(e.to_string(), "mkpar (fun pid -> pid)");
+//! ```
+
+pub mod build;
+pub mod expr;
+pub mod op;
+pub mod pretty;
+pub mod span;
+pub mod value;
+
+pub use expr::{Const, Expr, ExprKind, Ident};
+pub use op::Op;
+pub use span::Span;
+pub use value::{classify_value, is_global_value, is_local_value, is_value, ValueClass};

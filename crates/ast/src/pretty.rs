@@ -1,0 +1,374 @@
+//! Pretty-printing of mini-BSML expressions back to concrete syntax.
+//!
+//! The printer emits text that the `bsml-syntax` parser accepts again
+//! (round-tripping is property-tested there), with minimal
+//! parenthesization driven by precedence levels.
+//!
+//! Parallel vector literals `⟨…⟩` have no source syntax; they are
+//! printed with angle brackets purely for diagnostics.
+
+use std::fmt;
+
+use crate::expr::{Expr, ExprKind};
+use crate::op::Op;
+
+/// Precedence levels, loosest binding first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    /// `fun`, `let`, `if`, `case`, `match` bodies.
+    Lowest,
+    /// `:=` (right associative)
+    Assign,
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `=`, `<`, `<=`, `>`, `>=`
+    Compare,
+    /// `::` (right associative)
+    Cons,
+    /// `+`, `-`
+    Additive,
+    /// `*`, `/`, `mod`
+    Multiplicative,
+    /// Function application (left associative)
+    App,
+    /// Atoms: literals, variables, parenthesized expressions.
+    Atom,
+}
+
+fn op_prec(op: Op) -> Option<(Prec, &'static str)> {
+    let sym = op.infix_symbol()?;
+    let prec = match op {
+        Op::Assign => Prec::Assign,
+        Op::Or => Prec::Or,
+        Op::And => Prec::And,
+        Op::Eq | Op::Lt | Op::Le | Op::Gt | Op::Ge => Prec::Compare,
+        Op::Add | Op::Sub => Prec::Additive,
+        Op::Mul | Op::Div | Op::Mod => Prec::Multiplicative,
+        _ => return None,
+    };
+    Some((prec, sym))
+}
+
+struct Printer<'a> {
+    expr: &'a Expr,
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        Printer { expr: self }.fmt(f)
+    }
+}
+
+impl fmt::Display for Printer<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        print_expr(f, self.expr, Prec::Lowest)
+    }
+}
+
+/// Renders `e` to a string (same as `e.to_string()`, provided for
+/// discoverability).
+#[must_use]
+pub fn to_source(e: &Expr) -> String {
+    e.to_string()
+}
+
+fn print_expr(f: &mut fmt::Formatter<'_>, e: &Expr, min: Prec) -> fmt::Result {
+    use ExprKind::*;
+    match &e.kind {
+        Var(x) => write!(f, "{x}"),
+        // A negative literal in operand position (`f -1`) would lex as
+        // a binary minus; parenthesize it.
+        Const(crate::expr::Const::Int(n)) if *n < 0 && min > Prec::Multiplicative => {
+            write!(f, "({n})")
+        }
+        Const(c) => write!(f, "{c}"),
+        Op(op) => write!(f, "{op}"),
+        Nil => f.write_str("[]"),
+        Fun(x, body) => paren_if(f, min > Prec::Lowest, |f| {
+            write!(f, "fun {x} -> ")?;
+            print_expr(f, body, Prec::Lowest)
+        }),
+        Let(x, bound, body) => paren_if(f, min > Prec::Lowest, |f| {
+            write!(f, "let {x} = ")?;
+            print_expr(f, bound, Prec::Lowest)?;
+            f.write_str(" in ")?;
+            print_expr(f, body, Prec::Lowest)
+        }),
+        If(c, t, el) => paren_if(f, min > Prec::Lowest, |f| {
+            f.write_str("if ")?;
+            print_expr(f, c, Prec::Lowest)?;
+            f.write_str(" then ")?;
+            print_expr(f, t, Prec::Lowest)?;
+            f.write_str(" else ")?;
+            print_expr(f, el, Prec::Lowest)
+        }),
+        IfAt(v, n, t, el) => paren_if(f, min > Prec::Lowest, |f| {
+            f.write_str("if ")?;
+            // `at` binds tighter than the surrounding form; print the
+            // vector operand at App level so `if v at n` re-parses.
+            print_expr(f, v, Prec::App)?;
+            f.write_str(" at ")?;
+            print_expr(f, n, Prec::App)?;
+            f.write_str(" then ")?;
+            print_expr(f, t, Prec::Lowest)?;
+            f.write_str(" else ")?;
+            print_expr(f, el, Prec::Lowest)
+        }),
+        Pair(a, b) => {
+            f.write_str("(")?;
+            print_expr(f, a, Prec::Lowest)?;
+            f.write_str(", ")?;
+            print_expr(f, b, Prec::Lowest)?;
+            f.write_str(")")
+        }
+        App(fun, arg) => {
+            // Dereference prints prefix: `!r` (atom level).
+            if matches!(fun.kind, ExprKind::Op(crate::op::Op::Deref)) {
+                f.write_str("!")?;
+                return print_expr(f, arg, Prec::Atom);
+            }
+            // Detect the infix sugar `(+) (a, b)` and print `a + b`.
+            if let (ExprKind::Op(op), ExprKind::Pair(a, b)) = (&fun.kind, &arg.kind) {
+                if let Some((prec, sym)) = op_prec(*op) {
+                    return paren_if(f, min > prec, |f| {
+                        print_expr(f, a, next(prec))?;
+                        write!(f, " {sym} ")?;
+                        print_expr(f, b, next(prec))
+                    });
+                }
+            }
+            paren_if(f, min > Prec::App, |f| {
+                print_expr(f, fun, Prec::App)?;
+                f.write_str(" ")?;
+                print_expr(f, arg, Prec::Atom)
+            })
+        }
+        Cons(h, t) => {
+            // A complete spine ending in [] prints as a literal.
+            let mut items = vec![&**h];
+            let mut cur = &**t;
+            loop {
+                match &cur.kind {
+                    Cons(h2, t2) => {
+                        items.push(h2);
+                        cur = t2;
+                    }
+                    Nil => {
+                        f.write_str("[")?;
+                        for (i, item) in items.iter().enumerate() {
+                            if i > 0 {
+                                f.write_str("; ")?;
+                            }
+                            // Items print above the `;`-sequencing
+                            // level, so forms whose bodies would
+                            // swallow the separator (fun/let/if/
+                            // case/match) get parenthesized.
+                            print_expr(f, item, Prec::Assign)?;
+                        }
+                        return f.write_str("]");
+                    }
+                    _ => break,
+                }
+            }
+            paren_if(f, min > Prec::Cons, |f| {
+                print_expr(f, h, next(Prec::Cons))?;
+                f.write_str(" :: ")?;
+                // Right-associative: the tail may print at Cons level.
+                print_expr(f, t, Prec::Cons)
+            })
+        }
+        Vector(es) => {
+            f.write_str("<|")?;
+            for (i, e) in es.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                print_expr(f, e, Prec::Lowest)?;
+            }
+            f.write_str("|>")
+        }
+        // `inl e` in function position of an application would absorb
+        // the following atoms, so parenthesize at App and tighter.
+        Inl(inner) => paren_if(f, min >= Prec::App, |f| {
+            f.write_str("inl ")?;
+            print_expr(f, inner, Prec::Atom)
+        }),
+        Inr(inner) => paren_if(f, min >= Prec::App, |f| {
+            f.write_str("inr ")?;
+            print_expr(f, inner, Prec::Atom)
+        }),
+        Case {
+            scrutinee,
+            left_var,
+            left_body,
+            right_var,
+            right_body,
+        } => paren_if(f, min > Prec::Lowest, |f| {
+            f.write_str("case ")?;
+            print_expr(f, scrutinee, Prec::Lowest)?;
+            write!(f, " of inl {left_var} -> ")?;
+            // Branch bodies bind up to `|`, so parenthesize lows.
+            print_expr(f, left_body, Prec::Or)?;
+            write!(f, " | inr {right_var} -> ")?;
+            print_expr(f, right_body, Prec::Lowest)
+        }),
+        MatchList {
+            scrutinee,
+            nil_body,
+            head_var,
+            tail_var,
+            cons_body,
+        } => paren_if(f, min > Prec::Lowest, |f| {
+            f.write_str("match ")?;
+            print_expr(f, scrutinee, Prec::Lowest)?;
+            f.write_str(" with [] -> ")?;
+            print_expr(f, nil_body, Prec::Or)?;
+            write!(f, " | {head_var} :: {tail_var} -> ")?;
+            print_expr(f, cons_body, Prec::Lowest)
+        }),
+    }
+}
+
+fn next(p: Prec) -> Prec {
+    match p {
+        Prec::Lowest => Prec::Assign,
+        Prec::Assign => Prec::Or,
+        Prec::Or => Prec::And,
+        Prec::And => Prec::Compare,
+        Prec::Compare => Prec::Cons,
+        Prec::Cons => Prec::Additive,
+        Prec::Additive => Prec::Multiplicative,
+        Prec::Multiplicative => Prec::App,
+        Prec::App | Prec::Atom => Prec::Atom,
+    }
+}
+
+fn paren_if(
+    f: &mut fmt::Formatter<'_>,
+    needed: bool,
+    inner: impl FnOnce(&mut fmt::Formatter<'_>) -> fmt::Result,
+) -> fmt::Result {
+    if needed {
+        f.write_str("(")?;
+        inner(f)?;
+        f.write_str(")")
+    } else {
+        inner(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::*;
+    use crate::op::Op;
+
+    #[test]
+    fn atoms() {
+        assert_eq!(int(5).to_string(), "5");
+        assert_eq!(bool_(false).to_string(), "false");
+        assert_eq!(unit().to_string(), "()");
+        assert_eq!(var("x").to_string(), "x");
+        assert_eq!(op(Op::Mkpar).to_string(), "mkpar");
+        assert_eq!(op(Op::Add).to_string(), "(+)");
+        assert_eq!(nil().to_string(), "[]");
+    }
+
+    #[test]
+    fn infix_sugar() {
+        assert_eq!(add(int(1), int(2)).to_string(), "1 + 2");
+        assert_eq!(
+            add(int(1), mul(int(2), int(3))).to_string(),
+            "1 + 2 * 3"
+        );
+        assert_eq!(
+            mul(add(int(1), int(2)), int(3)).to_string(),
+            "(1 + 2) * 3"
+        );
+        // Non-associative printing keeps sides parenthesized when the
+        // operand has the same precedence.
+        assert_eq!(
+            sub(sub(int(3), int(2)), int(1)).to_string(),
+            "(3 - 2) - 1"
+        );
+    }
+
+    #[test]
+    fn lambdas_and_lets() {
+        assert_eq!(fun_("x", var("x")).to_string(), "fun x -> x");
+        assert_eq!(
+            let_("x", int(1), add(var("x"), int(2))).to_string(),
+            "let x = 1 in x + 2"
+        );
+        // Lambda in application position needs parens.
+        assert_eq!(
+            app(fun_("x", var("x")), int(1)).to_string(),
+            "(fun x -> x) 1"
+        );
+    }
+
+    #[test]
+    fn applications_left_associate() {
+        assert_eq!(apps(var("f"), [var("x"), var("y")]).to_string(), "f x y");
+        assert_eq!(
+            app(var("f"), app(var("g"), var("x"))).to_string(),
+            "f (g x)"
+        );
+    }
+
+    #[test]
+    fn conditionals() {
+        assert_eq!(
+            if_(bool_(true), int(1), int(2)).to_string(),
+            "if true then 1 else 2"
+        );
+        assert_eq!(
+            ifat(var("v"), int(0), int(1), int(2)).to_string(),
+            "if v at 0 then 1 else 2"
+        );
+    }
+
+    #[test]
+    fn bsp_forms() {
+        assert_eq!(
+            mkpar(fun_("pid", var("pid"))).to_string(),
+            "mkpar (fun pid -> pid)"
+        );
+        assert_eq!(
+            apply(var("f"), var("v")).to_string(),
+            "apply (f, v)"
+        );
+        assert_eq!(vector(vec![int(1), int(2)]).to_string(), "<|1, 2|>");
+    }
+
+    #[test]
+    fn lists_and_sums() {
+        // Complete spines print as literals; open tails print infix.
+        assert_eq!(list(vec![int(1), int(2)]).to_string(), "[1; 2]");
+        assert_eq!(cons(cons(int(1), nil()), nil()).to_string(), "[[1]]");
+        assert_eq!(cons(int(1), var("xs")).to_string(), "1 :: xs");
+        assert_eq!(
+            cons(add(int(1), int(2)), var("t")).to_string(),
+            "1 + 2 :: t"
+        );
+        assert_eq!(inl(int(1)).to_string(), "inl 1");
+        assert_eq!(
+            case(var("s"), "l", var("l"), "r", var("r")).to_string(),
+            "case s of inl l -> l | inr r -> r"
+        );
+        assert_eq!(
+            match_list(var("xs"), int(0), "h", "t", var("h")).to_string(),
+            "match xs with [] -> 0 | h :: t -> h"
+        );
+    }
+
+    #[test]
+    fn pairs_always_parenthesized() {
+        assert_eq!(pair(int(1), int(2)).to_string(), "(1, 2)");
+        assert_eq!(
+            app(var("f"), pair(int(1), int(2))).to_string(),
+            "f (1, 2)"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Source locations.
+//!
+//! A [`Span`] is a half-open byte range `[start, end)` into the source
+//! text a node was parsed from. Nodes built programmatically (for
+//! example through [`crate::build`]) carry [`Span::DUMMY`].
+
+use std::fmt;
+
+/// A half-open byte range into a source string.
+///
+/// # Example
+///
+/// ```
+/// use bsml_ast::Span;
+/// let s = Span::new(2, 5);
+/// assert_eq!(s.len(), 3);
+/// assert!(!s.is_dummy());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// The span used for synthesized nodes with no source location.
+    pub const DUMMY: Span = Span {
+        start: u32::MAX,
+        end: u32::MAX,
+    };
+
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    #[must_use]
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(end >= start, "span end {end} precedes start {start}");
+        Span { start, end }
+    }
+
+    /// Returns `true` for the synthesized [`Span::DUMMY`] location.
+    #[must_use]
+    pub fn is_dummy(self) -> bool {
+        self == Span::DUMMY
+    }
+
+    /// Number of bytes covered.
+    #[must_use]
+    pub fn len(self) -> u32 {
+        if self.is_dummy() {
+            0
+        } else {
+            self.end - self.start
+        }
+    }
+
+    /// Returns `true` if the span covers no bytes.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// Dummy spans are absorbing on neither side: joining with a dummy
+    /// span returns the non-dummy operand.
+    #[must_use]
+    pub fn join(self, other: Span) -> Span {
+        if self.is_dummy() {
+            other
+        } else if other.is_dummy() {
+            self
+        } else {
+            Span::new(self.start.min(other.start), self.end.max(other.end))
+        }
+    }
+
+    /// Extracts the covered slice of `source`, if in bounds.
+    #[must_use]
+    pub fn slice(self, source: &str) -> Option<&str> {
+        if self.is_dummy() {
+            return None;
+        }
+        source.get(self.start as usize..self.end as usize)
+    }
+
+    /// 1-based (line, column) of the span start within `source`.
+    ///
+    /// Returns `(1, 1)` for dummy spans.
+    #[must_use]
+    pub fn line_col(self, source: &str) -> (usize, usize) {
+        if self.is_dummy() {
+            return (1, 1);
+        }
+        let upto = &source[..(self.start as usize).min(source.len())];
+        let line = upto.bytes().filter(|&b| b == b'\n').count() + 1;
+        let col = upto
+            .rfind('\n')
+            .map_or(upto.len() + 1, |nl| upto.len() - nl);
+        (line, col)
+    }
+}
+
+impl Default for Span {
+    fn default() -> Self {
+        Span::DUMMY
+    }
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "Span(?)")
+        } else {
+            write!(f, "Span({}..{})", self.start, self.end)
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_dummy() {
+            write!(f, "<synthesized>")
+        } else {
+            write!(f, "{}..{}", self.start, self.end)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_len() {
+        let s = Span::new(3, 8);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert!(Span::new(4, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn reversed_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+
+    #[test]
+    fn dummy_properties() {
+        assert!(Span::DUMMY.is_dummy());
+        assert_eq!(Span::DUMMY.len(), 0);
+        assert_eq!(Span::default(), Span::DUMMY);
+    }
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(2, 4);
+        let b = Span::new(7, 9);
+        assert_eq!(a.join(b), Span::new(2, 9));
+        assert_eq!(b.join(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn join_with_dummy_keeps_other() {
+        let a = Span::new(1, 3);
+        assert_eq!(a.join(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.join(a), a);
+    }
+
+    #[test]
+    fn slice_extracts() {
+        let src = "let x = 1";
+        assert_eq!(Span::new(4, 5).slice(src), Some("x"));
+        assert_eq!(Span::DUMMY.slice(src), None);
+        assert_eq!(Span::new(0, 100).slice(src), None);
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 7).line_col(src), (3, 1));
+        assert_eq!(Span::DUMMY.line_col(src), (1, 1));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(Span::new(1, 2).to_string(), "1..2");
+        assert_eq!(Span::DUMMY.to_string(), "<synthesized>");
+        assert_eq!(format!("{:?}", Span::new(1, 2)), "Span(1..2)");
+    }
+}

@@ -1,0 +1,224 @@
+//! Value classification — the paper's **Figure 4**.
+//!
+//! The small-step semantics works with *expressions in normal form*.
+//! Figure 4 distinguishes:
+//!
+//! * **local values** `v` — functional values, constants, primitives
+//!   and pairs of local values (plus, for the §6 extensions,
+//!   injections and lists of local values);
+//! * **global values** `v_g` — the same closed under p-wide parallel
+//!   vectors of local values: `⟨v, …, v⟩` is a global value, and
+//!   pairs/functions over global values are global.
+//!
+//! An expression that is a value in neither sense is not a value.
+
+use crate::expr::{Expr, ExprKind};
+
+/// The classification of an expression according to Figure 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ValueClass {
+    /// A local value `v` (contains no parallel vector).
+    Local,
+    /// A global value `v_g` (contains a parallel vector somewhere).
+    Global,
+    /// Not a value at all (still reducible, or stuck).
+    NotAValue,
+}
+
+impl ValueClass {
+    /// `true` for [`ValueClass::Local`] or [`ValueClass::Global`].
+    #[must_use]
+    pub fn is_value(self) -> bool {
+        !matches!(self, ValueClass::NotAValue)
+    }
+}
+
+/// Classifies `e` as a local value, a global value, or a non-value.
+///
+/// # Example
+///
+/// ```
+/// use bsml_ast::build::*;
+/// use bsml_ast::{classify_value, ValueClass};
+///
+/// assert_eq!(classify_value(&int(1)), ValueClass::Local);
+/// assert_eq!(classify_value(&vector(vec![int(1)])), ValueClass::Global);
+/// assert_eq!(classify_value(&add(int(1), int(2))), ValueClass::NotAValue);
+/// ```
+#[must_use]
+pub fn classify_value(e: &Expr) -> ValueClass {
+    use ExprKind::*;
+    match &e.kind {
+        // A lambda is a value. It is *global* when its body mentions a
+        // parallel vector literal (a closure over parallel data),
+        // otherwise local. Note that a body merely mentioning `mkpar`
+        // is still a local value — the vector does not exist yet.
+        Fun(_, body) => {
+            let mut has_vector = false;
+            body.walk(&mut |sub| {
+                if matches!(sub.kind, Vector(_)) {
+                    has_vector = true;
+                }
+            });
+            if has_vector {
+                ValueClass::Global
+            } else {
+                ValueClass::Local
+            }
+        }
+        Const(_) | Op(_) | Nil => ValueClass::Local,
+        Pair(a, b) | Cons(a, b) => join(classify_value(a), classify_value(b)),
+        Inl(inner) | Inr(inner) => classify_value(inner),
+        Vector(es) => {
+            // ⟨v₀, …, v_{p−1}⟩ is a global value when every component
+            // is a *local* value: nesting would require a component
+            // that is itself global, which Figure 4 does not admit.
+            if es
+                .iter()
+                .all(|c| classify_value(c) == ValueClass::Local)
+            {
+                ValueClass::Global
+            } else {
+                ValueClass::NotAValue
+            }
+        }
+        // `nc ()` is a value (the paper's "no communication"
+        // constructor applied to unit — the δ-rules of Figure 1 treat
+        // it as one).
+        App(f_expr, arg) => {
+            if matches!(f_expr.kind, Op(crate::op::Op::Nc))
+                && matches!(arg.kind, Const(crate::expr::Const::Unit))
+            {
+                ValueClass::Local
+            } else {
+                ValueClass::NotAValue
+            }
+        }
+        Var(_) | Let(..) | If(..) | IfAt(..) | Case { .. } | MatchList { .. } => {
+            ValueClass::NotAValue
+        }
+    }
+}
+
+fn join(a: ValueClass, b: ValueClass) -> ValueClass {
+    use ValueClass::*;
+    match (a, b) {
+        (NotAValue, _) | (_, NotAValue) => NotAValue,
+        (Global, _) | (_, Global) => Global,
+        (Local, Local) => Local,
+    }
+}
+
+/// `true` if `e` is a value (local or global).
+#[must_use]
+pub fn is_value(e: &Expr) -> bool {
+    classify_value(e).is_value()
+}
+
+/// `true` if `e` is a *local* value `v` in the sense of Figure 4.
+#[must_use]
+pub fn is_local_value(e: &Expr) -> bool {
+    classify_value(e) == ValueClass::Local
+}
+
+/// `true` if `e` is a *global* value `v_g` in the sense of Figure 4.
+///
+/// Every local value is also a global value in the paper's grammar
+/// (the global grammar subsumes the local one), so this returns `true`
+/// for any value. Use [`classify_value`] to distinguish the strict
+/// classes.
+#[must_use]
+pub fn is_global_value(e: &Expr) -> bool {
+    is_value(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::*;
+    use crate::op::Op;
+
+    #[test]
+    fn constants_are_local() {
+        assert_eq!(classify_value(&int(3)), ValueClass::Local);
+        assert_eq!(classify_value(&bool_(true)), ValueClass::Local);
+        assert_eq!(classify_value(&unit()), ValueClass::Local);
+        assert_eq!(classify_value(&op(Op::Add)), ValueClass::Local);
+    }
+
+    #[test]
+    fn lambdas_are_values() {
+        assert_eq!(classify_value(&fun_("x", var("x"))), ValueClass::Local);
+        // A closure body containing a vector literal is global.
+        let closing_over_vector = fun_("x", vector(vec![int(1)]));
+        assert_eq!(classify_value(&closing_over_vector), ValueClass::Global);
+        // Merely mentioning mkpar keeps it local: no vector exists yet.
+        let mentions_mkpar = fun_("x", mkpar(fun_("i", var("i"))));
+        assert_eq!(classify_value(&mentions_mkpar), ValueClass::Local);
+    }
+
+    #[test]
+    fn pairs_propagate() {
+        assert_eq!(classify_value(&pair(int(1), int(2))), ValueClass::Local);
+        assert_eq!(
+            classify_value(&pair(int(1), vector(vec![int(2)]))),
+            ValueClass::Global
+        );
+        assert_eq!(
+            classify_value(&pair(int(1), add(int(1), int(2)))),
+            ValueClass::NotAValue
+        );
+    }
+
+    #[test]
+    fn vectors_of_local_values_are_global() {
+        assert_eq!(
+            classify_value(&vector(vec![int(1), int(2)])),
+            ValueClass::Global
+        );
+        assert_eq!(
+            classify_value(&vector(vec![fun_("x", var("x"))])),
+            ValueClass::Global
+        );
+    }
+
+    #[test]
+    fn nested_vectors_are_not_values() {
+        let nested = vector(vec![vector(vec![int(1)])]);
+        assert_eq!(classify_value(&nested), ValueClass::NotAValue);
+    }
+
+    #[test]
+    fn vectors_of_redexes_are_not_values() {
+        let v = vector(vec![add(int(1), int(2))]);
+        assert_eq!(classify_value(&v), ValueClass::NotAValue);
+    }
+
+    #[test]
+    fn redexes_are_not_values() {
+        assert!(!is_value(&app(fun_("x", var("x")), int(1))));
+        assert!(!is_value(&var("x")));
+        assert!(!is_value(&let_("x", int(1), var("x"))));
+        assert!(!is_value(&if_(bool_(true), int(1), int(2))));
+    }
+
+    #[test]
+    fn extension_values() {
+        assert_eq!(classify_value(&nil()), ValueClass::Local);
+        assert_eq!(classify_value(&list(vec![int(1), int(2)])), ValueClass::Local);
+        assert_eq!(classify_value(&inl(int(1))), ValueClass::Local);
+        assert_eq!(
+            classify_value(&inr(vector(vec![int(1)]))),
+            ValueClass::Global
+        );
+        assert_eq!(classify_value(&cons(var("x"), nil())), ValueClass::NotAValue);
+    }
+
+    #[test]
+    fn is_global_value_subsumes_local() {
+        assert!(is_global_value(&int(1)));
+        assert!(is_local_value(&int(1)));
+        assert!(is_global_value(&vector(vec![int(1)])));
+        assert!(!is_local_value(&vector(vec![int(1)])));
+    }
+}

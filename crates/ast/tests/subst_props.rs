@@ -1,0 +1,116 @@
+//! Property tests for capture-avoiding substitution — the engine of
+//! the small-step semantics.
+
+use bsml_ast::build as b;
+use bsml_ast::{Expr, Ident};
+use proptest::prelude::*;
+
+fn name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("z".to_string()),
+        Just("w".to_string()),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(b::int),
+        any::<bool>().prop_map(b::bool_),
+        Just(b::unit()),
+        Just(b::nil()),
+        name().prop_map(b::var),
+    ];
+    leaf.prop_recursive(4, 40, 3, |inner| {
+        prop_oneof![
+            (name(), inner.clone()).prop_map(|(x, e)| b::fun_(x, e)),
+            (inner.clone(), inner.clone()).prop_map(|(f, a)| b::app(f, a)),
+            (name(), inner.clone(), inner.clone())
+                .prop_map(|(x, e1, e2)| b::let_(x, e1, e2)),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| b::pair(a, c)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| b::if_(c, t, e)),
+            (inner.clone(), inner.clone()).prop_map(|(h, t)| b::cons(h, t)),
+            inner.clone().prop_map(b::inl),
+            (
+                inner.clone(),
+                name(),
+                inner.clone(),
+                name(),
+                inner.clone()
+            )
+                .prop_map(|(s, l, lb, r, rb)| b::case(s, l, lb, r, rb)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(s, nb, cb)| b::match_list(s, nb, "hd", "tl", cb)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    #[test]
+    fn substitution_eliminates_the_variable(
+        e in expr_strategy(),
+        v in expr_strategy(),
+    ) {
+        // After e[x ← v] with v closed-in-x, x is no longer free.
+        prop_assume!(!v.free_vars().contains(&Ident::new("x")));
+        let result = e.substitute(&Ident::new("x"), &v);
+        prop_assert!(
+            !result.free_vars().contains(&Ident::new("x")),
+            "x survived in {result}"
+        );
+    }
+
+    #[test]
+    fn free_vars_shrink_correctly(e in expr_strategy(), v in expr_strategy()) {
+        // F(e[x ← v]) ⊆ (F(e) \ {x}) ∪ F(v).
+        let x = Ident::new("x");
+        let result = e.substitute(&x, &v);
+        let mut allowed: Vec<Ident> =
+            e.free_vars().into_iter().filter(|y| *y != x).collect();
+        allowed.extend(v.free_vars());
+        for fv in result.free_vars() {
+            // Freshly generated names (capture avoidance) contain '$'
+            // and are never free — they are always bound on creation.
+            prop_assert!(
+                allowed.contains(&fv),
+                "{fv} appeared from nowhere in {result}"
+            );
+        }
+    }
+
+    #[test]
+    fn substituting_an_absent_variable_is_identity(
+        e in expr_strategy(),
+        v in expr_strategy(),
+    ) {
+        prop_assume!(!e.free_vars().contains(&Ident::new("q")));
+        let result = e.substitute(&Ident::new("q"), &v);
+        prop_assert_eq!(result, e);
+    }
+
+    #[test]
+    fn substitution_commutes_for_disjoint_closed_values(
+        e in expr_strategy(),
+        n1 in -100i64..100,
+        n2 in -100i64..100,
+    ) {
+        // e[x←n1][y←n2] == e[y←n2][x←n1] for closed replacements.
+        let x = Ident::new("x");
+        let y = Ident::new("y");
+        let a = e.substitute(&x, &b::int(n1)).substitute(&y, &b::int(n2));
+        let bb = e.substitute(&y, &b::int(n2)).substitute(&x, &b::int(n1));
+        prop_assert_eq!(a, bb);
+    }
+
+    #[test]
+    fn size_is_bounded(e in expr_strategy(), v in expr_strategy()) {
+        // |e[x←v]| ≤ |e| + occurrences · |v| (sanity bound with the
+        // worst case of every leaf being x).
+        let result = e.substitute(&Ident::new("x"), &v);
+        prop_assert!(result.size() <= e.size() * v.size().max(1) + v.size());
+    }
+}

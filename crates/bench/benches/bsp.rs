@@ -1,0 +1,183 @@
+//! BSP simulator benchmarks — the equation (1) sweeps as wall-time
+//! series (the measured *costs* are reproduced by
+//! `cargo run --example bcast_cost`; here we track how the simulator
+//! itself scales with `p`, payload size and superstep count).
+
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_std::workloads;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn machine(p: usize) -> BspMachine {
+    BspMachine::new(BspParams::new(p, 1, 1))
+}
+
+fn bench_bcast_over_p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp/bcast-direct-over-p");
+    for p in [2usize, 4, 8, 16, 32] {
+        let ast = workloads::bcast_direct(0).ast();
+        let m = machine(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &ast, |b, ast| {
+            b.iter(|| m.run(black_box(ast)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bcast_over_payload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp/bcast-direct-over-s");
+    for s in [1usize, 16, 64, 256] {
+        let ast = workloads::bcast_direct_payload(0, s).ast();
+        let m = machine(8);
+        group.bench_with_input(BenchmarkId::from_parameter(s), &ast, |b, ast| {
+            b.iter(|| m.run(black_box(ast)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_direct_vs_log_bcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp/bcast-direct-vs-log");
+    for p in [4usize, 16] {
+        let direct = workloads::bcast_direct_payload(0, 8).ast();
+        let log = workloads::bcast_log_payload(8).ast();
+        let m = machine(p);
+        group.bench_with_input(BenchmarkId::new("direct", p), &direct, |b, ast| {
+            b.iter(|| m.run(black_box(ast)).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("log", p), &log, |b, ast| {
+            b.iter(|| m.run(black_box(ast)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_superstep_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp/superstep-pipeline");
+    for rounds in [1usize, 4, 16] {
+        let ast = workloads::ping_rounds(rounds).ast();
+        let m = machine(4);
+        group.bench_with_input(BenchmarkId::from_parameter(rounds), &ast, |b, ast| {
+            b.iter(|| m.run(black_box(ast)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bsp/collectives");
+    for w in [
+        workloads::total_exchange(),
+        workloads::fold_plus(),
+        workloads::scan_plus_direct(),
+        workloads::scan_plus_log(),
+        workloads::shift(),
+    ] {
+        let ast = w.ast();
+        let m = machine(8);
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &ast, |b, ast| {
+            b.iter(|| m.run(black_box(ast)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_applications(c: &mut Criterion) {
+    use bsml_std::algorithms;
+    let mut group = c.benchmark_group("bsp/applications");
+    group.sample_size(20);
+    for n in [8usize, 32] {
+        let ast = algorithms::psrs_sort(n).ast();
+        let m = machine(4);
+        group.bench_with_input(BenchmarkId::new("psrs-sort", n), &ast, |b, ast| {
+            b.iter(|| m.run(black_box(ast)).expect("runs"));
+        });
+    }
+    for (r, cpp) in [(2usize, 2usize), (4, 4)] {
+        let ast = algorithms::matvec(r, cpp).ast();
+        let m = machine(4);
+        group.bench_with_input(
+            BenchmarkId::new("matvec", format!("{r}x{cpp}")),
+            &ast,
+            |b, ast| {
+                b.iter(|| m.run(black_box(ast)).expect("runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lockstep_vs_distributed(c: &mut Criterion) {
+    use bsml_bsp::distributed::DistMachine;
+    let mut group = c.benchmark_group("bsp/lockstep-vs-distributed");
+    group.sample_size(20);
+    for w in [workloads::fold_plus(), workloads::scan_plus_log()] {
+        let ast = w.ast();
+        let lockstep = machine(4);
+        let dist = DistMachine::new(4);
+        group.bench_with_input(
+            BenchmarkId::new("lockstep", &w.name),
+            &ast,
+            |b, ast| {
+                b.iter(|| lockstep.run(black_box(ast)).expect("runs"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("distributed", &w.name),
+            &ast,
+            |b, ast| {
+                b.iter(|| dist.run(black_box(ast)).expect("runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_parallel_speedup(c: &mut Criterion) {
+    // Compute-heavy per-processor work: the distributed machine runs
+    // it on real threads and should show wall-clock speedup over the
+    // lockstep machine, which plays the processors sequentially.
+    use bsml_bsp::distributed::DistMachine;
+    let src = "let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+               apply (mkpar (fun i -> fun x -> fib 17 + x), mkpar (fun i -> i))";
+    let ast = bsml_syntax::parse(src).unwrap();
+    let mut group = c.benchmark_group("bsp/parallel-speedup");
+    group.sample_size(10);
+    for p in [1usize, 2, 4] {
+        let lockstep = machine(p);
+        let dist = DistMachine::new(p);
+        group.bench_with_input(BenchmarkId::new("lockstep", p), &ast, |b, ast| {
+            b.iter(|| lockstep.run(black_box(ast)).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", p), &ast, |b, ast| {
+            b.iter(|| dist.run(black_box(ast)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the series are for shape comparisons,
+/// not microarchitectural precision, and the full suite must run in
+/// minutes.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = short();
+    targets = bench_bcast_over_p,
+    bench_bcast_over_payload,
+    bench_direct_vs_log_bcast,
+    bench_superstep_pipeline,
+    bench_collectives,
+    bench_applications,
+    bench_lockstep_vs_distributed,
+    bench_parallel_speedup
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Evaluator benchmarks: the big-step engine vs the literal
+//! small-step machine (the definitional/efficient ablation), plus
+//! engine throughput on sequential workloads.
+
+use bsml_bench::{fib, list_sum};
+use bsml_eval::{eval_closed, smallstep};
+use bsml_std::workloads;
+use bsml_vm::{compile, Vm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_bigstep_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/bigstep");
+    for (name, src) in [
+        ("fib-15", fib(15)),
+        ("fib-18", fib(18)),
+        ("list-sum-500", list_sum(500)),
+        ("list-sum-2000", list_sum(2000)),
+    ] {
+        let ast = bsml_syntax::parse(&src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ast, |b, ast| {
+            b.iter(|| eval_closed(black_box(ast), 1).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_big_vs_small_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/big-vs-small");
+    group.sample_size(10);
+    for (name, src) in [("fib-10", fib(10)), ("list-sum-40", list_sum(40))] {
+        let ast = bsml_syntax::parse(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("bigstep", name), &ast, |b, ast| {
+            b.iter(|| eval_closed(black_box(ast), 1).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("smallstep", name), &ast, |b, ast| {
+            b.iter(|| smallstep::run(black_box(ast), 1, u64::MAX).expect("runs"));
+        });
+        let program = compile(&ast).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("bytecode-vm", name), &program, |b, p| {
+            b.iter(|| Vm::new(1).run(black_box(p)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_vm_vs_bigstep(c: &mut Criterion) {
+    // The engine comparison on heavier inputs (the small-step
+    // machine is too slow for these).
+    let mut group = c.benchmark_group("eval/vm-vs-bigstep");
+    for (name, src, p) in [
+        ("fib-18", fib(18), 1usize),
+        ("list-sum-2000", list_sum(2000), 1),
+        ("scan-log-p8", workloads::scan_plus_log().source, 8),
+        ("psrs-p4", bsml_std::algorithms::psrs_sort(16).source, 4),
+    ] {
+        let ast = bsml_syntax::parse(&src).unwrap();
+        group.bench_with_input(BenchmarkId::new("bigstep", name), &ast, |b, ast| {
+            b.iter(|| eval_closed(black_box(ast), p).expect("runs"));
+        });
+        let program = compile(&ast).expect("compiles");
+        group.bench_with_input(BenchmarkId::new("bytecode-vm", name), &program, |b, pr| {
+            b.iter(|| Vm::new(p).run(black_box(pr)).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/compile");
+    for w in [workloads::scan_plus_log(), bsml_std::algorithms::psrs_sort(8)] {
+        let ast = w.ast();
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &ast, |b, ast| {
+            b.iter(|| compile(black_box(ast)).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_workloads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval/parallel-workloads");
+    for w in [
+        workloads::bcast_direct(0),
+        workloads::total_exchange(),
+        workloads::scan_plus_log(),
+        workloads::inner_product(16),
+    ] {
+        let ast = w.ast();
+        group.bench_with_input(BenchmarkId::from_parameter(&w.name), &ast, |b, ast| {
+            b.iter(|| eval_closed(black_box(ast), 8).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the series are for shape comparisons,
+/// not microarchitectural precision, and the full suite must run in
+/// minutes.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = short();
+    targets = bench_bigstep_sequential,
+    bench_big_vs_small_step,
+    bench_vm_vs_bigstep,
+    bench_compile,
+    bench_parallel_workloads
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Parse throughput across program shapes and sizes.
+
+use bsml_bench::{arithmetic_chain, nested_lets, poly_ladder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse");
+    for n in [16usize, 64, 256, 1024] {
+        for (shape, src) in [
+            ("nested-lets", nested_lets(n)),
+            ("arith-chain", arithmetic_chain(n)),
+            ("poly-ladder", poly_ladder(n.min(256))),
+        ] {
+            group.throughput(Throughput::Bytes(src.len() as u64));
+            group.bench_with_input(BenchmarkId::new(shape, n), &src, |b, src| {
+                b.iter(|| bsml_syntax::parse(black_box(src)).expect("parses"));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_pretty_roundtrip(c: &mut Criterion) {
+    let src = nested_lets(256);
+    let ast = bsml_syntax::parse(&src).unwrap();
+    c.bench_function("pretty-print/nested-lets-256", |b| {
+        b.iter(|| black_box(&ast).to_string());
+    });
+}
+
+
+/// Short measurement windows: the series are for shape comparisons,
+/// not microarchitectural precision, and the full suite must run in
+/// minutes.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = short();
+    targets = bench_parser, bench_pretty_roundtrip
+}
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! `Solve` scaling: unit propagation over growing Horn constraint
+//! sets, the three outcome classes, and the brute-force fallback.
+
+use bsml_types::{Constraint, Solution, Type};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// `L(a₀) ∧ (L(a₀) ⇒ L(a₁)) ∧ … ∧ (L(a_{n−1}) ⇒ L(aₙ))` — a full
+/// propagation chain ending in all-facts residual.
+fn chain(n: u32) -> Constraint {
+    let mut c = Constraint::loc(Type::var(0));
+    for i in 0..n {
+        c = Constraint::and(
+            c,
+            Constraint::Implies(
+                Box::new(Constraint::loc(Type::var(i))),
+                Box::new(Constraint::loc(Type::var(i + 1))),
+            ),
+        );
+    }
+    c
+}
+
+/// Like [`chain`] but ending in `⇒ False`: solves to `False` after
+/// full propagation.
+fn absurd_chain(n: u32) -> Constraint {
+    Constraint::and(
+        chain(n),
+        Constraint::Implies(
+            Box::new(Constraint::loc(Type::var(n))),
+            Box::new(Constraint::False),
+        ),
+    )
+}
+
+/// Independent residual clauses (no propagation possible).
+fn residual_clauses(n: u32) -> Constraint {
+    Constraint::conj((0..n).map(|i| {
+        Constraint::Implies(
+            Box::new(Constraint::loc(Type::var(2 * i))),
+            Box::new(Constraint::loc(Type::var(2 * i + 1))),
+        )
+    }))
+}
+
+fn bench_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solve");
+    for n in [8u32, 64, 256] {
+        for (shape, constraint, expect_false) in [
+            ("propagation-chain", chain(n), false),
+            ("absurd-chain", absurd_chain(n), true),
+            ("residual", residual_clauses(n), false),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(shape, n),
+                &constraint,
+                |b, constraint| {
+                    b.iter(|| {
+                        let s = black_box(constraint).solve();
+                        assert_eq!(s == Solution::False, expect_false);
+                        s
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_locality_expansion(c: &mut Criterion) {
+    // Deep type: L over a big type tree.
+    fn deep_type(n: u32) -> Type {
+        (0..n).fold(Type::var(0), |t, i| Type::pair(t, Type::var(i + 1)))
+    }
+    let mut group = c.benchmark_group("solve/locality-expansion");
+    for n in [16u32, 128] {
+        let t = deep_type(n);
+        let constraint = Constraint::implies(
+            Constraint::loc(t.clone()),
+            Constraint::loc(Type::var(0)),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &constraint, |b, cst| {
+            b.iter(|| black_box(cst).solve());
+        });
+    }
+    group.finish();
+}
+
+fn bench_brute_force_fallback(c: &mut Criterion) {
+    // Non-Horn formula with k variables: exercises the 2^k fallback.
+    fn non_horn(k: u32) -> Constraint {
+        let inner = Constraint::Implies(
+            Box::new(Constraint::conj(
+                (0..k).map(|i| Constraint::loc(Type::var(i))),
+            )),
+            Box::new(Constraint::False),
+        );
+        Constraint::Implies(Box::new(inner), Box::new(Constraint::False))
+    }
+    let mut group = c.benchmark_group("solve/brute-force");
+    for k in [4u32, 10, 16] {
+        let cst = non_horn(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cst, |b, cst| {
+            b.iter(|| black_box(cst).solve());
+        });
+    }
+    group.finish();
+}
+
+
+/// Short measurement windows: the series are for shape comparisons,
+/// not microarchitectural precision, and the full suite must run in
+/// minutes.
+fn short() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+        .configure_from_args()
+}
+
+criterion_group!{
+    name = benches;
+    config = short();
+    targets = bench_solve,
+    bench_locality_expansion,
+    bench_brute_force_fallback
+}
+criterion_main!(benches);

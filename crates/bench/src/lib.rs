@@ -1,0 +1,99 @@
+//! Shared workload builders for the Criterion benches.
+
+/// A purely sequential program of `n` chained `let`s ending in a sum
+/// of the first and last binding.
+#[must_use]
+pub fn nested_lets(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("let x{i} = {i} + 1 in "));
+    }
+    src.push_str(&format!("x0 + x{}", n.saturating_sub(1)));
+    src
+}
+
+/// A wide arithmetic expression of `n` operands (`1 + 2 + … + n`).
+#[must_use]
+pub fn arithmetic_chain(n: usize) -> String {
+    let mut src = String::from("1");
+    for i in 2..=n {
+        src.push_str(&format!(" + {i}"));
+    }
+    src
+}
+
+/// A polymorphic let-ladder: each binding composes the previous one,
+/// stressing instantiation and generalization.
+#[must_use]
+pub fn poly_ladder(n: usize) -> String {
+    let mut src = String::from("let f0 = fun x -> x in ");
+    for i in 1..n {
+        src.push_str(&format!(
+            "let f{i} = fun x -> f{} (f{} x) in ",
+            i - 1,
+            i - 1
+        ));
+    }
+    src.push_str(&format!("f{} 1", n.saturating_sub(1)));
+    src
+}
+
+/// A parallel pipeline of `rounds` shift supersteps.
+#[must_use]
+pub fn shift_pipeline(rounds: usize) -> String {
+    bsml_std::workloads::ping_rounds(rounds).source
+}
+
+/// Sequential fibonacci — the classic evaluator stress test.
+#[must_use]
+pub fn fib(n: u32) -> String {
+    format!("let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in fib {n}")
+}
+
+/// Sum of an `n`-element locally built list.
+#[must_use]
+pub fn list_sum(n: usize) -> String {
+    // Both helpers are tail-recursive: like OCaml, the evaluator runs
+    // tail calls in constant stack but bounds non-tail depth.
+    format!(
+        "let rec build acc j = if j = 0 then acc else build (j :: acc) (j - 1) in
+         let rec sum acc xs = match xs with [] -> acc | h :: t -> sum (acc + h) t in
+         sum 0 (build [] {n})"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsml_eval::eval_closed;
+    use bsml_infer::infer;
+    use bsml_syntax::parse;
+
+    #[test]
+    fn builders_produce_valid_programs() {
+        for src in [
+            nested_lets(10),
+            arithmetic_chain(10),
+            poly_ladder(5),
+            shift_pipeline(2),
+            fib(10),
+            list_sum(10),
+        ] {
+            let ast = parse(&src).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+            infer(&ast).unwrap_or_else(|e| panic!("{}", e.render(&src)));
+            eval_closed(&ast, 2).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
+    }
+
+    #[test]
+    fn fib_is_correct() {
+        let ast = parse(&fib(15)).unwrap();
+        assert_eq!(eval_closed(&ast, 1).unwrap().to_string(), "610");
+    }
+
+    #[test]
+    fn list_sum_is_correct() {
+        let ast = parse(&list_sum(100)).unwrap();
+        assert_eq!(eval_closed(&ast, 1).unwrap().to_string(), "5050");
+    }
+}

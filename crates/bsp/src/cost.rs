@@ -1,0 +1,245 @@
+//! BSP cost accounting: per-superstep records and whole-program
+//! summaries (paper §2).
+
+use std::fmt;
+
+use crate::machine::BspParams;
+
+/// An abstract BSP cost `W + H·g + S·l`, kept symbolic in the machine
+/// parameters so the same cost can be priced on different machines.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Cost {
+    /// Total local work `W = Σ_s max_i w_i^(s)`.
+    pub work: u64,
+    /// Total communication volume `H = Σ_s max_i h_i^(s)` (words).
+    pub h_relation: u64,
+    /// Number of supersteps `S` (synchronization barriers).
+    pub supersteps: u64,
+}
+
+impl Cost {
+    /// A zero cost.
+    #[must_use]
+    pub fn zero() -> Cost {
+        Cost::default()
+    }
+
+    /// Builds a cost from its three terms.
+    #[must_use]
+    pub fn new(work: u64, h_relation: u64, supersteps: u64) -> Cost {
+        Cost {
+            work,
+            h_relation,
+            supersteps,
+        }
+    }
+
+    /// Prices the cost on a machine: `W + H·g + S·l`, in flop-time
+    /// units.
+    #[must_use]
+    pub fn time(&self, params: &BspParams) -> u64 {
+        self.work + self.h_relation * params.g + self.supersteps * params.l
+    }
+
+    /// Sequential (BSP) composition of two costs.
+    #[must_use]
+    pub fn then(&self, other: &Cost) -> Cost {
+        Cost {
+            work: self.work + other.work,
+            h_relation: self.h_relation + other.h_relation,
+            supersteps: self.supersteps + other.supersteps,
+        }
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} + {}·g + {}·l",
+            self.work, self.h_relation, self.supersteps
+        )
+    }
+}
+
+/// What one superstep did, processor by processor.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SuperstepRecord {
+    /// Local work per processor (evaluator reduction steps).
+    pub work: Vec<u64>,
+    /// Words sent per processor (`h⁺`).
+    pub sent: Vec<u64>,
+    /// Words received per processor (`h⁻`).
+    pub received: Vec<u64>,
+    /// What ended the superstep.
+    pub barrier: Barrier,
+}
+
+/// The synchronization event ending a superstep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Barrier {
+    /// A `put` exchange.
+    #[default]
+    Put,
+    /// An `if‥at‥` broadcast of the deciding boolean.
+    IfAt,
+    /// End of program (no barrier; contributes work only).
+    ProgramEnd,
+}
+
+impl SuperstepRecord {
+    /// `max_i w_i` for this superstep.
+    #[must_use]
+    pub fn max_work(&self) -> u64 {
+        self.work.iter().copied().max().unwrap_or(0)
+    }
+
+    /// `h_i = max(h_i⁺, h_i⁻)` for processor `i`.
+    #[must_use]
+    pub fn h_of(&self, i: usize) -> u64 {
+        self.sent.get(i).copied().unwrap_or(0).max(
+            self.received.get(i).copied().unwrap_or(0),
+        )
+    }
+
+    /// `max_i h_i` for this superstep.
+    #[must_use]
+    pub fn max_h(&self) -> u64 {
+        (0..self.work.len().max(self.sent.len()))
+            .map(|i| self.h_of(i))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The cost of this single superstep (`S` is 1 unless the record
+    /// is the final, barrier-free tail).
+    #[must_use]
+    pub fn cost(&self) -> Cost {
+        Cost {
+            work: self.max_work(),
+            h_relation: self.max_h(),
+            supersteps: u64::from(!matches!(self.barrier, Barrier::ProgramEnd)),
+        }
+    }
+}
+
+/// The aggregated cost of a whole run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CostSummary {
+    /// `W`.
+    pub work: u64,
+    /// `H` in words.
+    pub h_relation: u64,
+    /// `S`.
+    pub supersteps: u64,
+}
+
+impl CostSummary {
+    /// Aggregates superstep records.
+    #[must_use]
+    pub fn from_records(records: &[SuperstepRecord]) -> CostSummary {
+        let mut total = Cost::zero();
+        for r in records {
+            total = total.then(&r.cost());
+        }
+        CostSummary {
+            work: total.work,
+            h_relation: total.h_relation,
+            supersteps: total.supersteps,
+        }
+    }
+
+    /// The summary as an abstract [`Cost`].
+    #[must_use]
+    pub fn as_cost(&self) -> Cost {
+        Cost::new(self.work, self.h_relation, self.supersteps)
+    }
+
+    /// Prices the run on a machine.
+    #[must_use]
+    pub fn time(&self, params: &BspParams) -> u64 {
+        self.as_cost().time(params)
+    }
+}
+
+impl fmt::Display for CostSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "W = {}, H = {} words, S = {}",
+            self.work, self.h_relation, self.supersteps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_pricing() {
+        let c = Cost::new(100, 30, 2);
+        let m = BspParams::new(4, 10, 1000);
+        assert_eq!(c.time(&m), 100 + 300 + 2000);
+        assert_eq!(c.to_string(), "100 + 30·g + 2·l");
+    }
+
+    #[test]
+    fn cost_composition() {
+        let a = Cost::new(1, 2, 3);
+        let b = Cost::new(10, 20, 30);
+        assert_eq!(a.then(&b), Cost::new(11, 22, 33));
+        assert_eq!(Cost::zero().then(&a), a);
+    }
+
+    #[test]
+    fn superstep_h_is_max_of_in_and_out() {
+        let r = SuperstepRecord {
+            work: vec![5, 9, 1],
+            sent: vec![10, 0, 0],
+            received: vec![0, 7, 3],
+            barrier: Barrier::Put,
+        };
+        assert_eq!(r.max_work(), 9);
+        assert_eq!(r.h_of(0), 10);
+        assert_eq!(r.h_of(1), 7);
+        assert_eq!(r.max_h(), 10);
+        assert_eq!(r.cost(), Cost::new(9, 10, 1));
+    }
+
+    #[test]
+    fn final_tail_has_no_barrier() {
+        let r = SuperstepRecord {
+            work: vec![4, 2],
+            sent: vec![0, 0],
+            received: vec![0, 0],
+            barrier: Barrier::ProgramEnd,
+        };
+        assert_eq!(r.cost(), Cost::new(4, 0, 0));
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let records = vec![
+            SuperstepRecord {
+                work: vec![3, 5],
+                sent: vec![2, 0],
+                received: vec![0, 2],
+                barrier: Barrier::Put,
+            },
+            SuperstepRecord {
+                work: vec![1, 1],
+                sent: vec![0, 0],
+                received: vec![0, 0],
+                barrier: Barrier::ProgramEnd,
+            },
+        ];
+        let s = CostSummary::from_records(&records);
+        assert_eq!(s.work, 6);
+        assert_eq!(s.h_relation, 2);
+        assert_eq!(s.supersteps, 1);
+        assert_eq!(s.to_string(), "W = 6, H = 2 words, S = 1");
+        let m = BspParams::new(2, 5, 50);
+        assert_eq!(s.time(&m), 6 + 10 + 50);
+    }
+}

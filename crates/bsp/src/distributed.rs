@@ -1,0 +1,522 @@
+//! The **distributed** execution backend: one OS thread per BSP
+//! processor, real message exchange, real synchronization barriers —
+//! the execution model of the original BSMLlib over MPI (and of
+//! Loulergue's "Distributed Evaluation of Functional BSP Programs",
+//! the paper's reference [5]).
+//!
+//! Every processor runs the *same* program (SPMD). Replicated
+//! (global) expressions are evaluated identically on every thread;
+//! parallel vectors exist only as each thread's own component
+//! (width-1 `Value::Vector`s). `put` and `if‥at‥` serialize values
+//! into [`PortableValue`]s, exchange them through a shared mailbox,
+//! and synchronize on a poisonable barrier (a failing processor
+//! releases, rather than deadlocks, its peers).
+//!
+//! The lockstep simulator ([`crate::BspMachine`]) and this machine
+//! are cross-checked in `tests/distributed.rs`: same values, same
+//! per-superstep h-relations.
+//!
+//! ```
+//! use bsml_bsp::distributed::DistMachine;
+//! use bsml_syntax::parse;
+//!
+//! let machine = DistMachine::new(4);
+//! let out = machine.run(&parse(
+//!     "let recv = put (mkpar (fun j -> fun i -> j * j)) in
+//!      apply (recv, mkpar (fun i -> (i + 1) mod (bsp_p ())))")?)?;
+//! assert_eq!(out.value.to_string(), "<|1, 4, 9, 0|>");
+//! assert_eq!(out.supersteps, 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use bsml_ast::Expr;
+use bsml_eval::{
+    Applier, EvalError, Evaluator, Mode, NoHooks, ParallelDriver, PortableValue, Value,
+};
+
+/// A synchronization barrier that can be *poisoned*: when one
+/// processor fails, every processor waiting (now or later) is
+/// released with [`EvalError::PeerFailure`] instead of deadlocking.
+#[derive(Debug)]
+struct PoisonBarrier {
+    n: usize,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct BarrierState {
+    waiting: usize,
+    generation: u64,
+    poisoned: bool,
+}
+
+impl PoisonBarrier {
+    fn new(n: usize) -> PoisonBarrier {
+        PoisonBarrier {
+            n,
+            state: Mutex::new(BarrierState::default()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) -> Result<(), EvalError> {
+        let mut st = self.state.lock().expect("barrier lock");
+        if st.poisoned {
+            return Err(EvalError::PeerFailure);
+        }
+        st.waiting += 1;
+        if st.waiting == self.n {
+            st.waiting = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+            return Ok(());
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.poisoned {
+            st = self.cv.wait(st).expect("barrier wait");
+        }
+        if st.poisoned {
+            Err(EvalError::PeerFailure)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn poison(&self) {
+        let mut st = self.state.lock().expect("barrier lock");
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Per-superstep communication statistics of one processor.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct CommStats {
+    sent_words: u64,
+    received_words: u64,
+    supersteps: u64,
+}
+
+/// The shared "network": the message mailbox, the `if‥at‥` broadcast
+/// slot, and the barrier.
+#[derive(Debug)]
+struct Network {
+    p: usize,
+    barrier: PoisonBarrier,
+    /// `mailbox[j][i]`: message from j to i for the current
+    /// superstep. Every sender rewrites its whole row each exchange,
+    /// so no clearing is needed.
+    mailbox: Mutex<Vec<Vec<PortableValue>>>,
+    /// The broadcast boolean of the current `if‥at‥`.
+    ifat_slot: Mutex<Option<bool>>,
+}
+
+impl Network {
+    fn new(p: usize) -> Network {
+        Network {
+            p,
+            barrier: PoisonBarrier::new(p),
+            mailbox: Mutex::new(vec![vec![PortableValue::NoComm; p]; p]),
+            ifat_slot: Mutex::new(None),
+        }
+    }
+}
+
+/// The SPMD driver for one processor (rank). Statistics are shared
+/// out through a mutex so the thread can read them back after the
+/// evaluator (which owns the boxed driver) is done.
+struct SpmdDriver {
+    rank: usize,
+    net: Arc<Network>,
+    stats: Arc<Mutex<CommStats>>,
+}
+
+impl SpmdDriver {
+    fn my_component<'v>(&self, comps: &'v [Value], what: &'static str) -> Result<&'v Value, EvalError> {
+        if comps.len() == 1 {
+            Ok(&comps[0])
+        } else {
+            Err(EvalError::ScrutineeMismatch(
+                what,
+                format!(
+                    "SPMD vectors hold one component per processor, got width {}",
+                    comps.len()
+                ),
+            ))
+        }
+    }
+}
+
+impl ParallelDriver for SpmdDriver {
+    fn machine_width(&self) -> usize {
+        self.net.p
+    }
+
+    // Vector *literals* are runtime-only global artifacts; the SPMD
+    // machine runs source programs, which cannot contain them.
+    fn literal_width(&self) -> Option<usize> {
+        None
+    }
+
+    fn mkpar(&mut self, ev: &mut dyn Applier, f: &Value) -> Result<Value, EvalError> {
+        ev.note_async();
+        let v = ev.apply_fn(
+            f.clone(),
+            Value::Int(self.rank as i64),
+            Mode::OnProc(self.rank),
+        )?;
+        ev.ensure_local(&v)?;
+        Ok(Value::vector(vec![v]))
+    }
+
+    fn apply_par(
+        &mut self,
+        ev: &mut dyn Applier,
+        fs: &[Value],
+        vs: &[Value],
+    ) -> Result<Value, EvalError> {
+        ev.note_async();
+        let f = self.my_component(fs, "apply")?.clone();
+        let v = self.my_component(vs, "apply")?.clone();
+        let out = ev.apply_fn(f, v, Mode::OnProc(self.rank))?;
+        ev.ensure_local(&out)?;
+        Ok(Value::vector(vec![out]))
+    }
+
+    fn put(&mut self, ev: &mut dyn Applier, fs: &[Value]) -> Result<Value, EvalError> {
+        let p = self.net.p;
+        let f = self.my_component(fs, "put")?.clone();
+        // Local phase: evaluate my send function for every target and
+        // serialize the messages.
+        let mut row = Vec::with_capacity(p);
+        for dst in 0..p {
+            let v = ev.apply_fn(
+                f.clone(),
+                Value::Int(dst as i64),
+                Mode::OnProc(self.rank),
+            )?;
+            ev.ensure_local(&v)?;
+            let words = v.size_in_words();
+            if dst != self.rank {
+                self.stats.lock().expect("stats lock").sent_words += words;
+            }
+            row.push(v.to_portable().inspect_err(|_| self.net.barrier.poison())?);
+        }
+        {
+            let mut mailbox = self.net.mailbox.lock().expect("mailbox lock");
+            mailbox[self.rank] = row;
+        }
+        // Communication phase + barrier.
+        self.net.barrier.wait()?;
+        let table: Vec<Value> = {
+            let mailbox = self.net.mailbox.lock().expect("mailbox lock");
+            (0..p).map(|j| mailbox[j][self.rank].to_value()).collect()
+        };
+        {
+            let mut stats = self.stats.lock().expect("stats lock");
+            for (j, v) in table.iter().enumerate() {
+                if j != self.rank {
+                    stats.received_words += v.size_in_words();
+                }
+            }
+            stats.supersteps += 1;
+        }
+        // Everyone must finish reading before anyone overwrites.
+        self.net.barrier.wait()?;
+        Ok(Value::vector(vec![Value::MsgTable(std::rc::Rc::new(
+            table,
+        ))]))
+    }
+
+    fn ifat(
+        &mut self,
+        ev: &mut dyn Applier,
+        bools: &[Value],
+        at: usize,
+    ) -> Result<bool, EvalError> {
+        let mine = match self.my_component(bools, "if‥at‥")? {
+            Value::Bool(b) => *b,
+            v => {
+                self.net.barrier.poison();
+                return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string()));
+            }
+        };
+        if self.rank == at {
+            *self.net.ifat_slot.lock().expect("ifat lock") = Some(mine);
+            self.stats.lock().expect("stats lock").sent_words += (self.net.p - 1) as u64;
+        }
+        self.net.barrier.wait()?;
+        let chosen = self
+            .net
+            .ifat_slot
+            .lock()
+            .expect("ifat lock")
+            .expect("broadcaster filled the slot");
+        {
+            let mut stats = self.stats.lock().expect("stats lock");
+            if self.rank != at {
+                stats.received_words += 1;
+            }
+            stats.supersteps += 1;
+        }
+        ev.note_ifat(at, chosen);
+        self.net.barrier.wait()?;
+        Ok(chosen)
+    }
+}
+
+/// The result of a distributed run.
+#[derive(Clone, Debug)]
+pub struct DistOutcome {
+    /// The assembled result: per-rank width-1 vectors reassembled
+    /// into one `p`-wide vector, or the (identical) replicated value.
+    pub value: Value,
+    /// Synchronization barriers observed (identical on every rank —
+    /// that is asserted).
+    pub supersteps: u64,
+    /// Total words sent across all processors and supersteps
+    /// (self-messages excluded).
+    pub total_words_sent: u64,
+    /// Per-rank evaluator steps (local work `w_i`).
+    pub work: Vec<u64>,
+}
+
+/// A distributed BSP machine: `p` OS threads, shared-nothing except
+/// the message mailbox.
+#[derive(Clone, Copy, Debug)]
+pub struct DistMachine {
+    p: usize,
+    fuel: u64,
+}
+
+impl DistMachine {
+    /// A machine of `p` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn new(p: usize) -> DistMachine {
+        assert!(p > 0, "a BSP machine needs at least one processor");
+        DistMachine {
+            p,
+            fuel: bsml_eval::bigstep::DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the per-processor fuel.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> DistMachine {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs a closed program SPMD on `p` threads.
+    ///
+    /// # Errors
+    ///
+    /// The first real [`EvalError`] raised by any processor
+    /// ([`EvalError::PeerFailure`]s from released peers are
+    /// discarded in its favour), or [`EvalError::NotSerializable`]
+    /// if the final value cannot be gathered.
+    pub fn run(&self, e: &Expr) -> Result<DistOutcome, EvalError> {
+        let net = Arc::new(Network::new(self.p));
+        let program = Arc::new(e.clone());
+        let fuel = self.fuel;
+
+        let results: Vec<Result<(PortableValue, CommStats, u64), EvalError>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.p)
+                    .map(|rank| {
+                        let net = Arc::clone(&net);
+                        let program = Arc::clone(&program);
+                        scope.spawn(move || run_rank(rank, net, &program, fuel))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("processor thread panicked"))
+                    .collect()
+            });
+
+        // Prefer a real error over PeerFailure echoes.
+        if results.iter().any(|r| r.is_err()) {
+            let mut first_peer_failure = None;
+            for r in &results {
+                match r {
+                    Err(EvalError::PeerFailure) => {
+                        first_peer_failure = Some(EvalError::PeerFailure);
+                    }
+                    Err(real) => return Err(real.clone()),
+                    Ok(_) => {}
+                }
+            }
+            return Err(first_peer_failure.expect("some error exists"));
+        }
+
+        let oks: Vec<(PortableValue, CommStats, u64)> =
+            results.into_iter().map(|r| r.expect("checked")).collect();
+
+        // Every rank must have seen the same number of barriers.
+        let supersteps = oks[0].1.supersteps;
+        assert!(
+            oks.iter().all(|(_, s, _)| s.supersteps == supersteps),
+            "ranks disagree on superstep count — SPMD replication broken"
+        );
+        let total_words_sent = oks.iter().map(|(_, s, _)| s.sent_words).sum();
+        let work = oks.iter().map(|(_, _, w)| *w).collect();
+
+        let value = assemble(oks.iter().map(|(v, _, _)| v))?;
+        Ok(DistOutcome {
+            value,
+            supersteps,
+            total_words_sent,
+            work,
+        })
+    }
+}
+
+/// One processor's run.
+fn run_rank(
+    rank: usize,
+    net: Arc<Network>,
+    program: &Expr,
+    fuel: u64,
+) -> Result<(PortableValue, CommStats, u64), EvalError> {
+    let stats = Arc::new(Mutex::new(CommStats::default()));
+    let driver = SpmdDriver {
+        rank,
+        net: Arc::clone(&net),
+        stats: Arc::clone(&stats),
+    };
+    let mut hooks = NoHooks;
+    let mut ev = Evaluator::with_driver(&mut hooks, fuel, Box::new(driver));
+    let result = ev.eval(program);
+    let work = fuel - ev.fuel_left();
+    match result {
+        Ok(v) => {
+            let portable = v.to_portable().inspect_err(|_| net.barrier.poison())?;
+            let final_stats = *stats.lock().expect("stats lock");
+            Ok((portable, final_stats, work))
+        }
+        Err(err) => {
+            net.barrier.poison();
+            Err(err)
+        }
+    }
+}
+
+/// Reassembles per-rank results: width-1 vectors become one `p`-wide
+/// vector; identical replicated values pass through.
+fn assemble<'a>(
+    per_rank: impl Iterator<Item = &'a PortableValue>,
+) -> Result<Value, EvalError> {
+    let per_rank: Vec<&PortableValue> = per_rank.collect();
+    let all_width1 = per_rank
+        .iter()
+        .all(|v| matches!(v, PortableValue::Vector(c) if c.len() == 1));
+    if all_width1 {
+        let comps: Vec<Value> = per_rank
+            .iter()
+            .map(|v| match v {
+                PortableValue::Vector(c) => c[0].to_value(),
+                _ => unreachable!(),
+            })
+            .collect();
+        return Ok(Value::vector(comps));
+    }
+    // Replicated result: all ranks must agree.
+    let first = per_rank[0];
+    if per_rank.iter().all(|v| *v == first) {
+        Ok(first.to_value())
+    } else {
+        Err(EvalError::ScrutineeMismatch(
+            "distributed result",
+            "ranks disagree on a replicated value".to_string(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsml_syntax::parse;
+
+    #[test]
+    fn poison_barrier_releases_waiters() {
+        let barrier = Arc::new(PoisonBarrier::new(2));
+        let b2 = Arc::clone(&barrier);
+        let waiter = std::thread::spawn(move || b2.wait());
+        // Give the waiter time to block, then poison instead of join.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        barrier.poison();
+        let r = waiter.join().expect("no panic");
+        assert_eq!(r, Err(EvalError::PeerFailure));
+        // Later arrivals see the poison immediately.
+        assert_eq!(barrier.wait(), Err(EvalError::PeerFailure));
+    }
+
+    #[test]
+    fn poison_barrier_synchronizes_generations() {
+        let barrier = Arc::new(PoisonBarrier::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let b = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    b.wait()?;
+                }
+                Ok::<(), EvalError>(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("no panic").expect("no poison");
+        }
+    }
+
+    #[test]
+    fn single_processor_machine() {
+        let e = parse("mkpar (fun i -> i + 41)").unwrap();
+        let out = DistMachine::new(1).run(&e).unwrap();
+        assert_eq!(out.value.to_string(), "<|41|>");
+        assert_eq!(out.total_words_sent, 0);
+    }
+
+    #[test]
+    fn put_self_messages_cost_nothing() {
+        let e = parse(
+            "let r = put (mkpar (fun j -> fun d -> if d = j then j else nc ())) in
+             apply (mkpar (fun i -> fun f -> f i), r)",
+        )
+        .unwrap();
+        let out = DistMachine::new(4).run(&e).unwrap();
+        // Everyone sends only to itself: nc() to others costs 0 words.
+        assert_eq!(out.total_words_sent, 0);
+        assert_eq!(out.supersteps, 1);
+    }
+
+    #[test]
+    fn replicated_scalar_results_assemble() {
+        let e = parse("1 + 2 + 3").unwrap();
+        let out = DistMachine::new(3).run(&e).unwrap();
+        assert_eq!(out.value.to_string(), "6");
+        assert_eq!(out.supersteps, 0);
+    }
+
+    #[test]
+    fn work_vector_has_one_entry_per_rank() {
+        let e = parse("mkpar (fun i -> i)").unwrap();
+        let out = DistMachine::new(5).run(&e).unwrap();
+        assert_eq!(out.work.len(), 5);
+        assert!(out.work.iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let _ = DistMachine::new(0);
+    }
+}

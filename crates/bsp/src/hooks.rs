@@ -1,0 +1,167 @@
+//! The cost-charging [`EvalHooks`] implementation.
+
+use bsml_eval::{EvalHooks, Mode, Value};
+
+use crate::cost::{Barrier, SuperstepRecord};
+
+/// Evaluator hooks that segment execution into supersteps and measure
+/// `w_i`, `h_i⁺`, `h_i⁻` per processor.
+///
+/// Global (replicated) reduction steps charge one unit of work to
+/// *every* processor — BSML is SPMD: each processor evaluates the
+/// global expression identically (paper §2). Local steps inside a
+/// vector component charge only that component's processor.
+#[derive(Clone, Debug)]
+pub struct BspCostHooks {
+    p: usize,
+    current: SuperstepRecord,
+    finished: Vec<SuperstepRecord>,
+}
+
+impl BspCostHooks {
+    /// Hooks for a `p`-processor machine.
+    #[must_use]
+    pub fn new(p: usize) -> BspCostHooks {
+        BspCostHooks {
+            p,
+            current: fresh_record(p),
+            finished: Vec::new(),
+        }
+    }
+
+    /// Closes the trailing (barrier-free) superstep and returns the
+    /// full trace.
+    #[must_use]
+    pub fn finish(mut self) -> Vec<SuperstepRecord> {
+        self.current.barrier = Barrier::ProgramEnd;
+        self.finished.push(self.current);
+        self.finished
+    }
+
+    fn close_superstep(&mut self, barrier: Barrier) {
+        let mut done = std::mem::replace(&mut self.current, fresh_record(self.p));
+        done.barrier = barrier;
+        self.finished.push(done);
+    }
+}
+
+fn fresh_record(p: usize) -> SuperstepRecord {
+    SuperstepRecord {
+        work: vec![0; p],
+        sent: vec![0; p],
+        received: vec![0; p],
+        barrier: Barrier::ProgramEnd,
+    }
+}
+
+impl EvalHooks for BspCostHooks {
+    fn on_step(&mut self, mode: Mode) {
+        match mode {
+            // Replicated global work: every processor performs it.
+            Mode::Global => {
+                for w in &mut self.current.work {
+                    *w += 1;
+                }
+            }
+            Mode::OnProc(i) => {
+                if let Some(w) = self.current.work.get_mut(i) {
+                    *w += 1;
+                }
+            }
+        }
+    }
+
+    fn on_put(&mut self, messages: &[Vec<Value>]) {
+        // messages[j][i] is what j sends to i; self-messages stay in
+        // local memory and do not count toward the h-relation.
+        for (j, row) in messages.iter().enumerate() {
+            for (i, v) in row.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let words = v.size_in_words();
+                if words == 0 {
+                    continue;
+                }
+                if let Some(out) = self.current.sent.get_mut(j) {
+                    *out += words;
+                }
+                if let Some(inn) = self.current.received.get_mut(i) {
+                    *inn += words;
+                }
+            }
+        }
+        self.close_superstep(Barrier::Put);
+    }
+
+    fn on_ifat(&mut self, at: usize, _chosen: bool) {
+        // The deciding boolean (one word) is broadcast from `at` to
+        // the other p−1 processors before the barrier.
+        if let Some(out) = self.current.sent.get_mut(at) {
+            *out += (self.p - 1) as u64;
+        }
+        for i in 0..self.p {
+            if i != at {
+                if let Some(inn) = self.current.received.get_mut(i) {
+                    *inn += 1;
+                }
+            }
+        }
+        self.close_superstep(Barrier::IfAt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_steps_charge_everyone() {
+        let mut h = BspCostHooks::new(3);
+        h.on_step(Mode::Global);
+        h.on_step(Mode::OnProc(1));
+        let trace = h.finish();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].work, vec![1, 2, 1]);
+        assert_eq!(trace[0].barrier, Barrier::ProgramEnd);
+    }
+
+    #[test]
+    fn put_measures_words_and_skips_self_and_nc() {
+        let mut h = BspCostHooks::new(2);
+        // proc 0 sends an int to proc 1; proc 1 sends nothing.
+        let messages = vec![
+            vec![Value::Int(7), Value::Int(9)],
+            vec![Value::NoComm, Value::NoComm],
+        ];
+        h.on_put(&messages);
+        let trace = h.finish();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].sent, vec![1, 0]); // self-message excluded
+        assert_eq!(trace[0].received, vec![0, 1]);
+        assert_eq!(trace[0].barrier, Barrier::Put);
+    }
+
+    #[test]
+    fn ifat_broadcasts_one_word() {
+        let mut h = BspCostHooks::new(4);
+        h.on_ifat(2, true);
+        let trace = h.finish();
+        assert_eq!(trace[0].sent, vec![0, 0, 3, 0]);
+        assert_eq!(trace[0].received, vec![1, 1, 0, 1]);
+        assert_eq!(trace[0].barrier, Barrier::IfAt);
+        assert_eq!(trace[0].max_h(), 3);
+    }
+
+    #[test]
+    fn work_resets_per_superstep() {
+        let mut h = BspCostHooks::new(1);
+        h.on_step(Mode::Global);
+        h.on_put(&[vec![Value::NoComm]]);
+        h.on_step(Mode::Global);
+        h.on_step(Mode::Global);
+        let trace = h.finish();
+        assert_eq!(trace[0].work, vec![1]);
+        assert_eq!(trace[1].work, vec![2]);
+    }
+}

@@ -1,0 +1,49 @@
+//! A deterministic Bulk Synchronous Parallel machine simulator and
+//! cost model (paper §2).
+//!
+//! The paper's BSMLlib ran on OCaml + MPI clusters; this crate is the
+//! substitution documented in `DESIGN.md`: a simulator whose `p`
+//! logical processors execute mini-BSML programs SPMD-style over the
+//! `bsml-eval` big-step evaluator, charging exactly the BSP cost
+//! expression
+//!
+//! ```text
+//! Time(s) = max_i w_i^(s)  +  g · max_i h_i^(s)  +  l        per superstep
+//! Total   = W + H·g + S·l
+//! ```
+//!
+//! * local work `w_i` is counted in evaluator reduction steps,
+//! * `h_i = max(h_i⁺, h_i⁻)` is measured in words
+//!   ([`bsml_eval::Value::size_in_words`]) at every `put` and
+//!   `if‥at‥` barrier,
+//! * the machine parameters *(p, g, l)* come from a [`BspParams`]
+//!   profile.
+//!
+//! [`formulas`] provides the closed-form costs the paper states —
+//! equation (1) for `bcast` first — so experiments can compare
+//! measured against predicted.
+//!
+//! ```
+//! use bsml_bsp::{BspMachine, BspParams};
+//! use bsml_syntax::parse;
+//!
+//! let machine = BspMachine::new(BspParams::new(4, 10, 200));
+//! let report = machine.run(&parse(
+//!     "let recv = put (mkpar (fun j -> fun i -> j)) in
+//!      apply (recv, mkpar (fun i -> 0))")?)?;
+//! assert_eq!(report.value.to_string(), "<|0, 0, 0, 0|>");
+//! assert_eq!(report.cost.supersteps, 1); // one put barrier
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cost;
+pub mod distributed;
+pub mod formulas;
+pub mod hooks;
+pub mod machine;
+pub mod symbolic;
+pub mod trace;
+
+pub use cost::{Cost, CostSummary, SuperstepRecord};
+pub use hooks::BspCostHooks;
+pub use machine::{BspMachine, BspParams, RunReport};

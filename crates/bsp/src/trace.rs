@@ -1,0 +1,139 @@
+//! Human-readable superstep traces.
+
+use std::fmt::Write as _;
+
+use crate::cost::{Barrier, SuperstepRecord};
+use crate::machine::RunReport;
+
+/// Renders a run report as a table of supersteps:
+///
+/// ```text
+/// superstep | barrier |  max w |  max h | per-proc w
+/// --------- + ------- + ------ + ------ + ----------
+///         1 |     put |     42 |      3 | 42/40/39/41
+///      tail |       — |     10 |      0 | 10/10/10/10
+/// total: W = 52, H = 3 words, S = 1, time = 3092 on (p = 4, g = 10, l = 3000)
+/// ```
+#[must_use]
+pub fn render_report(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "superstep | barrier |  max w |  max h | per-proc w"
+    );
+    let _ = writeln!(
+        out,
+        "--------- + ------- + ------ + ------ + ----------"
+    );
+    for (i, r) in report.trace.iter().enumerate() {
+        let _ = writeln!(out, "{}", render_row(i, r));
+    }
+    let _ = writeln!(
+        out,
+        "total: {}, time = {} on {}",
+        report.cost,
+        report.time(),
+        report.params
+    );
+    out
+}
+
+/// Renders a per-processor timeline of the run: one row per
+/// processor, one column block per superstep, each block scaled to
+/// the superstep's slowest processor. `█` is computation, `·` is
+/// time spent waiting for the barrier (the BSP idle time the cost
+/// model charges via `max_i w_i`), `‖` is the barrier itself.
+///
+/// ```text
+/// p0 █████████·‖██████████‖███
+/// p1 ██████████‖████····· ‖███
+/// ```
+#[must_use]
+pub fn render_timeline(report: &RunReport) -> String {
+    const BLOCK: usize = 12;
+    let p = report.trace.first().map_or(0, |r| r.work.len());
+    let mut rows: Vec<String> = (0..p).map(|i| format!("p{i:<2} ")).collect();
+    for r in &report.trace {
+        let max = r.max_work().max(1);
+        for (i, row) in rows.iter_mut().enumerate() {
+            let w = r.work.get(i).copied().unwrap_or(0);
+            let filled = (w as usize * BLOCK).div_ceil(max as usize);
+            let filled = filled.min(BLOCK);
+            row.push_str(&"█".repeat(filled));
+            row.push_str(&"·".repeat(BLOCK - filled));
+            row.push(match r.barrier {
+                Barrier::ProgramEnd => ' ',
+                _ => '‖',
+            });
+        }
+    }
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+fn render_row(index: usize, r: &SuperstepRecord) -> String {
+    let (label, barrier) = match r.barrier {
+        Barrier::Put => (format!("{:>9}", index + 1), "put".to_string()),
+        Barrier::IfAt => (format!("{:>9}", index + 1), "if-at".to_string()),
+        Barrier::ProgramEnd => (format!("{:>9}", "tail"), "—".to_string()),
+    };
+    let per_proc = r
+        .work
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join("/");
+    format!(
+        "{label} | {barrier:>7} | {:>6} | {:>6} | {per_proc}",
+        r.max_work(),
+        r.max_h()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{BspMachine, BspParams};
+    use bsml_syntax::parse;
+
+    #[test]
+    fn timeline_shows_full_and_idle_bars() {
+        let e = parse(
+            "let rec spin n = if n = 0 then 0 else spin (n - 1) in
+             let v = apply (mkpar (fun i -> fun x -> if x = 0 then spin 300 else 0),
+                            mkpar (fun i -> i)) in
+             put (apply (mkpar (fun i -> fun x -> fun d -> x), v))",
+        )
+        .unwrap();
+        let report = BspMachine::new(BspParams::new(3, 1, 1)).run(&e).unwrap();
+        let timeline = render_timeline(&report);
+        let lines: Vec<&str> = timeline.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("p0"));
+        // Processor 0 spins: its first block is solid; the others
+        // show idle dots.
+        assert!(lines[0].contains("████████████"), "{timeline}");
+        assert!(lines[1].contains('·'), "{timeline}");
+        assert!(timeline.contains('‖'), "{timeline}");
+    }
+
+    #[test]
+    fn render_contains_rows_and_totals() {
+        let e = parse(
+            "let r = put (mkpar (fun j -> fun i -> j)) in apply (r, mkpar (fun i -> 0))",
+        )
+        .unwrap();
+        let report = BspMachine::new(BspParams::new(3, 10, 100)).run(&e).unwrap();
+        let rendered = render_report(&report);
+        assert!(rendered.contains("put"), "{rendered}");
+        assert!(rendered.contains("tail"), "{rendered}");
+        assert!(rendered.contains("total: W ="), "{rendered}");
+        assert!(rendered.contains("(p = 3, g = 10, l = 100)"), "{rendered}");
+        // One put row + the tail row + header rows + total.
+        assert_eq!(rendered.lines().count(), 5);
+    }
+}

@@ -1,0 +1,265 @@
+//! Interactive sessions: persistent toplevel bindings across inputs,
+//! OCaml-toplevel style, with cumulative BSP cost accounting.
+//!
+//! ```
+//! use bsml_core::session::Session;
+//! use bsml_bsp::BspParams;
+//!
+//! let mut s = Session::new(BspParams::new(4, 10, 1000));
+//! s.load("let replicate x = mkpar (fun pid -> x) ;;")?;
+//! let events = s.load("replicate 7")?;
+//! assert_eq!(events[0].value.to_string(), "<|7, 7, 7, 7|>");
+//! # Ok::<(), bsml_core::BsmlError>(())
+//! ```
+
+use bsml_ast::{Expr, Ident};
+use bsml_bsp::{BspMachine, BspParams, CostSummary, RunReport};
+use bsml_eval::{Env, Value};
+use bsml_infer::{infer_in, TypeEnv};
+use bsml_syntax::parse_module;
+use bsml_types::Scheme;
+
+use crate::BsmlError;
+
+/// What one toplevel phrase produced.
+#[derive(Clone, Debug)]
+pub struct SessionEvent {
+    /// The bound name (`None` for a bare expression).
+    pub name: Option<Ident>,
+    /// The phrase's toplevel scheme.
+    pub scheme: Scheme,
+    /// The computed value.
+    pub value: Value,
+    /// The BSP cost of evaluating this phrase.
+    pub cost: CostSummary,
+}
+
+impl std::fmt::Display for SessionEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.name {
+            Some(name) => write!(f, "val {name} : {} = {}", self.scheme, self.value),
+            None => write!(f, "- : {} = {}", self.scheme, self.value),
+        }
+    }
+}
+
+/// An interactive BSML toplevel.
+///
+/// Each successfully loaded phrase extends the typing and value
+/// environments; costs accumulate (BSP cost composition is
+/// sequential — exactly what the nesting restriction guarantees).
+#[derive(Clone, Debug)]
+pub struct Session {
+    machine: BspMachine,
+    tenv: TypeEnv,
+    venv: Env,
+    total: CostSummary,
+}
+
+impl Session {
+    /// A fresh session on the given machine.
+    #[must_use]
+    pub fn new(params: BspParams) -> Session {
+        Session {
+            machine: BspMachine::new(params),
+            tenv: TypeEnv::new(),
+            venv: Env::new(),
+            total: CostSummary::default(),
+        }
+    }
+
+    /// The machine parameters.
+    #[must_use]
+    pub fn params(&self) -> &BspParams {
+        self.machine.params()
+    }
+
+    /// Cumulative BSP cost of everything evaluated so far.
+    #[must_use]
+    pub fn total_cost(&self) -> &CostSummary {
+        &self.total
+    }
+
+    /// Looks up the scheme of a bound toplevel name.
+    #[must_use]
+    pub fn scheme_of(&self, name: &str) -> Option<&Scheme> {
+        self.tenv.lookup(&Ident::new(name))
+    }
+
+    /// Parses and processes a chunk of toplevel input (declarations
+    /// and/or one final expression), returning one event per phrase.
+    ///
+    /// On error nothing is bound: the session state is unchanged
+    /// (all-or-nothing per `load` call).
+    ///
+    /// # Errors
+    ///
+    /// Any [`BsmlError`]; the offending phrase is reported with its
+    /// location in the input.
+    pub fn load(&mut self, source: &str) -> Result<Vec<SessionEvent>, BsmlError> {
+        let module = parse_module(source)?;
+        // Work on copies; commit only on overall success.
+        let mut tenv = self.tenv.clone();
+        let mut venv = self.venv.clone();
+        let mut total = self.total.clone();
+        let mut events = Vec::new();
+
+        for decl in &module.decls {
+            let (event, value) =
+                self.process(&tenv, &venv, &mut total, Some(&decl.name), &decl.expr)?;
+            tenv = tenv.extend(decl.name.clone(), event.scheme.clone());
+            venv = venv.bind(decl.name.clone(), value);
+            events.push(event);
+        }
+        if let Some(body) = &module.body {
+            let (event, _) = self.process(&tenv, &venv, &mut total, None, body)?;
+            events.push(event);
+        }
+
+        self.tenv = tenv;
+        self.venv = venv;
+        self.total = total;
+        Ok(events)
+    }
+
+    fn process(
+        &self,
+        tenv: &TypeEnv,
+        venv: &Env,
+        total: &mut CostSummary,
+        name: Option<&Ident>,
+        expr: &Expr,
+    ) -> Result<(SessionEvent, Value), BsmlError> {
+        let inference = infer_in(tenv, expr)?;
+        // Toplevel bindings are retained values, not hidden
+        // evaluations, so no (Let)-style side condition applies
+        // between phrases; the phrase itself was fully checked.
+        // Residual clauses about forgotten instantiation variables
+        // are dropped (they are independently satisfiable).
+        let mut keep = inference.ty.free_vars();
+        for v in tenv.free_vars() {
+            if !keep.contains(&v) {
+                keep.push(v);
+            }
+        }
+        let relevant = inference.solution.restrict(&keep);
+        let scheme = Scheme::generalize(
+            inference.ty.clone(),
+            relevant.to_constraint(),
+            &tenv.free_vars(),
+        )
+        .normalize();
+
+        let report: RunReport = self.machine.run_with_env(venv, expr)?;
+        *total = CostSummary::from_records(&report.trace).then_into(total);
+
+        let event = SessionEvent {
+            name: name.cloned(),
+            scheme,
+            value: report.value.clone(),
+            cost: report.cost,
+        };
+        Ok((event, report.value))
+    }
+}
+
+trait ThenInto {
+    fn then_into(self, acc: &CostSummary) -> CostSummary;
+}
+
+impl ThenInto for CostSummary {
+    fn then_into(self, acc: &CostSummary) -> CostSummary {
+        CostSummary {
+            work: acc.work + self.work,
+            h_relation: acc.h_relation + self.h_relation,
+            supersteps: acc.supersteps + self.supersteps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> Session {
+        Session::new(BspParams::new(4, 10, 100))
+    }
+
+    #[test]
+    fn bindings_persist_across_loads() {
+        let mut s = session();
+        s.load("let x = 20 ;; let y = 22").unwrap();
+        let events = s.load("x + y").unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].value.to_string(), "42");
+        assert_eq!(events[0].scheme.to_string(), "int");
+    }
+
+    #[test]
+    fn polymorphic_declarations() {
+        let mut s = session();
+        s.load("let id x = x").unwrap();
+        assert_eq!(s.scheme_of("id").unwrap().to_string(), "∀'a.['a -> 'a]");
+        let events = s.load("(id 1, id true)").unwrap();
+        assert_eq!(events[0].value.to_string(), "(1, true)");
+    }
+
+    #[test]
+    fn parallel_bindings_and_cost_accumulation() {
+        let mut s = session();
+        s.load("let v = mkpar (fun i -> i)").unwrap();
+        assert_eq!(s.scheme_of("v").unwrap().to_string(), "int par");
+        assert_eq!(s.total_cost().supersteps, 0);
+        s.load("put (apply (mkpar (fun i -> fun x -> fun d -> x), v))")
+            .unwrap();
+        assert_eq!(s.total_cost().supersteps, 1);
+        s.load("put (apply (mkpar (fun i -> fun x -> fun d -> x), v))")
+            .unwrap();
+        assert_eq!(s.total_cost().supersteps, 2);
+    }
+
+    #[test]
+    fn type_errors_leave_the_session_unchanged() {
+        let mut s = session();
+        s.load("let x = 1").unwrap();
+        let before_cost = s.total_cost().clone();
+        // Second decl fails: nothing from this load is kept.
+        let err = s.load("let y = 2 ;; let bad = fst (1, mkpar (fun i -> i)) ;;");
+        assert!(err.is_err());
+        assert!(s.scheme_of("y").is_none());
+        assert_eq!(s.total_cost(), &before_cost);
+        // x still present.
+        assert_eq!(s.load("x").unwrap()[0].value.to_string(), "1");
+    }
+
+    #[test]
+    fn rec_declarations() {
+        let mut s = session();
+        s.load("let rec fact n = if n = 0 then 1 else n * fact (n - 1)")
+            .unwrap();
+        assert_eq!(s.load("fact 6").unwrap()[0].value.to_string(), "720");
+    }
+
+    #[test]
+    fn event_display() {
+        let mut s = session();
+        let ev = &s.load("let x = 41 + 1").unwrap()[0];
+        assert_eq!(ev.to_string(), "val x : int = 42");
+        let ev = &s.load("x").unwrap()[0];
+        assert_eq!(ev.to_string(), "- : int = 42");
+    }
+
+    #[test]
+    fn stdlib_prelude_loads_into_a_session() {
+        let mut s = session();
+        for def in bsml_std::combinators::ALL_DEFS {
+            s.load(def).unwrap_or_else(|e| panic!("{def}: {e}"));
+        }
+        let events = s.load("bcast 1 (mkpar (fun i -> i * 100))").unwrap();
+        assert_eq!(
+            events[0].value.to_string(),
+            "<|100, 100, 100, 100|>"
+        );
+        assert_eq!(s.total_cost().supersteps, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Persistent evaluation environments.
+//!
+//! A cheap-to-clone association list: closures capture the environment
+//! by reference counting, extension is O(1).
+
+use std::rc::Rc;
+
+use bsml_ast::Ident;
+
+use crate::value::Value;
+
+#[derive(Debug)]
+struct Node {
+    name: Ident,
+    value: Value,
+    next: Option<Rc<Node>>,
+}
+
+/// A persistent name → value environment.
+///
+/// # Example
+///
+/// ```
+/// use bsml_eval::{Env, Value};
+/// use bsml_ast::Ident;
+///
+/// let e = Env::new().bind(Ident::new("x"), Value::Int(1));
+/// let e2 = e.bind(Ident::new("x"), Value::Int(2));
+/// assert_eq!(e.lookup(&Ident::new("x")).unwrap().to_string(), "1");
+/// assert_eq!(e2.lookup(&Ident::new("x")).unwrap().to_string(), "2");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    head: Option<Rc<Node>>,
+}
+
+impl Env {
+    /// The empty environment.
+    #[must_use]
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Extends the environment with a binding, shadowing any previous
+    /// binding of the same name. The receiver is unchanged.
+    #[must_use]
+    pub fn bind(&self, name: Ident, value: Value) -> Env {
+        Env {
+            head: Some(Rc::new(Node {
+                name,
+                value,
+                next: self.head.clone(),
+            })),
+        }
+    }
+
+    /// Looks a name up, innermost binding first.
+    #[must_use]
+    pub fn lookup(&self, name: &Ident) -> Option<&Value> {
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            if &node.name == name {
+                return Some(&node.value);
+            }
+            cur = node.next.as_deref();
+        }
+        None
+    }
+
+    /// Number of (possibly shadowed) bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.head.as_deref();
+        while let Some(node) = cur {
+            n += 1;
+            cur = node.next.as_deref();
+        }
+        n
+    }
+
+    /// `true` for the empty environment.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.head.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Ident {
+        Ident::new("x")
+    }
+
+    #[test]
+    fn empty_lookup_fails() {
+        assert!(Env::new().lookup(&x()).is_none());
+        assert!(Env::new().is_empty());
+        assert_eq!(Env::new().len(), 0);
+    }
+
+    #[test]
+    fn shadowing() {
+        let e1 = Env::new().bind(x(), Value::Int(1));
+        let e2 = e1.bind(x(), Value::Int(2));
+        assert_eq!(e1.lookup(&x()).unwrap().to_string(), "1");
+        assert_eq!(e2.lookup(&x()).unwrap().to_string(), "2");
+        assert_eq!(e2.len(), 2);
+    }
+
+    #[test]
+    fn persistence_under_branching() {
+        let base = Env::new().bind(x(), Value::Int(1));
+        let left = base.bind(Ident::new("y"), Value::Int(10));
+        let right = base.bind(Ident::new("y"), Value::Int(20));
+        assert_eq!(left.lookup(&Ident::new("y")).unwrap().to_string(), "10");
+        assert_eq!(right.lookup(&Ident::new("y")).unwrap().to_string(), "20");
+        assert!(base.lookup(&Ident::new("y")).is_none());
+    }
+}

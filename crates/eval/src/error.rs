@@ -1,0 +1,112 @@
+//! Evaluation errors.
+
+use std::fmt;
+
+use bsml_ast::{Ident, Op};
+
+/// A runtime error.
+///
+/// A *well-typed* closed program only ever produces
+/// [`EvalError::OutOfFuel`] / [`EvalError::RecursionLimit`] (if it
+/// diverges or recurses too deep), [`EvalError::DivisionByZero`]
+/// (arithmetic partiality the type system does not track), or
+/// [`EvalError::IncoherentReplicas`] (the §6 imperative extension's
+/// dynamic check). The remaining variants witness ill-typed programs
+/// and are exercised by the soundness test-suite on purpose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A free variable was reached.
+    Unbound(Ident),
+    /// A non-function was applied.
+    NotAFunction(String),
+    /// A primitive received an argument outside its δ-rules.
+    DeltaMismatch(Op, String),
+    /// `if` scrutinee was not a boolean, `case` scrutinee not a sum, …
+    ScrutineeMismatch(&'static str, String),
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// A parallel primitive or vector was evaluated *inside* a
+    /// parallel vector component — dynamic nesting, the very thing
+    /// the type system rejects statically (paper §2.1).
+    NestedParallelism,
+    /// `if‥at‥` was asked for a process id outside `0‥p-1`.
+    PidOutOfRange(i64, usize),
+    /// The step/fuel budget ran out (the program may diverge).
+    OutOfFuel,
+    /// Non-tail recursion nested deeper than the evaluator's limit.
+    RecursionLimit,
+    /// A message sent through `put` (or a final result gathered by
+    /// the distributed machine) contained a value with no serialized
+    /// form — a closure, a delivered-messages table, or a reference
+    /// cell. Real BSMLlib has the same restriction (OCaml
+    /// marshalling).
+    NotSerializable(String),
+    /// Another processor of the distributed machine failed; this
+    /// processor was released from a synchronization barrier without
+    /// its data. The originating processor reports the real error.
+    PeerFailure,
+    /// A reference cell was read or written from an execution mode
+    /// incompatible with where it was created — a replicated (global)
+    /// cell assigned inside one vector component, or a processor-local
+    /// cell touched elsewhere. This is the incoherence the paper's §6
+    /// "imperative features" discussion describes.
+    IncoherentReplicas(&'static str),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::NotAFunction(v) => {
+                write!(f, "cannot apply non-function value `{v}`")
+            }
+            EvalError::DeltaMismatch(op, v) => {
+                write!(f, "no δ-rule for `{op}` applied to `{v}`")
+            }
+            EvalError::ScrutineeMismatch(what, v) => {
+                write!(f, "{what} scrutinee has unexpected value `{v}`")
+            }
+            EvalError::DivisionByZero => f.write_str("division by zero"),
+            EvalError::NestedParallelism => f.write_str(
+                "nested parallelism: a parallel primitive was evaluated inside \
+                 a parallel vector component",
+            ),
+            EvalError::PidOutOfRange(n, p) => {
+                write!(f, "process id {n} outside the machine size 0..{p}")
+            }
+            EvalError::OutOfFuel => f.write_str("evaluation fuel exhausted"),
+            EvalError::RecursionLimit => {
+                f.write_str("non-tail recursion exceeded the evaluator depth limit")
+            }
+            EvalError::IncoherentReplicas(what) => {
+                write!(f, "incoherent replicated reference: {what}")
+            }
+            EvalError::NotSerializable(v) => {
+                write!(f, "value `{v}` has no serialized form for communication")
+            }
+            EvalError::PeerFailure => {
+                f.write_str("another processor failed during a superstep")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert_eq!(
+            EvalError::Unbound(Ident::new("x")).to_string(),
+            "unbound variable `x`"
+        );
+        assert!(EvalError::NestedParallelism.to_string().contains("nested"));
+        assert!(EvalError::PidOutOfRange(7, 4).to_string().contains("7"));
+        assert!(EvalError::DeltaMismatch(Op::Add, "true".into())
+            .to_string()
+            .contains("(+)"));
+    }
+}

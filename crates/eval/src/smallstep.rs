@@ -1,0 +1,727 @@
+//! The literal small-step machine of the paper (§3).
+//!
+//! * Head reductions `ε`: β, `let`, conditionals.
+//! * δ-rules of Figure 1 (sequential operators) and Figure 2
+//!   (parallel operators `mkpar`, `apply`, `put`, `if‥at‥`).
+//! * Evaluation contexts of Figure 5: global contexts `Γ` everywhere,
+//!   local contexts `Γ_l` *inside parallel vector components* — where
+//!   only local (`ε ∪ δ`) reductions may fire. A parallel primitive
+//!   inside a vector component is therefore **stuck**, which is the
+//!   dynamic reading of the nesting restriction.
+//!
+//! `put` follows Figure 2 literally: it produces a vector of `let`
+//! chains binding the received messages, ending in the
+//! `fun x -> if x = 0 then … else nc ()` dispatcher. One deliberate
+//! generalization: when a component function is not syntactically a
+//! λ-abstraction (e.g. a primitive like `isnc`), the machine builds
+//! the β-equivalent application `f i` instead of a substitution.
+
+use bsml_ast::build as b;
+use bsml_ast::{classify_value, Const, Expr, ExprKind, Ident, Op, ValueClass};
+
+use crate::error::EvalError;
+
+/// The result of attempting one reduction step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// `e ⇀ e'`.
+    Reduced(Expr),
+    /// The expression is a value (normal form of the semantics).
+    Value,
+    /// The expression is in normal form but is *not* a value — no
+    /// rule applies. Theorem 1 says this never happens to well-typed
+    /// programs.
+    Stuck(String),
+}
+
+/// Performs at most one reduction step at the global level.
+#[must_use]
+pub fn step(e: &Expr, p: usize) -> StepOutcome {
+    step_in(e, p, false)
+}
+
+/// Runs the machine to a normal form.
+///
+/// # Errors
+///
+/// * [`EvalError::OutOfFuel`] after `max_steps` reductions,
+/// * [`EvalError::NotAFunction`] (with the stuck reason) if a
+///   non-value normal form is reached.
+pub fn run(e: &Expr, p: usize, max_steps: u64) -> Result<Expr, EvalError> {
+    let mut cur = e.clone();
+    for _ in 0..max_steps {
+        match step(&cur, p) {
+            StepOutcome::Reduced(next) => cur = next,
+            StepOutcome::Value => return Ok(cur),
+            StepOutcome::Stuck(reason) => {
+                return Err(EvalError::NotAFunction(format!(
+                    "stuck term `{cur}`: {reason}"
+                )))
+            }
+        }
+    }
+    Err(EvalError::OutOfFuel)
+}
+
+/// Runs the machine, recording every intermediate expression
+/// (including the initial one). Useful for printing reduction traces.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+pub fn trace(e: &Expr, p: usize, max_steps: u64) -> Result<Vec<Expr>, EvalError> {
+    let mut out = vec![e.clone()];
+    let mut cur = e.clone();
+    for _ in 0..max_steps {
+        match step(&cur, p) {
+            StepOutcome::Reduced(next) => {
+                out.push(next.clone());
+                cur = next;
+            }
+            StepOutcome::Value => return Ok(out),
+            StepOutcome::Stuck(reason) => {
+                return Err(EvalError::NotAFunction(format!(
+                    "stuck term `{cur}`: {reason}"
+                )))
+            }
+        }
+    }
+    Err(EvalError::OutOfFuel)
+}
+
+fn is_value(e: &Expr) -> bool {
+    classify_value(e) != ValueClass::NotAValue
+}
+
+/// One step under a context; `in_vector` selects the local context
+/// grammar `Γ_l` (no parallel reductions).
+fn step_in(e: &Expr, p: usize, in_vector: bool) -> StepOutcome {
+    use ExprKind::*;
+    use StepOutcome::*;
+
+    // Values first: nothing to do.
+    if is_value(e) {
+        return Value;
+    }
+
+    match &e.kind {
+        Var(x) => Stuck(format!("free variable `{x}`")),
+        // Covered by the is_value check above.
+        Const(_) | Op(_) | Nil | Fun(..) => Value,
+
+        App(f, a) => {
+            match step_in(f, p, in_vector) {
+                Reduced(f2) => return Reduced(rebuild2(e, App(Box::new(f2), a.clone()))),
+                Stuck(r) => return Stuck(r),
+                Value => {}
+            }
+            match step_in(a, p, in_vector) {
+                Reduced(a2) => return Reduced(rebuild2(e, App(f.clone(), Box::new(a2)))),
+                Stuck(r) => return Stuck(r),
+                Value => {}
+            }
+            head_apply(f, a, p, in_vector)
+        }
+
+        Let(x, e1, e2) => match step_in(e1, p, in_vector) {
+            Reduced(e1b) => Reduced(rebuild2(e, Let(x.clone(), Box::new(e1b), e2.clone()))),
+            Stuck(r) => Stuck(r),
+            Value => Reduced(e2.substitute(x, e1)),
+        },
+
+        Pair(a, bx) => binary_congruence(e, a, bx, p, in_vector, Pair),
+        Cons(a, bx) => binary_congruence(e, a, bx, p, in_vector, Cons),
+
+        If(c, t, els) => match step_in(c, p, in_vector) {
+            Reduced(c2) => Reduced(rebuild2(e, If(Box::new(c2), t.clone(), els.clone()))),
+            Stuck(r) => Stuck(r),
+            Value => match &c.kind {
+                Const(self::Const::Bool(true)) => Reduced((**t).clone()),
+                Const(self::Const::Bool(false)) => Reduced((**els).clone()),
+                _ => Stuck(format!("`if` on non-boolean `{c}`")),
+            },
+        },
+
+        IfAt(v, n, t, els) => {
+            if in_vector {
+                return Stuck("`if‥at‥` inside a parallel vector component".to_string());
+            }
+            match step_in(v, p, false) {
+                Reduced(v2) => {
+                    return Reduced(rebuild2(
+                        e,
+                        IfAt(Box::new(v2), n.clone(), t.clone(), els.clone()),
+                    ))
+                }
+                Stuck(r) => return Stuck(r),
+                Value => {}
+            }
+            match step_in(n, p, false) {
+                Reduced(n2) => {
+                    return Reduced(rebuild2(
+                        e,
+                        IfAt(v.clone(), Box::new(n2), t.clone(), els.clone()),
+                    ))
+                }
+                Stuck(r) => return Stuck(r),
+                Value => {}
+            }
+            let (vs, idx) = match (&v.kind, &n.kind) {
+                (Vector(vs), Const(self::Const::Int(idx))) => (vs, *idx),
+                _ => return Stuck(format!("`if‥at‥` on `{v}` at `{n}`")),
+            };
+            if idx < 0 || idx as usize >= vs.len() {
+                return Stuck(format!("process id {idx} outside 0‥{}", vs.len()));
+            }
+            match &vs[idx as usize].kind {
+                Const(self::Const::Bool(true)) => Reduced((**t).clone()),
+                Const(self::Const::Bool(false)) => Reduced((**els).clone()),
+                other_comp => Stuck(format!(
+                    "`if‥at‥` vector holds a non-boolean at {idx}: `{}`",
+                    Expr::synth(other_comp.clone())
+                )),
+            }
+        }
+
+        Vector(es) => {
+            if in_vector {
+                return Stuck("parallel vector inside a parallel vector".to_string());
+            }
+            for (i, comp) in es.iter().enumerate() {
+                match step_in(comp, p, true) {
+                    Reduced(c2) => {
+                        let mut es2 = es.clone();
+                        es2[i] = c2;
+                        return Reduced(rebuild2(e, Vector(es2)));
+                    }
+                    Stuck(r) => return Stuck(r),
+                    Value => {
+                        if classify_value(comp) == ValueClass::Global {
+                            return Stuck(
+                                "parallel vector component is itself parallel data".to_string(),
+                            );
+                        }
+                    }
+                }
+            }
+            // All components are local values — but then `is_value`
+            // would have returned above; reaching here means some
+            // component is a non-local value.
+            Stuck("malformed parallel vector".to_string())
+        }
+
+        Inl(inner) => unary_congruence(e, inner, p, in_vector, Inl),
+        Inr(inner) => unary_congruence(e, inner, p, in_vector, Inr),
+
+        Case {
+            scrutinee,
+            left_var,
+            left_body,
+            right_var,
+            right_body,
+        } => match step_in(scrutinee, p, in_vector) {
+            Reduced(s2) => Reduced(rebuild2(
+                e,
+                Case {
+                    scrutinee: Box::new(s2),
+                    left_var: left_var.clone(),
+                    left_body: left_body.clone(),
+                    right_var: right_var.clone(),
+                    right_body: right_body.clone(),
+                },
+            )),
+            Stuck(r) => Stuck(r),
+            Value => match &scrutinee.kind {
+                Inl(v) => Reduced(left_body.substitute(left_var, v)),
+                Inr(v) => Reduced(right_body.substitute(right_var, v)),
+                _ => Stuck(format!("`case` on non-sum `{scrutinee}`")),
+            },
+        },
+
+        MatchList {
+            scrutinee,
+            nil_body,
+            head_var,
+            tail_var,
+            cons_body,
+        } => match step_in(scrutinee, p, in_vector) {
+            Reduced(s2) => Reduced(rebuild2(
+                e,
+                MatchList {
+                    scrutinee: Box::new(s2),
+                    nil_body: nil_body.clone(),
+                    head_var: head_var.clone(),
+                    tail_var: tail_var.clone(),
+                    cons_body: cons_body.clone(),
+                },
+            )),
+            Stuck(r) => Stuck(r),
+            Value => match &scrutinee.kind {
+                Nil => Reduced((**nil_body).clone()),
+                Cons(h, t) => {
+                    Reduced(cons_body.substitute(head_var, h).substitute(tail_var, t))
+                }
+                _ => Stuck(format!("`match` on non-list `{scrutinee}`")),
+            },
+        },
+    }
+}
+
+fn rebuild2(original: &Expr, kind: ExprKind) -> Expr {
+    Expr::new(kind, original.span)
+}
+
+fn unary_congruence(
+    e: &Expr,
+    inner: &Expr,
+    p: usize,
+    in_vector: bool,
+    wrap: impl FnOnce(Box<Expr>) -> ExprKind,
+) -> StepOutcome {
+    match step_in(inner, p, in_vector) {
+        StepOutcome::Reduced(i2) => StepOutcome::Reduced(rebuild2(e, wrap(Box::new(i2)))),
+        other => other,
+    }
+}
+
+fn binary_congruence(
+    e: &Expr,
+    a: &Expr,
+    bx: &Expr,
+    p: usize,
+    in_vector: bool,
+    wrap: impl FnOnce(Box<Expr>, Box<Expr>) -> ExprKind,
+) -> StepOutcome {
+    match step_in(a, p, in_vector) {
+        StepOutcome::Reduced(a2) => {
+            return StepOutcome::Reduced(rebuild2(
+                e,
+                wrap(Box::new(a2), Box::new(bx.clone())),
+            ))
+        }
+        StepOutcome::Stuck(r) => return StepOutcome::Stuck(r),
+        StepOutcome::Value => {}
+    }
+    match step_in(bx, p, in_vector) {
+        StepOutcome::Reduced(b2) => {
+            StepOutcome::Reduced(rebuild2(e, wrap(Box::new(a.clone()), Box::new(b2))))
+        }
+        StepOutcome::Stuck(r) => StepOutcome::Stuck(r),
+        // Both are values; the surrounding is_value check decides.
+        StepOutcome::Value => StepOutcome::Stuck("malformed pair of values".to_string()),
+    }
+}
+
+/// Head application of a value to a value: β, or a δ-rule.
+fn head_apply(f: &Expr, a: &Expr, p: usize, in_vector: bool) -> StepOutcome {
+    use StepOutcome::*;
+    match &f.kind {
+        ExprKind::Fun(x, body) => Reduced(body.substitute(x, a)),
+        ExprKind::Op(op) => delta(*op, a, p, in_vector),
+        _ => Stuck(format!("applying non-function `{f}`")),
+    }
+}
+
+/// Applies a function-value expression to an argument expression,
+/// substituting when the function is a λ (the paper's form) and
+/// building a β-equivalent application otherwise.
+fn apply_fn(f: &Expr, arg: Expr) -> Expr {
+    match &f.kind {
+        ExprKind::Fun(x, body) => body.substitute(x, &arg),
+        _ => b::app(f.clone(), arg),
+    }
+}
+
+/// Is this expression the value `nc ()`?
+fn is_nc(e: &Expr) -> bool {
+    if let ExprKind::App(f, a) = &e.kind {
+        matches!(f.kind, ExprKind::Op(Op::Nc)) && matches!(a.kind, ExprKind::Const(Const::Unit))
+    } else {
+        false
+    }
+}
+
+/// Does this value expression contain a function (making structural
+/// equality undecidable)?
+fn contains_function(e: &Expr) -> bool {
+    let mut found = false;
+    e.walk(&mut |sub| {
+        if matches!(sub.kind, ExprKind::Fun(..) | ExprKind::Op(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// The δ-rules of Figures 1 and 2 on value expressions.
+fn delta(op: Op, a: &Expr, p: usize, in_vector: bool) -> StepOutcome {
+    use StepOutcome::*;
+
+    if op.is_parallel() && in_vector {
+        return Stuck(format!("parallel primitive `{op}` inside a vector component"));
+    }
+
+    let ints = |a: &Expr| -> Option<(i64, i64)> {
+        if let ExprKind::Pair(x, y) = &a.kind {
+            if let (ExprKind::Const(Const::Int(x)), ExprKind::Const(Const::Int(y))) = (&x.kind, &y.kind) {
+                return Some((*x, *y));
+            }
+        }
+        None
+    };
+    let bools = |a: &Expr| -> Option<(bool, bool)> {
+        if let ExprKind::Pair(x, y) = &a.kind {
+            if let (ExprKind::Const(Const::Bool(x)), ExprKind::Const(Const::Bool(y))) =
+                (&x.kind, &y.kind)
+            {
+                return Some((*x, *y));
+            }
+        }
+        None
+    };
+    let stuck = || Stuck(format!("no δ-rule for `{op}` on `{a}`"));
+
+    match op {
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => match ints(a) {
+            Some((x, y)) => {
+                let r = match op {
+                    Op::Add => x.wrapping_add(y),
+                    Op::Sub => x.wrapping_sub(y),
+                    Op::Mul => x.wrapping_mul(y),
+                    Op::Div | Op::Mod => {
+                        if y == 0 {
+                            return Stuck("division by zero".to_string());
+                        }
+                        if op == Op::Div {
+                            x.wrapping_div(y)
+                        } else {
+                            x.wrapping_rem(y)
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                Reduced(b::int(r))
+            }
+            None => stuck(),
+        },
+        Op::Lt | Op::Le | Op::Gt | Op::Ge => match ints(a) {
+            Some((x, y)) => Reduced(b::bool_(match op {
+                Op::Lt => x < y,
+                Op::Le => x <= y,
+                Op::Gt => x > y,
+                Op::Ge => x >= y,
+                _ => unreachable!(),
+            })),
+            None => stuck(),
+        },
+        Op::And | Op::Or => match bools(a) {
+            Some((x, y)) => Reduced(b::bool_(if op == Op::And { x && y } else { x || y })),
+            None => stuck(),
+        },
+        Op::Not => match &a.kind {
+            ExprKind::Const(Const::Bool(x)) => Reduced(b::bool_(!x)),
+            _ => stuck(),
+        },
+        Op::Eq => match &a.kind {
+            ExprKind::Pair(x, y) => {
+                if contains_function(x) || contains_function(y) {
+                    Stuck("structural equality on a functional value".to_string())
+                } else {
+                    Reduced(b::bool_(x == y))
+                }
+            }
+            _ => stuck(),
+        },
+        Op::Fst => match &a.kind {
+            ExprKind::Pair(x, _) => Reduced((**x).clone()),
+            _ => stuck(),
+        },
+        Op::Snd => match &a.kind {
+            ExprKind::Pair(_, y) => Reduced((**y).clone()),
+            _ => stuck(),
+        },
+        Op::Fix => match &a.kind {
+            // fix(fun x → e) → e[x ← fix(fun x → e)]
+            ExprKind::Fun(x, body) => Reduced(body.substitute(x, &b::fix(a.clone()))),
+            ExprKind::Op(_) => Reduced(b::app(a.clone(), b::fix(a.clone()))),
+            _ => stuck(),
+        },
+        // `nc ()` is a value — by the time we get here `a` is a value
+        // other than `()` (the `()` case never reaches delta because
+        // classify_value treats `nc ()` as a value).
+        Op::Nc => stuck(),
+        Op::Isnc => Reduced(b::bool_(is_nc(a))),
+        Op::BspP => match &a.kind {
+            ExprKind::Const(Const::Unit) => Reduced(b::int(p as i64)),
+            _ => stuck(),
+        },
+        Op::Mkpar => {
+            if matches!(a.kind, ExprKind::Fun(..) | ExprKind::Op(_)) {
+                let comps = (0..p).map(|i| apply_fn(a, b::int(i as i64))).collect();
+                Reduced(b::vector(comps))
+            } else {
+                stuck()
+            }
+        }
+        Op::Apply => match &a.kind {
+            ExprKind::Pair(fs, vs) => match (&fs.kind, &vs.kind) {
+                (ExprKind::Vector(fs), ExprKind::Vector(vs)) if fs.len() == vs.len() => {
+                    let comps = fs
+                        .iter()
+                        .zip(vs.iter())
+                        .map(|(f, v)| apply_fn(f, v.clone()))
+                        .collect();
+                    Reduced(b::vector(comps))
+                }
+                _ => stuck(),
+            },
+            _ => stuck(),
+        },
+        // The store-free small-step machine covers the paper's pure
+        // core; references live in the big-step semantics only
+        // (modelling them here would thread a store σ through every
+        // rule, which the paper's formal system does not do).
+        Op::Ref | Op::Deref | Op::Assign => Stuck(format!(
+            "`{op}` requires the store semantics (big-step evaluator)"
+        )),
+        Op::Put => match &a.kind {
+            ExprKind::Vector(fs) if fs.len() == p => {
+                // Figure 2: e'_i binds every delivered message and
+                // ends in the dispatcher function.
+                let comps = (0..p)
+                    .map(|i| {
+                        let msg_name = |j: usize| Ident::new(format!("m{j}_recv")); // v_j^i
+                        // Dispatcher: fun x -> if x = 0 then m0 … else nc ()
+                        let mut dispatch = b::nc_value();
+                        for j in (0..p).rev() {
+                            dispatch = b::if_(
+                                b::eq(b::var("x"), b::int(j as i64)),
+                                Expr::synth(ExprKind::Var(msg_name(j))),
+                                dispatch,
+                            );
+                        }
+                        let mut body = b::fun_("x", dispatch);
+                        for j in (0..p).rev() {
+                            body = Expr::synth(ExprKind::Let(
+                                msg_name(j),
+                                Box::new(apply_fn(&fs[j], b::int(i as i64))),
+                                Box::new(body),
+                            ));
+                        }
+                        body
+                    })
+                    .collect();
+                Reduced(b::vector(comps))
+            }
+            _ => stuck(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsml_syntax::parse;
+
+    fn nf(src: &str, p: usize) -> Expr {
+        let e = parse(src).expect("parse");
+        run(&e, p, 1_000_000).unwrap_or_else(|err| panic!("run `{src}`: {err}"))
+    }
+
+    fn stuck_reason(src: &str, p: usize) -> String {
+        let e = parse(src).expect("parse");
+        match run(&e, p, 1_000_000) {
+            Err(EvalError::NotAFunction(r)) => r,
+            other => panic!("expected stuck, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure1_delta_rules_fire() {
+        // (δ+)
+        assert_eq!(nf("1 + 2", 1), b::int(3));
+        // (δ fst)
+        assert_eq!(nf("fst (1, 2)", 1), b::int(1));
+        assert_eq!(nf("snd (1, 2)", 1), b::int(2));
+        // (δ ifthenelseT/F)
+        assert_eq!(nf("if true then 1 else 2", 1), b::int(1));
+        assert_eq!(nf("if false then 1 else 2", 1), b::int(2));
+        // (δ isnc) — both axioms
+        assert_eq!(nf("isnc (nc ())", 1), b::bool_(true));
+        assert_eq!(nf("isnc 5", 1), b::bool_(false));
+        // (δ fix)
+        assert_eq!(
+            nf("let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 5", 1),
+            b::int(120)
+        );
+    }
+
+    #[test]
+    fn figure2_mkpar() {
+        // (δ mkpar): ⟨e[x←0], …, e[x←p−1]⟩
+        assert_eq!(
+            nf("mkpar (fun i -> i + 10)", 3),
+            b::vector(vec![b::int(10), b::int(11), b::int(12)])
+        );
+    }
+
+    #[test]
+    fn figure2_apply() {
+        assert_eq!(
+            nf("apply (mkpar (fun i -> fun x -> x * i), mkpar (fun i -> i + 1))", 3),
+            b::vector(vec![b::int(0), b::int(2), b::int(6)])
+        );
+    }
+
+    #[test]
+    fn figure2_put_builds_dispatchers() {
+        // After put, applying the received function to a pid within
+        // range yields the message; outside the range, nc ().
+        let v = nf(
+            "let recv = put (mkpar (fun j -> fun i -> j * 10 + i)) in
+             apply (recv, mkpar (fun i -> 1))",
+            3,
+        );
+        // Process i receives from 1 the message 10 + i.
+        assert_eq!(v, b::vector(vec![b::int(10), b::int(11), b::int(12)]));
+        let out_of_range = nf(
+            "let recv = put (mkpar (fun j -> fun i -> j)) in
+             apply (mkpar (fun i -> fun f -> isnc (f 42)), recv)",
+            2,
+        );
+        assert_eq!(out_of_range, b::vector(vec![b::bool_(true), b::bool_(true)]));
+    }
+
+    #[test]
+    fn figure2_nonlambda_components_use_application() {
+        // The documented generalization: primitive operators as
+        // component functions build `f i` instead of substituting.
+        assert_eq!(
+            nf("mkpar isnc", 3),
+            b::vector(vec![b::bool_(false); 3])
+        );
+        let v = nf(
+            "let r = put (mkpar (fun j -> fun d -> isnc)) in
+             apply (apply (mkpar (fun i -> fun f -> f i), r), mkpar (fun i -> i))",
+            2,
+        );
+        // Every delivered function is isnc; isnc i = false.
+        assert_eq!(v, b::vector(vec![b::bool_(false), b::bool_(false)]));
+    }
+
+    #[test]
+    fn figure2_ifat() {
+        assert_eq!(nf("if mkpar (fun i -> i = 1) at 1 then 5 else 6", 2), b::int(5));
+        assert_eq!(nf("if mkpar (fun i -> i = 1) at 0 then 5 else 6", 2), b::int(6));
+    }
+
+    #[test]
+    fn beta_and_let() {
+        assert_eq!(nf("(fun x -> x + x) 21", 1), b::int(42));
+        assert_eq!(nf("let x = 6 in x * 7", 1), b::int(42));
+    }
+
+    #[test]
+    fn evaluation_is_left_to_right() {
+        // The left pair component reduces before the right one.
+        let e = parse("((fun x -> x) 1, (fun y -> y) 2)").unwrap();
+        if let StepOutcome::Reduced(e2) = step(&e, 1) {
+            assert_eq!(e2, parse("(1, (fun y -> y) 2)").unwrap());
+        } else {
+            panic!("expected a step");
+        }
+    }
+
+    #[test]
+    fn local_context_blocks_parallel_reduction() {
+        // example2 from the paper — mkpar under mkpar is stuck in the
+        // small-step machine (no Γ_l rule covers δ_g).
+        let r = stuck_reason(
+            "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)",
+            2,
+        );
+        assert!(r.contains("parallel primitive"), "got: {r}");
+    }
+
+    #[test]
+    fn ifat_in_vector_is_stuck() {
+        let r = stuck_reason(
+            "mkpar (fun pid -> if mkpar (fun i -> true) at 0 then 1 else 2)",
+            2,
+        );
+        assert!(r.contains("parallel"), "got: {r}");
+    }
+
+    #[test]
+    fn nested_vector_value_is_stuck() {
+        let r = stuck_reason(
+            "let vec = mkpar (fun i -> i) in mkpar (fun pid -> fst (vec, pid))",
+            2,
+        );
+        assert!(r.contains("parallel data") || r.contains("vector"), "got: {r}");
+    }
+
+    #[test]
+    fn stuck_on_type_errors() {
+        assert!(stuck_reason("1 2", 1).contains("applying non-function"));
+        assert!(stuck_reason("1 + true", 1).contains("no δ-rule"));
+        assert!(stuck_reason("if 3 then 1 else 2", 1).contains("non-boolean"));
+    }
+
+    #[test]
+    fn division_by_zero_is_stuck() {
+        assert!(stuck_reason("1 / 0", 1).contains("division by zero"));
+    }
+
+    #[test]
+    fn function_equality_is_stuck() {
+        assert!(stuck_reason("(fun x -> x) = (fun x -> x)", 1).contains("functional"));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let e = parse("let rec loop x = loop x in loop 0").unwrap();
+        assert_eq!(run(&e, 1, 1_000), Err(EvalError::OutOfFuel));
+    }
+
+    #[test]
+    fn trace_records_every_step() {
+        let e = parse("1 + 2 + 3").unwrap();
+        let tr = trace(&e, 1, 100).unwrap();
+        assert_eq!(tr.first().unwrap(), &e);
+        assert_eq!(tr.last().unwrap(), &b::int(6));
+        assert!(tr.len() >= 3);
+        // Consecutive entries differ by exactly one step.
+        for w in tr.windows(2) {
+            assert_eq!(step(&w[0], 1), StepOutcome::Reduced(w[1].clone()));
+        }
+    }
+
+    #[test]
+    fn values_do_not_step() {
+        for src in ["1", "true", "()", "fun x -> x", "(1, 2)", "[]", "[1; 2]", "nc ()"] {
+            let e = parse(src).unwrap();
+            let v = run(&e, 1, 10).unwrap();
+            assert_eq!(step(&v, 1), StepOutcome::Value, "on `{src}`");
+        }
+    }
+
+    #[test]
+    fn sums_and_lists_reduce() {
+        assert_eq!(
+            nf("case inl 3 of inl a -> a * 2 | inr b -> b", 1),
+            b::int(6)
+        );
+        assert_eq!(
+            nf("case inr 3 of inl a -> a | inr b -> b * 3", 1),
+            b::int(9)
+        );
+        assert_eq!(
+            nf(
+                "let rec len xs = match xs with [] -> 0 | h :: t -> 1 + len t in len [9;8;7]",
+                1
+            ),
+            b::int(3)
+        );
+    }
+}

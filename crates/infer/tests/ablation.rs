@@ -1,0 +1,84 @@
+//! The plain-Damas–Milner ablation (`with_locality(false)`): without
+//! the paper's constraint machinery the checker behaves like
+//! Objective Caml's, accepting every §2.1 counterexample at exactly
+//! the (misleading) types the paper quotes.
+
+use bsml_infer::{initial_env, Inferencer};
+use bsml_syntax::parse;
+
+fn plain(src: &str) -> Result<String, String> {
+    let e = parse(src).expect("parse");
+    Inferencer::new()
+        .with_locality(false)
+        .run(&initial_env(), &e)
+        .map(|inf| inf.ty.to_string())
+        .map_err(|err| err.to_string())
+}
+
+fn constrained(src: &str) -> bool {
+    let e = parse(src).expect("parse");
+    Inferencer::new().run(&initial_env(), &e).is_ok()
+}
+
+#[test]
+fn ocaml_accepts_the_fourth_projection() {
+    // §2.1: "Its type given by the Objective Caml system is int."
+    assert_eq!(
+        plain("fst (1, mkpar (fun i -> i))").as_deref(),
+        Ok("int")
+    );
+    assert!(!constrained("fst (1, mkpar (fun i -> i))"));
+}
+
+#[test]
+fn ocaml_accepts_example2_at_int_par() {
+    // §2.1: "Its type is int par but its evaluation will lead to the
+    // evaluation of the parallel vector this inside the outmost
+    // parallel vector."
+    let src = "mkpar (fun pid -> let this = mkpar (fun pid -> pid) in pid)";
+    assert_eq!(plain(src).as_deref(), Ok("int par"));
+    assert!(!constrained(src));
+}
+
+#[test]
+fn ocaml_accepts_the_mismatched_barriers_program() {
+    let src = "let vec1 = mkpar (fun pid -> pid) in
+               let vec2 = put (mkpar (fun pid -> fun from -> 1 + from)) in
+               let c1 = (vec1, 1) in
+               let c2 = (vec2, 2) in
+               mkpar (fun pid -> if pid < (bsp_p ()) / 2 then snd c1 else snd c2)";
+    assert!(plain(src).is_ok());
+    assert!(!constrained(src));
+}
+
+#[test]
+fn ocaml_accepts_ifat_returning_locals() {
+    let src = "if mkpar (fun i -> true) at 0 then 1 else 2";
+    assert_eq!(plain(src).as_deref(), Ok("int"));
+    assert!(!constrained(src));
+}
+
+#[test]
+fn plain_mode_still_rejects_ordinary_type_errors() {
+    // The ablation removes locality, not unification.
+    assert!(plain("1 + true").is_err());
+    assert!(plain("if 1 then 2 else 3").is_err());
+    assert!(plain("fun x -> x x").is_err());
+}
+
+#[test]
+fn both_modes_agree_on_well_typed_programs() {
+    for src in [
+        "mkpar (fun i -> i * 2)",
+        "let f = fun x -> x in (f 1, f true)",
+        "put (mkpar (fun j -> fun d -> j))",
+        "fst (mkpar (fun i -> i), 1)",
+    ] {
+        let p = plain(src).unwrap_or_else(|e| panic!("plain `{src}`: {e}"));
+        let e = parse(src).unwrap();
+        let c = Inferencer::new()
+            .run(&initial_env(), &e)
+            .unwrap_or_else(|e| panic!("constrained `{src}`: {e}"));
+        assert_eq!(p, c.ty.to_string(), "types differ on `{src}`");
+    }
+}

@@ -1,0 +1,172 @@
+//! The paper's accept/reject example corpus (§2.1 and §4).
+//!
+//! Used by the type-system tests, the examples and the benchmarks:
+//! each entry records the program and the verdict the paper assigns.
+
+use bsml_ast::Expr;
+use bsml_syntax::parse;
+
+use crate::combinators;
+
+/// What the type system must decide for a corpus entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The program is well-typed.
+    Accept,
+    /// The program must be rejected (locality violation).
+    Reject,
+}
+
+/// One paper example with its expected verdict.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Identifier used in test names and reports.
+    pub name: &'static str,
+    /// Where in the paper the example appears.
+    pub paper_ref: &'static str,
+    /// The program source.
+    pub source: String,
+    /// The expected verdict.
+    pub verdict: Verdict,
+}
+
+impl CorpusEntry {
+    /// Parses the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a parse failure (corpus sources are constants).
+    #[must_use]
+    pub fn ast(&self) -> Expr {
+        parse(&self.source).unwrap_or_else(|err| {
+            panic!("corpus `{}`: {}", self.name, err.render(&self.source))
+        })
+    }
+}
+
+/// Every example program the paper discusses.
+#[must_use]
+pub fn paper_corpus() -> Vec<CorpusEntry> {
+    let bcast_prelude = |body: &str| {
+        combinators::prelude(
+            &[combinators::REPLICATE_DEF, combinators::BCAST_DIRECT_DEF],
+            body,
+        )
+    };
+    vec![
+        CorpusEntry {
+            name: "bcast",
+            paper_ref: "§2.1 (the bcast program, equation (1))",
+            source: bcast_prelude("bcast 2 (mkpar (fun i -> i * 10))"),
+            verdict: Verdict::Accept,
+        },
+        CorpusEntry {
+            name: "example1-nested-bcast",
+            paper_ref: "§2.1 example1",
+            source: bcast_prelude(
+                "let vec = mkpar (fun i -> i) in mkpar (fun pid -> bcast pid vec)",
+            ),
+            verdict: Verdict::Reject,
+        },
+        CorpusEntry {
+            name: "example2-hidden-nesting",
+            paper_ref: "§2.1 example2 / Figure 8",
+            source: "mkpar (fun pid -> let this = mkpar (fun pid -> pid) in pid)"
+                .to_string(),
+            verdict: Verdict::Reject,
+        },
+        CorpusEntry {
+            name: "fst-two-usual",
+            paper_ref: "§2.1 projection case 1",
+            source: "fst (1, 2)".to_string(),
+            verdict: Verdict::Accept,
+        },
+        CorpusEntry {
+            name: "fst-two-parallel",
+            paper_ref: "§2.1 projection case 2",
+            source: "fst (mkpar (fun i -> i), mkpar (fun i -> i))".to_string(),
+            verdict: Verdict::Accept,
+        },
+        CorpusEntry {
+            name: "fst-parallel-usual",
+            paper_ref: "§2.1 projection case 3 / Figure 9",
+            source: "fst (mkpar (fun i -> i), 1)".to_string(),
+            verdict: Verdict::Accept,
+        },
+        CorpusEntry {
+            name: "fst-usual-parallel",
+            paper_ref: "§2.1 projection case 4 / Figure 10",
+            source: "fst (1, mkpar (fun i -> i))".to_string(),
+            verdict: Verdict::Reject,
+        },
+        CorpusEntry {
+            name: "mismatched-barriers",
+            paper_ref: "§2.1 (vec1/vec2 under mkpar)",
+            source: "let vec1 = mkpar (fun pid -> pid) in
+                     let vec2 = put (mkpar (fun pid -> fun from -> 1 + from)) in
+                     let c1 = (vec1, 1) in
+                     let c2 = (vec2, 2) in
+                     mkpar (fun pid -> if pid < (bsp_p ()) / 2 then snd c1 else snd c2)"
+                .to_string(),
+            verdict: Verdict::Reject,
+        },
+        CorpusEntry {
+            name: "parallel-identity",
+            paper_ref: "§4 (the ifat identity, scheme [α→α / L(α)⇒False])",
+            source: "fun x -> if mkpar (fun i -> true) at 0 then x else x".to_string(),
+            verdict: Verdict::Accept,
+        },
+        CorpusEntry {
+            name: "parallel-identity-on-local",
+            paper_ref: "§4 (instantiating the ifat identity at a usual value)",
+            source: "(fun x -> if mkpar (fun i -> true) at 0 then x else x) 1"
+                .to_string(),
+            verdict: Verdict::Reject,
+        },
+        CorpusEntry {
+            name: "parallel-identity-on-global",
+            paper_ref: "§4 (instantiating the ifat identity at a vector)",
+            source: "(fun x -> if mkpar (fun i -> true) at 0 then x else x) \
+                     (mkpar (fun i -> i))"
+                .to_string(),
+            verdict: Verdict::Accept,
+        },
+        CorpusEntry {
+            name: "ifat-local-return",
+            paper_ref: "§4 rule (Ifat), side condition L(τ) ⇒ False",
+            source: "if mkpar (fun i -> i = 0) at 0 then 1 else 2".to_string(),
+            verdict: Verdict::Reject,
+        },
+        CorpusEntry {
+            name: "theorem1-weakening",
+            paper_ref: "§4 after Theorem 1 (let f = fun a -> fun b -> a in 1)",
+            source: "let f = fun a -> fun b -> a in 1".to_string(),
+            verdict: Verdict::Accept,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_parses_and_names_are_unique() {
+        let corpus = paper_corpus();
+        assert!(corpus.len() >= 12);
+        let mut names: Vec<&str> = corpus.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), corpus.len());
+        for entry in &corpus {
+            let _ = entry.ast();
+        }
+    }
+
+    #[test]
+    fn corpus_has_both_verdicts() {
+        let corpus = paper_corpus();
+        assert!(corpus.iter().any(|c| c.verdict == Verdict::Accept));
+        assert!(corpus.iter().any(|c| c.verdict == Verdict::Reject));
+    }
+}

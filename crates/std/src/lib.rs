@@ -1,0 +1,30 @@
+//! A BSMLlib-style standard library of mini-BSML programs.
+//!
+//! Three layers:
+//!
+//! * [`combinators`] — the reusable algorithm definitions (the
+//!   paper's §2.1 `replicate`/`bcast` first, then the classic BSP
+//!   collectives: logarithmic & two-phase broadcast, shift, total
+//!   exchange, folds and scans), provided as a `let`-chain prelude
+//!   that programs can be built on;
+//! * [`workloads`] — complete, runnable, machine-size-independent
+//!   programs exercising the combinators (the benchmark inputs);
+//! * [`corpus`] — every accept/reject example discussed in the paper,
+//!   with its expected verdict (the type-system test corpus).
+//!
+//! ```
+//! use bsml_std::workloads;
+//! use bsml_infer::infer;
+//!
+//! let program = workloads::bcast_direct(2);
+//! let ast = program.ast();
+//! assert!(infer(&ast).is_ok());
+//! ```
+
+pub mod algorithms;
+pub mod combinators;
+pub mod corpus;
+pub mod workloads;
+
+pub use corpus::{paper_corpus, CorpusEntry, Verdict};
+pub use workloads::Program;

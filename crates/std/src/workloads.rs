@@ -1,0 +1,324 @@
+//! Complete runnable programs over the combinator prelude — the
+//! benchmark and experiment workloads.
+//!
+//! Every workload is machine-size independent (it reads `bsp_p ()` at
+//! run time) and evaluates to a parallel vector.
+
+use bsml_ast::Expr;
+use bsml_syntax::parse;
+
+use crate::combinators;
+
+/// A named, self-contained mini-BSML program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Short identifier, e.g. `"bcast-direct"`.
+    pub name: String,
+    /// What the program computes.
+    pub description: String,
+    /// The full source text.
+    pub source: String,
+}
+
+impl Program {
+    /// Builds a program.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        source: impl Into<String>,
+    ) -> Program {
+        Program {
+            name: name.into(),
+            description: description.into(),
+            source: source.into(),
+        }
+    }
+
+    /// Parses the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not parse — workload sources are
+    /// library constants, so a failure is a library bug.
+    #[must_use]
+    pub fn ast(&self) -> Expr {
+        parse(&self.source).unwrap_or_else(|err| {
+            panic!(
+                "workload `{}` failed to parse: {}",
+                self.name,
+                err.render(&self.source)
+            )
+        })
+    }
+}
+
+/// Direct broadcast (paper §2.1, equation (1)) of one word from
+/// process `root`.
+#[must_use]
+pub fn bcast_direct(root: usize) -> Program {
+    Program::new(
+        "bcast-direct",
+        format!("direct one-superstep broadcast of an int from process {root}"),
+        combinators::prelude(
+            &[combinators::REPLICATE_DEF, combinators::BCAST_DIRECT_DEF],
+            &format!("bcast {root} (mkpar (fun i -> i * 7 + 1))"),
+        ),
+    )
+}
+
+/// Direct broadcast of an `s`-word payload (a list of `s` ints) from
+/// process `root` — the equation (1) sweep workload.
+#[must_use]
+pub fn bcast_direct_payload(root: usize, s: usize) -> Program {
+    Program::new(
+        "bcast-direct-payload",
+        format!("direct broadcast of a {s}-element list from process {root}"),
+        combinators::prelude(
+            &[
+                combinators::REPLICATE_DEF,
+                combinators::BCAST_DIRECT_DEF,
+                combinators::MAKE_LIST_DEF,
+            ],
+            &format!("bcast {root} (mkpar (fun i -> make_list {s} i))"),
+        ),
+    )
+}
+
+/// Binary-tree broadcast of an `s`-word payload from process 0.
+#[must_use]
+pub fn bcast_log_payload(s: usize) -> Program {
+    Program::new(
+        "bcast-log-payload",
+        format!("logarithmic broadcast of a {s}-element list from process 0"),
+        combinators::prelude(
+            &[combinators::BCAST_LOG_DEF, combinators::MAKE_LIST_DEF],
+            &format!("bcast_log (mkpar (fun i -> make_list {s} i))"),
+        ),
+    )
+}
+
+/// Two-phase (scatter + all-gather) broadcast of an `s`-element list
+/// from process `root` — the large-payload rival of equation (1).
+#[must_use]
+pub fn bcast_two_phase_payload(root: usize, s: usize) -> Program {
+    Program::new(
+        "bcast-two-phase-payload",
+        format!("two-phase broadcast of a {s}-element list from process {root}"),
+        combinators::prelude(
+            &[
+                combinators::REPLICATE_DEF,
+                combinators::REV_APP_DEF,
+                combinators::TAKE_DEF,
+                combinators::DROP_DEF,
+                combinators::LENGTH_DEF,
+                combinators::APP2_DEF,
+                combinators::SCATTER_DEF,
+                combinators::BCAST_TWO_PHASE_DEF,
+                combinators::MAKE_LIST_DEF,
+            ],
+            &format!("bcast_two_phase {root} (mkpar (fun i -> make_list {s} i))"),
+        ),
+    )
+}
+
+/// Gather of every processor's value at a root.
+#[must_use]
+pub fn gather(root: usize) -> Program {
+    Program::new(
+        "gather",
+        format!("gather one int per processor at process {root}"),
+        combinators::prelude(
+            &[combinators::GATHER_DEF],
+            &format!("gather {root} (mkpar (fun i -> i * i))"),
+        ),
+    )
+}
+
+/// Scatter of a root-held list into balanced chunks.
+#[must_use]
+pub fn scatter(root: usize, s: usize) -> Program {
+    Program::new(
+        "scatter",
+        format!("scatter a {s}-element list from process {root}"),
+        combinators::prelude(
+            &[
+                combinators::REPLICATE_DEF,
+                combinators::REV_APP_DEF,
+                combinators::TAKE_DEF,
+                combinators::DROP_DEF,
+                combinators::LENGTH_DEF,
+                combinators::SCATTER_DEF,
+                combinators::MAKE_LIST_DEF,
+            ],
+            &format!("scatter {root} (mkpar (fun i -> make_list {s} (i * 100)))"),
+        ),
+    )
+}
+
+/// Pointwise map via BSMLlib's `parfun`.
+#[must_use]
+pub fn parfun_square() -> Program {
+    Program::new(
+        "parfun-square",
+        "pointwise squaring through parfun (replicate + apply)",
+        combinators::prelude(
+            &[combinators::REPLICATE_DEF, combinators::PARFUN_DEF],
+            "parfun (fun x -> x * x) (mkpar (fun i -> i + 1))",
+        ),
+    )
+}
+
+/// Cyclic shift of each processor's value to its right neighbour.
+#[must_use]
+pub fn shift() -> Program {
+    Program::new(
+        "shift",
+        "cyclic shift by one (a 1-relation superstep)",
+        combinators::prelude(
+            &[combinators::SHIFT_DEF],
+            "shift (mkpar (fun i -> i * 100))",
+        ),
+    )
+}
+
+/// Total exchange: every processor ends with the list of all values.
+#[must_use]
+pub fn total_exchange() -> Program {
+    Program::new(
+        "total-exchange",
+        "all-to-all exchange into per-processor lists",
+        combinators::prelude(
+            &[combinators::TOTAL_EXCHANGE_DEF],
+            "total_exchange (mkpar (fun i -> i + 1))",
+        ),
+    )
+}
+
+/// Replicated sum of all components (direct reduction).
+#[must_use]
+pub fn fold_plus() -> Program {
+    Program::new(
+        "fold-plus",
+        "replicated sum of one int per processor",
+        combinators::prelude(
+            &[combinators::FOLD_PLUS_DEF],
+            "fold_plus (mkpar (fun i -> i + 1))",
+        ),
+    )
+}
+
+/// Direct (one-superstep) inclusive prefix sums.
+#[must_use]
+pub fn scan_plus_direct() -> Program {
+    Program::new(
+        "scan-direct",
+        "inclusive prefix sums, direct one-superstep method",
+        combinators::prelude(
+            &[combinators::SCAN_PLUS_DEF],
+            "scan_plus (mkpar (fun i -> i + 1))",
+        ),
+    )
+}
+
+/// Logarithmic (Hillis–Steele) inclusive prefix sums.
+#[must_use]
+pub fn scan_plus_log() -> Program {
+    Program::new(
+        "scan-log",
+        "inclusive prefix sums, logarithmic method",
+        combinators::prelude(
+            &[combinators::SCAN_PLUS_LOG_DEF],
+            "scan_plus_log (mkpar (fun i -> i + 1))",
+        ),
+    )
+}
+
+/// `rounds` successive shift supersteps (the superstep-count
+/// scaling workload: `S = rounds`).
+#[must_use]
+pub fn ping_rounds(rounds: usize) -> Program {
+    Program::new(
+        "ping-rounds",
+        format!("{rounds} successive 1-relation supersteps"),
+        combinators::prelude(
+            &[combinators::SHIFT_DEF],
+            &format!(
+                "let rec go n v = if n = 0 then v else go (n - 1) (shift v) in
+                 go {rounds} (mkpar (fun i -> i))"
+            ),
+        ),
+    )
+}
+
+/// Distributed inner product: each processor holds an `n/p`-chunk of
+/// two vectors (as lists), computes its local dot product, and the
+/// partial results are summed by `fold_plus`.
+#[must_use]
+pub fn inner_product(chunk: usize) -> Program {
+    Program::new(
+        "inner-product",
+        format!("dot product with {chunk} elements per processor"),
+        combinators::prelude(
+            &[
+                combinators::FOLD_PLUS_DEF,
+                combinators::MAKE_LIST_DEF,
+            ],
+            &format!(
+                "let dot = fun xs -> fun ys ->
+                   let rec go a b = match a with
+                       [] -> 0
+                     | h :: t ->
+                       (match b with [] -> 0 | h2 :: t2 -> h * h2 + go t t2) in
+                   go xs ys in
+                 let xs = mkpar (fun i -> make_list {chunk} (i * {chunk})) in
+                 let ys = mkpar (fun i -> make_list {chunk} 1) in
+                 let partials = apply (apply (mkpar (fun i -> dot), xs), ys) in
+                 fold_plus partials"
+            ),
+        ),
+    )
+}
+
+/// All parameter-free workloads (for exhaustive test sweeps).
+#[must_use]
+pub fn all_basic() -> Vec<Program> {
+    vec![
+        bcast_direct(0),
+        bcast_direct_payload(1, 4),
+        bcast_log_payload(4),
+        bcast_two_phase_payload(0, 8),
+        gather(1),
+        scatter(0, 9),
+        parfun_square(),
+        shift(),
+        total_exchange(),
+        fold_plus(),
+        scan_plus_direct(),
+        scan_plus_log(),
+        ping_rounds(3),
+        inner_product(8),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_parse_and_are_closed() {
+        for w in all_basic() {
+            let ast = w.ast();
+            assert!(ast.is_closed(), "{} has free variables", w.name);
+            assert!(ast.mentions_parallelism(), "{} is not parallel", w.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = all_basic().into_iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all_basic().len());
+    }
+}

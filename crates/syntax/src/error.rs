@@ -1,0 +1,83 @@
+//! Parse diagnostics.
+
+use std::fmt;
+
+use bsml_ast::Span;
+
+/// A lexing or parsing error with a source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where it went wrong.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates an error.
+    #[must_use]
+    pub fn new(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with the offending source line and a caret
+    /// marker, e.g.:
+    ///
+    /// ```text
+    /// parse error at 1:9: expected `->`, found `=`
+    ///   let f x = = 1 in f
+    ///           ^
+    /// ```
+    #[must_use]
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        let mut out = format!("parse error at {line}:{col}: {}", self.message);
+        if let Some(text) = source.lines().nth(line - 1) {
+            out.push_str(&format!("\n  {text}\n  "));
+            out.push_str(&" ".repeat(col.saturating_sub(1)));
+            let width = (self.span.len() as usize).clamp(1, text.len() + 1 - col.min(text.len()));
+            out.push_str(&"^".repeat(width));
+        }
+        out
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_span_and_message() {
+        let e = ParseError::new("unexpected `)`", Span::new(3, 4));
+        assert_eq!(e.to_string(), "parse error at 3..4: unexpected `)`");
+    }
+
+    #[test]
+    fn render_points_at_the_offence() {
+        let src = "let x = )";
+        let e = ParseError::new("unexpected `)`", Span::new(8, 9));
+        let rendered = e.render(src);
+        assert!(rendered.contains("1:9"));
+        assert!(rendered.contains("let x = )"));
+        assert!(rendered.lines().last().unwrap().trim_end().ends_with('^'));
+    }
+
+    #[test]
+    fn render_multiline_source() {
+        let src = "1 +\n2 +\n)";
+        let e = ParseError::new("unexpected `)`", Span::new(8, 9));
+        let rendered = e.render(src);
+        assert!(rendered.contains("3:1"), "got: {rendered}");
+    }
+}

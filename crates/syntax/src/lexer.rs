@@ -1,0 +1,298 @@
+//! The mini-BSML lexer.
+//!
+//! Supports OCaml-style nested comments `(* … *)`, decimal integer
+//! literals, keywords, identifiers and the symbolic operators used by
+//! the parser.
+
+use bsml_ast::Span;
+
+use crate::error::ParseError;
+use crate::token::{keyword, Token, TokenKind};
+
+/// Tokenizes `source` into a vector ending with an
+/// [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on an unknown character, an unterminated
+/// comment, or an integer literal out of `i64` range.
+///
+/// # Example
+///
+/// ```
+/// use bsml_syntax::{tokenize, TokenKind};
+///
+/// let toks = tokenize("fun x -> x + 1")?;
+/// assert_eq!(toks.len(), 7); // fun, x, ->, x, +, 1, eof
+/// assert_eq!(toks.last().unwrap().kind, TokenKind::Eof);
+/// # Ok::<(), bsml_syntax::ParseError>(())
+/// ```
+pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'(' if bytes.get(i + 1) == Some(&b'*') => {
+                // Nested comment.
+                let mut depth = 1;
+                i += 2;
+                while depth > 0 {
+                    if i + 1 >= bytes.len() {
+                        return Err(ParseError::new(
+                            "unterminated comment",
+                            span(start, bytes.len()),
+                        ));
+                    }
+                    if bytes[i] == b'(' && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes[i + 1] == b')' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'0'..=b'9' => {
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let value: i64 = text.parse().map_err(|_| {
+                    ParseError::new(
+                        format!("integer literal `{text}` out of range"),
+                        span(start, i),
+                    )
+                })?;
+                tokens.push(Token::new(TokenKind::Int(value), span(start, i)));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'\'')
+                {
+                    i += 1;
+                }
+                let word = &source[start..i];
+                let kind = keyword(word)
+                    .unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+                tokens.push(Token::new(kind, span(start, i)));
+            }
+            _ => {
+                let (kind, len) = match (b, bytes.get(i + 1)) {
+                    (b'-', Some(b'>')) => (TokenKind::Arrow, 2),
+                    (b':', Some(b':')) => (TokenKind::ColonColon, 2),
+                    (b':', Some(b'=')) => (TokenKind::ColonEq, 2),
+                    (b'<', Some(b'=')) => (TokenKind::Le, 2),
+                    (b'>', Some(b'=')) => (TokenKind::Ge, 2),
+                    (b'&', Some(b'&')) => (TokenKind::AmpAmp, 2),
+                    (b';', Some(b';')) => (TokenKind::SemiSemi, 2),
+                    (b'|', Some(b'|')) => (TokenKind::BarBar, 2),
+                    (b'(', _) => (TokenKind::LParen, 1),
+                    (b')', _) => (TokenKind::RParen, 1),
+                    (b'[', _) => (TokenKind::LBracket, 1),
+                    (b']', _) => (TokenKind::RBracket, 1),
+                    (b',', _) => (TokenKind::Comma, 1),
+                    (b';', _) => (TokenKind::Semi, 1),
+                    (b'|', _) => (TokenKind::Bar, 1),
+                    (b'!', _) => (TokenKind::Bang, 1),
+                    (b'=', _) => (TokenKind::Equal, 1),
+                    (b'<', _) => (TokenKind::Lt, 1),
+                    (b'>', _) => (TokenKind::Gt, 1),
+                    (b'+', _) => (TokenKind::Plus, 1),
+                    (b'-', _) => (TokenKind::Minus, 1),
+                    (b'*', _) => (TokenKind::Star, 1),
+                    (b'/', _) => (TokenKind::Slash, 1),
+                    _ => {
+                        return Err(ParseError::new(
+                            format!("unexpected character `{}`", &source[start..start + 1]),
+                            span(start, start + 1),
+                        ))
+                    }
+                };
+                i += len;
+                tokens.push(Token::new(kind, span(start, i)));
+            }
+        }
+    }
+    tokens.push(Token::new(TokenKind::Eof, span(i, i)));
+    Ok(tokens)
+}
+
+fn span(start: usize, end: usize) -> Span {
+    Span::new(start as u32, end as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("   \n\t "), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("fun funny let letter"),
+            vec![
+                TokenKind::Fun,
+                TokenKind::Ident("funny".into()),
+                TokenKind::Let,
+                TokenKind::Ident("letter".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn primes_and_underscores_in_identifiers() {
+        assert_eq!(
+            kinds("x' foo_bar _tmp"),
+            vec![
+                TokenKind::Ident("x'".into()),
+                TokenKind::Ident("foo_bar".into()),
+                TokenKind::Ident("_tmp".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("0 42 007"),
+            vec![
+                TokenKind::Int(0),
+                TokenKind::Int(42),
+                TokenKind::Int(7),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn number_overflow_is_an_error() {
+        let err = tokenize("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn two_char_operators_win() {
+        assert_eq!(
+            kinds("-> :: <= >= && || < > = -"),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::ColonColon,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AmpAmp,
+                TokenKind::BarBar,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Equal,
+                TokenKind::Minus,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lone_colon_is_an_error() {
+        // `:` alone is not part of the language.
+        let err = tokenize(": x").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 (* hello *) 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn nested_comments() {
+        assert_eq!(
+            kinds("1 (* a (* b *) c *) 2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let err = tokenize("1 (* oops").unwrap_err();
+        assert!(err.message.contains("unterminated comment"));
+    }
+
+    #[test]
+    fn imperative_tokens() {
+        assert_eq!(
+            kinds("while do done for to ; ;; ! :="),
+            vec![
+                TokenKind::While,
+                TokenKind::Do,
+                TokenKind::Done,
+                TokenKind::For,
+                TokenKind::To,
+                TokenKind::Semi,
+                TokenKind::SemiSemi,
+                TokenKind::Bang,
+                TokenKind::ColonEq,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = tokenize("let x = 10").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 3));
+        assert_eq!(toks[1].span, Span::new(4, 5));
+        assert_eq!(toks[2].span, Span::new(6, 7));
+        assert_eq!(toks[3].span, Span::new(8, 10));
+    }
+
+    #[test]
+    fn star_and_comment_disambiguation() {
+        assert_eq!(
+            kinds("a * b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Star,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+        // `(*)` opens a comment in OCaml; we follow suit, so the
+        // multiplication section must be written `( * )`. Check that
+        // the lexer treats `( * )` as three tokens.
+        assert_eq!(
+            kinds("( * )"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Star,
+                TokenKind::RParen,
+                TokenKind::Eof
+            ]
+        );
+    }
+}

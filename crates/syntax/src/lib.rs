@@ -1,0 +1,30 @@
+//! Concrete syntax for mini-BSML: lexer, parser and diagnostics.
+//!
+//! The grammar follows the paper's Figure 3 with an OCaml-flavoured
+//! concrete syntax, plus the §6 extensions (sums and lists) and a few
+//! conveniences (`let f x y = …`, `let rec`, infix operators,
+//! `(* comments *)`).
+//!
+//! ```
+//! use bsml_syntax::parse;
+//!
+//! let e = parse("let x = 1 + 2 in mkpar (fun pid -> pid * x)")?;
+//! assert!(e.is_closed());
+//! # Ok::<(), bsml_syntax::ParseError>(())
+//! ```
+//!
+//! Parallel vector literals `⟨…⟩` are *runtime-only* extended
+//! expressions (paper §3): the parser deliberately has no syntax for
+//! them, so source programs can only create vectors through `mkpar`.
+
+pub mod error;
+pub mod lexer;
+pub mod module;
+pub mod parser;
+pub mod token;
+
+pub use error::ParseError;
+pub use lexer::tokenize;
+pub use module::{parse_module, Decl, Module};
+pub use parser::parse;
+pub use token::{Token, TokenKind};

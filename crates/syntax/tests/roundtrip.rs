@@ -1,0 +1,131 @@
+//! Property: pretty-printing any source-level expression and parsing
+//! it back yields the same AST (paper Figure 3 — the concrete syntax
+//! faithfully covers the grammar).
+
+use bsml_ast::build as b;
+use bsml_ast::{Expr, Op};
+use bsml_syntax::parse;
+use proptest::prelude::*;
+
+/// Identifiers that are not reserved words or operator names.
+fn ident_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("z".to_string()),
+        Just("f".to_string()),
+        Just("acc".to_string()),
+        Just("pid".to_string()),
+        Just("v'".to_string()),
+        Just("long_name".to_string()),
+    ]
+}
+
+fn leaf_strategy() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(b::int),
+        any::<bool>().prop_map(b::bool_),
+        Just(b::unit()),
+        Just(b::nil()),
+        ident_strategy().prop_map(b::var),
+        prop_oneof![
+            Just(Op::Add),
+            Just(Op::Sub),
+            Just(Op::Mul),
+            Just(Op::Eq),
+            Just(Op::Not),
+            Just(Op::Fst),
+            Just(Op::Snd),
+            Just(Op::Mkpar),
+            Just(Op::Apply),
+            Just(Op::Put),
+            Just(Op::Fix),
+            Just(Op::Nc),
+            Just(Op::Isnc),
+            Just(Op::BspP),
+        ]
+        .prop_map(b::op),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf_strategy().prop_recursive(5, 64, 4, |inner| {
+        prop_oneof![
+            (ident_strategy(), inner.clone()).prop_map(|(x, e)| b::fun_(x, e)),
+            (inner.clone(), inner.clone()).prop_map(|(f, a)| b::app(f, a)),
+            (ident_strategy(), inner.clone(), inner.clone())
+                .prop_map(|(x, e1, e2)| b::let_(x, e1, e2)),
+            (inner.clone(), inner.clone()).prop_map(|(a, c)| b::pair(a, c)),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| b::if_(c, t, e)),
+            (inner.clone(), inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(v, n, t, e)| b::ifat(v, n, t, e)),
+            (inner.clone(), inner.clone()).prop_map(|(h, t)| b::cons(h, t)),
+            inner.clone().prop_map(b::inl),
+            inner.clone().prop_map(b::inr),
+            (
+                inner.clone(),
+                ident_strategy(),
+                inner.clone(),
+                ident_strategy(),
+                inner.clone()
+            )
+                .prop_map(|(s, l, lb, r, rb)| b::case(s, l, lb, r, rb)),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(s, nb, cb)| b::match_list(s, nb, "hd", "tl", cb)),
+            // binary operator sugar
+            (any::<u8>(), Just(())).prop_map(|_| b::int(0)), // keep arity
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pretty_then_parse_is_identity(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("failed to re-parse `{printed}`: {err}"));
+        prop_assert_eq!(&reparsed, &e, "printed form: `{}`", printed);
+    }
+
+    #[test]
+    fn parse_never_panics_on_random_ascii(s in "[ -~]{0,60}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn spans_cover_whole_parsed_source(e in expr_strategy()) {
+        let printed = e.to_string();
+        if let Ok(reparsed) = parse(&printed) {
+            // The top-level span covers the full (trimmed) input.
+            let sliced = reparsed.span.slice(&printed);
+            prop_assert!(sliced.is_some());
+        }
+    }
+}
+
+#[test]
+fn binop_sugar_round_trips() {
+    for op in [
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Mod,
+        Op::Eq,
+        Op::Lt,
+        Op::Le,
+        Op::Gt,
+        Op::Ge,
+        Op::And,
+        Op::Or,
+    ] {
+        let e = b::binop(op, b::var("x"), b::var("y"));
+        let printed = e.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|err| panic!("failed on `{printed}`: {err}"));
+        assert_eq!(reparsed, e, "op {op:?} printed as `{printed}`");
+    }
+}

@@ -1,0 +1,212 @@
+//! The locality predicate `L(τ)` and the basic constraints `C_τ`
+//! (paper §4).
+//!
+//! `L(τ)` states that τ is a *usual* (purely local) type. The paper's
+//! rules:
+//!
+//! ```text
+//! L(κ)        = True                 (base types)
+//! L(α)        = L(α)                 (an atom, left symbolic)
+//! L(τ par)    = False
+//! L(τ₁ → τ₂)  = L(τ₁) ∧ L(τ₂)
+//! L(τ₁ * τ₂)  = L(τ₁) ∧ L(τ₂)
+//! L(τ₁ + τ₂)  = L(τ₁) ∧ L(τ₂)       (§6 extension)
+//! L(τ list)   = L(τ)                 (§6 extension)
+//! ```
+//!
+//! The *basic constraints* `C_τ` are attached whenever a type is
+//! introduced (rule *(Fun)*) or substituted into a scheme
+//! (Definition 1); they are what reject `fst (1, mkpar …)`:
+//!
+//! ```text
+//! C_τ         = True                       (τ atomic)
+//! C_(τ₁→τ₂)   = C_τ₁ ∧ C_τ₂ ∧ (L(τ₂) ⇒ L(τ₁))
+//! C_(τ par)   = L(τ) ∧ C_τ
+//! C_(τ₁*τ₂)   = C_τ₁ ∧ C_τ₂
+//! C_(τ₁+τ₂)   = C_τ₁ ∧ C_τ₂               (§6 extension)
+//! C_(τ list)  = L(τ) ∧ C_τ                 (§6 extension)
+//! ```
+//!
+//! Lists carry `L(τ)` like `par` does: a `(int par) list` would be a
+//! dynamically-sized collection of parallel vectors, which reintroduces
+//! exactly the unpredictable-cost problem of §2.1, so element types
+//! must be local.
+
+use crate::constraint::Constraint;
+use crate::ty::Type;
+
+/// The locality formula `L(τ)`, expanded until atoms mention type
+/// variables only.
+///
+/// # Example
+///
+/// ```
+/// use bsml_types::{locality, Constraint, Type};
+///
+/// assert_eq!(locality(&Type::Int), Constraint::True);
+/// assert_eq!(locality(&Type::par(Type::Int)), Constraint::False);
+/// assert_eq!(
+///     locality(&Type::var(0)),
+///     Constraint::loc(Type::var(0))
+/// );
+/// ```
+#[must_use]
+pub fn locality(ty: &Type) -> Constraint {
+    match ty {
+        Type::Int | Type::Bool | Type::Unit => Constraint::True,
+        Type::Var(_) => Constraint::Loc(ty.clone()),
+        Type::Par(_) => Constraint::False,
+        Type::Arrow(a, b) | Type::Pair(a, b) | Type::Sum(a, b) => {
+            Constraint::and(locality(a), locality(b))
+        }
+        // A reference to a local value is itself local (the cell
+        // lives in one memory); a reference to parallel data is as
+        // global as its contents.
+        Type::List(inner) | Type::Ref(inner) => locality(inner),
+    }
+}
+
+/// The basic constraints `C_τ` of a simple type.
+///
+/// # Example
+///
+/// ```
+/// use bsml_types::{basic_constraint, Constraint, Solution, Type};
+///
+/// // C_(int → int par) contains L(int par) ⇒ L(int), which is fine…
+/// let ok = basic_constraint(&Type::arrow(Type::Int, Type::par(Type::Int)));
+/// assert_eq!(ok.solve(), Solution::True);
+///
+/// // …but C_((int * int par) → int) contains L(int) ⇒ L(int * int par),
+/// // which is absurd — the paper's fourth projection example.
+/// let bad = basic_constraint(&Type::arrow(
+///     Type::pair(Type::Int, Type::par(Type::Int)),
+///     Type::Int,
+/// ));
+/// assert_eq!(bad.solve(), Solution::False);
+/// ```
+#[must_use]
+pub fn basic_constraint(ty: &Type) -> Constraint {
+    match ty {
+        Type::Int | Type::Bool | Type::Unit | Type::Var(_) => Constraint::True,
+        Type::Arrow(a, b) => Constraint::conj([
+            basic_constraint(a),
+            basic_constraint(b),
+            Constraint::implies(
+                Constraint::Loc((**b).clone()),
+                Constraint::Loc((**a).clone()),
+            ),
+        ]),
+        Type::Par(inner) => {
+            Constraint::and(Constraint::Loc((**inner).clone()), basic_constraint(inner))
+        }
+        Type::Pair(a, b) | Type::Sum(a, b) => {
+            Constraint::and(basic_constraint(a), basic_constraint(b))
+        }
+        // Lists and references require local contents: a list of
+        // vectors has statically unknown parallel width; a reference
+        // cell holding a vector would hide global data behind a
+        // mutable local handle.
+        Type::List(inner) | Type::Ref(inner) => {
+            Constraint::and(Constraint::Loc((**inner).clone()), basic_constraint(inner))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Solution;
+    use crate::ty::TyVar;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn locality_of_base_types() {
+        assert_eq!(locality(&Type::Int), Constraint::True);
+        assert_eq!(locality(&Type::Bool), Constraint::True);
+        assert_eq!(locality(&Type::Unit), Constraint::True);
+    }
+
+    #[test]
+    fn locality_of_par_is_false() {
+        assert_eq!(locality(&Type::par(Type::Int)), Constraint::False);
+        assert_eq!(locality(&Type::par(Type::var(0))), Constraint::False);
+    }
+
+    #[test]
+    fn locality_distributes_over_constructors() {
+        let t = Type::pair(Type::var(0), Type::var(1));
+        assert_eq!(
+            locality(&t),
+            Constraint::And(
+                Box::new(Constraint::loc(Type::var(0))),
+                Box::new(Constraint::loc(Type::var(1)))
+            )
+        );
+        // A par anywhere poisons the whole type.
+        let t = Type::arrow(Type::var(0), Type::par(Type::Int));
+        assert_eq!(locality(&t), Constraint::False);
+    }
+
+    #[test]
+    fn locality_of_list_is_element_locality() {
+        assert_eq!(locality(&Type::list(Type::Int)), Constraint::True);
+        assert_eq!(
+            locality(&Type::list(Type::var(3))),
+            Constraint::loc(Type::var(3))
+        );
+        assert_eq!(locality(&Type::list(Type::par(Type::Int))), Constraint::False);
+    }
+
+    #[test]
+    fn basic_constraint_of_fst_type() {
+        // ((α * β) → α) has basic constraint L(α) ⇒ L(α * β), which
+        // simplifies to L(α) ⇒ L(β) semantically.
+        let t = Type::arrow(Type::pair(Type::var(0), Type::var(1)), Type::var(0));
+        let c = basic_constraint(&t);
+        // Solving yields the Horn clause L(a) ⇒ L(b) (a ⇒ a drops).
+        match c.solve() {
+            Solution::Residual(cs) => {
+                assert_eq!(cs.len(), 1);
+                assert_eq!(cs[0].to_string(), "L('a) ⇒ L('b)");
+            }
+            other => panic!("expected residual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_constraint_rejects_par_of_par() {
+        let t = Type::par(Type::par(Type::Int));
+        assert_eq!(basic_constraint(&t).solve(), Solution::False);
+    }
+
+    #[test]
+    fn basic_constraint_of_par_demands_local_element() {
+        let t = Type::par(Type::var(0));
+        match basic_constraint(&t).solve() {
+            Solution::Residual(cs) => assert_eq!(cs.len(), 1),
+            other => panic!("expected residual, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_constraint_of_list_of_par_rejected() {
+        let t = Type::list(Type::par(Type::Int));
+        assert_eq!(basic_constraint(&t).solve(), Solution::False);
+    }
+
+    #[test]
+    fn locality_agrees_with_eval_semantics() {
+        // L over a structured type equals the conjunction of its
+        // variables' assignments.
+        let t = Type::arrow(Type::var(0), Type::pair(Type::var(1), Type::Int));
+        let c = locality(&t);
+        for bits in 0..4u8 {
+            let mut asg = BTreeMap::new();
+            asg.insert(TyVar(0), bits & 1 == 1);
+            asg.insert(TyVar(1), bits & 2 == 2);
+            let expected = (bits & 1 == 1) && (bits & 2 == 2);
+            assert_eq!(c.eval(&asg), Some(expected));
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! The bytecode compiler: mini-BSML expressions to flat instruction
+//! blocks with de Bruijn indices.
+//!
+//! Compilation is tail-position aware: bodies in tail position end
+//! with [`Instr::TailApply`] / [`Instr::Return`], so the machine runs
+//! tail-recursive functions in constant frame space (matching the
+//! big-step evaluator's trampoline).
+
+use std::fmt;
+
+use bsml_ast::{Const, Expr, ExprKind, Ident, Op};
+
+/// Index of a code block inside a [`Program`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct CodeRef(pub u32);
+
+/// One bytecode instruction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// Push a constant.
+    Const(Const),
+    /// Push the unit-applied `nc ()` value directly.
+    PushNoComm,
+    /// Push the environment slot `n` (de Bruijn index, innermost 0).
+    Access(u16),
+    /// Push a closure over the current environment.
+    Closure(CodeRef),
+    /// Push a primitive operator as a value.
+    Prim(Op),
+    /// Pop argument then function; call (pushes a return frame).
+    Apply,
+    /// Pop argument then function; jump (reuses the current frame).
+    TailApply,
+    /// Return the top of stack to the caller frame.
+    Return,
+    /// Pop two values, push their pair (second popped is the left).
+    MakePair,
+    /// Pop a value, push `inl v`.
+    MakeInl,
+    /// Pop a value, push `inr v`.
+    MakeInr,
+    /// Push the empty list `[]`.
+    MakeNil,
+    /// Pop tail then head, push `h :: t`.
+    MakeCons,
+    /// Pop a value and bind it (push onto the environment).
+    Bind,
+    /// Drop the innermost environment binding.
+    Unbind,
+    /// Pop a boolean; run the first block if true, else the second.
+    /// The blocks are complete continuations (they `Return`). The
+    /// flag marks tail position: a tail jump replaces the current
+    /// frame, a non-tail jump pushes one and resumes here.
+    Branch(CodeRef, CodeRef, bool),
+    /// Pop a sum value; bind its payload and run the matching block
+    /// (same tail flag as [`Instr::Branch`]).
+    CaseJump(CodeRef, CodeRef, bool),
+    /// Pop a list; run the first block on `[]`, else bind head and
+    /// tail (tail becomes slot 0) and run the second.
+    MatchJump(CodeRef, CodeRef, bool),
+    /// Pop the process id then the `bool par` vector; synchronize and
+    /// run the chosen block.
+    IfAtJump(CodeRef, CodeRef, bool),
+}
+
+/// A compiled program: code blocks, entry point last.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// All code blocks; [`CodeRef`]s index into this table.
+    pub blocks: Vec<Vec<Instr>>,
+    /// The block to start executing (with an empty environment).
+    pub entry: CodeRef,
+}
+
+impl Program {
+    /// The instructions of a block.
+    #[must_use]
+    pub fn block(&self, r: CodeRef) -> &[Instr] {
+        &self.blocks[r.0 as usize]
+    }
+
+    /// Total instruction count (a code-size metric).
+    #[must_use]
+    pub fn instruction_count(&self) -> usize {
+        self.blocks.iter().map(Vec::len).sum()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, block) in self.blocks.iter().enumerate() {
+            let marker = if CodeRef(i as u32) == self.entry {
+                " (entry)"
+            } else {
+                ""
+            };
+            writeln!(f, "block {i}{marker}:")?;
+            for (j, instr) in block.iter().enumerate() {
+                writeln!(f, "  {j:>3}: {instr:?}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Compilation failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A free variable (programs must be closed).
+    Unbound(Ident),
+    /// More than `u16::MAX` simultaneously live bindings.
+    TooManyBindings,
+    /// A runtime-only parallel vector literal in the source.
+    VectorLiteral,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Unbound(x) => write!(f, "unbound variable `{x}`"),
+            CompileError::TooManyBindings => f.write_str("too many live bindings"),
+            CompileError::VectorLiteral => {
+                f.write_str("parallel vector literals cannot be compiled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a closed expression to bytecode.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile(e: &Expr) -> Result<Program, CompileError> {
+    let mut c = Compiler::default();
+    let mut code = Vec::new();
+    c.emit(e, &mut Vec::new(), &mut code, true)?;
+    // The entry block behaves like a function body.
+    let entry = c.push_block(code);
+    Ok(Program {
+        blocks: c.blocks,
+        entry,
+    })
+}
+
+#[derive(Default)]
+struct Compiler {
+    blocks: Vec<Vec<Instr>>,
+}
+
+impl Compiler {
+    fn push_block(&mut self, code: Vec<Instr>) -> CodeRef {
+        let r = CodeRef(self.blocks.len() as u32);
+        self.blocks.push(code);
+        r
+    }
+
+    /// Compiles `e` into `out`. `env` is the compile-time binder
+    /// stack (innermost last). When `tail` is set the emitted code
+    /// *finishes the current frame* (ends in `Return`/`TailApply`/a
+    /// jump); otherwise it leaves the value on the stack.
+    fn emit(
+        &mut self,
+        e: &Expr,
+        env: &mut Vec<Ident>,
+        out: &mut Vec<Instr>,
+        tail: bool,
+    ) -> Result<(), CompileError> {
+        use ExprKind::*;
+        match &e.kind {
+            Var(x) => {
+                let idx = env
+                    .iter()
+                    .rev()
+                    .position(|y| y == x)
+                    .ok_or_else(|| CompileError::Unbound(x.clone()))?;
+                let idx = u16::try_from(idx).map_err(|_| CompileError::TooManyBindings)?;
+                out.push(Instr::Access(idx));
+                self.finish(out, tail);
+            }
+            Const(k) => {
+                out.push(Instr::Const(*k));
+                self.finish(out, tail);
+            }
+            Op(op) => {
+                out.push(Instr::Prim(*op));
+                self.finish(out, tail);
+            }
+            Nil => {
+                out.push(Instr::MakeNil);
+                self.finish(out, tail);
+            }
+            Fun(x, body) => {
+                env.push(x.clone());
+                let mut code = Vec::new();
+                self.emit(body, env, &mut code, true)?;
+                env.pop();
+                let block = self.push_block(code);
+                out.push(Instr::Closure(block));
+                self.finish(out, tail);
+            }
+            App(f, a) => {
+                // The paper's `nc ()` value compiles to one push.
+                if matches!(f.kind, Op(bsml_ast::Op::Nc))
+                    && matches!(a.kind, Const(bsml_ast::Const::Unit))
+                {
+                    out.push(Instr::PushNoComm);
+                    self.finish(out, tail);
+                    return Ok(());
+                }
+                self.emit(f, env, out, false)?;
+                self.emit(a, env, out, false)?;
+                out.push(if tail { Instr::TailApply } else { Instr::Apply });
+            }
+            Let(x, bound, body) => {
+                self.emit(bound, env, out, false)?;
+                out.push(Instr::Bind);
+                env.push(x.clone());
+                self.emit(body, env, out, tail)?;
+                env.pop();
+                if !tail {
+                    out.push(Instr::Unbind);
+                }
+            }
+            Pair(a, b) => {
+                self.emit(a, env, out, false)?;
+                self.emit(b, env, out, false)?;
+                out.push(Instr::MakePair);
+                self.finish(out, tail);
+            }
+            Cons(h, t) => {
+                self.emit(h, env, out, false)?;
+                self.emit(t, env, out, false)?;
+                out.push(Instr::MakeCons);
+                self.finish(out, tail);
+            }
+            Inl(inner) => {
+                self.emit(inner, env, out, false)?;
+                out.push(Instr::MakeInl);
+                self.finish(out, tail);
+            }
+            Inr(inner) => {
+                self.emit(inner, env, out, false)?;
+                out.push(Instr::MakeInr);
+                self.finish(out, tail);
+            }
+            If(c, t, els) => {
+                self.emit(c, env, out, false)?;
+                // Both branch blocks are compiled in tail form: they
+                // finish the (sub)frame the Branch creates — or the
+                // whole frame when `tail` is set.
+                let tb = self.subblock(t, env)?;
+                let eb = self.subblock(els, env)?;
+                out.push(Instr::Branch(tb, eb, tail));
+            }
+            IfAt(v, n, t, els) => {
+                self.emit(v, env, out, false)?;
+                self.emit(n, env, out, false)?;
+                let tb = self.subblock(t, env)?;
+                let eb = self.subblock(els, env)?;
+                out.push(Instr::IfAtJump(tb, eb, tail));
+            }
+            Case {
+                scrutinee,
+                left_var,
+                left_body,
+                right_var,
+                right_body,
+            } => {
+                self.emit(scrutinee, env, out, false)?;
+                env.push(left_var.clone());
+                let lb = self.subblock(left_body, env)?;
+                env.pop();
+                env.push(right_var.clone());
+                let rb = self.subblock(right_body, env)?;
+                env.pop();
+                out.push(Instr::CaseJump(lb, rb, tail));
+            }
+            MatchList {
+                scrutinee,
+                nil_body,
+                head_var,
+                tail_var,
+                cons_body,
+            } => {
+                self.emit(scrutinee, env, out, false)?;
+                let nb = self.subblock(nil_body, env)?;
+                env.push(head_var.clone());
+                env.push(tail_var.clone());
+                let cb = self.subblock(cons_body, env)?;
+                env.pop();
+                env.pop();
+                out.push(Instr::MatchJump(nb, cb, tail));
+            }
+            Vector(_) => return Err(CompileError::VectorLiteral),
+        }
+        Ok(())
+    }
+
+    /// A freshly compiled block in tail form.
+    fn subblock(&mut self, e: &Expr, env: &mut Vec<Ident>) -> Result<CodeRef, CompileError> {
+        let mut code = Vec::new();
+        self.emit(e, env, &mut code, true)?;
+        Ok(self.push_block(code))
+    }
+
+    fn finish(&mut self, out: &mut Vec<Instr>, tail: bool) {
+        if tail {
+            out.push(Instr::Return);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsml_ast::build as b;
+
+    #[test]
+    fn constants_and_vars() {
+        let p = compile(&b::int(7)).unwrap();
+        assert_eq!(p.block(p.entry), &[Instr::Const(Const::Int(7)), Instr::Return]);
+        assert!(matches!(
+            compile(&b::var("x")),
+            Err(CompileError::Unbound(_))
+        ));
+    }
+
+    #[test]
+    fn de_bruijn_resolution() {
+        // fun x -> fun y -> x   →  inner body accesses slot 1.
+        let e = b::funs(&["x", "y"], b::var("x"));
+        let p = compile(&e).unwrap();
+        let inner = p
+            .blocks
+            .iter()
+            .find(|blk| blk.contains(&Instr::Access(1)))
+            .expect("x is the outer binder");
+        assert_eq!(inner, &vec![Instr::Access(1), Instr::Return]);
+    }
+
+    #[test]
+    fn shadowing_picks_innermost() {
+        // fun x -> fun x -> x  →  Access(0).
+        let e = b::funs(&["x", "x"], b::var("x"));
+        let p = compile(&e).unwrap();
+        assert!(p
+            .blocks
+            .iter()
+            .any(|blk| blk == &vec![Instr::Access(0), Instr::Return]));
+        assert!(!p.blocks.iter().any(|blk| blk.contains(&Instr::Access(1))));
+    }
+
+    #[test]
+    fn tail_positions_use_tail_apply() {
+        // let f = fun x -> f x — the self call is a TailApply.
+        let e = b::fun_("f", b::fun_("x", b::app(b::var("f"), b::var("x"))));
+        let p = compile(&e).unwrap();
+        assert!(p
+            .blocks
+            .iter()
+            .any(|blk| blk.contains(&Instr::TailApply)));
+        // Operands are non-tail: function position compiled with
+        // plain Access, not followed by Return before TailApply.
+    }
+
+    #[test]
+    fn nc_unit_is_one_instruction() {
+        let p = compile(&b::nc_value()).unwrap();
+        assert_eq!(p.block(p.entry), &[Instr::PushNoComm, Instr::Return]);
+    }
+
+    #[test]
+    fn vector_literals_rejected() {
+        assert_eq!(
+            compile(&b::vector(vec![b::int(1)])),
+            Err(CompileError::VectorLiteral)
+        );
+    }
+
+    #[test]
+    fn program_display_lists_blocks() {
+        let p = compile(&b::add(b::int(1), b::int(2))).unwrap();
+        let text = p.to_string();
+        assert!(text.contains("(entry)"));
+        assert!(text.contains("MakePair"));
+        assert!(p.instruction_count() >= 5);
+    }
+}

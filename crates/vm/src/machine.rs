@@ -1,0 +1,765 @@
+//! The abstract machine: a stack VM with proper tail calls executing
+//! compiled mini-BSML, parallel primitives run lockstep.
+//!
+//! Errors reuse [`bsml_eval::EvalError`] so the cross-validation
+//! suite can compare outcomes with the tree-walking evaluator
+//! directly. Stack/environment underflows are compiler invariants
+//! and panic rather than surface as user errors.
+
+use std::rc::Rc;
+
+use bsml_ast::{Const, Op};
+use bsml_eval::{EvalError, Mode};
+
+use crate::compile::{CodeRef, Instr, Program};
+use crate::value::{MEnv, MValue};
+
+/// Re-exported error type (shared with the tree-walking evaluator).
+pub type VmError = EvalError;
+
+/// One call frame.
+struct Frame {
+    code: CodeRef,
+    pc: usize,
+    env: MEnv,
+    mode: Mode,
+}
+
+/// The abstract machine for a `p`-processor (lockstep) BSP computer.
+///
+/// # Example
+///
+/// ```
+/// use bsml_vm::{compile, Vm};
+/// use bsml_syntax::parse;
+///
+/// let program = compile(&parse("mkpar (fun i -> i * i)")?)?;
+/// assert_eq!(Vm::new(4).run(&program)?.to_string(), "<|0, 1, 4, 9|>");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Vm {
+    p: usize,
+    fuel: u64,
+    max_call_depth: u32,
+}
+
+impl Vm {
+    /// A machine of `p` processors with default budgets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0`.
+    #[must_use]
+    pub fn new(p: usize) -> Vm {
+        assert!(p > 0, "a BSP machine needs at least one processor");
+        Vm {
+            p,
+            fuel: bsml_eval::bigstep::DEFAULT_FUEL,
+            max_call_depth: 100_000,
+        }
+    }
+
+    /// Overrides the instruction budget.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Vm {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Runs a compiled program to a value.
+    ///
+    /// # Errors
+    ///
+    /// See [`EvalError`] (the same failure universe as the
+    /// tree-walking evaluator).
+    pub fn run(&self, program: &Program) -> Result<MValue, EvalError> {
+        let mut st = State {
+            p: self.p,
+            fuel: self.fuel,
+            max_frames: self.max_call_depth,
+            program,
+        };
+        st.run_block(program.entry, MEnv::new(), Mode::Global)
+    }
+}
+
+struct State<'a> {
+    p: usize,
+    fuel: u64,
+    max_frames: u32,
+    program: &'a Program,
+}
+
+impl State<'_> {
+    fn tick(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    /// Runs a code block to its value (a fresh frame stack; used for
+    /// the entry point and for nested calls made by primitives).
+    fn run_block(
+        &mut self,
+        code: CodeRef,
+        env: MEnv,
+        mode: Mode,
+    ) -> Result<MValue, EvalError> {
+        let mut frames: Vec<Frame> = Vec::new();
+        let mut cur = Frame {
+            code,
+            pc: 0,
+            env,
+            mode,
+        };
+        let mut stack: Vec<MValue> = Vec::new();
+
+        loop {
+            let block = self.program.block(cur.code);
+            if cur.pc >= block.len() {
+                panic!("fell off code block {:?} without Return", cur.code);
+            }
+            self.tick()?;
+            let instr = &block[cur.pc];
+            cur.pc += 1;
+            match instr {
+                Instr::Const(k) => stack.push(match k {
+                    Const::Int(n) => MValue::Int(*n),
+                    Const::Bool(b) => MValue::Bool(*b),
+                    Const::Unit => MValue::Unit,
+                }),
+                Instr::PushNoComm => stack.push(MValue::NoComm),
+                Instr::Access(n) => {
+                    let v = cur
+                        .env
+                        .get(*n)
+                        .unwrap_or_else(|| panic!("bad de Bruijn index {n}"))
+                        .clone();
+                    stack.push(v);
+                }
+                Instr::Closure(code) => stack.push(MValue::Closure {
+                    code: *code,
+                    env: cur.env.clone(),
+                }),
+                Instr::Prim(op) => stack.push(MValue::Prim(*op)),
+                Instr::MakePair => {
+                    let b = stack.pop().expect("MakePair rhs");
+                    let a = stack.pop().expect("MakePair lhs");
+                    stack.push(MValue::pair(a, b));
+                }
+                Instr::MakeInl => {
+                    let v = stack.pop().expect("MakeInl");
+                    stack.push(MValue::Inl(Rc::new(v)));
+                }
+                Instr::MakeInr => {
+                    let v = stack.pop().expect("MakeInr");
+                    stack.push(MValue::Inr(Rc::new(v)));
+                }
+                Instr::MakeNil => stack.push(MValue::Nil),
+                Instr::MakeCons => {
+                    let t = stack.pop().expect("MakeCons tail");
+                    let h = stack.pop().expect("MakeCons head");
+                    stack.push(MValue::Cons(Rc::new(h), Rc::new(t)));
+                }
+                Instr::Bind => {
+                    let v = stack.pop().expect("Bind");
+                    cur.env = cur.env.push(v);
+                }
+                Instr::Unbind => cur.env = cur.env.pop(),
+                Instr::Apply | Instr::TailApply => {
+                    let arg = stack.pop().expect("Apply arg");
+                    let f = stack.pop().expect("Apply fn");
+                    let tail = matches!(instr, Instr::TailApply);
+                    match self.prepare_call(f, arg, cur.mode)? {
+                        Callee::Jump(code, env) => {
+                            if tail {
+                                cur = Frame {
+                                    code,
+                                    pc: 0,
+                                    env,
+                                    mode: cur.mode,
+                                };
+                            } else {
+                                if frames.len() as u32 >= self.max_frames {
+                                    return Err(EvalError::RecursionLimit);
+                                }
+                                let mode = cur.mode;
+                                frames.push(std::mem::replace(
+                                    &mut cur,
+                                    Frame {
+                                        code,
+                                        pc: 0,
+                                        env,
+                                        mode,
+                                    },
+                                ));
+                            }
+                        }
+                        Callee::Done(v) => {
+                            if tail {
+                                match frames.pop() {
+                                    Some(f2) => {
+                                        cur = f2;
+                                        stack.push(v);
+                                    }
+                                    None => return Ok(v),
+                                }
+                            } else {
+                                stack.push(v);
+                            }
+                        }
+                    }
+                }
+                Instr::Return => {
+                    let v = stack.pop().expect("Return value");
+                    match frames.pop() {
+                        Some(f2) => {
+                            cur = f2;
+                            stack.push(v);
+                        }
+                        None => return Ok(v),
+                    }
+                }
+                Instr::Branch(tb, eb, tail) => {
+                    let c = stack.pop().expect("Branch scrutinee");
+                    let target = match c {
+                        MValue::Bool(true) => *tb,
+                        MValue::Bool(false) => *eb,
+                        v => {
+                            return Err(EvalError::ScrutineeMismatch("if", v.to_string()))
+                        }
+                    };
+                    self.enter_block(&mut frames, &mut cur, target, None, *tail)?;
+                }
+                Instr::CaseJump(lb, rb, tail) => {
+                    let s = stack.pop().expect("CaseJump scrutinee");
+                    let (target, payload) = match s {
+                        MValue::Inl(v) => (*lb, (*v).clone()),
+                        MValue::Inr(v) => (*rb, (*v).clone()),
+                        v => {
+                            return Err(EvalError::ScrutineeMismatch(
+                                "case",
+                                v.to_string(),
+                            ))
+                        }
+                    };
+                    self.enter_block(
+                        &mut frames,
+                        &mut cur,
+                        target,
+                        Some(vec![payload]),
+                        *tail,
+                    )?;
+                }
+                Instr::MatchJump(nb, cb, tail) => {
+                    let s = stack.pop().expect("MatchJump scrutinee");
+                    match s {
+                        MValue::Nil => {
+                            self.enter_block(&mut frames, &mut cur, *nb, None, *tail)?;
+                        }
+                        MValue::Cons(h, t) => {
+                            // Head pushed first: tail is slot 0.
+                            self.enter_block(
+                                &mut frames,
+                                &mut cur,
+                                *cb,
+                                Some(vec![(*h).clone(), (*t).clone()]),
+                                *tail,
+                            )?;
+                        }
+                        v => {
+                            return Err(EvalError::ScrutineeMismatch(
+                                "match",
+                                v.to_string(),
+                            ))
+                        }
+                    }
+                }
+                Instr::IfAtJump(tb, eb, tail) => {
+                    if let Mode::OnProc(_) = cur.mode {
+                        return Err(EvalError::NestedParallelism);
+                    }
+                    let n = stack.pop().expect("IfAt pid");
+                    let v = stack.pop().expect("IfAt vector");
+                    let idx = match n {
+                        MValue::Int(i) => i,
+                        v => {
+                            return Err(EvalError::ScrutineeMismatch("at", v.to_string()))
+                        }
+                    };
+                    let bools = match v {
+                        MValue::Vector(vs) => vs,
+                        v => {
+                            return Err(EvalError::ScrutineeMismatch(
+                                "if‥at‥",
+                                v.to_string(),
+                            ))
+                        }
+                    };
+                    if idx < 0 || idx as usize >= self.p {
+                        return Err(EvalError::PidOutOfRange(idx, self.p));
+                    }
+                    let chosen = match bools.get(idx as usize) {
+                        Some(MValue::Bool(b)) => *b,
+                        Some(v) => {
+                            return Err(EvalError::ScrutineeMismatch(
+                                "if‥at‥",
+                                v.to_string(),
+                            ))
+                        }
+                        None => return Err(EvalError::PidOutOfRange(idx, self.p)),
+                    };
+                    let target = if chosen { *tb } else { *eb };
+                    self.enter_block(&mut frames, &mut cur, target, None, *tail)?;
+                }
+            }
+        }
+    }
+
+    /// Jumps into a sub-block, pushing a return frame (the block ends
+    /// in `Return`/`TailApply`, which comes back here or further up).
+    fn enter_block(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        cur: &mut Frame,
+        target: CodeRef,
+        bindings: Option<Vec<MValue>>,
+        tail: bool,
+    ) -> Result<(), EvalError> {
+        let mut env = cur.env.clone();
+        if let Some(bs) = bindings {
+            for b in bs {
+                env = env.push(b);
+            }
+        }
+        let mode = cur.mode;
+        let next = Frame {
+            code: target,
+            pc: 0,
+            env,
+            mode,
+        };
+        if tail {
+            // Tail position: the block finishes the current frame.
+            *cur = next;
+        } else {
+            if frames.len() as u32 >= self.max_frames {
+                return Err(EvalError::RecursionLimit);
+            }
+            frames.push(std::mem::replace(cur, next));
+        }
+        Ok(())
+    }
+
+    /// Calls a function value with an argument, outside the main
+    /// dispatch loop (used by primitives).
+    fn call(&mut self, f: MValue, arg: MValue, mode: Mode) -> Result<MValue, EvalError> {
+        match self.prepare_call(f, arg, mode)? {
+            Callee::Done(v) => Ok(v),
+            Callee::Jump(code, env) => self.run_block(code, env, mode),
+        }
+    }
+
+    /// Resolves a call: primitives and tables compute immediately,
+    /// closures yield a jump target.
+    fn prepare_call(
+        &mut self,
+        f: MValue,
+        arg: MValue,
+        mode: Mode,
+    ) -> Result<Callee, EvalError> {
+        match f {
+            MValue::Closure { code, env } => Ok(Callee::Jump(code, env.push(arg))),
+            MValue::Prim(op) => Ok(Callee::Done(self.delta(op, arg, mode)?)),
+            MValue::MsgTable(table) => match arg {
+                MValue::Int(j) if j >= 0 && (j as usize) < table.len() => {
+                    Ok(Callee::Done(table[j as usize].clone()))
+                }
+                MValue::Int(_) => Ok(Callee::Done(MValue::NoComm)),
+                v => Err(EvalError::ScrutineeMismatch(
+                    "delivered-messages function",
+                    v.to_string(),
+                )),
+            },
+            MValue::Fix(inner) => {
+                let unrolled = self.unroll_fix(&inner, mode)?;
+                self.prepare_call(unrolled, arg, mode)
+            }
+            v => Err(EvalError::NotAFunction(v.to_string())),
+        }
+    }
+
+    fn unroll_fix(&mut self, f: &MValue, mode: Mode) -> Result<MValue, EvalError> {
+        self.tick()?;
+        match f {
+            MValue::Closure { code, env } => {
+                let env = env.push(MValue::Fix(Rc::new(f.clone())));
+                self.run_block(*code, env, mode)
+            }
+            other => self.call(
+                other.clone(),
+                MValue::Fix(Rc::new(other.clone())),
+                mode,
+            ),
+        }
+    }
+
+    fn check_local(&self, v: &MValue) -> Result<(), EvalError> {
+        if v.contains_vector() {
+            Err(EvalError::NestedParallelism)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The δ-rules on machine values (mirrors the big-step
+    /// evaluator's table).
+    #[allow(clippy::too_many_lines)]
+    fn delta(&mut self, op: Op, arg: MValue, mode: Mode) -> Result<MValue, EvalError> {
+        use MValue::*;
+        if op.is_parallel() {
+            if let Mode::OnProc(_) = mode {
+                return Err(EvalError::NestedParallelism);
+            }
+        }
+        let mismatch = |v: MValue| Err(EvalError::DeltaMismatch(op, v.to_string()));
+        match op {
+            Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => match arg {
+                Pair(a, b) => match (&*a, &*b) {
+                    (Int(x), Int(y)) => {
+                        let r = match op {
+                            Op::Add => x.wrapping_add(*y),
+                            Op::Sub => x.wrapping_sub(*y),
+                            Op::Mul => x.wrapping_mul(*y),
+                            Op::Div | Op::Mod => {
+                                if *y == 0 {
+                                    return Err(EvalError::DivisionByZero);
+                                }
+                                if op == Op::Div {
+                                    x.wrapping_div(*y)
+                                } else {
+                                    x.wrapping_rem(*y)
+                                }
+                            }
+                            _ => unreachable!(),
+                        };
+                        Ok(Int(r))
+                    }
+                    _ => mismatch(Pair(a, b)),
+                },
+                v => mismatch(v),
+            },
+            Op::Lt | Op::Le | Op::Gt | Op::Ge => match arg {
+                Pair(a, b) => match (&*a, &*b) {
+                    (Int(x), Int(y)) => Ok(Bool(match op {
+                        Op::Lt => x < y,
+                        Op::Le => x <= y,
+                        Op::Gt => x > y,
+                        Op::Ge => x >= y,
+                        _ => unreachable!(),
+                    })),
+                    _ => mismatch(Pair(a, b)),
+                },
+                v => mismatch(v),
+            },
+            Op::Eq => match arg {
+                Pair(a, b) => match a.try_eq(&b) {
+                    Some(r) => Ok(Bool(r)),
+                    None => mismatch(Pair(a, b)),
+                },
+                v => mismatch(v),
+            },
+            Op::And | Op::Or => match arg {
+                Pair(a, b) => match (&*a, &*b) {
+                    (Bool(x), Bool(y)) => Ok(Bool(if op == Op::And {
+                        *x && *y
+                    } else {
+                        *x || *y
+                    })),
+                    _ => mismatch(Pair(a, b)),
+                },
+                v => mismatch(v),
+            },
+            Op::Not => match arg {
+                Bool(b) => Ok(Bool(!b)),
+                v => mismatch(v),
+            },
+            Op::Fst => match arg {
+                Pair(a, _) => Ok((*a).clone()),
+                v => mismatch(v),
+            },
+            Op::Snd => match arg {
+                Pair(_, b) => Ok((*b).clone()),
+                v => mismatch(v),
+            },
+            Op::Fix => {
+                if arg.is_function() {
+                    self.unroll_fix(&arg, mode)
+                } else {
+                    mismatch(arg)
+                }
+            }
+            Op::Nc => match arg {
+                Unit => Ok(NoComm),
+                v => mismatch(v),
+            },
+            Op::Isnc => Ok(Bool(matches!(arg, NoComm))),
+            Op::BspP => match arg {
+                Unit => Ok(Int(self.p as i64)),
+                v => mismatch(v),
+            },
+            Op::Ref => {
+                self.check_local(&arg)?;
+                Ok(MValue::Cell {
+                    cell: Rc::new(std::cell::RefCell::new(arg)),
+                    origin: mode,
+                })
+            }
+            Op::Deref => match arg {
+                Cell { cell, origin } => {
+                    match (origin, mode) {
+                        (Mode::Global, _) => {}
+                        (Mode::OnProc(j), Mode::OnProc(k)) if j == k => {}
+                        (Mode::OnProc(_), _) => {
+                            return Err(EvalError::IncoherentReplicas(
+                                "dereferencing a processor-local cell \
+                                 outside its owning processor",
+                            ))
+                        }
+                    }
+                    Ok(cell.borrow().clone())
+                }
+                v => mismatch(v),
+            },
+            Op::Assign => match arg {
+                Pair(r, v) => match &*r {
+                    Cell { cell, origin } => {
+                        match (origin, mode) {
+                            (Mode::Global, Mode::Global) => {}
+                            (Mode::OnProc(j), Mode::OnProc(k)) if *j == k => {}
+                            (Mode::Global, Mode::OnProc(_)) => {
+                                return Err(EvalError::IncoherentReplicas(
+                                    "assigning a replicated (global) cell inside \
+                                     a parallel vector component would \
+                                     desynchronize its replicas",
+                                ))
+                            }
+                            (Mode::OnProc(_), _) => {
+                                return Err(EvalError::IncoherentReplicas(
+                                    "assigning a processor-local cell outside \
+                                     its owning processor",
+                                ))
+                            }
+                        }
+                        let new = (*v).clone();
+                        self.check_local(&new)?;
+                        *cell.borrow_mut() = new;
+                        Ok(Unit)
+                    }
+                    _ => mismatch(Pair(r, v)),
+                },
+                v => mismatch(v),
+            },
+            Op::Mkpar => {
+                if !arg.is_function() {
+                    return mismatch(arg);
+                }
+                let mut vs = Vec::with_capacity(self.p);
+                for i in 0..self.p {
+                    let v = self.call(arg.clone(), Int(i as i64), Mode::OnProc(i))?;
+                    self.check_local(&v)?;
+                    vs.push(v);
+                }
+                Ok(MValue::vector(vs))
+            }
+            Op::Apply => match arg {
+                Pair(fs, vs) => match (&*fs, &*vs) {
+                    (Vector(fs), Vector(vs)) if fs.len() == vs.len() => {
+                        let mut out = Vec::with_capacity(fs.len());
+                        for i in 0..fs.len() {
+                            let v = self.call(
+                                fs[i].clone(),
+                                vs[i].clone(),
+                                Mode::OnProc(i),
+                            )?;
+                            self.check_local(&v)?;
+                            out.push(v);
+                        }
+                        Ok(MValue::vector(out))
+                    }
+                    _ => mismatch(Pair(fs, vs)),
+                },
+                v => mismatch(v),
+            },
+            Op::Put => match arg {
+                Vector(fs) if fs.len() == self.p => {
+                    let mut messages: Vec<Vec<MValue>> = Vec::with_capacity(self.p);
+                    for (j, f) in fs.iter().enumerate() {
+                        let mut row = Vec::with_capacity(self.p);
+                        for i in 0..self.p {
+                            let v =
+                                self.call(f.clone(), Int(i as i64), Mode::OnProc(j))?;
+                            self.check_local(&v)?;
+                            row.push(v);
+                        }
+                        messages.push(row);
+                    }
+                    let out = (0..self.p)
+                        .map(|i| {
+                            let table: Vec<MValue> =
+                                messages.iter().map(|row| row[i].clone()).collect();
+                            MValue::MsgTable(Rc::new(table))
+                        })
+                        .collect();
+                    Ok(MValue::Vector(Rc::new(out)))
+                }
+                v => mismatch(v),
+            },
+        }
+    }
+}
+
+enum Callee {
+    Jump(CodeRef, MEnv),
+    Done(MValue),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use bsml_syntax::parse;
+
+    fn run(src: &str, p: usize) -> String {
+        let e = parse(src).expect("parse");
+        let program = compile(&e).expect("compile");
+        Vm::new(p)
+            .run(&program)
+            .unwrap_or_else(|err| panic!("`{src}`: {err}"))
+            .to_string()
+    }
+
+    fn run_err(src: &str, p: usize) -> EvalError {
+        let e = parse(src).expect("parse");
+        let program = compile(&e).expect("compile");
+        Vm::new(p).run(&program).expect_err("expected an error")
+    }
+
+    #[test]
+    fn arithmetic_and_control() {
+        assert_eq!(run("1 + 2 * 3", 1), "7");
+        assert_eq!(run("if 1 < 2 then 10 else 20", 1), "10");
+        assert_eq!(run("let x = 6 in x * 7", 1), "42");
+        assert_eq!(run("(fun x -> x + x) 21", 1), "42");
+    }
+
+    #[test]
+    fn recursion_and_tail_calls() {
+        assert_eq!(
+            run("let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 10", 1),
+            "3628800"
+        );
+        // A million tail-recursive iterations in constant frames.
+        assert_eq!(
+            run(
+                "let rec go acc n = if n = 0 then acc else go (acc + n) (n - 1) in
+                 go 0 1000",
+                1
+            ),
+            "500500"
+        );
+    }
+
+    #[test]
+    fn deep_tail_loops_do_not_grow_frames() {
+        let e = parse(
+            "let rec go n = if n = 0 then 0 else go (n - 1) in go 200000",
+        )
+        .unwrap();
+        let program = compile(&e).unwrap();
+        assert_eq!(Vm::new(1).run(&program).unwrap().to_string(), "0");
+    }
+
+    #[test]
+    fn sums_lists_pairs() {
+        assert_eq!(run("fst (1, 2) + snd (3, 4)", 1), "5");
+        assert_eq!(run("case inl 3 of inl a -> a + 1 | inr b -> b", 1), "4");
+        assert_eq!(
+            run("match [1; 2; 3] with [] -> 0 | h :: t -> h * 100", 1),
+            "100"
+        );
+        assert_eq!(run("isnc (nc ())", 1), "true");
+    }
+
+    #[test]
+    fn parallel_primitives() {
+        assert_eq!(run("mkpar (fun i -> i * i)", 4), "<|0, 1, 4, 9|>");
+        assert_eq!(
+            run(
+                "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> i * 10))",
+                3
+            ),
+            "<|0, 11, 22|>"
+        );
+        assert_eq!(
+            run(
+                "let r = put (mkpar (fun j -> fun d -> j * 100 + d)) in
+                 apply (r, mkpar (fun i -> 1))",
+                3
+            ),
+            "<|100, 101, 102|>"
+        );
+        assert_eq!(
+            run("if mkpar (fun i -> i = 1) at 1 then 5 else 6", 2),
+            "5"
+        );
+    }
+
+    #[test]
+    fn references_and_loops() {
+        assert_eq!(
+            run(
+                "let acc = ref 0 in
+                 (for k = 1 to 10 do acc := !acc + k done);
+                 !acc",
+                1
+            ),
+            "55"
+        );
+        assert_eq!(
+            run("mkpar (fun i -> let c = ref i in c := !c * 2; !c)", 3),
+            "<|0, 2, 4|>"
+        );
+    }
+
+    #[test]
+    fn dynamic_nesting_is_caught() {
+        assert_eq!(
+            run_err("mkpar (fun pid -> let v = mkpar (fun i -> i) in pid)", 2),
+            EvalError::NestedParallelism
+        );
+    }
+
+    #[test]
+    fn runtime_errors_match_the_evaluator() {
+        assert_eq!(run_err("1 / 0", 1), EvalError::DivisionByZero);
+        assert!(matches!(run_err("1 2", 1), EvalError::NotAFunction(_)));
+        assert!(matches!(
+            run_err("1 + true", 1),
+            EvalError::DeltaMismatch(Op::Add, _)
+        ));
+    }
+
+    #[test]
+    fn out_of_fuel() {
+        let e = parse("let rec loop x = loop x in loop 0").unwrap();
+        let program = compile(&e).unwrap();
+        assert!(matches!(
+            Vm::new(1).with_fuel(10_000).run(&program),
+            Err(EvalError::OutOfFuel)
+        ));
+    }
+}

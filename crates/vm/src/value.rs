@@ -1,0 +1,290 @@
+//! Runtime values of the abstract machine.
+//!
+//! Mirrors `bsml-eval`'s value universe, with machine closures (code
+//! reference + captured environment) instead of AST closures. The
+//! `Display` forms agree with the tree-walking evaluator's, which is
+//! what the cross-validation suite compares.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use bsml_ast::Op;
+use bsml_eval::Mode;
+
+use crate::compile::CodeRef;
+
+/// A persistent machine environment (de Bruijn indexed: slot 0 is the
+/// most recent binding).
+#[derive(Clone, Debug, Default)]
+pub struct MEnv {
+    head: Option<Rc<MNode>>,
+}
+
+#[derive(Debug)]
+struct MNode {
+    value: MValue,
+    next: Option<Rc<MNode>>,
+}
+
+impl MEnv {
+    /// The empty environment.
+    #[must_use]
+    pub fn new() -> MEnv {
+        MEnv::default()
+    }
+
+    /// Pushes a binding (slot 0 afterwards).
+    #[must_use]
+    pub fn push(&self, value: MValue) -> MEnv {
+        MEnv {
+            head: Some(Rc::new(MNode {
+                value,
+                next: self.head.clone(),
+            })),
+        }
+    }
+
+    /// Drops the innermost binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty environment (a compiler bug, not a user
+    /// error).
+    #[must_use]
+    pub fn pop(&self) -> MEnv {
+        MEnv {
+            head: self
+                .head
+                .as_ref()
+                .expect("Unbind on empty environment")
+                .next
+                .clone(),
+        }
+    }
+
+    /// Looks up de Bruijn slot `n`.
+    #[must_use]
+    pub fn get(&self, n: u16) -> Option<&MValue> {
+        let mut cur = self.head.as_deref();
+        for _ in 0..n {
+            cur = cur?.next.as_deref();
+        }
+        cur.map(|node| &node.value)
+    }
+}
+
+/// A machine value.
+#[derive(Clone, Debug)]
+pub enum MValue {
+    /// An integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// Unit.
+    Unit,
+    /// `nc ()`.
+    NoComm,
+    /// A bytecode closure.
+    Closure {
+        /// The body block.
+        code: CodeRef,
+        /// The captured environment (parameter pushed at call time).
+        env: MEnv,
+    },
+    /// A primitive operator value.
+    Prim(Op),
+    /// A pair.
+    Pair(Rc<MValue>, Rc<MValue>),
+    /// Left injection.
+    Inl(Rc<MValue>),
+    /// Right injection.
+    Inr(Rc<MValue>),
+    /// Empty list.
+    Nil,
+    /// List cell.
+    Cons(Rc<MValue>, Rc<MValue>),
+    /// A p-wide parallel vector.
+    Vector(Rc<Vec<MValue>>),
+    /// `put`'s delivered-messages function.
+    MsgTable(Rc<Vec<MValue>>),
+    /// `fix f` as a function value (unrolled on application).
+    Fix(Rc<MValue>),
+    /// A reference cell with its creation mode (same §6 discipline as
+    /// the tree-walking evaluator).
+    Cell {
+        /// Contents.
+        cell: Rc<RefCell<MValue>>,
+        /// Creation mode.
+        origin: Mode,
+    },
+}
+
+impl MValue {
+    /// Builds a vector.
+    #[must_use]
+    pub fn vector(vs: Vec<MValue>) -> MValue {
+        MValue::Vector(Rc::new(vs))
+    }
+
+    /// Builds a pair.
+    #[must_use]
+    pub fn pair(a: MValue, b: MValue) -> MValue {
+        MValue::Pair(Rc::new(a), Rc::new(b))
+    }
+
+    /// `true` for values an application can consume.
+    #[must_use]
+    pub fn is_function(&self) -> bool {
+        matches!(
+            self,
+            MValue::Closure { .. } | MValue::Prim(_) | MValue::MsgTable(_) | MValue::Fix(_)
+        )
+    }
+
+    /// `true` if a vector occurs inside the value.
+    #[must_use]
+    pub fn contains_vector(&self) -> bool {
+        match self {
+            MValue::Vector(_) => true,
+            MValue::Pair(a, b) | MValue::Cons(a, b) => {
+                a.contains_vector() || b.contains_vector()
+            }
+            MValue::Inl(v) | MValue::Inr(v) => v.contains_vector(),
+            MValue::Cell { cell, .. } => cell.borrow().contains_vector(),
+            _ => false,
+        }
+    }
+
+    /// Structural equality on first-order values (`None` on
+    /// functions).
+    #[must_use]
+    pub fn try_eq(&self, other: &MValue) -> Option<bool> {
+        use MValue::*;
+        match (self, other) {
+            (Int(a), Int(b)) => Some(a == b),
+            (Bool(a), Bool(b)) => Some(a == b),
+            (Unit, Unit) | (NoComm, NoComm) | (Nil, Nil) => Some(true),
+            (Pair(a1, b1), Pair(a2, b2)) | (Cons(a1, b1), Cons(a2, b2)) => {
+                Some(a1.try_eq(a2)? && b1.try_eq(b2)?)
+            }
+            (Inl(a), Inl(b)) | (Inr(a), Inr(b)) => a.try_eq(b),
+            (Vector(xs), Vector(ys)) => {
+                if xs.len() != ys.len() {
+                    return Some(false);
+                }
+                for (x, y) in xs.iter().zip(ys.iter()) {
+                    if !x.try_eq(y)? {
+                        return Some(false);
+                    }
+                }
+                Some(true)
+            }
+            (Cell { cell: a, .. }, Cell { cell: b, .. }) => {
+                if Rc::ptr_eq(a, b) {
+                    return Some(true);
+                }
+                let x = a.borrow().clone();
+                let y = b.borrow().clone();
+                x.try_eq(&y)
+            }
+            (Closure { .. }, _)
+            | (_, Closure { .. })
+            | (Prim(_), _)
+            | (_, Prim(_))
+            | (MsgTable(_), _)
+            | (_, MsgTable(_))
+            | (Fix(_), _)
+            | (_, Fix(_)) => None,
+            _ => Some(false),
+        }
+    }
+}
+
+impl fmt::Display for MValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MValue::Int(n) => write!(f, "{n}"),
+            MValue::Bool(b) => write!(f, "{b}"),
+            MValue::Unit => f.write_str("()"),
+            MValue::NoComm => f.write_str("nc ()"),
+            MValue::Closure { .. } => f.write_str("<fun>"),
+            MValue::Prim(op) => write!(f, "{op}"),
+            MValue::Pair(a, b) => write!(f, "({a}, {b})"),
+            MValue::Inl(v) => write!(f, "inl {v}"),
+            MValue::Inr(v) => write!(f, "inr {v}"),
+            MValue::Nil => f.write_str("[]"),
+            MValue::Cons(..) => {
+                f.write_str("[")?;
+                let mut cur = self;
+                let mut first = true;
+                loop {
+                    match cur {
+                        MValue::Cons(h, t) => {
+                            if !first {
+                                f.write_str("; ")?;
+                            }
+                            write!(f, "{h}")?;
+                            first = false;
+                            cur = t;
+                        }
+                        MValue::Nil => break,
+                        other => {
+                            write!(f, " . {other}")?;
+                            break;
+                        }
+                    }
+                }
+                f.write_str("]")
+            }
+            MValue::Vector(vs) => {
+                f.write_str("<|")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("|>")
+            }
+            MValue::MsgTable(_) => f.write_str("<delivered-messages>"),
+            MValue::Fix(_) => f.write_str("<fix>"),
+            MValue::Cell { cell, .. } => write!(f, "ref {}", cell.borrow()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_push_pop_get() {
+        let e = MEnv::new().push(MValue::Int(1)).push(MValue::Int(2));
+        assert_eq!(e.get(0).unwrap().to_string(), "2");
+        assert_eq!(e.get(1).unwrap().to_string(), "1");
+        assert!(e.get(2).is_none());
+        let e2 = e.pop();
+        assert_eq!(e2.get(0).unwrap().to_string(), "1");
+    }
+
+    #[test]
+    fn display_matches_eval_formats() {
+        assert_eq!(
+            MValue::vector(vec![MValue::Int(1), MValue::Int(2)]).to_string(),
+            "<|1, 2|>"
+        );
+        assert_eq!(
+            MValue::Cons(Rc::new(MValue::Int(1)), Rc::new(MValue::Nil)).to_string(),
+            "[1]"
+        );
+        assert_eq!(MValue::NoComm.to_string(), "nc ()");
+    }
+
+    #[test]
+    fn try_eq_mirrors_eval() {
+        let a = MValue::pair(MValue::Int(1), MValue::Bool(true));
+        assert_eq!(a.try_eq(&a.clone()), Some(true));
+        assert_eq!(MValue::Prim(Op::Add).try_eq(&MValue::Prim(Op::Add)), None);
+    }
+}

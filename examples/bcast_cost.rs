@@ -1,0 +1,97 @@
+//! Experiment E1 — the paper's equation (1):
+//! `cost(bcast) = p + (p−1)·s·g + l`.
+//!
+//! Runs the §2.1 direct broadcast on the simulator across machine
+//! sizes and payload sizes, and prints measured `H`/`S` against the
+//! closed formula, plus the direct-vs-logarithmic crossover on two
+//! machine profiles.
+//!
+//! ```sh
+//! cargo run --release --example bcast_cost
+//! ```
+
+use bsml_bsp::{formulas, BspMachine, BspParams, CostSummary};
+use bsml_std::workloads;
+
+fn measure(p: usize, program: &bsml_std::Program) -> CostSummary {
+    BspMachine::new(BspParams::new(p, 1, 1))
+        .run(&program.ast())
+        .unwrap_or_else(|e| panic!("{} at p={p}: {e}", program.name))
+        .cost
+}
+
+fn main() {
+    println!(
+        "equation (1), symbolically: cost(bcast) = {}\n",
+        bsml_bsp::symbolic::equation_1()
+    );
+    println!("=== Equation (1): bcast, one-word payload, sweep over p ===\n");
+    println!("    p | measured H | predicted (p-1)·s | measured S | predicted S | measured W");
+    println!("  --- + ---------- + ----------------- + ---------- + ----------- + ----------");
+    for p in [2, 4, 8, 16, 32, 64] {
+        let cost = measure(p, &workloads::bcast_direct(0));
+        let predicted = formulas::bcast_direct(p, 1);
+        println!(
+            "  {p:>3} | {:>10} | {:>17} | {:>10} | {:>11} | {:>10}",
+            cost.h_relation, predicted.h_relation, cost.supersteps, predicted.supersteps, cost.work
+        );
+    }
+
+    println!("\n=== Equation (1): bcast, p = 8, sweep over payload s ===\n");
+    println!("  s (list) | payload words | measured H | predicted (p-1)·words");
+    println!("  -------- + ------------- + ---------- + ---------------------");
+    for s in [1, 4, 16, 64, 256] {
+        let cost = measure(8, &workloads::bcast_direct_payload(0, s));
+        let words = s as u64 + 1; // s ints + nil
+        let predicted = formulas::bcast_direct(8, words);
+        println!(
+            "  {s:>8} | {words:>13} | {:>10} | {:>21}",
+            cost.h_relation, predicted.h_relation
+        );
+    }
+
+    println!("\n=== Direct vs logarithmic broadcast: priced on two machines ===\n");
+    let p = 16;
+    let direct = measure(p, &workloads::bcast_direct(0)).as_cost();
+    let log = measure(p, &workloads::bcast_log_payload(1)).as_cost();
+    for (name, params) in [
+        ("ethernet-cluster (big l)", BspParams::ethernet_cluster(p)),
+        ("tightly-coupled  (small l)", BspParams::tightly_coupled(p)),
+        ("word-bound       (big g)", BspParams::new(p, 5_000, 10)),
+    ] {
+        let td = direct.time(&params);
+        let tl = log.time(&params);
+        let winner = if td <= tl { "direct" } else { "log" };
+        println!(
+            "  {name:<27} direct = {td:>9}  log = {tl:>9}  → {winner} wins"
+        );
+    }
+
+    println!("\n=== Measured: direct vs two-phase broadcast, p = 8 ===\n");
+    println!("  (priced on a communication-bound machine g = 1000, l = 50000)\n");
+    println!("  s (list) | direct H | 2-phase H | direct S | 2-phase S |   direct t |  2-phase t | winner");
+    println!("  -------- + -------- + --------- + -------- + --------- + ---------- + ---------- + ------");
+    let price = BspParams::new(8, 1_000, 50_000);
+    for s in [4usize, 16, 64, 256, 512] {
+        let direct = measure(8, &workloads::bcast_direct_payload(0, s));
+        let two = measure(8, &workloads::bcast_two_phase_payload(0, s));
+        let td = direct.as_cost().time(&price);
+        let tt = two.as_cost().time(&price);
+        println!(
+            "  {s:>8} | {:>8} | {:>9} | {:>8} | {:>9} | {td:>10} | {tt:>10} | {}",
+            direct.h_relation,
+            two.h_relation,
+            direct.supersteps,
+            two.supersteps,
+            if td <= tt { "direct" } else { "2-phase" }
+        );
+    }
+
+    println!("\n=== Predicted crossover (two-phase vs direct), p = 16 ===\n");
+    for (g, l) in [(10u64, 10_000u64), (100, 10_000), (10, 1_000_000)] {
+        match formulas::bcast_crossover(16, g, l, 10_000_000) {
+            Some(s) => println!("  g = {g:>4}, l = {l:>8}: two-phase wins from s = {s} words"),
+            None => println!("  g = {g:>4}, l = {l:>8}: direct always wins (within cap)"),
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! A command-line type checker and runner for mini-BSML.
+//!
+//! ```sh
+//! # Typecheck (and run) an expression:
+//! cargo run --example check -- 'mkpar (fun i -> i * i)'
+//!
+//! # Show the typing derivation (add --latex for a mathpartir tree):
+//! cargo run --example check -- --derivation 'fst (mkpar (fun i -> i), 1)'
+//!
+//! # Choose the machine: --p 8 --g 20 --l 5000
+//! cargo run --example check -- --p 8 'put (mkpar (fun j -> fun i -> j))'
+//! ```
+
+use bsml_bsp::{trace::render_report, BspParams};
+use bsml_core::Bsml;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut p = 4usize;
+    let mut g = 10u64;
+    let mut l = 1000u64;
+    let mut derivation = false;
+    let mut latex = false;
+    let mut bytecode = false;
+
+    let mut source = None;
+    while let Some(arg) = args.first().cloned() {
+        match arg.as_str() {
+            "--file" => {
+                args.remove(0);
+                if args.is_empty() {
+                    eprintln!("--file needs a path");
+                    std::process::exit(2);
+                }
+                let path = args.remove(0);
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => source = Some(text),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                break;
+            }
+            "--p" => {
+                args.remove(0);
+                p = take_number(&mut args, "--p") as usize;
+            }
+            "--g" => {
+                args.remove(0);
+                g = take_number(&mut args, "--g");
+            }
+            "--l" => {
+                args.remove(0);
+                l = take_number(&mut args, "--l");
+            }
+            "--derivation" => {
+                args.remove(0);
+                derivation = true;
+            }
+            "--latex" => {
+                args.remove(0);
+                derivation = true;
+                latex = true;
+            }
+            "--bytecode" => {
+                args.remove(0);
+                bytecode = true;
+            }
+            _ => {
+                source = Some(args.remove(0));
+                break;
+            }
+        }
+    }
+
+    let Some(source) = source else {
+        eprintln!(
+            "usage: check [--p N] [--g N] [--l N] [--derivation] \
+             ('<program>' | --file prog.bsml)"
+        );
+        std::process::exit(2);
+    };
+
+    let bsml = Bsml::new(BspParams::new(p, g, l));
+
+    if bytecode {
+        let result = bsml.check(&source).and_then(|check| {
+            bsml_vm::compile(&check.ast)
+                .map_err(|e| {
+                    bsml_core::BsmlError::Eval(bsml_core::eval::EvalError::NotAFunction(
+                        e.to_string(),
+                    ))
+                })
+        });
+        match result {
+            Ok(program) => {
+                println!(
+                    "{} instructions in {} blocks\n",
+                    program.instruction_count(),
+                    program.blocks.len()
+                );
+                print!("{program}");
+            }
+            Err(err) => {
+                eprintln!("{}", err.render(&source));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    if derivation {
+        let result = (|| {
+            let ast = bsml_core::syntax::parse(&source)?;
+            let inf = bsml_core::infer::Inferencer::new()
+                .with_derivation(true)
+                .run(&bsml_core::infer::initial_env(), &ast)
+                .map_err(bsml_core::BsmlError::from)?;
+            let tree = inf.derivation.expect("recording enabled");
+            Ok::<_, bsml_core::BsmlError>(if latex {
+                tree.to_latex()
+            } else {
+                tree.render()
+            })
+        })();
+        match result {
+            Ok(d) => print!("{d}"),
+            Err(err) => {
+                eprintln!("{}", err.render(&source));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // Toplevel modules (with `;;` declarations) go through a session;
+    // plain expressions through the one-shot pipeline (with a full
+    // superstep trace).
+    if bsml_syntax::parse(&source).is_ok() {
+        match bsml.run(&source) {
+            Ok(out) => {
+                println!("type   : {}", out.check.scheme());
+                println!("value  : {}", out.report.value);
+                println!();
+                print!("{}", render_report(&out.report));
+            }
+            Err(err) => {
+                eprintln!("{}", err.render(&source));
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    let mut session = bsml.session();
+    match session.load(&source) {
+        Ok(events) => {
+            for ev in events {
+                println!("{ev}   (cost {})", ev.cost);
+            }
+            println!("total: {}", session.total_cost());
+        }
+        Err(err) => {
+            eprintln!("{}", err.render(&source));
+            std::process::exit(1);
+        }
+    }
+}
+
+fn take_number(args: &mut Vec<String>, flag: &str) -> u64 {
+    if args.is_empty() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let raw = args.remove(0);
+    raw.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: `{raw}` is not a number");
+        std::process::exit(2);
+    })
+}

@@ -1,0 +1,44 @@
+//! Runs the whole standard library of BSP collectives, printing each
+//! workload's result, superstep trace and priced time on three
+//! machine profiles.
+//!
+//! ```sh
+//! cargo run --release --example collectives
+//! ```
+
+use bsml_bsp::trace::{render_report, render_timeline};
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_std::workloads;
+
+fn main() {
+    let p = 4;
+    let machines = [
+        ("multicore", BspParams::multicore(p)),
+        ("tightly-coupled", BspParams::tightly_coupled(p)),
+        ("ethernet-cluster", BspParams::ethernet_cluster(p)),
+    ];
+
+    for w in workloads::all_basic() {
+        println!("── {} ───────────────────────────────", w.name);
+        println!("   {}", w.description);
+        let report = BspMachine::new(machines[0].1)
+            .run(&w.ast())
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        println!("   value: {}", report.value);
+        println!();
+        for line in render_report(&report).lines() {
+            println!("   {line}");
+        }
+        println!();
+        for line in render_timeline(&report).lines() {
+            println!("   {line}");
+        }
+        // The abstract cost (W, H, S) is machine-independent; price
+        // it on all three profiles.
+        print!("   priced:");
+        for (name, params) in &machines {
+            print!("  {name} = {}", report.cost.time(params));
+        }
+        println!("\n");
+    }
+}

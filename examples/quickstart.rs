@@ -1,0 +1,53 @@
+//! Quickstart: parse, typecheck and run a BSML program on a
+//! simulated BSP machine.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use bsml_bsp::{trace::render_report, BspParams};
+use bsml_core::Bsml;
+
+fn main() {
+    // A 4-processor machine: g = 10 flop-times per word,
+    // l = 1000 flop-times per barrier.
+    let bsml = Bsml::new(BspParams::new(4, 10, 1000));
+
+    // Every processor computes its square, then a total exchange
+    // lets everyone add up all the squares.
+    let source = "
+        let squares = mkpar (fun i -> i * i) in
+        let msgs = put (apply (mkpar (fun i -> fun v -> fun dst -> v),
+                               squares)) in
+        apply (mkpar (fun i -> fun f ->
+                 let rec sum j = if j >= bsp_p () then 0 else f j + sum (j + 1) in
+                 sum 0),
+               msgs)";
+
+    println!("program:\n{source}\n");
+
+    // 1. Static checks: the inferred type and constraint.
+    let check = match bsml.check(source) {
+        Ok(check) => check,
+        Err(err) => {
+            eprintln!("{}", err.render(source));
+            std::process::exit(1);
+        }
+    };
+    println!("type   : {}", check.inference.ty);
+    println!("scheme : {}", check.scheme());
+
+    // 2. Execution with BSP cost accounting.
+    let outcome = bsml.run(source).expect("checked programs run");
+    println!("value  : {}", outcome.report.value);
+    println!();
+    println!("{}", render_report(&outcome.report));
+
+    // 3. The safety net: nested parallelism never reaches the
+    //    machine.
+    let nested = "mkpar (fun pid -> let v = mkpar (fun i -> i) in pid)";
+    match bsml.run(nested) {
+        Err(err) => println!("rejected as expected:\n{}", err.render(nested)),
+        Ok(_) => unreachable!("the type system must reject example2"),
+    }
+}

@@ -1,0 +1,88 @@
+//! An interactive BSML toplevel (REPL) on a simulated BSP machine.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Enter phrases terminated by `;;` (or a single line ending without
+//! one). Commands: `#cost` shows the cumulative BSP cost, `#prelude`
+//! loads the standard-library combinators, `#quit` exits.
+
+use std::io::{BufRead, Write};
+
+use bsml_bsp::BspParams;
+use bsml_core::session::Session;
+
+fn main() {
+    let p = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let mut session = Session::new(BspParams::new(p, 10, 1000));
+    println!(
+        "BSML toplevel on a simulated BSP machine {} — #prelude, #cost, #quit",
+        session.params()
+    );
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("bsml> ");
+        } else {
+            print!("    | ");
+        }
+        std::io::stdout().flush().ok();
+
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+
+        if buffer.is_empty() {
+            match trimmed {
+                "#quit" => break,
+                "#cost" => {
+                    println!("total: {}", session.total_cost());
+                    continue;
+                }
+                "#prelude" => {
+                    for def in bsml_std::combinators::ALL_DEFS {
+                        if let Err(e) = session.load(def) {
+                            println!("prelude error: {e}");
+                        }
+                    }
+                    println!("standard library loaded");
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+
+        buffer.push_str(&line);
+        // A phrase ends at `;;` or at a line that parses on its own.
+        let complete = buffer.trim_end().ends_with(";;")
+            || bsml_syntax::parse_module(&buffer).is_ok();
+        if !complete {
+            continue;
+        }
+
+        let input = std::mem::take(&mut buffer);
+        match session.load(&input) {
+            Ok(events) => {
+                for ev in events {
+                    println!("{ev}   (cost {})", ev.cost);
+                }
+            }
+            Err(err) => println!("{}", err.render(&input)),
+        }
+    }
+    println!("\ntotal session cost: {}", session.total_cost());
+}

@@ -1,0 +1,5 @@
+//! Umbrella package for the BSML reproduction: integration tests and
+//! examples live here. The library part provides shared test
+//! support.
+
+pub mod testgen;

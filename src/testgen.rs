@@ -1,0 +1,282 @@
+//! A generator of *well-typed-by-construction* closed mini-BSML
+//! programs, used by the Theorem 1 fuzz suite and the
+//! lockstep-vs-distributed cross-validation.
+
+use bsml_ast::build as b;
+use bsml_ast::{Expr, Ident};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The machine size the generated pids stay within.
+pub const P: usize = 3;
+
+/// Target type for generation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GenTy {
+    Int,
+    Bool,
+    IntPar,
+    BoolPar,
+}
+
+struct Gen {
+    rng: StdRng,
+    counter: u64,
+}
+
+impl Gen {
+    fn fresh(&mut self, prefix: &str) -> Ident {
+        self.counter += 1;
+        Ident::new(format!("{prefix}{}", self.counter))
+    }
+
+
+    fn gen(&mut self, ty: GenTy, depth: u32, ctx: &[(Ident, GenTy)]) -> Expr {
+        let leafy = depth == 0 || self.rng.gen_range(0..100) < 20;
+        match ty {
+            GenTy::Int => {
+                if leafy {
+                    self.int_leaf(ctx)
+                } else {
+                    match self.rng.gen_range(0..8) {
+                        0 => b::add(
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                        ),
+                        1 => b::sub(
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                        ),
+                        2 => b::mul(
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                        ),
+                        3 => b::if_(
+                            self.gen(GenTy::Bool, depth - 1, ctx),
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                        ),
+                        4 => {
+                            // let x : int = … in …
+                            let x = self.fresh("x");
+                            let bound = self.gen(GenTy::Int, depth - 1, ctx);
+                            let mut ctx2 = ctx.to_vec();
+                            ctx2.push((x.clone(), GenTy::Int));
+                            b::let_(
+                                x.as_str(),
+                                bound,
+                                self.gen(GenTy::Int, depth - 1, &ctx2),
+                            )
+                        }
+                        5 => {
+                            // (fun x -> int-body) int-arg
+                            let x = self.fresh("a");
+                            let mut ctx2 = ctx.to_vec();
+                            ctx2.push((x.clone(), GenTy::Int));
+                            b::app(
+                                b::fun_(x.as_str(), self.gen(GenTy::Int, depth - 1, &ctx2)),
+                                self.gen(GenTy::Int, depth - 1, ctx),
+                            )
+                        }
+                        6 => b::app(
+                            b::op(bsml_ast::Op::Fst),
+                            b::pair(
+                                self.gen(GenTy::Int, depth - 1, ctx),
+                                self.gen(GenTy::Int, depth - 1, ctx),
+                            ),
+                        ),
+                        _ => {
+                            // An imperative cell used coherently in
+                            // one mode:
+                            // let r = ref e1 in (r := e2; !r + e3)
+                            let r = self.fresh("r");
+                            let init = self.gen(GenTy::Int, depth - 1, ctx);
+                            let update = self.gen(GenTy::Int, depth - 1, ctx);
+                            let extra = self.gen(GenTy::Int, depth - 1, ctx);
+                            let rv = || b::var(r.as_str());
+                            b::let_(
+                                r.as_str(),
+                                b::app(b::op(bsml_ast::Op::Ref), init),
+                                b::let_(
+                                    "_",
+                                    b::binop(bsml_ast::Op::Assign, rv(), update),
+                                    b::add(
+                                        b::app(b::op(bsml_ast::Op::Deref), rv()),
+                                        extra,
+                                    ),
+                                ),
+                            )
+                        }
+                    }
+                }
+            }
+            GenTy::Bool => {
+                if leafy {
+                    self.bool_leaf(ctx)
+                } else {
+                    match self.rng.gen_range(0..4) {
+                        0 => b::lt(
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                        ),
+                        1 => b::eq(
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                            self.gen(GenTy::Int, depth - 1, ctx),
+                        ),
+                        2 => b::binop(
+                            bsml_ast::Op::And,
+                            self.gen(GenTy::Bool, depth - 1, ctx),
+                            self.gen(GenTy::Bool, depth - 1, ctx),
+                        ),
+                        _ => b::app(
+                            b::op(bsml_ast::Op::Not),
+                            self.gen(GenTy::Bool, depth - 1, ctx),
+                        ),
+                    }
+                }
+            }
+            GenTy::IntPar => {
+                // Only *local* variables may flow into vector
+                // components; filter the context.
+                let local: Vec<(Ident, GenTy)> = ctx
+                    .iter()
+                    .filter(|(_, t)| matches!(t, GenTy::Int | GenTy::Bool))
+                    .cloned()
+                    .collect();
+                if leafy {
+                    self.mkpar_int(depth, &local, ctx)
+                } else {
+                    match self.rng.gen_range(0..5) {
+                        0 => self.mkpar_int(depth, &local, ctx),
+                        1 => {
+                            // apply (mkpar (fun i -> fun x -> …), vec)
+                            let i = self.fresh("i");
+                            let x = self.fresh("v");
+                            let mut inner = local.clone();
+                            inner.push((i.clone(), GenTy::Int));
+                            inner.push((x.clone(), GenTy::Int));
+                            let body = self.gen(GenTy::Int, depth.saturating_sub(1), &inner);
+                            b::apply(
+                                b::mkpar(b::fun_(i.as_str(), b::fun_(x.as_str(), body))),
+                                self.gen(GenTy::IntPar, depth - 1, ctx),
+                            )
+                        }
+                        2 => {
+                            // put exchange, then probe a fixed sender.
+                            let j = self.fresh("j");
+                            let d = self.fresh("d");
+                            let mut inner = local.clone();
+                            inner.push((j.clone(), GenTy::Int));
+                            inner.push((d.clone(), GenTy::Int));
+                            let msg = self.gen(GenTy::Int, depth.saturating_sub(1), &inner);
+                            let sender = self.rng.gen_range(0..P as i64);
+                            b::apply(
+                                b::put(b::mkpar(b::fun_(
+                                    j.as_str(),
+                                    b::fun_(d.as_str(), msg),
+                                ))),
+                                b::mkpar(b::fun_("who", b::int(sender))),
+                            )
+                        }
+                        3 => {
+                            // if vec at n then … else … (global type).
+                            let at = self.rng.gen_range(0..P as i64);
+                            b::ifat(
+                                self.gen(GenTy::BoolPar, depth - 1, ctx),
+                                b::int(at),
+                                self.gen(GenTy::IntPar, depth - 1, ctx),
+                                self.gen(GenTy::IntPar, depth - 1, ctx),
+                            )
+                        }
+                        _ => {
+                            // let v = vec in …v…
+                            let v = self.fresh("vec");
+                            let bound = self.gen(GenTy::IntPar, depth - 1, ctx);
+                            let mut ctx2 = ctx.to_vec();
+                            ctx2.push((v.clone(), GenTy::IntPar));
+                            b::let_(
+                                v.as_str(),
+                                bound,
+                                self.gen(GenTy::IntPar, depth - 1, &ctx2),
+                            )
+                        }
+                    }
+                }
+            }
+            GenTy::BoolPar => {
+                let local: Vec<(Ident, GenTy)> = ctx
+                    .iter()
+                    .filter(|(_, t)| matches!(t, GenTy::Int | GenTy::Bool))
+                    .cloned()
+                    .collect();
+                let i = self.fresh("i");
+                let mut inner = local;
+                inner.push((i.clone(), GenTy::Int));
+                let body = self.gen(GenTy::Bool, depth.saturating_sub(1), &inner);
+                b::mkpar(b::fun_(i.as_str(), body))
+            }
+        }
+    }
+
+    fn int_leaf(&mut self, ctx: &[(Ident, GenTy)]) -> Expr {
+        let vars: Vec<&Ident> = ctx
+            .iter()
+            .filter(|(_, t)| *t == GenTy::Int)
+            .map(|(x, _)| x)
+            .collect();
+        if !vars.is_empty() && self.rng.gen_bool(0.5) {
+            let v = vars[self.rng.gen_range(0..vars.len())];
+            b::var(v.as_str())
+        } else {
+            b::int(self.rng.gen_range(-50..50))
+        }
+    }
+
+    fn bool_leaf(&mut self, ctx: &[(Ident, GenTy)]) -> Expr {
+        let vars: Vec<&Ident> = ctx
+            .iter()
+            .filter(|(_, t)| *t == GenTy::Bool)
+            .map(|(x, _)| x)
+            .collect();
+        if !vars.is_empty() && self.rng.gen_bool(0.4) {
+            let v = vars[self.rng.gen_range(0..vars.len())];
+            b::var(v.as_str())
+        } else {
+            b::bool_(self.rng.gen_bool(0.5))
+        }
+    }
+
+    fn mkpar_int(
+        &mut self,
+        depth: u32,
+        local: &[(Ident, GenTy)],
+        par_ctx: &[(Ident, GenTy)],
+    ) -> Expr {
+        let par_vars: Vec<&Ident> = par_ctx
+            .iter()
+            .filter(|(_, t)| *t == GenTy::IntPar)
+            .map(|(x, _)| x)
+            .collect();
+        if !par_vars.is_empty() && self.rng.gen_bool(0.3) {
+            let v = par_vars[self.rng.gen_range(0..par_vars.len())];
+            return b::var(v.as_str());
+        }
+        let i = self.fresh("i");
+        let mut inner = local.to_vec();
+        inner.push((i.clone(), GenTy::Int));
+        let body = self.gen(GenTy::Int, depth.saturating_sub(1), &inner);
+        b::mkpar(b::fun_(i.as_str(), body))
+    }
+}
+
+
+
+/// Generates a closed, well-typed program of the given type.
+#[must_use]
+pub fn generate(seed: u64, ty: GenTy, depth: u32) -> Expr {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(seed),
+        counter: 0,
+    };
+    g.gen(ty, depth, &[])
+}

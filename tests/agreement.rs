@@ -1,0 +1,66 @@
+//! The two dynamic semantics agree on the standard library.
+//!
+//! The small-step machine is the paper's definition; the big-step
+//! evaluator is the engine. Running every stdlib workload through
+//! both and comparing results validates the engine against the
+//! definition (and exercises the Figure 2 δ-rules on real BSP
+//! algorithms, `put`'s message-binding construction included).
+
+use bsml_eval::{eval_closed, smallstep};
+use bsml_std::workloads;
+
+fn agree(program: &bsml_std::Program, p: usize) {
+    let ast = program.ast();
+    let big = eval_closed(&ast, p)
+        .unwrap_or_else(|e| panic!("{} big-step at p={p}: {e}", program.name));
+    let small = smallstep::run(&ast, p, 50_000_000)
+        .unwrap_or_else(|e| panic!("{} small-step at p={p}: {e}", program.name));
+    assert!(
+        bsml_ast::is_value(&small),
+        "{}: small-step normal form is not a value",
+        program.name
+    );
+    assert_eq!(
+        big.to_string(),
+        small.to_string(),
+        "{} differs at p={p}",
+        program.name
+    );
+}
+
+#[test]
+fn evaluators_agree_on_every_workload() {
+    for w in workloads::all_basic() {
+        for p in [1, 2, 3] {
+            agree(&w, p);
+        }
+    }
+}
+
+#[test]
+fn evaluators_agree_on_wider_machines_for_cheap_workloads() {
+    for w in [
+        workloads::bcast_direct(0),
+        workloads::shift(),
+        workloads::scan_plus_log(),
+    ] {
+        for p in [4, 5, 8] {
+            agree(&w, p);
+        }
+    }
+}
+
+#[test]
+fn small_step_trace_is_replayable() {
+    // Each recorded step is exactly one application of the ⇀
+    // relation (determinism of the machine).
+    let e = workloads::shift().ast();
+    let tr = smallstep::trace(&e, 2, 1_000_000).unwrap();
+    assert!(tr.len() > 10);
+    for w in tr.windows(2) {
+        match smallstep::step(&w[0], 2) {
+            smallstep::StepOutcome::Reduced(next) => assert_eq!(next, w[1]),
+            other => panic!("non-deterministic or early stop: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end checks of the full BSP applications: results are
+//! compared against plain Rust reference implementations, and the
+//! superstep structure against the algorithm's design.
+
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_eval::{eval_closed, Value};
+use bsml_infer::infer;
+use bsml_std::algorithms;
+
+/// Extracts `(int list) par` into per-processor Rust vectors.
+fn vector_of_lists(v: &Value) -> Vec<Vec<i64>> {
+    let Value::Vector(comps) = v else {
+        panic!("expected a parallel vector, got {v}")
+    };
+    comps
+        .iter()
+        .map(|comp| {
+            let mut out = Vec::new();
+            let mut cur = comp.clone();
+            loop {
+                match cur {
+                    Value::Cons(h, t) => {
+                        let Value::Int(n) = *h else { panic!("non-int in list: {h}") };
+                        out.push(n);
+                        cur = (*t).clone();
+                    }
+                    Value::Nil => break,
+                    other => panic!("improper list: {other}"),
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// The mini-BSML pseudo-random generator, reimplemented in Rust
+/// (mini-BSML `mod` is truncated like Rust's `%`; the inputs here are
+/// non-negative so the conventions agree).
+fn gen(n: usize, mut seed: i64) -> Vec<i64> {
+    // let rec gen j seed = … (seed*37 + j*71) mod 1000 :: gen (j-1) (seed+j)
+    let mut out = Vec::new();
+    let mut j = n as i64;
+    while j > 0 {
+        out.push((seed * 37 + j * 71) % 1000);
+        seed += j;
+        j -= 1;
+    }
+    out
+}
+
+#[test]
+fn psrs_typechecks() {
+    let w = algorithms::psrs_sort(6);
+    let ast = w.ast();
+    let inf = infer(&ast).unwrap_or_else(|e| panic!("{}", e.render(&w.source)));
+    assert_eq!(inf.ty.to_string(), "(int list) par");
+}
+
+#[test]
+fn psrs_sorts_globally() {
+    for p in [1, 2, 3, 4] {
+        let n = 8;
+        let w = algorithms::psrs_sort(n);
+        let v = eval_closed(&w.ast(), p).unwrap_or_else(|e| panic!("p={p}: {e}"));
+        let blocks = vector_of_lists(&v);
+        assert_eq!(blocks.len(), p);
+
+        // Every block is sorted…
+        for (k, block) in blocks.iter().enumerate() {
+            assert!(
+                block.windows(2).all(|w| w[0] <= w[1]),
+                "block {k} not sorted at p={p}: {block:?}"
+            );
+        }
+        // …blocks are globally ordered (max of block k ≤ min of k+1)…
+        for k in 0..p.saturating_sub(1) {
+            if let (Some(&hi), Some(&lo)) = (blocks[k].last(), blocks[k + 1].first()) {
+                assert!(hi <= lo, "blocks {k}/{} overlap at p={p}", k + 1);
+            }
+        }
+        // …and the multiset of values is exactly the input.
+        let mut all: Vec<i64> = blocks.concat();
+        all.sort_unstable();
+        let mut expected: Vec<i64> = (0..p as i64)
+            .flat_map(|i| gen(n, i * 13 + 5))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected, "value multiset differs at p={p}");
+    }
+}
+
+#[test]
+fn psrs_superstep_structure() {
+    // One total exchange (medians) + one routing put = 2 supersteps.
+    let report = BspMachine::new(BspParams::new(4, 1, 1))
+        .run(&algorithms::psrs_sort(6).ast())
+        .unwrap();
+    assert_eq!(report.cost.supersteps, 2);
+}
+
+#[test]
+fn matvec_matches_reference() {
+    for p in [1, 2, 3] {
+        let (r, c) = (2usize, 2usize);
+        let w = algorithms::matvec(r, c);
+        let v = eval_closed(&w.ast(), p).unwrap_or_else(|e| panic!("p={p}: {e}"));
+        let blocks = vector_of_lists(&v);
+
+        let rows = r * p;
+        let cols = c * p;
+        let x: Vec<i64> = (0..cols as i64).map(|j| j + 1).collect();
+        for (proc, block) in blocks.iter().enumerate() {
+            assert_eq!(block.len(), r, "p={p}");
+            for (local_row, &y) in block.iter().enumerate() {
+                let i = (proc * r + local_row) as i64;
+                let expected: i64 =
+                    (0..cols as i64).map(|j| (i + 2 * j) * x[j as usize]).sum();
+                assert_eq!(y, expected, "row {i} at p={p}");
+            }
+        }
+        assert_eq!(blocks.len(), p);
+        let _ = rows;
+    }
+}
+
+#[test]
+fn matvec_superstep_structure() {
+    // One total exchange to assemble the vector = 1 superstep.
+    let report = BspMachine::new(BspParams::new(3, 1, 1))
+        .run(&algorithms::matvec(2, 2).ast())
+        .unwrap();
+    assert_eq!(report.cost.supersteps, 1);
+    // Each processor ships its c-entry chunk (c + nil words) to the
+    // p−1 others.
+    assert_eq!(report.cost.h_relation, 2 * (2 + 1));
+}
+
+#[test]
+fn algorithms_typecheck_and_are_global() {
+    for w in [algorithms::psrs_sort(4), algorithms::matvec(1, 1)] {
+        let inf = infer(&w.ast()).unwrap_or_else(|e| panic!("{}", e.render(&w.source)));
+        assert!(inf.ty.to_string().ends_with("par"), "{}: {}", w.name, inf.ty);
+    }
+}

@@ -1,0 +1,113 @@
+//! Diagnostic quality: every error class renders with a location, a
+//! source excerpt, a caret, and a message a user can act on.
+
+use bsml_bsp::BspParams;
+use bsml_core::{Bsml, BsmlError};
+
+fn bsml() -> Bsml {
+    Bsml::new(BspParams::new(4, 10, 100))
+}
+
+fn rendered_error(src: &str) -> String {
+    match bsml().run(src) {
+        Err(err) => err.render(src),
+        Ok(out) => panic!("`{src}` should fail, got {}", out.report.value),
+    }
+}
+
+#[test]
+fn parse_error_anatomy() {
+    let r = rendered_error("let x = in x");
+    assert!(r.starts_with("parse error at 1:"), "{r}");
+    assert!(r.contains("let x = in x"), "{r}");
+    assert!(r.contains('^'), "{r}");
+    assert!(r.contains("expected an expression"), "{r}");
+}
+
+#[test]
+fn unbound_variable_anatomy() {
+    let r = rendered_error("1 + nope");
+    assert!(r.contains("unbound variable `nope`"), "{r}");
+    assert!(r.contains('^'), "{r}");
+}
+
+#[test]
+fn unification_error_anatomy() {
+    let r = rendered_error("1 + true");
+    assert!(r.contains("cannot unify"), "{r}");
+    assert!(r.contains("int"), "{r}");
+    assert!(r.contains("bool"), "{r}");
+}
+
+#[test]
+fn locality_violation_anatomy() {
+    let r = rendered_error("fst (1, mkpar (fun i -> i))");
+    assert!(r.contains("parallel nesting rejected"), "{r}");
+    // The constraint the paper shows for Figure 10.
+    assert!(r.contains("L(int) ⇒ L(int par)"), "{r}");
+    assert!(r.contains("rule (App)"), "{r}");
+}
+
+#[test]
+fn let_violation_names_the_rule() {
+    let r = rendered_error("let v = mkpar (fun i -> i) in 0");
+    assert!(r.contains("rule (Let)"), "{r}");
+    assert!(r.contains("⇒"), "{r}");
+}
+
+#[test]
+fn ifat_violation_names_the_rule() {
+    let r = rendered_error("if mkpar (fun i -> true) at 0 then 1 else 2");
+    assert!(r.contains("rule (Ifat)"), "{r}");
+    assert!(r.contains("False"), "{r}");
+}
+
+#[test]
+fn runtime_errors_render() {
+    let r = rendered_error("1 / 0");
+    assert!(r.contains("division by zero"), "{r}");
+    let r = match bsml().run_unchecked("mkpar (fun i -> mkpar (fun j -> j))") {
+        Err(err) => err.render("…"),
+        Ok(_) => panic!("nesting must fail"),
+    };
+    assert!(r.contains("nested parallelism"), "{r}");
+}
+
+#[test]
+fn multiline_errors_point_at_the_right_line() {
+    let src = "let a = 1 in\nlet b = 2 in\na + nope";
+    let r = rendered_error(src);
+    assert!(r.contains("3:"), "{r}");
+    assert!(r.contains("a + nope"), "{r}");
+    // The offending line is excerpted, not the whole program.
+    assert!(!r.contains("let a = 1 in\nlet b"), "{r}");
+}
+
+#[test]
+fn reserved_operator_binders_are_explained() {
+    let r = rendered_error("fun mkpar -> mkpar");
+    assert!(r.contains("reserved operator name"), "{r}");
+}
+
+#[test]
+fn errors_via_display_are_single_line() {
+    for src in ["let x = in x", "1 + nope", "1 + true", "1 / 0"] {
+        let err = bsml().run(src).unwrap_err();
+        let display = err.to_string();
+        assert!(!display.contains('\n'), "`{src}`: {display}");
+        assert!(!display.is_empty());
+    }
+}
+
+#[test]
+fn session_errors_name_the_failing_phrase() {
+    let mut s = bsml().session();
+    let err = s
+        .load("let good = 1 ;; let bad = fst (1, mkpar (fun i -> i)) ;;")
+        .unwrap_err();
+    let r = match err {
+        BsmlError::Type(e) => e.to_string(),
+        other => panic!("expected a type error, got {other}"),
+    };
+    assert!(r.contains("parallel nesting"), "{r}");
+}

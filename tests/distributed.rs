@@ -1,0 +1,150 @@
+//! Lockstep simulator vs distributed (threaded SPMD) machine: same
+//! programs, same values, same communication volumes, same superstep
+//! counts. This validates the central claim behind the lockstep
+//! model — BSML's global expressions evaluate identically on every
+//! processor, so playing them on one evaluator is faithful to real
+//! distributed execution (the paper's reference [5]).
+
+use bsml_bsp::distributed::DistMachine;
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_eval::EvalError;
+use bsml_std::{algorithms, workloads};
+use bsml_syntax::parse;
+
+fn cross_check(name: &str, src: &str, p: usize) {
+    let e = parse(src).unwrap_or_else(|err| panic!("{name}: {}", err.render(src)));
+    let lockstep = BspMachine::new(BspParams::new(p, 1, 1))
+        .run(&e)
+        .unwrap_or_else(|err| panic!("{name} lockstep p={p}: {err}"));
+    let distributed = DistMachine::new(p)
+        .run(&e)
+        .unwrap_or_else(|err| panic!("{name} distributed p={p}: {err}"));
+
+    assert_eq!(
+        lockstep.value.to_string(),
+        distributed.value.to_string(),
+        "{name}: values differ at p={p}"
+    );
+    assert_eq!(
+        lockstep.cost.supersteps, distributed.supersteps,
+        "{name}: superstep counts differ at p={p}"
+    );
+    // Total words sent across the machine: the lockstep records them
+    // per-superstep per-proc; the distributed machine sums them live.
+    let lockstep_words: u64 = lockstep
+        .trace
+        .iter()
+        .map(|r| r.sent.iter().sum::<u64>())
+        .sum();
+    assert_eq!(
+        lockstep_words, distributed.total_words_sent,
+        "{name}: communication volumes differ at p={p}"
+    );
+}
+
+#[test]
+fn machines_agree_on_every_workload() {
+    for w in workloads::all_basic() {
+        for p in [1, 2, 4] {
+            cross_check(&w.name, &w.source, p);
+        }
+    }
+}
+
+#[test]
+fn machines_agree_on_the_applications() {
+    cross_check("psrs", &algorithms::psrs_sort(6).source, 4);
+    cross_check("matvec", &algorithms::matvec(2, 2).source, 3);
+}
+
+#[test]
+fn machines_agree_on_replicated_scalars_and_ifat() {
+    // A program whose result is a replicated local value — every rank
+    // must compute the same thing.
+    cross_check(
+        "replicated-scalar",
+        "let x = 3 in x * x + 1",
+        4,
+    );
+    cross_check(
+        "ifat-branching",
+        "if mkpar (fun i -> i = 2) at 2
+         then mkpar (fun i -> i * 10)
+         else mkpar (fun i -> 0 - 1)",
+        4,
+    );
+    cross_check(
+        "ifat-false-branch",
+        "if mkpar (fun i -> i = 2) at 0
+         then mkpar (fun i -> i * 10)
+         else mkpar (fun i -> 0 - 1)",
+        4,
+    );
+}
+
+#[test]
+fn distributed_work_is_per_processor() {
+    // An asymmetric workload: processor 3 spins. The distributed
+    // machine must charge the extra work to rank 3 only.
+    let e = parse(
+        "let rec spin n = if n = 0 then 0 else spin (n - 1) in
+         apply (mkpar (fun i -> fun x -> if x = 3 then spin 2000 else 0),
+                mkpar (fun i -> i))",
+    )
+    .unwrap();
+    let out = DistMachine::new(4).run(&e).unwrap();
+    assert!(
+        out.work[3] > out.work[0] + 1500,
+        "rank 3 should do the spinning: {:?}",
+        out.work
+    );
+}
+
+#[test]
+fn distributed_errors_propagate_not_deadlock() {
+    // Rank-dependent divergence of arithmetic: processor 2 divides by
+    // zero inside its component; all threads must come home with an
+    // error (no deadlock at the next barrier).
+    let e = parse(
+        "let v = mkpar (fun i -> if i = 2 then 1 / 0 else i) in
+         put (apply (mkpar (fun i -> fun x -> fun d -> x), v))",
+    )
+    .unwrap();
+    let err = DistMachine::new(4).run(&e).unwrap_err();
+    assert_eq!(err, EvalError::DivisionByZero);
+}
+
+#[test]
+fn unserializable_messages_are_rejected() {
+    // Sending a closure through put: no portable form.
+    let e = parse("put (mkpar (fun j -> fun d -> fun x -> x + j))").unwrap();
+    let err = DistMachine::new(2).run(&e).unwrap_err();
+    assert!(
+        matches!(err, EvalError::NotSerializable(_)),
+        "got {err}"
+    );
+    // The lockstep machine, living in one address space, allows it —
+    // a documented difference (OCaml marshalling has the same split).
+    let lockstep = BspMachine::new(BspParams::new(2, 1, 1)).run(&e);
+    assert!(lockstep.is_ok());
+}
+
+#[test]
+fn references_are_per_rank_replicas() {
+    // A replicated cell updated in global mode: every rank updates
+    // its own replica identically; the result is coherent.
+    cross_check(
+        "replicated-ref",
+        "let c = ref 1 in
+         let upd = c := 2 in
+         mkpar (fun i -> !c + i)",
+        3,
+    );
+}
+
+#[test]
+fn distributed_matches_across_machine_sizes() {
+    for p in [1, 2, 3, 5, 8] {
+        cross_check("fold-plus", &workloads::fold_plus().source, p);
+    }
+}

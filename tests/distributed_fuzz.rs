@@ -1,0 +1,56 @@
+//! Fuzzes the lockstep-vs-distributed agreement on generated
+//! well-typed programs — stronger than the fixed-workload
+//! cross-check: random compositions of all four primitives.
+
+use bsml_bsp::distributed::DistMachine;
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_repro::testgen::{generate, GenTy, P};
+use proptest::prelude::*;
+
+fn cross_check(e: &bsml_ast::Expr) {
+    let lockstep = BspMachine::new(BspParams::new(P, 1, 1))
+        .run(e)
+        .unwrap_or_else(|err| panic!("lockstep: {err}\n  {e}"));
+    let distributed = DistMachine::new(P)
+        .run(e)
+        .unwrap_or_else(|err| panic!("distributed: {err}\n  {e}"));
+    assert_eq!(
+        lockstep.value.to_string(),
+        distributed.value.to_string(),
+        "values differ on {e}"
+    );
+    assert_eq!(
+        lockstep.cost.supersteps, distributed.supersteps,
+        "superstep counts differ on {e}"
+    );
+    let lockstep_words: u64 = lockstep
+        .trace
+        .iter()
+        .map(|r| r.sent.iter().sum::<u64>())
+        .sum();
+    assert_eq!(
+        lockstep_words, distributed.total_words_sent,
+        "communication volumes differ on {e}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn machines_agree_on_generated_parallel_programs(seed in any::<u64>()) {
+        cross_check(&generate(seed, GenTy::IntPar, 4));
+    }
+
+    #[test]
+    fn machines_agree_on_generated_local_programs(seed in any::<u64>()) {
+        cross_check(&generate(seed, GenTy::Int, 5));
+    }
+}
+
+#[test]
+fn fixed_seed_sweep() {
+    for seed in 0..100 {
+        cross_check(&generate(seed, GenTy::IntPar, 4));
+    }
+}

@@ -1,0 +1,174 @@
+//! The imperative surface syntax: `;` sequencing, `while … do … done`
+//! and `for … = … to … do … done`, desugared through `let _` and
+//! `fix` — combined with the §6 references extension they make
+//! mini-BSML a usable imperative language.
+
+use bsml_bsp::BspParams;
+use bsml_core::Bsml;
+use bsml_eval::eval_closed;
+use bsml_infer::infer;
+use bsml_syntax::parse;
+
+fn run(src: &str, p: usize) -> String {
+    let e = parse(src).unwrap_or_else(|err| panic!("{}", err.render(src)));
+    infer(&e).unwrap_or_else(|err| panic!("{}", err.render(src)));
+    eval_closed(&e, p)
+        .unwrap_or_else(|err| panic!("`{src}`: {err}"))
+        .to_string()
+}
+
+#[test]
+fn sequencing_desugars_to_let() {
+    let e = parse("1; 2; 3").unwrap();
+    assert_eq!(run("1; 2; 3", 1), "3");
+    // Right associative nesting of `let _`.
+    assert!(e.to_string().contains("let _ ="), "{e}");
+}
+
+#[test]
+fn sequencing_with_references() {
+    assert_eq!(
+        run("let c = ref 0 in c := 5; c := !c * 2; !c + 1", 1),
+        "11"
+    );
+}
+
+#[test]
+fn list_literals_keep_their_semicolons() {
+    assert_eq!(run("[1; 2; 3]", 1), "[1; 2; 3]");
+    // A sequenced item needs parens — and gets them when printed.
+    assert_eq!(run("[(1; 2); 3]", 1), "[2; 3]");
+}
+
+#[test]
+fn while_loops() {
+    assert_eq!(
+        run(
+            "let i = ref 0 in
+             let sum = ref 0 in
+             while !i < 10 do
+               sum := !sum + !i;
+               i := !i + 1
+             done;
+             !sum",
+            1
+        ),
+        "45"
+    );
+}
+
+#[test]
+fn while_false_never_runs() {
+    assert_eq!(
+        run("let c = ref 1 in while false do c := 99 done; !c", 1),
+        "1"
+    );
+}
+
+#[test]
+fn for_loops() {
+    assert_eq!(
+        run(
+            "let acc = ref 0 in
+             for k = 1 to 10 do acc := !acc + k done;
+             !acc",
+            1
+        ),
+        "55"
+    );
+    // Empty range: to < from.
+    assert_eq!(
+        run("let acc = ref 7 in for k = 5 to 1 do acc := 0 done; !acc", 1),
+        "7"
+    );
+}
+
+#[test]
+fn for_bound_evaluated_once() {
+    // The upper bound reads a cell the body mutates: the loop uses
+    // the value captured at entry (OCaml semantics).
+    assert_eq!(
+        run(
+            "let n = ref 3 in
+             let count = ref 0 in
+             for k = 1 to !n do n := 100; count := !count + 1 done;
+             !count",
+            1
+        ),
+        "3"
+    );
+}
+
+#[test]
+fn loops_inside_vector_components() {
+    // Per-processor imperative accumulation.
+    assert_eq!(
+        run(
+            "mkpar (fun i ->
+               let acc = ref 0 in
+               (for k = 0 to i do acc := !acc + k done);
+               !acc)",
+            4
+        ),
+        "<|0, 1, 3, 6|>"
+    );
+}
+
+#[test]
+fn while_typechecks_as_unit() {
+    let e = parse("let c = ref 0 in while !c < 3 do c := !c + 1 done").unwrap();
+    let inf = infer(&e).unwrap();
+    assert_eq!(inf.ty.to_string(), "unit");
+}
+
+#[test]
+fn sequencing_respects_the_let_side_condition() {
+    // Discarding a parallel vector via `;` hides a global evaluation
+    // under a local type — rejected like the paper's (Let).
+    let e = parse("mkpar (fun i -> i); 5").unwrap();
+    assert!(infer(&e).is_err());
+    // Keeping the global result is fine.
+    let e = parse("let x = 1; 2 in mkpar (fun i -> x)").unwrap();
+    assert!(infer(&e).is_ok());
+}
+
+#[test]
+fn imperative_bsp_program_end_to_end() {
+    // Each processor computes a local iterative factorial, then the
+    // machine folds the results.
+    let bsml = Bsml::new(BspParams::new(4, 10, 100));
+    let out = bsml
+        .run(
+            "let fact = fun n ->
+               let acc = ref 1 in
+               (for k = 2 to n do acc := !acc * k done);
+               !acc in
+             let partials = mkpar (fun i -> fact (i + 1)) in
+             let msgs = put (apply (mkpar (fun i -> fun v -> fun dst -> v),
+                                    partials)) in
+             apply (mkpar (fun i -> fun f ->
+                      let total = ref 0 in
+                      (for j = 0 to bsp_p () - 1 do total := !total + f j done);
+                      !total),
+                    msgs)",
+        )
+        .unwrap_or_else(|e| panic!("{e}"));
+    // 1! + 2! + 3! + 4! = 33, replicated.
+    assert_eq!(out.report.value.to_string(), "<|33, 33, 33, 33|>");
+    assert_eq!(out.report.cost.supersteps, 1);
+}
+
+#[test]
+fn pretty_printed_desugarings_reparse() {
+    for src in [
+        "1; 2",
+        "let c = ref 0 in while !c < 2 do c := !c + 1 done; !c",
+        "let a = ref 0 in for k = 1 to 3 do a := !a + k done; !a",
+    ] {
+        let e = parse(src).unwrap();
+        let printed = e.to_string();
+        let again = parse(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        assert_eq!(e, again, "on `{src}` → `{printed}`");
+    }
+}

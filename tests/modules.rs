@@ -1,0 +1,107 @@
+//! Toplevel-module coverage: parsing, folding to expressions,
+//! typing and execution of multi-declaration programs.
+
+use bsml_bsp::BspParams;
+use bsml_core::session::Session;
+use bsml_eval::eval_closed;
+use bsml_infer::infer;
+use bsml_syntax::parse_module;
+
+#[test]
+fn a_realistic_program_file() {
+    let src = "
+        (* A small BSP program file. *)
+        let replicate x = mkpar (fun pid -> x) ;;
+
+        let rec sum_to n = if n = 0 then 0 else n + sum_to (n - 1) ;;
+
+        let exchange v =
+          put (apply (mkpar (fun i -> fun x -> fun dst -> x), v)) ;;
+
+        let totals =
+          let local = mkpar (fun i -> sum_to (i + 3)) in
+          let msgs = exchange local in
+          apply (mkpar (fun i -> fun f ->
+                   let acc = ref 0 in
+                   (for j = 0 to bsp_p () - 1 do acc := !acc + f j done);
+                   !acc),
+                 msgs) ;;
+
+        totals";
+    let m = parse_module(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    assert_eq!(m.decls.len(), 4);
+    let e = m.to_expr().expect("has a body");
+    let inf = infer(&e).unwrap_or_else(|err| panic!("{}", err.render(src)));
+    assert_eq!(inf.ty.to_string(), "int par");
+    let v = eval_closed(&e, 4).unwrap();
+    // sum_to(3..6) = 6+10+15+21 = 52 on every processor.
+    assert_eq!(v.to_string(), "<|52, 52, 52, 52|>");
+}
+
+#[test]
+fn the_same_file_loads_into_a_session() {
+    let src = "
+        let replicate x = mkpar (fun pid -> x) ;;
+        let rec sum_to n = if n = 0 then 0 else n + sum_to (n - 1) ;;
+        let exchange v =
+          put (apply (mkpar (fun i -> fun x -> fun dst -> x), v)) ;;
+        let totals =
+          let local = mkpar (fun i -> sum_to (i + 3)) in
+          let msgs = exchange local in
+          apply (mkpar (fun i -> fun f ->
+                   let acc = ref 0 in
+                   (for j = 0 to bsp_p () - 1 do acc := !acc + f j done);
+                   !acc),
+                 msgs) ;;
+        totals";
+    let mut s = Session::new(BspParams::new(4, 10, 1000));
+    let events = s.load(src).unwrap();
+    assert_eq!(events.len(), 5);
+    assert_eq!(events[4].value.to_string(), "<|52, 52, 52, 52|>");
+    // The exchange costs one superstep, evaluated twice (once for
+    // the decl, once — no: the decl bound the already-computed
+    // value, the body just references it).
+    assert_eq!(s.total_cost().supersteps, 1);
+    assert_eq!(
+        s.scheme_of("exchange").unwrap().to_string(),
+        "∀'a.['a par -> (int -> 'a) par / L('a)]"
+    );
+    assert_eq!(
+        s.scheme_of("sum_to").unwrap().to_string(),
+        "int -> int"
+    );
+}
+
+#[test]
+fn decls_without_body_type_but_produce_no_result() {
+    let m = parse_module("let a = 1 ;; let b = a + 1 ;;").unwrap();
+    assert!(m.body.is_none());
+    assert!(m.to_expr().is_none());
+}
+
+#[test]
+fn module_rejection_points_into_the_file() {
+    let src = "let ok = 1 ;;\nlet bad = fst (1, mkpar (fun i -> i)) ;;";
+    let mut s = Session::new(BspParams::new(2, 1, 1));
+    let err = s.load(src).unwrap_err();
+    let rendered = err.render(src);
+    assert!(rendered.contains("2:"), "{rendered}");
+    assert!(rendered.contains("parallel nesting"), "{rendered}");
+}
+
+#[test]
+fn comments_and_blank_lines_between_decls() {
+    let src = "
+        (* first *)
+        let x = 1 ;;
+
+        (* second, no ;; before let *)
+        let y = x + 1
+
+        ;;
+        y";
+    let m = parse_module(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+    assert_eq!(m.decls.len(), 2);
+    let v = eval_closed(&m.to_expr().unwrap(), 1).unwrap();
+    assert_eq!(v.to_string(), "2");
+}

@@ -1,0 +1,140 @@
+//! Additional cross-crate properties: module round-trips, scheme
+//! normalization laws, and cost-model compositionality over program
+//! length.
+
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_repro::testgen::{generate, GenTy};
+use bsml_std::workloads;
+use bsml_syntax::{parse_module, Module};
+use bsml_types::{Constraint, Scheme, Type};
+use proptest::prelude::*;
+
+// ---------- module round trips ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn modules_of_generated_programs_round_trip(
+        seed1 in any::<u64>(),
+        seed2 in any::<u64>(),
+    ) {
+        let d1 = generate(seed1, GenTy::Int, 3);
+        let d2 = generate(seed2, GenTy::IntPar, 3);
+        let m = Module {
+            decls: vec![
+                bsml_syntax::Decl {
+                    name: bsml_ast::Ident::new("a"),
+                    expr: d1,
+                    span: bsml_ast::Span::DUMMY,
+                },
+                bsml_syntax::Decl {
+                    name: bsml_ast::Ident::new("b"),
+                    expr: d2,
+                    span: bsml_ast::Span::DUMMY,
+                },
+            ],
+            body: Some(bsml_ast::build::var("a")),
+        };
+        let printed = m.to_string();
+        let reparsed = parse_module(&printed)
+            .unwrap_or_else(|e| panic!("{}\n{printed}", e.render(&printed)));
+        prop_assert_eq!(reparsed, m);
+    }
+
+    #[test]
+    fn module_to_expr_equals_nested_lets(seed in any::<u64>()) {
+        let body = generate(seed, GenTy::Int, 3);
+        let src = format!("let q = 1 ;; let r = q + 1 ;; {body}");
+        let m = parse_module(&src).unwrap();
+        let folded = m.to_expr().expect("has body");
+        // The folded expression types and runs like the module parts.
+        let inf = bsml_infer::infer(&folded);
+        prop_assert!(inf.is_ok());
+    }
+}
+
+// ---------- scheme normalization ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn normalize_is_idempotent(
+        a in 0u32..40,
+        b in 0u32..40,
+        with_constraint in any::<bool>(),
+    ) {
+        let ty = Type::arrow(Type::var(a), Type::pair(Type::var(b), Type::Int));
+        let c = if with_constraint {
+            Constraint::implies(
+                Constraint::loc(Type::var(a)),
+                Constraint::loc(Type::var(b)),
+            )
+        } else {
+            Constraint::True
+        };
+        let s = Scheme::close(ty, c).normalize();
+        let again = s.normalize();
+        prop_assert_eq!(s.to_string(), again.to_string());
+    }
+
+    #[test]
+    fn normalize_is_alpha_invariant(shift in 1u32..50) {
+        // The same scheme written with shifted variables normalizes
+        // to the identical display form.
+        let mk = |base: u32| {
+            Scheme::close(
+                Type::arrow(Type::var(base), Type::var(base + 1)),
+                Constraint::implies(
+                    Constraint::loc(Type::var(base)),
+                    Constraint::loc(Type::var(base + 1)),
+                ),
+            )
+            .normalize()
+        };
+        prop_assert_eq!(mk(0).to_string(), mk(shift).to_string());
+    }
+}
+
+// ---------- cost compositionality over length ----------
+
+#[test]
+fn shift_pipelines_compose_linearly() {
+    let machine = BspMachine::new(BspParams::new(4, 1, 1));
+    let unit_cost = machine
+        .run(&workloads::ping_rounds(1).ast())
+        .unwrap()
+        .cost;
+    for rounds in 2..=8 {
+        let cost = machine
+            .run(&workloads::ping_rounds(rounds).ast())
+            .unwrap()
+            .cost;
+        assert_eq!(
+            cost.supersteps,
+            rounds as u64 * unit_cost.supersteps,
+            "S not linear at {rounds}"
+        );
+        assert_eq!(
+            cost.h_relation,
+            rounds as u64 * unit_cost.h_relation,
+            "H not linear at {rounds}"
+        );
+    }
+}
+
+#[test]
+fn priced_time_is_monotone_in_machine_parameters() {
+    let e = workloads::scan_plus_log().ast();
+    let cost = BspMachine::new(BspParams::new(8, 1, 1))
+        .run(&e)
+        .unwrap()
+        .cost;
+    let mut last = 0;
+    for (g, l) in [(1, 1), (2, 5), (10, 100), (160, 40_000)] {
+        let t = cost.time(&BspParams::new(8, g, l));
+        assert!(t > last, "time not monotone at g={g}, l={l}");
+        last = t;
+    }
+}

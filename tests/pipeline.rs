@@ -1,0 +1,116 @@
+//! Whole-pipeline integration: the paper corpus through parse →
+//! typecheck → (simulated) execution.
+
+use bsml_bsp::BspParams;
+use bsml_core::{Bsml, BsmlError};
+use bsml_eval::EvalError;
+use bsml_std::{paper_corpus, workloads, Verdict};
+
+fn bsml(p: usize) -> Bsml {
+    Bsml::new(BspParams::new(p, 10, 1000))
+}
+
+#[test]
+fn corpus_pipeline_verdicts() {
+    let b = bsml(4);
+    for entry in paper_corpus() {
+        match (entry.verdict, b.run(&entry.source)) {
+            (Verdict::Accept, Ok(_)) => {}
+            (Verdict::Accept, Err(BsmlError::Eval(EvalError::DivisionByZero))) => {}
+            (Verdict::Accept, Err(err)) => panic!(
+                "`{}` should pass the pipeline: {}",
+                entry.name,
+                err.render(&entry.source)
+            ),
+            (Verdict::Reject, Err(BsmlError::Type(_))) => {}
+            (Verdict::Reject, Err(other)) => panic!(
+                "`{}` rejected, but not statically: {other}",
+                entry.name
+            ),
+            (Verdict::Reject, Ok(out)) => panic!(
+                "`{}` should be rejected, produced {}",
+                entry.name, out.report.value
+            ),
+        }
+    }
+}
+
+#[test]
+fn accepted_parallel_identity_runs_on_vectors() {
+    let out = bsml(4)
+        .run(
+            "(fun x -> if mkpar (fun i -> true) at 0 then x else x) \
+             (mkpar (fun i -> i))",
+        )
+        .unwrap();
+    assert_eq!(out.report.value.to_string(), "<|0, 1, 2, 3|>");
+    // One ifat barrier.
+    assert_eq!(out.report.cost.supersteps, 1);
+}
+
+#[test]
+fn rejected_programs_that_would_misbehave_dynamically() {
+    // Every statically-rejected corpus entry either (a) crashes the
+    // dynamic semantics with nested parallelism, or (b) runs but is
+    // exactly the kind of expression whose cost the paper shows to be
+    // non-compositional. Verify (a) where it applies.
+    let b = bsml(4);
+    let dynamic_nesting = ["example2-hidden-nesting", "example1-nested-bcast"];
+    for entry in paper_corpus() {
+        if dynamic_nesting.contains(&entry.name) {
+            match b.run_unchecked(&entry.source) {
+                Err(BsmlError::Eval(EvalError::NestedParallelism)) => {}
+                other => panic!(
+                    "`{}` should crash with dynamic nesting, got {other:?}",
+                    entry.name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn workloads_run_end_to_end_with_costs() {
+    let b = bsml(4);
+    for w in workloads::all_basic() {
+        let out = b
+            .run(&w.source)
+            .unwrap_or_else(|err| panic!("{}: {}", w.name, err.render(&w.source)));
+        assert!(
+            out.report.cost.work > 0,
+            "{} did no work at all",
+            w.name
+        );
+        // Global results are vectors.
+        assert!(out.check.inference.ty.to_string().contains("par"));
+    }
+}
+
+#[test]
+fn derivations_render_for_the_corpus_accepts() {
+    let b = bsml(2);
+    for entry in paper_corpus() {
+        if entry.verdict == Verdict::Accept {
+            let d = b
+                .derivation(&entry.source)
+                .unwrap_or_else(|err| panic!("{}: {err}", entry.name));
+            assert!(!d.is_empty());
+            assert!(d.lines().count() >= 1);
+        }
+    }
+}
+
+#[test]
+fn machine_size_does_not_change_verdicts() {
+    // Typing is machine-independent; execution works for any p.
+    for p in [1, 2, 3, 8, 16] {
+        let b = bsml(p);
+        let out = b.run(&workloads::fold_plus().source).unwrap();
+        let expected: i64 = (1..=p as i64).sum();
+        let expected = format!(
+            "<|{}|>",
+            vec![expected.to_string(); p].join(", ")
+        );
+        assert_eq!(out.report.value.to_string(), expected, "p={p}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Subject reduction, fuzzed: along every small-step reduction
+//! sequence of a well-typed program, each intermediate extended
+//! expression stays well-typed **at the same simple type**, and its
+//! constraint never becomes absurd — the inductive heart of
+//! Theorem 1 (the paper notes the constraint itself may weaken,
+//! `C'` less constrained than `C`).
+
+use std::collections::BTreeMap;
+
+use bsml_ast::build as b;
+use bsml_ast::Expr;
+use bsml_eval::smallstep::{step, StepOutcome};
+use bsml_infer::infer;
+use bsml_types::{Solution, TyVar, Type};
+
+const P: usize = 2;
+const MAX_STEPS: usize = 400;
+
+/// `true` if `specific` is an instance of `general` (a substitution
+/// of `general`'s variables yields `specific`). Reduction may
+/// *generalize* the principal type (e.g. a broadcast whose messages
+/// all reduce to `nc ()` gets `α par` instead of `int par`), so
+/// preservation is "the original type remains derivable".
+fn instance_of(specific: &Type, general: &Type) -> bool {
+    fn go(g: &Type, s: &Type, map: &mut BTreeMap<TyVar, Type>) -> bool {
+        match (g, s) {
+            (Type::Var(v), _) => match map.get(v) {
+                Some(prev) => prev == s,
+                None => {
+                    map.insert(*v, s.clone());
+                    true
+                }
+            },
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) | (Type::Unit, Type::Unit) => {
+                true
+            }
+            (Type::Arrow(a1, b1), Type::Arrow(a2, b2))
+            | (Type::Pair(a1, b1), Type::Pair(a2, b2))
+            | (Type::Sum(a1, b1), Type::Sum(a2, b2)) => {
+                go(a1, a2, map) && go(b1, b2, map)
+            }
+            (Type::Par(x), Type::Par(y)) | (Type::List(x), Type::List(y)) => go(x, y, map),
+            _ => false,
+        }
+    }
+    go(general, specific, &mut BTreeMap::new())
+}
+
+fn check_preservation(e: &Expr) {
+    let initial = infer(e).unwrap_or_else(|err| panic!("initial term ill-typed: {err}\n  {e}"));
+    let mut cur = e.clone();
+    for n in 0..MAX_STEPS {
+        match step(&cur, P) {
+            StepOutcome::Reduced(next) => {
+                let inf = infer(&next).unwrap_or_else(|err| {
+                    panic!(
+                        "preservation broken after {n} steps: {err}\n  from {cur}\n  to   {next}"
+                    )
+                });
+                assert!(
+                    instance_of(&initial.ty, &inf.ty),
+                    "type not preserved after {} steps: {} is no instance of {}\n  term: {}",
+                    n + 1,
+                    initial.ty,
+                    inf.ty,
+                    next
+                );
+                assert_ne!(
+                    inf.solution,
+                    Solution::False,
+                    "constraint became absurd mid-reduction at {next}"
+                );
+                cur = next;
+            }
+            StepOutcome::Value => return,
+            StepOutcome::Stuck(reason) => {
+                panic!("well-typed term got stuck ({reason}): {cur}")
+            }
+        }
+    }
+    panic!("program did not terminate within {MAX_STEPS} steps: {e}");
+}
+
+#[test]
+fn preservation_on_sequential_programs() {
+    for src in [
+        "1 + 2 * 3",
+        "(fun x -> x + x) 21",
+        "let x = 1 in let y = x + 1 in x * y",
+        "if 1 < 2 then 10 else 20",
+        "fst (snd ((1, 2), (3, 4)), 5)",
+        "case inl 3 of inl a -> a + 1 | inr b -> b - 1",
+        "match [1; 2; 3] with [] -> 0 | h :: t -> h * 10",
+        "let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 6",
+        "isnc (nc ())",
+    ] {
+        let e = bsml_syntax::parse(src).unwrap();
+        check_preservation(&e);
+    }
+}
+
+#[test]
+fn preservation_on_parallel_programs() {
+    for src in [
+        "mkpar (fun i -> i * i)",
+        "apply (mkpar (fun i -> fun x -> x + i), mkpar (fun i -> i))",
+        "put (mkpar (fun j -> fun d -> j * 10 + d))",
+        "let r = put (mkpar (fun j -> fun d -> j)) in apply (r, mkpar (fun i -> 0))",
+        "if mkpar (fun i -> i = 0) at 0 then mkpar (fun i -> 1) else mkpar (fun i -> 2)",
+        "(fun x -> if mkpar (fun i -> true) at 0 then x else x) (mkpar (fun i -> i))",
+        "fst (mkpar (fun i -> i), 1)",
+        "snd (1, mkpar (fun i -> i))",
+    ] {
+        let e = bsml_syntax::parse(src).unwrap();
+        check_preservation(&e);
+    }
+}
+
+#[test]
+fn preservation_on_the_accepted_corpus() {
+    use bsml_std::{paper_corpus, Verdict};
+    for entry in paper_corpus() {
+        if entry.verdict == Verdict::Accept {
+            // The parallel-identity abstraction alone is a value;
+            // the applied versions reduce.
+            check_preservation(&entry.ast());
+        }
+    }
+}
+
+#[test]
+fn preservation_on_generated_programs() {
+    // Reuse the builder DSL for a handful of structured cases
+    // covering every congruence rule.
+    let progs = vec![
+        b::pair(b::add(b::int(1), b::int(2)), b::mul(b::int(3), b::int(4))),
+        b::cons(b::add(b::int(1), b::int(1)), b::list(vec![b::int(2)])),
+        b::inl(b::add(b::int(1), b::int(1))),
+        b::ifat(
+            b::mkpar(b::fun_("i", b::eq(b::var("i"), b::int(1)))),
+            b::add(b::int(0), b::int(1)),
+            b::mkpar(b::fun_("i", b::int(7))),
+            b::mkpar(b::fun_("i", b::int(8))),
+        ),
+    ];
+    for e in progs {
+        check_preservation(&e);
+    }
+}

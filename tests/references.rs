@@ -1,0 +1,226 @@
+//! The §6 "imperative features" extension: references with local
+//! contents, and the dynamic replica-coherence discipline the paper
+//! describes ("references may contain additional information used
+//! dynamically to insure that dereferencing … will give the same
+//! value on all processes").
+
+use bsml_bsp::BspParams;
+use bsml_core::{Bsml, BsmlError};
+use bsml_eval::{eval_closed, EvalError};
+use bsml_infer::infer;
+use bsml_syntax::parse;
+
+fn bsml() -> Bsml {
+    Bsml::new(BspParams::new(4, 10, 100))
+}
+
+fn ty_of(src: &str) -> String {
+    infer(&parse(src).expect("parse"))
+        .unwrap_or_else(|e| panic!("`{src}`: {}", e.render(src)))
+        .ty
+        .to_string()
+}
+
+#[test]
+fn syntax_round_trips() {
+    for src in [
+        "ref 1",
+        "!r",
+        "r := 2",
+        "!(f x)",
+        "!!r",
+        "let r = ref 0 in (r := 41, !r + 1)",
+        "(:=)",
+        "(!)",
+    ] {
+        let e = parse(src).unwrap_or_else(|err| panic!("{}", err.render(src)));
+        let printed = e.to_string();
+        let again = parse(&printed)
+            .unwrap_or_else(|err| panic!("re-parse `{printed}`: {err}"));
+        assert_eq!(e, again, "`{src}` printed as `{printed}`");
+    }
+}
+
+#[test]
+fn typing_of_the_three_operators() {
+    assert_eq!(ty_of("ref 1"), "int ref");
+    assert_eq!(ty_of("let r = ref 1 in !r"), "int");
+    assert_eq!(ty_of("let r = ref 1 in r := 2"), "unit");
+    assert_eq!(ty_of("ref (ref true)"), "(bool ref) ref");
+    assert_eq!(ty_of("fun r -> !r + 1"), "int ref -> int");
+}
+
+#[test]
+fn references_to_vectors_are_rejected() {
+    // A cell holding a parallel vector hides global data behind a
+    // mutable local handle — L(α) on ref forbids it.
+    for src in [
+        "ref (mkpar (fun i -> i))",
+        "let r = ref [] in r := [mkpar (fun i -> i)]",
+        "fun r -> r := mkpar (fun i -> i)",
+    ] {
+        let e = parse(src).unwrap();
+        assert!(infer(&e).is_err(), "`{src}` should be rejected");
+    }
+}
+
+#[test]
+fn sequential_imperative_programs_run() {
+    // A while-style loop through recursion and a mutable accumulator.
+    let v = eval_closed(
+        &parse(
+            "let acc = ref 0 in
+             let rec loop i =
+               if i = 0 then !acc
+               else let ignore = acc := !acc + i in loop (i - 1) in
+             loop 10",
+        )
+        .unwrap(),
+        1,
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "55");
+}
+
+#[test]
+fn processor_local_references_work_inside_components() {
+    // Each processor creates, updates and reads its own cell — all
+    // within one component evaluation: coherent.
+    let v = eval_closed(
+        &parse(
+            "mkpar (fun i ->
+               let c = ref 0 in
+               let ignore = c := i * 2 in
+               !c + 1)",
+        )
+        .unwrap(),
+        4,
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "<|1, 3, 5, 7|>");
+}
+
+#[test]
+fn global_cells_are_readable_everywhere() {
+    // A replicated cell read inside components: coherent (every
+    // replica holds the same value).
+    let v = eval_closed(
+        &parse(
+            "let c = ref 21 in
+             mkpar (fun i -> !c * 2 + i)",
+        )
+        .unwrap(),
+        3,
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "<|42, 43, 44|>");
+}
+
+#[test]
+fn assigning_a_global_cell_locally_is_incoherent() {
+    // THE §6 problem: one component assigning a replicated cell would
+    // desynchronize the replicas. Dynamically rejected.
+    let err = eval_closed(
+        &parse(
+            "let c = ref 0 in
+             let v = mkpar (fun i -> c := i) in
+             !c",
+        )
+        .unwrap(),
+        4,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, EvalError::IncoherentReplicas(_)),
+        "got {err}"
+    );
+}
+
+#[test]
+fn local_cells_leaking_across_processors_are_incoherent() {
+    // A cell created on processor j, sent through put, then
+    // dereferenced on processor i ≠ j: rejected at first use.
+    let err = eval_closed(
+        &parse(
+            "let recv = put (mkpar (fun j -> fun d -> ref j)) in
+             apply (mkpar (fun i -> fun f -> !(f ((i + 1) mod (bsp_p ())))),
+                    recv)",
+        )
+        .unwrap(),
+        3,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, EvalError::IncoherentReplicas(_)),
+        "got {err}"
+    );
+}
+
+#[test]
+fn global_assignment_in_global_mode_is_coherent() {
+    let v = eval_closed(
+        &parse(
+            "let c = ref 1 in
+             let ignore = c := 2 in
+             mkpar (fun i -> !c)",
+        )
+        .unwrap(),
+        2,
+    )
+    .unwrap();
+    assert_eq!(v.to_string(), "<|2, 2|>");
+}
+
+#[test]
+fn reference_equality_compares_contents() {
+    let v = eval_closed(&parse("ref 1 = ref 1").unwrap(), 1).unwrap();
+    assert_eq!(v.to_string(), "true");
+    let v = eval_closed(&parse("ref 1 = ref 2").unwrap(), 1).unwrap();
+    assert_eq!(v.to_string(), "false");
+}
+
+#[test]
+fn pipeline_integration() {
+    // The full pipeline accepts a counting workload and rejects the
+    // vector-in-ref program statically.
+    let out = bsml()
+        .run(
+            "let counter = ref 0 in
+             let ignore = counter := !counter + 1 in
+             mkpar (fun i -> !counter + i)",
+        )
+        .unwrap();
+    assert_eq!(out.report.value.to_string(), "<|1, 2, 3, 4|>");
+
+    let err = bsml().run("ref (mkpar (fun i -> i))").unwrap_err();
+    assert!(matches!(err, BsmlError::Type(_)));
+}
+
+#[test]
+fn session_with_references() {
+    use bsml_core::session::Session;
+    let mut s = Session::new(BspParams::new(2, 1, 1));
+    s.load("let c = ref 10").unwrap();
+    assert_eq!(s.scheme_of("c").unwrap().to_string(), "int ref");
+    s.load("c := !c + 32").unwrap();
+    let events = s.load("!c").unwrap();
+    assert_eq!(events[0].value.to_string(), "42");
+}
+
+#[test]
+fn figure6_style_schemes_for_ref_ops() {
+    use bsml_ast::Op;
+    use bsml_infer::env::op_scheme;
+    assert_eq!(
+        op_scheme(Op::Ref).to_string(),
+        "∀'a.['a -> 'a ref / L('a)]"
+    );
+    assert_eq!(
+        op_scheme(Op::Deref).to_string(),
+        "∀'a.['a ref -> 'a / L('a)]"
+    );
+    assert_eq!(
+        op_scheme(Op::Assign).to_string(),
+        "∀'a.['a ref * 'a -> unit / L('a)]"
+    );
+}

@@ -1,0 +1,79 @@
+//! The paper's §4 grammar invariant, checked end-to-end: every type
+//! the checker *accepts* belongs to the L/V/G partition — in
+//! particular it never contains a nested `par`, and never maps global
+//! arguments to usual results.
+
+use bsml_infer::infer;
+use bsml_std::{algorithms, paper_corpus, workloads, Verdict};
+use bsml_types::{classify::classify, Type};
+
+fn assert_well_formed(ty: &Type, what: &str) {
+    assert!(
+        !ty.has_nested_par(),
+        "{what}: accepted type {ty} has nested par"
+    );
+    assert!(
+        classify(ty).is_well_formed(),
+        "{what}: accepted type {ty} is outside the L/V/G grammars"
+    );
+}
+
+#[test]
+fn corpus_accepts_have_well_formed_types() {
+    for entry in paper_corpus() {
+        if entry.verdict == Verdict::Accept {
+            let inf = infer(&entry.ast())
+                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            assert_well_formed(&inf.ty, entry.name);
+        }
+    }
+}
+
+#[test]
+fn workloads_have_well_formed_types() {
+    for w in workloads::all_basic() {
+        let inf = infer(&w.ast()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_well_formed(&inf.ty, &w.name);
+    }
+    for w in [algorithms::psrs_sort(4), algorithms::matvec(1, 1)] {
+        let inf = infer(&w.ast()).unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        assert_well_formed(&inf.ty, &w.name);
+    }
+}
+
+#[test]
+fn every_figure6_scheme_is_well_formed() {
+    use bsml_infer::env::op_scheme;
+    for op in bsml_ast::Op::ALL {
+        let s = op_scheme(op);
+        assert_well_formed(s.ty(), op.name());
+    }
+}
+
+#[test]
+fn subexpression_types_are_well_formed_along_derivations() {
+    use bsml_infer::{initial_env, Inferencer};
+    // Every judgment in a recorded derivation carries a well-formed
+    // type (after the final substitution refines it).
+    for src in [
+        "fst (mkpar (fun i -> i), 1)",
+        "put (mkpar (fun j -> fun d -> (j, true)))",
+        "if mkpar (fun i -> i = 0) at 0 then mkpar (fun i -> [i]) else mkpar (fun i -> [])",
+    ] {
+        let e = bsml_syntax::parse(src).unwrap();
+        let inf = Inferencer::new()
+            .with_derivation(true)
+            .run(&initial_env(), &e)
+            .unwrap_or_else(|err| panic!("`{src}`: {err}"));
+        let d = inf.derivation.unwrap();
+        let mut stack = vec![&d];
+        while let Some(node) = stack.pop() {
+            assert!(
+                !node.ty.has_nested_par(),
+                "`{src}`: judgment {} has nested par",
+                node.judgment()
+            );
+            stack.extend(node.premises.iter());
+        }
+    }
+}
