@@ -66,9 +66,7 @@ pub fn fun_(x: impl AsRef<str>, body: Expr) -> Expr {
 #[must_use]
 pub fn funs(xs: &[&str], body: Expr) -> Expr {
     assert!(!xs.is_empty(), "funs requires at least one parameter");
-    xs.iter()
-        .rev()
-        .fold(body, |acc, x| fun_(*x, acc))
+    xs.iter().rev().fold(body, |acc, x| fun_(*x, acc))
 }
 
 /// Application `f a`.
@@ -86,7 +84,11 @@ pub fn apps(f: Expr, args: impl IntoIterator<Item = Expr>) -> Expr {
 /// Local binding `let x = bound in body`.
 #[must_use]
 pub fn let_(x: impl AsRef<str>, bound: Expr, body: Expr) -> Expr {
-    Expr::synth(ExprKind::Let(Ident::new(x), Box::new(bound), Box::new(body)))
+    Expr::synth(ExprKind::Let(
+        Ident::new(x),
+        Box::new(bound),
+        Box::new(body),
+    ))
 }
 
 /// Pair `(a, b)`.
@@ -132,13 +134,7 @@ pub fn inr(e: Expr) -> Expr {
 
 /// Sum elimination `case s of inl l -> lb | inr r -> rb`.
 #[must_use]
-pub fn case(
-    s: Expr,
-    l: impl AsRef<str>,
-    lb: Expr,
-    r: impl AsRef<str>,
-    rb: Expr,
-) -> Expr {
+pub fn case(s: Expr, l: impl AsRef<str>, lb: Expr, r: impl AsRef<str>, rb: Expr) -> Expr {
     Expr::synth(ExprKind::Case {
         scrutinee: Box::new(s),
         left_var: Ident::new(l),
@@ -170,13 +166,7 @@ pub fn list(es: Vec<Expr>) -> Expr {
 /// List elimination
 /// `match s with [] -> nb | h :: t -> cb`.
 #[must_use]
-pub fn match_list(
-    s: Expr,
-    nb: Expr,
-    h: impl AsRef<str>,
-    t: impl AsRef<str>,
-    cb: Expr,
-) -> Expr {
+pub fn match_list(s: Expr, nb: Expr, h: impl AsRef<str>, t: impl AsRef<str>, cb: Expr) -> Expr {
     Expr::synth(ExprKind::MatchList {
         scrutinee: Box::new(s),
         nil_body: Box::new(nb),

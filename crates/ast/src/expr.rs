@@ -216,13 +216,19 @@ impl Expr {
                 left_body,
                 right_body,
                 ..
-            } => scrutinee.depth().max(left_body.depth()).max(right_body.depth()),
+            } => scrutinee
+                .depth()
+                .max(left_body.depth())
+                .max(right_body.depth()),
             MatchList {
                 scrutinee,
                 nil_body,
                 cons_body,
                 ..
-            } => scrutinee.depth().max(nil_body.depth()).max(cons_body.depth()),
+            } => scrutinee
+                .depth()
+                .max(nil_body.depth())
+                .max(cons_body.depth()),
         }
     }
 
@@ -411,8 +417,11 @@ impl Expr {
                     Fun(y.clone(), body.clone())
                 } else if v_free.contains(y) {
                     let fresh = fresh_name(y, &[body.free_vars(), v_free.to_vec()].concat());
-                    let renamed =
-                        body.subst_inner(y, &Expr::synth(Var(fresh.clone())), std::slice::from_ref(&fresh));
+                    let renamed = body.subst_inner(
+                        y,
+                        &Expr::synth(Var(fresh.clone())),
+                        std::slice::from_ref(&fresh),
+                    );
                     Fun(fresh, Box::new(renamed.subst_inner(x, v, v_free)))
                 } else {
                     Fun(y.clone(), Box::new(body.subst_inner(x, v, v_free)))
@@ -436,8 +445,11 @@ impl Expr {
                     Let(y.clone(), e1, e2.clone())
                 } else if v_free.contains(y) {
                     let fresh = fresh_name(y, &[e2.free_vars(), v_free.to_vec()].concat());
-                    let renamed =
-                        e2.subst_inner(y, &Expr::synth(Var(fresh.clone())), std::slice::from_ref(&fresh));
+                    let renamed = e2.subst_inner(
+                        y,
+                        &Expr::synth(Var(fresh.clone())),
+                        std::slice::from_ref(&fresh),
+                    );
                     Let(fresh, e1, Box::new(renamed.subst_inner(x, v, v_free)))
                 } else {
                     Let(y.clone(), e1, Box::new(e2.subst_inner(x, v, v_free)))
@@ -465,8 +477,7 @@ impl Expr {
                 right_body,
             } => {
                 let scrutinee = Box::new(scrutinee.subst_inner(x, v, v_free));
-                let (left_var, left_body) =
-                    subst_under_binder(left_var, left_body, x, v, v_free);
+                let (left_var, left_body) = subst_under_binder(left_var, left_body, x, v, v_free);
                 let (right_var, right_body) =
                     subst_under_binder(right_var, right_body, x, v, v_free);
                 Case {
@@ -489,15 +500,13 @@ impl Expr {
                 // The pattern binders shadow `x` if either equals it;
                 // no work is needed either when `x` is not free in
                 // the branch body.
-                let shadowed =
-                    head_var == x || tail_var == x || !cons_body.free_vars().contains(x);
+                let shadowed = head_var == x || tail_var == x || !cons_body.free_vars().contains(x);
                 let (head_var, tail_var, cons_body) = if shadowed {
                     (head_var.clone(), tail_var.clone(), (**cons_body).clone())
                 } else {
                     // Rename each binder away from the free variables
                     // of `v`, then substitute.
-                    let (h, body) =
-                        subst_under_binder_only_rename(head_var, cons_body, v_free);
+                    let (h, body) = subst_under_binder_only_rename(head_var, cons_body, v_free);
                     let (t, body) = subst_under_binder_only_rename(tail_var, &body, v_free);
                     (h, t, body.subst_inner(x, v, v_free))
                 };

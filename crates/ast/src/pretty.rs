@@ -278,20 +278,11 @@ mod tests {
     #[test]
     fn infix_sugar() {
         assert_eq!(add(int(1), int(2)).to_string(), "1 + 2");
-        assert_eq!(
-            add(int(1), mul(int(2), int(3))).to_string(),
-            "1 + 2 * 3"
-        );
-        assert_eq!(
-            mul(add(int(1), int(2)), int(3)).to_string(),
-            "(1 + 2) * 3"
-        );
+        assert_eq!(add(int(1), mul(int(2), int(3))).to_string(), "1 + 2 * 3");
+        assert_eq!(mul(add(int(1), int(2)), int(3)).to_string(), "(1 + 2) * 3");
         // Non-associative printing keeps sides parenthesized when the
         // operand has the same precedence.
-        assert_eq!(
-            sub(sub(int(3), int(2)), int(1)).to_string(),
-            "(3 - 2) - 1"
-        );
+        assert_eq!(sub(sub(int(3), int(2)), int(1)).to_string(), "(3 - 2) - 1");
     }
 
     #[test]
@@ -335,10 +326,7 @@ mod tests {
             mkpar(fun_("pid", var("pid"))).to_string(),
             "mkpar (fun pid -> pid)"
         );
-        assert_eq!(
-            apply(var("f"), var("v")).to_string(),
-            "apply (f, v)"
-        );
+        assert_eq!(apply(var("f"), var("v")).to_string(), "apply (f, v)");
         assert_eq!(vector(vec![int(1), int(2)]).to_string(), "<|1, 2|>");
     }
 
@@ -366,9 +354,6 @@ mod tests {
     #[test]
     fn pairs_always_parenthesized() {
         assert_eq!(pair(int(1), int(2)).to_string(), "(1, 2)");
-        assert_eq!(
-            app(var("f"), pair(int(1), int(2))).to_string(),
-            "f (1, 2)"
-        );
+        assert_eq!(app(var("f"), pair(int(1), int(2))).to_string(), "f (1, 2)");
     }
 }

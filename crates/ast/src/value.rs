@@ -73,10 +73,7 @@ pub fn classify_value(e: &Expr) -> ValueClass {
             // ⟨v₀, …, v_{p−1}⟩ is a global value when every component
             // is a *local* value: nesting would require a component
             // that is itself global, which Figure 4 does not admit.
-            if es
-                .iter()
-                .all(|c| classify_value(c) == ValueClass::Local)
-            {
+            if es.iter().all(|c| classify_value(c) == ValueClass::Local) {
                 ValueClass::Global
             } else {
                 ValueClass::NotAValue
@@ -205,13 +202,19 @@ mod tests {
     #[test]
     fn extension_values() {
         assert_eq!(classify_value(&nil()), ValueClass::Local);
-        assert_eq!(classify_value(&list(vec![int(1), int(2)])), ValueClass::Local);
+        assert_eq!(
+            classify_value(&list(vec![int(1), int(2)])),
+            ValueClass::Local
+        );
         assert_eq!(classify_value(&inl(int(1))), ValueClass::Local);
         assert_eq!(
             classify_value(&inr(vector(vec![int(1)]))),
             ValueClass::Global
         );
-        assert_eq!(classify_value(&cons(var("x"), nil())), ValueClass::NotAValue);
+        assert_eq!(
+            classify_value(&cons(var("x"), nil())),
+            ValueClass::NotAValue
+        );
     }
 
     #[test]

@@ -26,20 +26,12 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
         prop_oneof![
             (name(), inner.clone()).prop_map(|(x, e)| b::fun_(x, e)),
             (inner.clone(), inner.clone()).prop_map(|(f, a)| b::app(f, a)),
-            (name(), inner.clone(), inner.clone())
-                .prop_map(|(x, e1, e2)| b::let_(x, e1, e2)),
+            (name(), inner.clone(), inner.clone()).prop_map(|(x, e1, e2)| b::let_(x, e1, e2)),
             (inner.clone(), inner.clone()).prop_map(|(a, c)| b::pair(a, c)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| b::if_(c, t, e)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| b::if_(c, t, e)),
             (inner.clone(), inner.clone()).prop_map(|(h, t)| b::cons(h, t)),
             inner.clone().prop_map(b::inl),
-            (
-                inner.clone(),
-                name(),
-                inner.clone(),
-                name(),
-                inner.clone()
-            )
+            (inner.clone(), name(), inner.clone(), name(), inner.clone())
                 .prop_map(|(s, l, lb, r, rb)| b::case(s, l, lb, r, rb)),
             (inner.clone(), inner.clone(), inner)
                 .prop_map(|(s, nb, cb)| b::match_list(s, nb, "hd", "tl", cb)),

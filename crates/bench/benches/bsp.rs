@@ -115,20 +115,12 @@ fn bench_lockstep_vs_distributed(c: &mut Criterion) {
         let ast = w.ast();
         let lockstep = machine(4);
         let dist = DistMachine::new(4);
-        group.bench_with_input(
-            BenchmarkId::new("lockstep", &w.name),
-            &ast,
-            |b, ast| {
-                b.iter(|| lockstep.run(black_box(ast)).expect("runs"));
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("distributed", &w.name),
-            &ast,
-            |b, ast| {
-                b.iter(|| dist.run(black_box(ast)).expect("runs"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("lockstep", &w.name), &ast, |b, ast| {
+            b.iter(|| lockstep.run(black_box(ast)).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("distributed", &w.name), &ast, |b, ast| {
+            b.iter(|| dist.run(black_box(ast)).expect("runs"));
+        });
     }
     group.finish();
 }
@@ -156,7 +148,6 @@ fn bench_parallel_speedup(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: the series are for shape comparisons,
 /// not microarchitectural precision, and the full suite must run in
 /// minutes.
@@ -168,7 +159,7 @@ fn short() -> Criterion {
         .configure_from_args()
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = short();
     targets = bench_bcast_over_p,

@@ -68,7 +68,10 @@ fn bench_vm_vs_bigstep(c: &mut Criterion) {
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval/compile");
-    for w in [workloads::scan_plus_log(), bsml_std::algorithms::psrs_sort(8)] {
+    for w in [
+        workloads::scan_plus_log(),
+        bsml_std::algorithms::psrs_sort(8),
+    ] {
         let ast = w.ast();
         group.bench_with_input(BenchmarkId::from_parameter(&w.name), &ast, |b, ast| {
             b.iter(|| compile(black_box(ast)).expect("compiles"));
@@ -93,7 +96,6 @@ fn bench_parallel_workloads(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: the series are for shape comparisons,
 /// not microarchitectural precision, and the full suite must run in
 /// minutes.
@@ -105,7 +107,7 @@ fn short() -> Criterion {
         .configure_from_args()
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = short();
     targets = bench_bigstep_sequential,

@@ -68,29 +68,21 @@ fn bench_locality_ablation(c: &mut Criterion) {
         workloads::inner_product(8),
     ] {
         let ast = w.ast();
-        group.bench_with_input(
-            BenchmarkId::new("constrained", &w.name),
-            &ast,
-            |b, ast| {
-                b.iter(|| {
-                    Inferencer::new()
-                        .run(&initial_env(), black_box(ast))
-                        .expect("types")
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("plain-dm", &w.name),
-            &ast,
-            |b, ast| {
-                b.iter(|| {
-                    Inferencer::new()
-                        .with_locality(false)
-                        .run(&initial_env(), black_box(ast))
-                        .expect("types")
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("constrained", &w.name), &ast, |b, ast| {
+            b.iter(|| {
+                Inferencer::new()
+                    .run(&initial_env(), black_box(ast))
+                    .expect("types")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("plain-dm", &w.name), &ast, |b, ast| {
+            b.iter(|| {
+                Inferencer::new()
+                    .with_locality(false)
+                    .run(&initial_env(), black_box(ast))
+                    .expect("types")
+            });
+        });
     }
     group.finish();
 }
@@ -101,19 +93,14 @@ fn bench_rejection(c: &mut Criterion) {
     let mut group = c.benchmark_group("infer/verdicts");
     for entry in paper_corpus() {
         let ast = entry.ast();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(entry.name),
-            &ast,
-            |b, ast| {
-                b.iter(|| {
-                    let _ = black_box(bsml_infer::infer(black_box(ast)));
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(entry.name), &ast, |b, ast| {
+            b.iter(|| {
+                let _ = black_box(bsml_infer::infer(black_box(ast)));
+            });
+        });
     }
     group.finish();
 }
-
 
 /// Short measurement windows: the series are for shape comparisons,
 /// not microarchitectural precision, and the full suite must run in
@@ -126,7 +113,7 @@ fn short() -> Criterion {
         .configure_from_args()
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = short();
     targets = bench_scaling,

@@ -29,7 +29,6 @@ fn bench_pretty_roundtrip(c: &mut Criterion) {
     });
 }
 
-
 /// Short measurement windows: the series are for shape comparisons,
 /// not microarchitectural precision, and the full suite must run in
 /// minutes.
@@ -41,7 +40,7 @@ fn short() -> Criterion {
         .configure_from_args()
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = short();
     targets = bench_parser, bench_pretty_roundtrip

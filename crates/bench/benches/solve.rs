@@ -51,17 +51,13 @@ fn bench_solve(c: &mut Criterion) {
             ("absurd-chain", absurd_chain(n), true),
             ("residual", residual_clauses(n), false),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(shape, n),
-                &constraint,
-                |b, constraint| {
-                    b.iter(|| {
-                        let s = black_box(constraint).solve();
-                        assert_eq!(s == Solution::False, expect_false);
-                        s
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(shape, n), &constraint, |b, constraint| {
+                b.iter(|| {
+                    let s = black_box(constraint).solve();
+                    assert_eq!(s == Solution::False, expect_false);
+                    s
+                });
+            });
         }
     }
     group.finish();
@@ -75,10 +71,8 @@ fn bench_locality_expansion(c: &mut Criterion) {
     let mut group = c.benchmark_group("solve/locality-expansion");
     for n in [16u32, 128] {
         let t = deep_type(n);
-        let constraint = Constraint::implies(
-            Constraint::loc(t.clone()),
-            Constraint::loc(Type::var(0)),
-        );
+        let constraint =
+            Constraint::implies(Constraint::loc(t.clone()), Constraint::loc(Type::var(0)));
         group.bench_with_input(BenchmarkId::from_parameter(n), &constraint, |b, cst| {
             b.iter(|| black_box(cst).solve());
         });
@@ -107,7 +101,6 @@ fn bench_brute_force_fallback(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: the series are for shape comparisons,
 /// not microarchitectural precision, and the full suite must run in
 /// minutes.
@@ -119,7 +112,7 @@ fn short() -> Criterion {
         .configure_from_args()
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = short();
     targets = bench_solve,

@@ -97,9 +97,11 @@ impl SuperstepRecord {
     /// `h_i = max(h_i⁺, h_i⁻)` for processor `i`.
     #[must_use]
     pub fn h_of(&self, i: usize) -> u64 {
-        self.sent.get(i).copied().unwrap_or(0).max(
-            self.received.get(i).copied().unwrap_or(0),
-        )
+        self.sent
+            .get(i)
+            .copied()
+            .unwrap_or(0)
+            .max(self.received.get(i).copied().unwrap_or(0))
     }
 
     /// `max_i h_i` for this superstep.

@@ -30,11 +30,13 @@
 //! ```
 
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use bsml_ast::Expr;
 use bsml_eval::{
     Applier, EvalError, Evaluator, Mode, NoHooks, ParallelDriver, PortableValue, Value,
 };
+use bsml_obs::Telemetry;
 
 /// A synchronization barrier that can be *poisoned*: when one
 /// processor fails, every processor waiting (now or later) is
@@ -98,6 +100,8 @@ struct CommStats {
     sent_words: u64,
     received_words: u64,
     supersteps: u64,
+    puts: u64,
+    ifats: u64,
 }
 
 /// The shared "network": the message mailbox, the `if‥at‥` broadcast
@@ -132,10 +136,31 @@ struct SpmdDriver {
     rank: usize,
     net: Arc<Network>,
     stats: Arc<Mutex<CommStats>>,
+    /// Per-rank telemetry handle (on track `p{rank}`); disabled by
+    /// default.
+    telemetry: Telemetry,
 }
 
 impl SpmdDriver {
-    fn my_component<'v>(&self, comps: &'v [Value], what: &'static str) -> Result<&'v Value, EvalError> {
+    /// Waits on the shared barrier, recording how long this thread
+    /// spent blocked into the `bsp.barrier_wait_us` histogram.
+    fn barrier_wait(&self) -> Result<(), EvalError> {
+        if !self.telemetry.is_enabled() {
+            return self.net.barrier.wait();
+        }
+        let before = Instant::now();
+        let result = self.net.barrier.wait();
+        let waited = u64::try_from(before.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.telemetry
+            .histogram_record("bsp.barrier_wait_us", waited);
+        result
+    }
+
+    fn my_component<'v>(
+        &self,
+        comps: &'v [Value],
+        what: &'static str,
+    ) -> Result<&'v Value, EvalError> {
         if comps.len() == 1 {
             Ok(&comps[0])
         } else {
@@ -193,11 +218,7 @@ impl ParallelDriver for SpmdDriver {
         // serialize the messages.
         let mut row = Vec::with_capacity(p);
         for dst in 0..p {
-            let v = ev.apply_fn(
-                f.clone(),
-                Value::Int(dst as i64),
-                Mode::OnProc(self.rank),
-            )?;
+            let v = ev.apply_fn(f.clone(), Value::Int(dst as i64), Mode::OnProc(self.rank))?;
             ev.ensure_local(&v)?;
             let words = v.size_in_words();
             if dst != self.rank {
@@ -210,7 +231,7 @@ impl ParallelDriver for SpmdDriver {
             mailbox[self.rank] = row;
         }
         // Communication phase + barrier.
-        self.net.barrier.wait()?;
+        self.barrier_wait()?;
         let table: Vec<Value> = {
             let mailbox = self.net.mailbox.lock().expect("mailbox lock");
             (0..p).map(|j| mailbox[j][self.rank].to_value()).collect()
@@ -223,9 +244,10 @@ impl ParallelDriver for SpmdDriver {
                 }
             }
             stats.supersteps += 1;
+            stats.puts += 1;
         }
         // Everyone must finish reading before anyone overwrites.
-        self.net.barrier.wait()?;
+        self.barrier_wait()?;
         Ok(Value::vector(vec![Value::MsgTable(std::rc::Rc::new(
             table,
         ))]))
@@ -248,7 +270,7 @@ impl ParallelDriver for SpmdDriver {
             *self.net.ifat_slot.lock().expect("ifat lock") = Some(mine);
             self.stats.lock().expect("stats lock").sent_words += (self.net.p - 1) as u64;
         }
-        self.net.barrier.wait()?;
+        self.barrier_wait()?;
         let chosen = self
             .net
             .ifat_slot
@@ -261,9 +283,10 @@ impl ParallelDriver for SpmdDriver {
                 stats.received_words += 1;
             }
             stats.supersteps += 1;
+            stats.ifats += 1;
         }
         ev.note_ifat(at, chosen);
-        self.net.barrier.wait()?;
+        self.barrier_wait()?;
         Ok(chosen)
     }
 }
@@ -286,10 +309,11 @@ pub struct DistOutcome {
 
 /// A distributed BSP machine: `p` OS threads, shared-nothing except
 /// the message mailbox.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DistMachine {
     p: usize,
     fuel: u64,
+    telemetry: Telemetry,
 }
 
 impl DistMachine {
@@ -304,6 +328,7 @@ impl DistMachine {
         DistMachine {
             p,
             fuel: bsml_eval::bigstep::DEFAULT_FUEL,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -311,6 +336,18 @@ impl DistMachine {
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> DistMachine {
         self.fuel = fuel;
+        self
+    }
+
+    /// Attaches a telemetry handle. Each processor thread then times
+    /// its barrier waits into the `bsp.barrier_wait_us` histogram (on
+    /// its own `p{rank}` track), and each run bumps the same
+    /// `bsp.supersteps` / `bsp.puts` / `bsp.ifats` / `bsp.words_sent`
+    /// counters as the lockstep [`crate::BspMachine`], so the two
+    /// backends' telemetry totals can be compared directly.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> DistMachine {
+        self.telemetry = telemetry;
         self
     }
 
@@ -333,7 +370,8 @@ impl DistMachine {
                     .map(|rank| {
                         let net = Arc::clone(&net);
                         let program = Arc::clone(&program);
-                        scope.spawn(move || run_rank(rank, net, &program, fuel))
+                        let telemetry = self.telemetry.track(&format!("p{rank}"));
+                        scope.spawn(move || run_rank(rank, net, &program, fuel, telemetry))
                     })
                     .collect();
                 handles
@@ -369,6 +407,18 @@ impl DistMachine {
         let total_words_sent = oks.iter().map(|(_, s, _)| s.sent_words).sum();
         let work = oks.iter().map(|(_, _, w)| *w).collect();
 
+        if self.telemetry.is_enabled() {
+            // SPMD replication: barrier counts are identical on every
+            // rank (asserted above), so charge them once, not p times —
+            // matching the lockstep machine's accounting.
+            let s = oks[0].1;
+            self.telemetry.counter_add("bsp.supersteps", s.supersteps);
+            self.telemetry.counter_add("bsp.puts", s.puts);
+            self.telemetry.counter_add("bsp.ifats", s.ifats);
+            self.telemetry
+                .counter_add("bsp.words_sent", total_words_sent);
+        }
+
         let value = assemble(oks.iter().map(|(v, _, _)| v))?;
         Ok(DistOutcome {
             value,
@@ -385,12 +435,14 @@ fn run_rank(
     net: Arc<Network>,
     program: &Expr,
     fuel: u64,
+    telemetry: Telemetry,
 ) -> Result<(PortableValue, CommStats, u64), EvalError> {
     let stats = Arc::new(Mutex::new(CommStats::default()));
     let driver = SpmdDriver {
         rank,
         net: Arc::clone(&net),
         stats: Arc::clone(&stats),
+        telemetry,
     };
     let mut hooks = NoHooks;
     let mut ev = Evaluator::with_driver(&mut hooks, fuel, Box::new(driver));
@@ -411,9 +463,7 @@ fn run_rank(
 
 /// Reassembles per-rank results: width-1 vectors become one `p`-wide
 /// vector; identical replicated values pass through.
-fn assemble<'a>(
-    per_rank: impl Iterator<Item = &'a PortableValue>,
-) -> Result<Value, EvalError> {
+fn assemble<'a>(per_rank: impl Iterator<Item = &'a PortableValue>) -> Result<Value, EvalError> {
     let per_rank: Vec<&PortableValue> = per_rank.collect();
     let all_width1 = per_rank
         .iter()

@@ -82,9 +82,7 @@ pub fn ceil_log2(p: usize) -> u64 {
 /// (e.g. `p < 3` or `l` dominating for all `s ≤ cap`).
 #[must_use]
 pub fn bcast_crossover(p: usize, g: u64, l: u64, cap: u64) -> Option<u64> {
-    (1..=cap).find(|&s| {
-        bcast_two_phase(p, s).time_gl(g, l) < bcast_direct(p, s).time_gl(g, l)
-    })
+    (1..=cap).find(|&s| bcast_two_phase(p, s).time_gl(g, l) < bcast_direct(p, s).time_gl(g, l))
 }
 
 impl Cost {
@@ -141,13 +139,9 @@ mod tests {
         let p = 16;
         let (g, l) = (10, 10_000);
         let s = 100_000;
-        assert!(
-            bcast_two_phase(p, s).time_gl(g, l) < bcast_direct(p, s).time_gl(g, l)
-        );
+        assert!(bcast_two_phase(p, s).time_gl(g, l) < bcast_direct(p, s).time_gl(g, l));
         // And loses for tiny messages (pays the extra barrier).
-        assert!(
-            bcast_two_phase(p, 1).time_gl(g, l) > bcast_direct(p, 1).time_gl(g, l)
-        );
+        assert!(bcast_two_phase(p, 1).time_gl(g, l) > bcast_direct(p, 1).time_gl(g, l));
     }
 
     #[test]
@@ -157,10 +151,7 @@ mod tests {
         let s0 = bcast_crossover(p, g, l, 1_000_000).expect("crossover");
         assert!(s0 > 1);
         // Below: direct wins (or ties); above: two-phase wins.
-        assert!(
-            bcast_two_phase(p, s0 - 1).time_gl(g, l)
-                >= bcast_direct(p, s0 - 1).time_gl(g, l)
-        );
+        assert!(bcast_two_phase(p, s0 - 1).time_gl(g, l) >= bcast_direct(p, s0 - 1).time_gl(g, l));
         assert!(bcast_two_phase(p, s0).time_gl(g, l) < bcast_direct(p, s0).time_gl(g, l));
     }
 

@@ -44,6 +44,6 @@ pub mod machine;
 pub mod symbolic;
 pub mod trace;
 
-pub use cost::{Cost, CostSummary, SuperstepRecord};
+pub use cost::{Barrier, Cost, CostSummary, SuperstepRecord};
 pub use hooks::BspCostHooks;
 pub use machine::{BspMachine, BspParams, RunReport};

@@ -3,9 +3,10 @@
 use std::fmt;
 
 use bsml_ast::Expr;
-use bsml_eval::{EvalError, Evaluator, Value};
+use bsml_eval::{EvalError, Evaluator, TeeHooks, TracingHooks, Value};
+use bsml_obs::{FieldValue, Telemetry};
 
-use crate::cost::{CostSummary, SuperstepRecord};
+use crate::cost::{Barrier, CostSummary, SuperstepRecord};
 use crate::hooks::BspCostHooks;
 
 /// BSP machine parameters (paper §2): the number of processor-memory
@@ -102,6 +103,7 @@ impl RunReport {
 pub struct BspMachine {
     params: BspParams,
     fuel: u64,
+    telemetry: Telemetry,
 }
 
 impl BspMachine {
@@ -111,6 +113,7 @@ impl BspMachine {
         BspMachine {
             params,
             fuel: bsml_eval::bigstep::DEFAULT_FUEL,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -118,6 +121,18 @@ impl BspMachine {
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> BspMachine {
         self.fuel = fuel;
+        self
+    }
+
+    /// Attaches a telemetry handle. Each run then replays its
+    /// superstep trace into the sink — one `superstep` span per
+    /// processor per superstep, on per-processor tracks `p0…`, with
+    /// `w` / `h_plus` / `h_minus` / `barrier` fields taken verbatim
+    /// from the [`RunReport`] — and bumps the `bsp.supersteps`,
+    /// `bsp.puts`, `bsp.ifats`, and `bsp.words_sent` counters.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> BspMachine {
+        self.telemetry = telemetry;
         self
     }
 
@@ -143,24 +158,92 @@ impl BspMachine {
     /// # Errors
     ///
     /// Same as [`BspMachine::run`].
-    pub fn run_with_env(
-        &self,
-        env: &bsml_eval::Env,
-        e: &Expr,
-    ) -> Result<RunReport, EvalError> {
+    pub fn run_with_env(&self, env: &bsml_eval::Env, e: &Expr) -> Result<RunReport, EvalError> {
+        let mut run_span = self.telemetry.span("bsp.run");
         let mut hooks = BspCostHooks::new(self.params.p);
-        let value = {
+        let value = if self.telemetry.is_enabled() {
+            // One evaluator pass feeds both cost accounting and the
+            // `eval.*` telemetry counters (flushed when `tracing`
+            // drops).
+            let mut tracing = TracingHooks::new(self.telemetry.clone());
+            let mut tee = TeeHooks::new(&mut hooks, &mut tracing);
+            let mut ev = Evaluator::with_fuel(self.params.p, &mut tee, self.fuel);
+            ev.eval_with_env(env, e)?
+        } else {
             let mut ev = Evaluator::with_fuel(self.params.p, &mut hooks, self.fuel);
             ev.eval_with_env(env, e)?
         };
         let trace = hooks.finish();
         let cost = CostSummary::from_records(&trace);
+        if run_span.is_active() {
+            run_span.set("w", cost.work);
+            run_span.set("h", cost.h_relation);
+            run_span.set("s", cost.supersteps);
+            self.replay_trace(&trace);
+        }
         Ok(RunReport {
             value,
             cost,
             trace,
             params: self.params,
         })
+    }
+
+    /// Replays a finished superstep trace into the telemetry sink on a
+    /// logical BSP schedule: every processor enters superstep `s` at
+    /// the same instant, works for its own `w_i`, and the next
+    /// superstep starts after the full priced cost `w + h·g + l` of
+    /// this one — so barrier imbalance is visible as the gap between a
+    /// span's end and the next superstep's start.
+    fn replay_trace(&self, trace: &[SuperstepRecord]) {
+        let tracks: Vec<Telemetry> = (0..self.params.p)
+            .map(|i| self.telemetry.track(&format!("p{i}")))
+            .collect();
+        let (mut puts, mut ifats, mut words_sent) = (0u64, 0u64, 0u64);
+        let mut t = self.telemetry.now_us();
+        for (s, rec) in trace.iter().enumerate() {
+            for (i, track) in tracks.iter().enumerate() {
+                let w = rec.work.get(i).copied().unwrap_or(0);
+                let h_plus = rec.sent.get(i).copied().unwrap_or(0);
+                let h_minus = rec.received.get(i).copied().unwrap_or(0);
+                self.telemetry.record_span(
+                    track.current_track(),
+                    "superstep",
+                    Some(s as u64),
+                    t,
+                    t + w,
+                    vec![
+                        ("w", FieldValue::U64(w)),
+                        ("h_plus", FieldValue::U64(h_plus)),
+                        ("h_minus", FieldValue::U64(h_minus)),
+                        (
+                            "barrier",
+                            FieldValue::Str(barrier_name(rec.barrier).to_string()),
+                        ),
+                    ],
+                );
+            }
+            match rec.barrier {
+                Barrier::Put => puts += 1,
+                Barrier::IfAt => ifats += 1,
+                Barrier::ProgramEnd => {}
+            }
+            words_sent += rec.sent.iter().sum::<u64>();
+            t += rec.cost().time(&self.params).max(1);
+        }
+        self.telemetry.counter_add("bsp.supersteps", puts + ifats);
+        self.telemetry.counter_add("bsp.puts", puts);
+        self.telemetry.counter_add("bsp.ifats", ifats);
+        self.telemetry.counter_add("bsp.words_sent", words_sent);
+    }
+}
+
+/// Display name of a barrier kind in telemetry fields.
+fn barrier_name(b: Barrier) -> &'static str {
+    match b {
+        Barrier::Put => "put",
+        Barrier::IfAt => "ifat",
+        Barrier::ProgramEnd => "end",
     }
 }
 
@@ -255,7 +338,10 @@ mod tests {
         let p = 8;
         assert!(BspParams::multicore(p).l < BspParams::tightly_coupled(p).l);
         assert!(BspParams::tightly_coupled(p).l < BspParams::ethernet_cluster(p).l);
-        assert_eq!(BspParams::multicore(p).to_string(), "(p = 8, g = 1, l = 60)");
+        assert_eq!(
+            BspParams::multicore(p).to_string(),
+            "(p = 8, g = 1, l = 60)"
+        );
     }
 
     #[test]

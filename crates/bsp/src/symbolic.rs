@@ -66,9 +66,7 @@ impl CostExpr {
             CostExpr::N => params.n,
             CostExpr::G => params.g,
             CostExpr::L => params.l,
-            CostExpr::CeilLog2P => {
-                crate::formulas::ceil_log2(params.p as usize)
-            }
+            CostExpr::CeilLog2P => crate::formulas::ceil_log2(params.p as usize),
             CostExpr::Sum(a, b) => a.eval(params) + b.eval(params),
             CostExpr::Prod(a, b) => a.eval(params) * b.eval(params),
             CostExpr::Minus(a, b) => a.eval(params).saturating_sub(b.eval(params)),

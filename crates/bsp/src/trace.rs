@@ -17,14 +17,8 @@ use crate::machine::RunReport;
 #[must_use]
 pub fn render_report(report: &RunReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "superstep | barrier |  max w |  max h | per-proc w"
-    );
-    let _ = writeln!(
-        out,
-        "--------- + ------- + ------ + ------ + ----------"
-    );
+    let _ = writeln!(out, "superstep | barrier |  max w |  max h | per-proc w");
+    let _ = writeln!(out, "--------- + ------- + ------ + ------ + ----------");
     for (i, r) in report.trace.iter().enumerate() {
         let _ = writeln!(out, "{}", render_row(i, r));
     }
@@ -51,8 +45,12 @@ pub fn render_report(report: &RunReport) -> String {
 #[must_use]
 pub fn render_timeline(report: &RunReport) -> String {
     const BLOCK: usize = 12;
-    let p = report.trace.first().map_or(0, |r| r.work.len());
-    let mut rows: Vec<String> = (0..p).map(|i| format!("p{i:<2} ")).collect();
+    // The machine knows its width even when the trace is empty (or a
+    // record is narrower than `p`).
+    let p = report.params.p;
+    // Width-align the rank labels so p ≥ 100 machines line up too.
+    let label_width = (p.saturating_sub(1)).to_string().len();
+    let mut rows: Vec<String> = (0..p).map(|i| format!("p{i:<label_width$} ")).collect();
     for r in &report.trace {
         let max = r.max_work().max(1);
         for (i, row) in rows.iter_mut().enumerate() {
@@ -122,11 +120,53 @@ mod tests {
     }
 
     #[test]
+    fn timeline_width_comes_from_params_not_trace() {
+        use crate::cost::CostSummary;
+        use bsml_eval::Value;
+
+        // An empty trace must still produce one row per processor.
+        let report = RunReport {
+            value: Value::Unit,
+            cost: CostSummary::default(),
+            trace: vec![],
+            params: BspParams::new(4, 1, 1),
+        };
+        let timeline = render_timeline(&report);
+        assert_eq!(timeline.lines().count(), 4, "{timeline}");
+    }
+
+    #[test]
+    fn timeline_labels_align_past_one_hundred_processors() {
+        use crate::cost::CostSummary;
+        use bsml_eval::Value;
+
+        let p = 101;
+        let report = RunReport {
+            value: Value::Unit,
+            cost: CostSummary::default(),
+            trace: vec![SuperstepRecord {
+                work: vec![1; p],
+                sent: vec![0; p],
+                received: vec![0; p],
+                barrier: Barrier::ProgramEnd,
+            }],
+            params: BspParams::new(p, 1, 1),
+        };
+        let timeline = render_timeline(&report);
+        let lines: Vec<&str> = timeline.lines().collect();
+        assert_eq!(lines.len(), p);
+        // Every label occupies the same width, so all bars start at
+        // the same column.
+        let bar_start = lines[0].find('█').expect("bar");
+        assert!(lines.iter().all(|l| l.find('█') == Some(bar_start)));
+        assert!(lines[100].starts_with("p100 "), "{:?}", lines[100]);
+        assert!(lines[0].starts_with("p0   "), "{:?}", lines[0]);
+    }
+
+    #[test]
     fn render_contains_rows_and_totals() {
-        let e = parse(
-            "let r = put (mkpar (fun j -> fun i -> j)) in apply (r, mkpar (fun i -> 0))",
-        )
-        .unwrap();
+        let e = parse("let r = put (mkpar (fun j -> fun i -> j)) in apply (r, mkpar (fun i -> 0))")
+            .unwrap();
         let report = BspMachine::new(BspParams::new(3, 10, 100)).run(&e).unwrap();
         let rendered = render_report(&report);
         assert!(rendered.contains("put"), "{rendered}");

@@ -1,0 +1,363 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace's
+//! benches run on this minimal wall-clock harness exposing the same
+//! API shape: [`Criterion`], [`criterion_group!`]/[`criterion_main!`],
+//! benchmark groups, [`BenchmarkId`], [`Throughput`] and
+//! `Bencher::iter`. Each benchmark is warmed up, sampled, and its
+//! median / min / max per-iteration time printed — good enough to
+//! compare hot paths across commits, with none of criterion's
+//! statistics, plots, or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1000),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; command-line filtering is not
+    /// implemented in the stand-in.
+    #[must_use]
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let report = run_bench(self.warm_up, self.measurement, self.sample_size, &mut f);
+        print_report(&id.to_string(), &report, None);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declares input throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benches `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_bench(
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            samples,
+            &mut |b| f(b, input),
+        );
+        let label = format!("{}/{}", self.name, id);
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Benches `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let report = run_bench(
+            self.criterion.warm_up,
+            self.criterion.measurement,
+            samples,
+            &mut f,
+        );
+        let label = format!("{}/{}", self.name, id);
+        print_report(&label, &report, self.throughput.as_ref());
+        self
+    }
+
+    /// Ends the group (formatting no-op in the stand-in).
+    pub fn finish(&mut self) {}
+}
+
+/// A benchmark identifier, `function/parameter` style.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Input volume per iteration, used to derive throughput lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// The per-benchmark timing callback target.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    mode: BenchMode,
+}
+
+enum BenchMode {
+    /// Estimate how many iterations fit in one sample window.
+    Calibrate(Duration),
+    /// Record `samples.capacity()` samples.
+    Measure,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            BenchMode::Calibrate(window) => {
+                // Double iterations until one batch costs >= window/8,
+                // so each sample is long enough to time reliably.
+                let mut iters: u64 = 1;
+                loop {
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        std::hint::black_box(routine());
+                    }
+                    let took = start.elapsed();
+                    if took >= window / 8 || iters >= 1 << 20 {
+                        self.iters_per_sample = iters;
+                        break;
+                    }
+                    iters *= 2;
+                }
+            }
+            BenchMode::Measure => {
+                let n = self.samples.capacity();
+                for _ in 0..n {
+                    let start = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        std::hint::black_box(routine());
+                    }
+                    self.samples.push(start.elapsed());
+                }
+            }
+        }
+    }
+}
+
+struct Report {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+fn run_bench<F>(warm_up: Duration, measurement: Duration, samples: usize, f: &mut F) -> Report
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up and calibration pass.
+    let mut b = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        mode: BenchMode::Calibrate(warm_up.max(Duration::from_millis(1))),
+    };
+    f(&mut b);
+    let iters = b.iters_per_sample;
+
+    // Measurement pass: split the window over the requested samples.
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(samples),
+        mode: BenchMode::Measure,
+    };
+    let _ = measurement; // window is implied by samples × calibrated batch
+    f(&mut b);
+
+    let mut per_iter: Vec<Duration> = b
+        .samples
+        .iter()
+        .map(|d| *d / u32::try_from(iters).unwrap_or(u32::MAX))
+        .collect();
+    per_iter.sort_unstable();
+    let fallback = Duration::ZERO;
+    Report {
+        median: per_iter
+            .get(per_iter.len() / 2)
+            .copied()
+            .unwrap_or(fallback),
+        min: per_iter.first().copied().unwrap_or(fallback),
+        max: per_iter.last().copied().unwrap_or(fallback),
+    }
+}
+
+fn print_report(label: &str, report: &Report, throughput: Option<&Throughput>) {
+    let rate = throughput.map_or(String::new(), |t| {
+        let secs = report.median.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Bytes(n) => {
+                format!("  {:.1} MiB/s", *n as f64 / secs / (1024.0 * 1024.0))
+            }
+            Throughput::Elements(n) => format!("  {:.0} elem/s", *n as f64 / secs),
+        }
+    });
+    println!(
+        "{label:<50} median {:>12?}  (min {:?}, max {:?}){rate}",
+        report.median, report.min, report.max
+    );
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+/// Re-export matching `criterion::black_box` (prefer
+/// `std::hint::black_box` in new code).
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_compose_ids_and_throughput() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(4))
+            .sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_with_input(BenchmarkId::new("f", 1), &41u64, |b, &x| {
+            b.iter(|| x + 1);
+        });
+        group.finish();
+        assert_eq!(BenchmarkId::new("f", 1).to_string(), "f/1");
+        assert_eq!(BenchmarkId::from_parameter("p8").to_string(), "p8");
+    }
+}

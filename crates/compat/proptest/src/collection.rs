@@ -1,0 +1,47 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+
+/// A strategy producing `Vec`s whose length is drawn from `len`.
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors of values from `element` with length in `len`
+/// (half-open, like the real crate's `SizeRange` from a `Range`).
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        len.start < len.end,
+        "empty length range for collection::vec"
+    );
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.len.end - self.len.start;
+        let n = self.len.start + rng.below(span);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Just;
+
+    #[test]
+    fn lengths_respect_the_range() {
+        let s = vec(Just(7u8), 1..4);
+        let mut rng = TestRng::for_case("vec", 0);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((1..4).contains(&v.len()), "len = {}", v.len());
+            assert!(v.iter().all(|&x| x == 7));
+        }
+    }
+}

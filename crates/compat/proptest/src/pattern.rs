@@ -1,0 +1,215 @@
+//! Tiny character-class pattern generator backing `&str` strategies.
+//!
+//! Supports the regex subset the workspace's tests use: literal
+//! characters, classes `[a-z0-9_']` (ranges and singletons), and the
+//! repetitions `{n}`, `{m,n}`, `?`, `*`, `+` (star/plus capped at 8).
+//! Anything fancier is a panic, not a silent wrong answer.
+
+use crate::TestRng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    /// A literal character.
+    Lit(char),
+    /// A character class: the expanded set of candidate chars.
+    Class(Vec<char>),
+}
+
+#[derive(Clone, Debug)]
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generates one string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on syntax outside the supported subset.
+#[must_use]
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let span = piece.max - piece.min + 1;
+        let n = piece.min + (rng.next_u64() % u64::from(span)) as u32;
+        for _ in 0..n {
+            match &piece.atom {
+                Atom::Lit(c) => out.push(*c),
+                Atom::Class(cs) => out.push(cs[rng.below(cs.len())]),
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i;
+                let set = expand_class(&chars[i + 1..close], pattern);
+                i = close + 1;
+                Atom::Class(set)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                i += 1;
+                Atom::Lit(unescape(c))
+            }
+            '.' => {
+                i += 1;
+                Atom::Class((' '..='~').collect())
+            }
+            c => {
+                assert!(
+                    !"(){}|^$*+?".contains(c),
+                    "unsupported pattern construct `{c}` in `{pattern}`"
+                );
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = parse_repeat(&chars, &mut i, pattern);
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_repeat(chars: &[char], i: &mut usize, pattern: &str) -> (u32, u32) {
+    match chars.get(*i) {
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            let parse_n = |s: &str| {
+                s.trim()
+                    .parse::<u32>()
+                    .unwrap_or_else(|_| panic!("bad repeat `{{{body}}}` in `{pattern}`"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                None => {
+                    let n = parse_n(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    assert!(!body.is_empty(), "empty class `[]` in pattern `{pattern}`");
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        let c = if body[j] == '\\' {
+            j += 1;
+            unescape(
+                *body
+                    .get(j)
+                    .unwrap_or_else(|| panic!("dangling `\\` in class of pattern `{pattern}`")),
+            )
+        } else {
+            body[j]
+        };
+        if body.get(j + 1) == Some(&'-') && j + 2 < body.len() {
+            let hi = body[j + 2];
+            assert!(c <= hi, "inverted range `{c}-{hi}` in pattern `{pattern}`");
+            set.extend(c..=hi);
+            j += 3;
+        } else {
+            set.push(c);
+            j += 1;
+        }
+    }
+    set
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("pattern-tests", 0)
+    }
+
+    #[test]
+    fn printable_ascii_class_with_counted_repeat() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,60}", &mut r);
+            assert!(s.len() <= 60);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_runs_pass_through() {
+        assert_eq!(generate("abc", &mut rng()), "abc");
+    }
+
+    #[test]
+    fn classes_mix_ranges_and_singletons() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate("[a-c_']{4}", &mut r);
+            assert_eq!(s.len(), 4);
+            assert!(s.chars().all(|c| "abc_'".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn question_star_plus() {
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(generate("x?", &mut r).len() <= 1);
+            assert!(generate("x*", &mut r).len() <= 8);
+            let p = generate("x+", &mut r).len();
+            assert!((1..=8).contains(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported pattern construct")]
+    fn alternation_is_rejected_loudly() {
+        generate("a|b", &mut rng());
+    }
+}

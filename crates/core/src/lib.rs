@@ -42,6 +42,7 @@ pub use bsml_ast as ast;
 pub use bsml_bsp as bsp;
 pub use bsml_eval as eval;
 pub use bsml_infer as infer;
+pub use bsml_obs as obs;
 pub use bsml_std as std_lib;
 pub use bsml_syntax as syntax;
 pub use bsml_types as types;
@@ -214,9 +215,8 @@ impl Bsml {
     /// reported as evaluation errors if they somehow do.
     pub fn run_vm(&self, source: &str) -> Result<bsml_vm::MValue, BsmlError> {
         let check = self.check(source)?;
-        let program = bsml_vm::compile(&check.ast).map_err(|e| {
-            BsmlError::Eval(EvalError::NotAFunction(e.to_string()))
-        })?;
+        let program = bsml_vm::compile(&check.ast)
+            .map_err(|e| BsmlError::Eval(EvalError::NotAFunction(e.to_string())))?;
         bsml_vm::Vm::new(self.machine.params().p)
             .run(&program)
             .map_err(BsmlError::Eval)
@@ -285,9 +285,7 @@ mod tests {
     fn unchecked_accepts_what_the_type_system_overapproximates() {
         // Figure 10's program evaluates fine dynamically; the static
         // rejection is about the cost model.
-        let report = bsml()
-            .run_unchecked("fst (1, mkpar (fun i -> i))")
-            .unwrap();
+        let report = bsml().run_unchecked("fst (1, mkpar (fun i -> i))").unwrap();
         assert_eq!(report.value.to_string(), "1");
     }
 

@@ -15,8 +15,9 @@
 use bsml_ast::{Expr, Ident};
 use bsml_bsp::{BspMachine, BspParams, CostSummary, RunReport};
 use bsml_eval::{Env, Value};
-use bsml_infer::{infer_in, TypeEnv};
-use bsml_syntax::parse_module;
+use bsml_infer::{Inferencer, TypeEnv};
+use bsml_obs::{MetricsSnapshot, Telemetry};
+use bsml_syntax::parse_module_with;
 use bsml_types::Scheme;
 
 use crate::BsmlError;
@@ -32,6 +33,19 @@ pub struct SessionEvent {
     pub value: Value,
     /// The BSP cost of evaluating this phrase.
     pub cost: CostSummary,
+    /// Cumulative telemetry metrics as of this phrase (sessions built
+    /// with [`Session::with_telemetry`] only).
+    metrics: Option<MetricsSnapshot>,
+}
+
+impl SessionEvent {
+    /// The cumulative telemetry metrics (counters and histogram
+    /// summaries) as of the end of this phrase. `None` unless the
+    /// session was built with [`Session::with_telemetry`].
+    #[must_use]
+    pub fn metrics(&self) -> Option<&MetricsSnapshot> {
+        self.metrics.as_ref()
+    }
 }
 
 impl std::fmt::Display for SessionEvent {
@@ -54,18 +68,40 @@ pub struct Session {
     tenv: TypeEnv,
     venv: Env,
     total: CostSummary,
+    telemetry: Telemetry,
 }
 
 impl Session {
-    /// A fresh session on the given machine.
+    /// A fresh session on the given machine (telemetry disabled).
     #[must_use]
     pub fn new(params: BspParams) -> Session {
+        Session::with_telemetry(params, Telemetry::disabled())
+    }
+
+    /// A session whose whole pipeline records into `telemetry`: each
+    /// `load` wraps its phrases in spans (`load` → `phrase` → `parse`
+    /// / `infer` / `bsp.run` → per-processor `superstep`s), and each
+    /// [`SessionEvent`] carries the cumulative metrics snapshot.
+    ///
+    /// Export the collected data through
+    /// [`telemetry()`](Session::telemetry) — e.g.
+    /// [`Telemetry::to_chrome_trace`] for a Perfetto-loadable trace.
+    #[must_use]
+    pub fn with_telemetry(params: BspParams, telemetry: Telemetry) -> Session {
         Session {
-            machine: BspMachine::new(params),
+            machine: BspMachine::new(params).with_telemetry(telemetry.clone()),
             tenv: TypeEnv::new(),
             venv: Env::new(),
             total: CostSummary::default(),
+            telemetry,
         }
+    }
+
+    /// The telemetry handle this session records into (disabled for
+    /// sessions built with [`Session::new`]).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The machine parameters.
@@ -97,7 +133,12 @@ impl Session {
     /// Any [`BsmlError`]; the offending phrase is reported with its
     /// location in the input.
     pub fn load(&mut self, source: &str) -> Result<Vec<SessionEvent>, BsmlError> {
-        let module = parse_module(source)?;
+        let mut load_span = self.telemetry.span("load");
+        let module = parse_module_with(source, &self.telemetry)?;
+        load_span.set(
+            "phrases",
+            module.decls.len() + usize::from(module.body.is_some()),
+        );
         // Work on copies; commit only on overall success.
         let mut tenv = self.tenv.clone();
         let mut venv = self.venv.clone();
@@ -130,7 +171,16 @@ impl Session {
         name: Option<&Ident>,
         expr: &Expr,
     ) -> Result<(SessionEvent, Value), BsmlError> {
-        let inference = infer_in(tenv, expr)?;
+        let mut phrase_span = self.telemetry.span("phrase");
+        if let Some(name) = name {
+            phrase_span.set("name", name.to_string());
+        }
+        let inference = {
+            let _infer_span = self.telemetry.span("infer");
+            Inferencer::new()
+                .with_telemetry(self.telemetry.clone())
+                .run(tenv, expr)?
+        };
         // Toplevel bindings are retained values, not hidden
         // evaluations, so no (Let)-style side condition applies
         // between phrases; the phrase itself was fully checked.
@@ -153,11 +203,16 @@ impl Session {
         let report: RunReport = self.machine.run_with_env(venv, expr)?;
         *total = CostSummary::from_records(&report.trace).then_into(total);
 
+        drop(phrase_span);
         let event = SessionEvent {
             name: name.cloned(),
             scheme,
             value: report.value.clone(),
             cost: report.cost,
+            metrics: self
+                .telemetry
+                .is_enabled()
+                .then(|| self.telemetry.metrics()),
         };
         Ok((event, report.value))
     }
@@ -256,10 +311,7 @@ mod tests {
             s.load(def).unwrap_or_else(|e| panic!("{def}: {e}"));
         }
         let events = s.load("bcast 1 (mkpar (fun i -> i * 100))").unwrap();
-        assert_eq!(
-            events[0].value.to_string(),
-            "<|100, 100, 100, 100|>"
-        );
+        assert_eq!(events[0].value.to_string(), "<|100, 100, 100, 100|>");
         assert_eq!(s.total_cost().supersteps, 1);
     }
 }

@@ -98,11 +98,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
     /// Creates an evaluator over an explicit parallel backend (used
     /// by the distributed SPMD machine in `bsml-bsp`).
     #[must_use]
-    pub fn with_driver(
-        hooks: &'h mut H,
-        fuel: u64,
-        driver: Box<dyn ParallelDriver>,
-    ) -> Self {
+    pub fn with_driver(hooks: &'h mut H, fuel: u64, driver: Box<dyn ParallelDriver>) -> Self {
         let p = driver.machine_width();
         assert!(p > 0, "a BSP machine needs at least one processor");
         Evaluator {
@@ -116,10 +112,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
     }
 
     /// Runs a driver method with the evaluator as its [`Applier`].
-    fn drive<R>(
-        &mut self,
-        f: impl FnOnce(&mut dyn ParallelDriver, &mut dyn Applier) -> R,
-    ) -> R {
+    fn drive<R>(&mut self, f: impl FnOnce(&mut dyn ParallelDriver, &mut dyn Applier) -> R) -> R {
         let mut d = self
             .driver
             .take()
@@ -204,9 +197,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
                     match self.eval_in(&env, c, mode)? {
                         Value::Bool(true) => cur = t,
                         Value::Bool(false) => cur = els,
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch("if", v.to_string()))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("if", v.to_string())),
                     }
                 }
                 ExprKind::Case {
@@ -226,9 +217,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
                             env = env.bind(right_var.clone(), (*v).clone());
                             cur = right_body;
                         }
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch("case", v.to_string()))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("case", v.to_string())),
                     }
                 }
                 ExprKind::MatchList {
@@ -247,9 +236,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
                                 .bind(tail_var.clone(), (*t).clone());
                             cur = cons_body;
                         }
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch("match", v.to_string()))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("match", v.to_string())),
                     }
                 }
                 ExprKind::App(f, a) => {
@@ -307,21 +294,16 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
                 let nv = self.eval_in(env, n, mode)?;
                 let bools = match vv {
                     Value::Vector(vs) => vs,
-                    v => {
-                        return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string()))
-                    }
+                    v => return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string())),
                 };
                 let idx = match nv {
                     Value::Int(i) => i,
-                    v => {
-                        return Err(EvalError::ScrutineeMismatch("at", v.to_string()))
-                    }
+                    v => return Err(EvalError::ScrutineeMismatch("at", v.to_string())),
                 };
                 if idx < 0 || idx as usize >= self.p {
                     return Err(EvalError::PidOutOfRange(idx, self.p));
                 }
-                let chosen =
-                    self.drive(|d, ev| d.ifat(ev, &bools, idx as usize))?;
+                let chosen = self.drive(|d, ev| d.ifat(ev, &bools, idx as usize))?;
                 if chosen {
                     self.eval_in(env, t, mode)
                 } else {
@@ -332,14 +314,12 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
                 if let Mode::OnProc(_) = mode {
                     return Err(EvalError::NestedParallelism);
                 }
-                let width = self
-                    .driver
-                    .as_ref()
-                    .and_then(|d| d.literal_width())
-                    .ok_or(EvalError::ScrutineeMismatch(
+                let width = self.driver.as_ref().and_then(|d| d.literal_width()).ok_or(
+                    EvalError::ScrutineeMismatch(
                         "parallel vector literal",
                         "unsupported by this execution backend".to_string(),
-                    ))?;
+                    ),
+                )?;
                 if es.len() != width {
                     return Err(EvalError::ScrutineeMismatch(
                         "parallel vector literal",
@@ -354,12 +334,8 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
                 }
                 Ok(Value::vector(vs))
             }
-            ExprKind::Inl(inner) => {
-                Ok(Value::Inl(Rc::new(self.eval_in(env, inner, mode)?)))
-            }
-            ExprKind::Inr(inner) => {
-                Ok(Value::Inr(Rc::new(self.eval_in(env, inner, mode)?)))
-            }
+            ExprKind::Inl(inner) => Ok(Value::Inl(Rc::new(self.eval_in(env, inner, mode)?))),
+            ExprKind::Inr(inner) => Ok(Value::Inr(Rc::new(self.eval_in(env, inner, mode)?))),
             ExprKind::Case {
                 scrutinee,
                 left_var,
@@ -407,12 +383,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
     /// # Errors
     ///
     /// See [`EvalError`].
-    pub fn apply_value(
-        &mut self,
-        f: Value,
-        arg: Value,
-        mode: Mode,
-    ) -> Result<Value, EvalError> {
+    pub fn apply_value(&mut self, f: Value, arg: Value, mode: Mode) -> Result<Value, EvalError> {
         let mut f = f;
         let mut arg = arg;
         // Trampoline: a closure body ending in another application
@@ -462,11 +433,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
                 let env2 = env.bind(param.clone(), Value::Fix(Rc::new(f.clone())));
                 self.eval_in(&env2, body, mode)
             }
-            other => self.apply_value(
-                other.clone(),
-                Value::Fix(Rc::new(other.clone())),
-                mode,
-            ),
+            other => self.apply_value(other.clone(), Value::Fix(Rc::new(other.clone())), mode),
         }
     }
 
@@ -538,11 +505,7 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
             },
             Op::And | Op::Or => match arg {
                 Pair(a, b) => match (&*a, &*b) {
-                    (Bool(x), Bool(y)) => Ok(Bool(if op == Op::And {
-                        *x && *y
-                    } else {
-                        *x || *y
-                    })),
+                    (Bool(x), Bool(y)) => Ok(Bool(if op == Op::And { *x && *y } else { *x || *y })),
                     _ => mismatch(Pair(a, b)),
                 },
                 v => mismatch(v),
@@ -725,17 +688,17 @@ mod tests {
     fn functions_and_lets() {
         assert_eq!(run("(fun x -> x + 1) 41", 1).to_string(), "42");
         assert_eq!(run("let f x y = x * y in f 6 7", 1).to_string(), "42");
-        assert_eq!(
-            run("let x = 1 in let x = x + 1 in x", 1).to_string(),
-            "2"
-        );
+        assert_eq!(run("let x = 1 in let x = x + 1 in x", 1).to_string(), "2");
     }
 
     #[test]
     fn closures_capture() {
         assert_eq!(
-            run("let make = fun n -> fun x -> x + n in let add3 = make 3 in add3 4", 1)
-                .to_string(),
+            run(
+                "let make = fun n -> fun x -> x + n in let add3 = make 3 in add3 4",
+                1
+            )
+            .to_string(),
             "7"
         );
     }
@@ -802,9 +765,15 @@ mod tests {
 
     #[test]
     fn mkpar_builds_vectors() {
-        assert_eq!(run("mkpar (fun i -> i * i)", 4).to_string(), "<|0, 1, 4, 9|>");
+        assert_eq!(
+            run("mkpar (fun i -> i * i)", 4).to_string(),
+            "<|0, 1, 4, 9|>"
+        );
         assert_eq!(run("bsp_p ()", 7).to_string(), "7");
-        assert_eq!(run("mkpar (fun i -> bsp_p ())", 3).to_string(), "<|3, 3, 3|>");
+        assert_eq!(
+            run("mkpar (fun i -> bsp_p ())", 3).to_string(),
+            "<|3, 3, 3|>"
+        );
     }
 
     #[test]
@@ -945,6 +914,9 @@ mod tests {
 
     #[test]
     fn unbound_variable() {
-        assert_eq!(run_err("x", 1), EvalError::Unbound(bsml_ast::Ident::new("x")));
+        assert_eq!(
+            run_err("x", 1),
+            EvalError::Unbound(bsml_ast::Ident::new("x"))
+        );
     }
 }

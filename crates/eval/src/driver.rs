@@ -88,12 +88,8 @@ pub trait ParallelDriver {
     /// # Errors
     ///
     /// Any [`EvalError`].
-    fn ifat(
-        &mut self,
-        ev: &mut dyn Applier,
-        bools: &[Value],
-        at: usize,
-    ) -> Result<bool, EvalError>;
+    fn ifat(&mut self, ev: &mut dyn Applier, bools: &[Value], at: usize)
+        -> Result<bool, EvalError>;
 }
 
 /// The default lockstep backend (paper §3's semantics, literally).
@@ -155,7 +151,11 @@ impl ParallelDriver for GlobalDriver {
         if fs.len() != self.p {
             return Err(EvalError::ScrutineeMismatch(
                 "put",
-                format!("vector of width {} on a {}-processor machine", fs.len(), self.p),
+                format!(
+                    "vector of width {} on a {}-processor machine",
+                    fs.len(),
+                    self.p
+                ),
             ));
         }
         // messages[j][i]: what j sends to i.
@@ -173,8 +173,7 @@ impl ParallelDriver for GlobalDriver {
         // Receiver i gets the table [messages[0][i], …].
         let out = (0..self.p)
             .map(|i| {
-                let table: Vec<Value> =
-                    messages.iter().map(|row| row[i].clone()).collect();
+                let table: Vec<Value> = messages.iter().map(|row| row[i].clone()).collect();
                 Value::MsgTable(std::rc::Rc::new(table))
             })
             .collect();
@@ -189,9 +188,7 @@ impl ParallelDriver for GlobalDriver {
     ) -> Result<bool, EvalError> {
         let chosen = match bools.get(at) {
             Some(Value::Bool(b)) => *b,
-            Some(v) => {
-                return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string()))
-            }
+            Some(v) => return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string())),
             None => return Err(EvalError::PidOutOfRange(at as i64, self.p)),
         };
         ev.note_ifat(at, chosen);

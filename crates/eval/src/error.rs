@@ -84,9 +84,7 @@ impl fmt::Display for EvalError {
             EvalError::NotSerializable(v) => {
                 write!(f, "value `{v}` has no serialized form for communication")
             }
-            EvalError::PeerFailure => {
-                f.write_str("another processor failed during a superstep")
-            }
+            EvalError::PeerFailure => f.write_str("another processor failed during a superstep"),
         }
     }
 }

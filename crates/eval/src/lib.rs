@@ -39,6 +39,6 @@ pub use bigstep::{eval_closed, Evaluator};
 pub use driver::{Applier, GlobalDriver, ParallelDriver};
 pub use env::Env;
 pub use error::EvalError;
-pub use hooks::{EvalHooks, Mode, NoHooks};
+pub use hooks::{CountingHooks, EvalHooks, Mode, NoHooks, TeeHooks, TracingHooks};
 pub use smallstep::{run, step, StepOutcome};
 pub use value::{PortableValue, Value};

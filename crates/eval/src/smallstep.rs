@@ -258,9 +258,7 @@ fn step_in(e: &Expr, p: usize, in_vector: bool) -> StepOutcome {
             Stuck(r) => Stuck(r),
             Value => match &scrutinee.kind {
                 Nil => Reduced((**nil_body).clone()),
-                Cons(h, t) => {
-                    Reduced(cons_body.substitute(head_var, h).substitute(tail_var, t))
-                }
+                Cons(h, t) => Reduced(cons_body.substitute(head_var, h).substitute(tail_var, t)),
                 _ => Stuck(format!("`match` on non-list `{scrutinee}`")),
             },
         },
@@ -294,10 +292,7 @@ fn binary_congruence(
 ) -> StepOutcome {
     match step_in(a, p, in_vector) {
         StepOutcome::Reduced(a2) => {
-            return StepOutcome::Reduced(rebuild2(
-                e,
-                wrap(Box::new(a2), Box::new(bx.clone())),
-            ))
+            return StepOutcome::Reduced(rebuild2(e, wrap(Box::new(a2), Box::new(bx.clone()))))
         }
         StepOutcome::Stuck(r) => return StepOutcome::Stuck(r),
         StepOutcome::Value => {}
@@ -358,12 +353,16 @@ fn delta(op: Op, a: &Expr, p: usize, in_vector: bool) -> StepOutcome {
     use StepOutcome::*;
 
     if op.is_parallel() && in_vector {
-        return Stuck(format!("parallel primitive `{op}` inside a vector component"));
+        return Stuck(format!(
+            "parallel primitive `{op}` inside a vector component"
+        ));
     }
 
     let ints = |a: &Expr| -> Option<(i64, i64)> {
         if let ExprKind::Pair(x, y) = &a.kind {
-            if let (ExprKind::Const(Const::Int(x)), ExprKind::Const(Const::Int(y))) = (&x.kind, &y.kind) {
+            if let (ExprKind::Const(Const::Int(x)), ExprKind::Const(Const::Int(y))) =
+                (&x.kind, &y.kind)
+            {
                 return Some((*x, *y));
             }
         }
@@ -491,7 +490,7 @@ fn delta(op: Op, a: &Expr, p: usize, in_vector: bool) -> StepOutcome {
                 let comps = (0..p)
                     .map(|i| {
                         let msg_name = |j: usize| Ident::new(format!("m{j}_recv")); // v_j^i
-                        // Dispatcher: fun x -> if x = 0 then m0 … else nc ()
+                                                                                    // Dispatcher: fun x -> if x = 0 then m0 … else nc ()
                         let mut dispatch = b::nc_value();
                         for j in (0..p).rev() {
                             dispatch = b::if_(
@@ -551,7 +550,10 @@ mod tests {
         assert_eq!(nf("isnc 5", 1), b::bool_(false));
         // (δ fix)
         assert_eq!(
-            nf("let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 5", 1),
+            nf(
+                "let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 5",
+                1
+            ),
             b::int(120)
         );
     }
@@ -568,7 +570,10 @@ mod tests {
     #[test]
     fn figure2_apply() {
         assert_eq!(
-            nf("apply (mkpar (fun i -> fun x -> x * i), mkpar (fun i -> i + 1))", 3),
+            nf(
+                "apply (mkpar (fun i -> fun x -> x * i), mkpar (fun i -> i + 1))",
+                3
+            ),
             b::vector(vec![b::int(0), b::int(2), b::int(6)])
         );
     }
@@ -589,17 +594,17 @@ mod tests {
              apply (mkpar (fun i -> fun f -> isnc (f 42)), recv)",
             2,
         );
-        assert_eq!(out_of_range, b::vector(vec![b::bool_(true), b::bool_(true)]));
+        assert_eq!(
+            out_of_range,
+            b::vector(vec![b::bool_(true), b::bool_(true)])
+        );
     }
 
     #[test]
     fn figure2_nonlambda_components_use_application() {
         // The documented generalization: primitive operators as
         // component functions build `f i` instead of substituting.
-        assert_eq!(
-            nf("mkpar isnc", 3),
-            b::vector(vec![b::bool_(false); 3])
-        );
+        assert_eq!(nf("mkpar isnc", 3), b::vector(vec![b::bool_(false); 3]));
         let v = nf(
             "let r = put (mkpar (fun j -> fun d -> isnc)) in
              apply (apply (mkpar (fun i -> fun f -> f i), r), mkpar (fun i -> i))",
@@ -611,8 +616,14 @@ mod tests {
 
     #[test]
     fn figure2_ifat() {
-        assert_eq!(nf("if mkpar (fun i -> i = 1) at 1 then 5 else 6", 2), b::int(5));
-        assert_eq!(nf("if mkpar (fun i -> i = 1) at 0 then 5 else 6", 2), b::int(6));
+        assert_eq!(
+            nf("if mkpar (fun i -> i = 1) at 1 then 5 else 6", 2),
+            b::int(5)
+        );
+        assert_eq!(
+            nf("if mkpar (fun i -> i = 1) at 0 then 5 else 6", 2),
+            b::int(6)
+        );
     }
 
     #[test]
@@ -636,10 +647,7 @@ mod tests {
     fn local_context_blocks_parallel_reduction() {
         // example2 from the paper — mkpar under mkpar is stuck in the
         // small-step machine (no Γ_l rule covers δ_g).
-        let r = stuck_reason(
-            "mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)",
-            2,
-        );
+        let r = stuck_reason("mkpar (fun pid -> let this = mkpar (fun i -> i) in pid)", 2);
         assert!(r.contains("parallel primitive"), "got: {r}");
     }
 
@@ -658,7 +666,10 @@ mod tests {
             "let vec = mkpar (fun i -> i) in mkpar (fun pid -> fst (vec, pid))",
             2,
         );
-        assert!(r.contains("parallel data") || r.contains("vector"), "got: {r}");
+        assert!(
+            r.contains("parallel data") || r.contains("vector"),
+            "got: {r}"
+        );
     }
 
     #[test]
@@ -699,7 +710,16 @@ mod tests {
 
     #[test]
     fn values_do_not_step() {
-        for src in ["1", "true", "()", "fun x -> x", "(1, 2)", "[]", "[1; 2]", "nc ()"] {
+        for src in [
+            "1",
+            "true",
+            "()",
+            "fun x -> x",
+            "(1, 2)",
+            "[]",
+            "[1; 2]",
+            "nc ()",
+        ] {
             let e = parse(src).unwrap();
             let v = run(&e, 1, 10).unwrap();
             assert_eq!(step(&v, 1), StepOutcome::Value, "on `{src}`");

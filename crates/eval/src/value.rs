@@ -94,7 +94,9 @@ impl Value {
 
     /// Builds a list value from items.
     #[must_use]
-    pub fn list(items: impl IntoIterator<IntoIter = impl DoubleEndedIterator<Item = Value>>) -> Value {
+    pub fn list(
+        items: impl IntoIterator<IntoIter = impl DoubleEndedIterator<Item = Value>>,
+    ) -> Value {
         items
             .into_iter()
             .rev()
@@ -115,9 +117,7 @@ impl Value {
     pub fn contains_vector(&self) -> bool {
         match self {
             Value::Vector(_) => true,
-            Value::Pair(a, b) | Value::Cons(a, b) => {
-                a.contains_vector() || b.contains_vector()
-            }
+            Value::Pair(a, b) | Value::Cons(a, b) => a.contains_vector() || b.contains_vector(),
             Value::Inl(v) | Value::Inr(v) => v.contains_vector(),
             Value::Cell { cell, .. } => cell.borrow().contains_vector(),
             // Closure environments could capture vectors; treated
@@ -163,13 +163,11 @@ impl Value {
         match (self, other) {
             (Value::Int(a), Value::Int(b)) => Some(a == b),
             (Value::Bool(a), Value::Bool(b)) => Some(a == b),
-            (Value::Unit, Value::Unit) | (Value::NoComm, Value::NoComm) | (Value::Nil, Value::Nil) => {
-                Some(true)
-            }
+            (Value::Unit, Value::Unit)
+            | (Value::NoComm, Value::NoComm)
+            | (Value::Nil, Value::Nil) => Some(true),
             (Value::Pair(a1, b1), Value::Pair(a2, b2))
-            | (Value::Cons(a1, b1), Value::Cons(a2, b2)) => {
-                Some(a1.try_eq(a2)? && b1.try_eq(b2)?)
-            }
+            | (Value::Cons(a1, b1), Value::Cons(a2, b2)) => Some(a1.try_eq(a2)? && b1.try_eq(b2)?),
             (Value::Inl(a), Value::Inl(b)) | (Value::Inr(a), Value::Inr(b)) => a.try_eq(b),
             (Value::Vector(xs), Value::Vector(ys)) => {
                 if xs.len() != ys.len() {
@@ -248,9 +246,7 @@ impl PortableValue {
             PortableValue::Inl(v) => Value::Inl(Rc::new(v.to_value())),
             PortableValue::Inr(v) => Value::Inr(Rc::new(v.to_value())),
             PortableValue::Nil => Value::Nil,
-            PortableValue::Cons(h, t) => {
-                Value::Cons(Rc::new(h.to_value()), Rc::new(t.to_value()))
-            }
+            PortableValue::Cons(h, t) => Value::Cons(Rc::new(h.to_value()), Rc::new(t.to_value())),
             PortableValue::Vector(vs) => {
                 Value::vector(vs.iter().map(PortableValue::to_value).collect())
             }
@@ -292,9 +288,7 @@ impl Value {
             | Value::Prim(_)
             | Value::MsgTable(_)
             | Value::Fix(_)
-            | Value::Cell { .. } => {
-                Err(crate::EvalError::NotSerializable(self.to_string()))
-            }
+            | Value::Cell { .. } => Err(crate::EvalError::NotSerializable(self.to_string())),
         }
     }
 }
@@ -361,7 +355,10 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Value::Int(3).to_string(), "3");
-        assert_eq!(Value::pair(Value::Int(1), Value::Unit).to_string(), "(1, ())");
+        assert_eq!(
+            Value::pair(Value::Int(1), Value::Unit).to_string(),
+            "(1, ())"
+        );
         assert_eq!(
             Value::vector(vec![Value::Int(1), Value::Int(2)]).to_string(),
             "<|1, 2|>"
@@ -379,8 +376,7 @@ mod tests {
         assert_eq!(Value::Int(5).size_in_words(), 1);
         assert_eq!(Value::NoComm.size_in_words(), 0);
         assert_eq!(
-            Value::pair(Value::Int(1), Value::pair(Value::Int(2), Value::Int(3)))
-                .size_in_words(),
+            Value::pair(Value::Int(1), Value::pair(Value::Int(2), Value::Int(3))).size_in_words(),
             3
         );
         assert_eq!(

@@ -130,23 +130,20 @@ pub fn op_scheme(op: Op) -> Scheme {
     let la = || Constraint::loc(a.clone());
     let lb = || Constraint::loc(b.clone());
     match op {
-        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => Scheme::mono(Type::arrow(
-            Type::pair(Type::Int, Type::Int),
-            Type::Int,
-        )),
-        Op::Lt | Op::Le | Op::Gt | Op::Ge => Scheme::mono(Type::arrow(
-            Type::pair(Type::Int, Type::Int),
-            Type::Bool,
-        )),
+        Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Mod => {
+            Scheme::mono(Type::arrow(Type::pair(Type::Int, Type::Int), Type::Int))
+        }
+        Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            Scheme::mono(Type::arrow(Type::pair(Type::Int, Type::Int), Type::Bool))
+        }
         // Structural equality is restricted to local values.
         Op::Eq => Scheme::close(
             Type::arrow(Type::pair(a.clone(), a.clone()), Type::Bool),
             la(),
         ),
-        Op::And | Op::Or => Scheme::mono(Type::arrow(
-            Type::pair(Type::Bool, Type::Bool),
-            Type::Bool,
-        )),
+        Op::And | Op::Or => {
+            Scheme::mono(Type::arrow(Type::pair(Type::Bool, Type::Bool), Type::Bool))
+        }
         Op::Not => Scheme::mono(Type::arrow(Type::Bool, Type::Bool)),
         // TC(fst) = ∀αβ.[(α*β) → α / L(α) ⇒ L(β)]
         Op::Fst => Scheme::close(
@@ -195,14 +192,8 @@ pub fn op_scheme(op: Op) -> Scheme {
         // §6 imperative extension: reference cells hold local values
         // only (a cell containing a vector would hide global data
         // behind a mutable local handle).
-        Op::Ref => Scheme::close(
-            Type::arrow(a.clone(), Type::reference(a.clone())),
-            la(),
-        ),
-        Op::Deref => Scheme::close(
-            Type::arrow(Type::reference(a.clone()), a.clone()),
-            la(),
-        ),
+        Op::Ref => Scheme::close(Type::arrow(a.clone(), Type::reference(a.clone())), la()),
+        Op::Deref => Scheme::close(Type::arrow(Type::reference(a.clone()), a.clone()), la()),
         Op::Assign => Scheme::close(
             Type::arrow(
                 Type::pair(Type::reference(a.clone()), a.clone()),
@@ -228,10 +219,7 @@ mod tests {
 
     #[test]
     fn figure6_table_renders_as_in_the_paper() {
-        assert_eq!(
-            op_scheme(Op::Add).to_string(),
-            "int * int -> int"
-        );
+        assert_eq!(op_scheme(Op::Add).to_string(), "int * int -> int");
         assert_eq!(
             op_scheme(Op::Fst).to_string(),
             "∀'a 'b.['a * 'b -> 'a / L('a) ⇒ L('b)]"
@@ -242,10 +230,7 @@ mod tests {
         );
         assert_eq!(op_scheme(Op::Fix).to_string(), "∀'a.[('a -> 'a) -> 'a]");
         assert_eq!(op_scheme(Op::Nc).to_string(), "∀'a.[unit -> 'a]");
-        assert_eq!(
-            op_scheme(Op::Isnc).to_string(),
-            "∀'a.['a -> bool / L('a)]"
-        );
+        assert_eq!(op_scheme(Op::Isnc).to_string(), "∀'a.['a -> bool / L('a)]");
         assert_eq!(
             op_scheme(Op::Mkpar).to_string(),
             "∀'a.[(int -> 'a) -> 'a par / L('a)]"

@@ -64,8 +64,7 @@ impl TypeError {
         if let Some(text) = source.lines().nth(line - 1) {
             out.push_str(&format!("\n  {text}\n  "));
             out.push_str(&" ".repeat(col.saturating_sub(1)));
-            let width =
-                (span.len() as usize).clamp(1, text.len() + 1 - col.min(text.len()));
+            let width = (span.len() as usize).clamp(1, text.len() + 1 - col.min(text.len()));
             out.push_str(&"^".repeat(width));
         }
         out

@@ -19,8 +19,10 @@
 //! evaluation of a global value under a local result type.
 
 use bsml_ast::{Expr, ExprKind, Span};
+use bsml_obs::Telemetry;
 use bsml_types::{
-    basic_constraint, unify, Constraint, Scheme, Solution, Subst, TyVarGen, Type,
+    basic_constraint, unify_counted, Constraint, Scheme, Solution, Subst, TyVarGen, Type,
+    UnifyStats,
 };
 
 use crate::derivation::{elide, Derivation};
@@ -109,6 +111,7 @@ pub struct Inferencer {
     gen: TyVarGen,
     record: bool,
     locality: bool,
+    telemetry: Telemetry,
 }
 
 impl Default for Inferencer {
@@ -117,6 +120,7 @@ impl Default for Inferencer {
             gen: TyVarGen::default(),
             record: false,
             locality: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -197,6 +201,17 @@ impl Inferencer {
         self
     }
 
+    /// Attaches a telemetry handle. The engine then counts
+    /// `infer.unifications`, `infer.occurs_checks`, and
+    /// `infer.solver_iterations`, and wraps generalization and
+    /// instantiation in spans. A disabled handle (the default) costs
+    /// one branch per site.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Inferencer {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Drops a constraint in the plain-Damas–Milner ablation.
     fn gate(&self, c: Constraint) -> Constraint {
         if self.locality {
@@ -219,7 +234,7 @@ impl Inferencer {
             self.gen.skip_past(&Type::Var(v));
         }
         let (subst, ty, constraint, deriv) = self.w(env, e)?;
-        let solution = constraint.solve();
+        let solution = self.solve(&constraint);
         debug_assert_ne!(solution, Solution::False, "absurdity missed by rule checks");
         Ok(Inference {
             ty,
@@ -250,14 +265,19 @@ impl Inferencer {
         })
     }
 
+    /// Runs the constraint solver, feeding its iteration count into
+    /// the `infer.solver_iterations` telemetry counter.
+    fn solve(&self, c: &Constraint) -> Solution {
+        let mut iterations = 0;
+        let solution = c.solve_counted(&mut iterations);
+        self.telemetry
+            .counter_add("infer.solver_iterations", iterations);
+        solution
+    }
+
     /// Rejects a judgment whose constraint solves to `False`.
-    fn check(
-        &self,
-        rule: &'static str,
-        span: Span,
-        c: &Constraint,
-    ) -> Result<(), TypeError> {
-        if self.locality && c.solve() == Solution::False {
+    fn check(&self, rule: &'static str, span: Span, c: &Constraint) -> Result<(), TypeError> {
+        if self.locality && self.solve(c) == Solution::False {
             Err(TypeError::LocalityViolation {
                 rule,
                 constraint: c.clone(),
@@ -269,16 +289,33 @@ impl Inferencer {
     }
 
     fn unify_at(
+        &self,
         a: &Type,
         b: &Type,
         context: &'static str,
         span: Span,
     ) -> Result<Subst, TypeError> {
-        unify(a, b).map_err(|cause| TypeError::Mismatch {
+        let mut stats = UnifyStats::default();
+        let result = unify_counted(a, b, &mut stats);
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .counter_add("infer.unifications", stats.unifications);
+            self.telemetry
+                .counter_add("infer.occurs_checks", stats.occurs_checks);
+        }
+        result.map_err(|cause| TypeError::Mismatch {
             cause,
             context,
             span,
         })
+    }
+
+    /// Instantiates `scheme` under an `infer.instantiate` span.
+    fn instantiate(&mut self, scheme: &Scheme) -> (Type, Constraint) {
+        let mut sp = self.telemetry.span("infer.instantiate");
+        let out = scheme.instantiate(&mut self.gen);
+        sp.set("quantified", scheme.quantified().len());
+        out
     }
 
     #[allow(clippy::too_many_lines)]
@@ -295,7 +332,7 @@ impl Inferencer {
                     name: x.clone(),
                     span,
                 })?;
-                let (ty, c) = scheme.instantiate(&mut self.gen);
+                let (ty, c) = self.instantiate(scheme);
                 let c = self.gate(c);
                 self.check("(Var)", span, &c)?;
                 let d = self.node("(Var)", e, &ty, &c, vec![]);
@@ -303,14 +340,14 @@ impl Inferencer {
             }
             // (Const)
             ExprKind::Const(k) => {
-                let (ty, c) = const_scheme(*k).instantiate(&mut self.gen);
+                let (ty, c) = self.instantiate(&const_scheme(*k));
                 let c = self.gate(c);
                 let d = self.node("(Const)", e, &ty, &c, vec![]);
                 Ok((Subst::new(), ty, c, d))
             }
             // (Op)
             ExprKind::Op(op) => {
-                let (ty, c) = op_scheme(*op).instantiate(&mut self.gen);
+                let (ty, c) = self.instantiate(&op_scheme(*op));
                 let c = self.gate(c);
                 self.check("(Op)", span, &c)?;
                 let d = self.node("(Op)", e, &ty, &c, vec![]);
@@ -344,7 +381,7 @@ impl Inferencer {
                 let ib = acc.push(beta.clone(), Constraint::True);
 
                 let arrow = Type::arrow(acc.ty(i2).clone(), beta);
-                let u = Self::unify_at(acc.ty(i1), &arrow, "application", span)?;
+                let u = self.unify_at(acc.ty(i1), &arrow, "application", span)?;
                 acc.extend(&u);
 
                 let ty = acc.ty(ib).clone();
@@ -358,7 +395,12 @@ impl Inferencer {
             ExprKind::Let(x, e1, e2) => {
                 let (s1, t1, c1, d1) = self.w(env, e1)?;
                 let env1 = env.apply_subst(&s1);
-                let scheme = Scheme::generalize(t1.clone(), c1.clone(), &env1.free_vars());
+                let scheme = {
+                    let mut sp = self.telemetry.span("infer.generalize");
+                    let scheme = Scheme::generalize(t1.clone(), c1.clone(), &env1.free_vars());
+                    sp.set("quantified", scheme.quantified().len());
+                    scheme
+                };
                 let env2 = env1.extend(x.clone(), scheme);
                 let (s2, t2, c2, d2) = self.w(&env2, e2)?;
 
@@ -395,7 +437,7 @@ impl Inferencer {
             // (Ifthenelse)
             ExprKind::If(e1, e2, e3) => {
                 let (s1, t1, c1, d1) = self.w(env, e1)?;
-                let u1 = Self::unify_at(&t1, &Type::Bool, "`if` condition", e1.span)?;
+                let u1 = self.unify_at(&t1, &Type::Bool, "`if` condition", e1.span)?;
                 let mut acc = Acc::new(self.locality);
                 acc.subst = s1;
                 let ic = acc.push(t1, c1);
@@ -411,12 +453,7 @@ impl Inferencer {
                 acc.extend(&s3);
                 let i3 = acc.push(t3, c3);
 
-                let u2 = Self::unify_at(
-                    acc.ty(i2),
-                    acc.ty(i3),
-                    "`if` branches",
-                    span,
-                )?;
+                let u2 = self.unify_at(acc.ty(i2), acc.ty(i3), "`if` branches", span)?;
                 acc.extend(&u2);
 
                 let _ = ic;
@@ -430,12 +467,7 @@ impl Inferencer {
             // side condition L(τ) ⇒ False.
             ExprKind::IfAt(e1, e2, e3, e4) => {
                 let (s1, t1, c1, d1) = self.w(env, e1)?;
-                let u1 = Self::unify_at(
-                    &t1,
-                    &Type::par(Type::Bool),
-                    "`if‥at‥` vector",
-                    e1.span,
-                )?;
+                let u1 = self.unify_at(&t1, &Type::par(Type::Bool), "`if‥at‥` vector", e1.span)?;
                 let mut acc = Acc::new(self.locality);
                 acc.subst = s1;
                 acc.push(t1, c1);
@@ -445,8 +477,7 @@ impl Inferencer {
                 let (s2, t2, c2, d2) = self.w(&env1, e2)?;
                 acc.extend(&s2);
                 let in_ = acc.push(t2, c2);
-                let u2 =
-                    Self::unify_at(acc.ty(in_), &Type::Int, "`if‥at‥` process id", e2.span)?;
+                let u2 = self.unify_at(acc.ty(in_), &Type::Int, "`if‥at‥` process id", e2.span)?;
                 acc.extend(&u2);
 
                 let env2 = env.apply_subst(&acc.subst);
@@ -459,12 +490,7 @@ impl Inferencer {
                 acc.extend(&s4);
                 let i4 = acc.push(t4, c4);
 
-                let u3 = Self::unify_at(
-                    acc.ty(i3),
-                    acc.ty(i4),
-                    "`if‥at‥` branches",
-                    span,
-                )?;
+                let u3 = self.unify_at(acc.ty(i3), acc.ty(i4), "`if‥at‥` branches", span)?;
                 acc.extend(&u3);
 
                 let ty = acc.ty(i3).clone();
@@ -489,7 +515,7 @@ impl Inferencer {
                     let (s, t, c, d) = self.w(&envc, comp)?;
                     acc.extend(&s);
                     let i = acc.push(t, c);
-                    let u = Self::unify_at(
+                    let u = self.unify_at(
                         acc.ty(ia),
                         acc.ty(i),
                         "parallel vector components",
@@ -500,10 +526,7 @@ impl Inferencer {
                 }
                 let elem = acc.ty(ia).clone();
                 let ty = Type::par(elem.clone());
-                let c = Constraint::and(
-                    acc.all_constraints(),
-                    self.gate(Constraint::Loc(elem)),
-                );
+                let c = Constraint::and(acc.all_constraints(), self.gate(Constraint::Loc(elem)));
                 self.check("(Vector)", span, &c)?;
                 let d = self.node("(Vector)", e, &ty, &c, ds);
                 Ok((acc.subst, ty, c, d))
@@ -542,7 +565,7 @@ impl Inferencer {
                 let is = acc.push(ts, cs);
                 let ia = acc.push(alpha.clone(), Constraint::True);
                 let ib = acc.push(beta.clone(), Constraint::True);
-                let u1 = Self::unify_at(
+                let u1 = self.unify_at(
                     acc.ty(is),
                     &Type::sum(alpha, beta),
                     "`case` scrutinee",
@@ -564,7 +587,7 @@ impl Inferencer {
                 acc.extend(&s3);
                 let ir = acc.push(tr, cr);
 
-                let u2 = Self::unify_at(acc.ty(il), acc.ty(ir), "`case` branches", span)?;
+                let u2 = self.unify_at(acc.ty(il), acc.ty(ir), "`case` branches", span)?;
                 acc.extend(&u2);
 
                 let ty = acc.ty(il).clone();
@@ -595,7 +618,7 @@ impl Inferencer {
                 let ih = acc.push(th, c1);
                 acc.extend(&s2);
                 let it = acc.push(tt, c2);
-                let u = Self::unify_at(
+                let u = self.unify_at(
                     &Type::list(acc.ty(ih).clone()),
                     acc.ty(it),
                     "list cell",
@@ -607,8 +630,7 @@ impl Inferencer {
                 // List elements must be local (a list of vectors has
                 // statically unknown parallel width).
                 let elem = acc.ty(ih).clone();
-                let c =
-                    Constraint::and(acc.all_constraints(), self.gate(Constraint::Loc(elem)));
+                let c = Constraint::and(acc.all_constraints(), self.gate(Constraint::Loc(elem)));
                 self.check("(Cons)", span, &c)?;
                 let d = self.node("(Cons)", e, &ty, &c, vec![d1, d2]);
                 Ok((acc.subst, ty, c, d))
@@ -626,7 +648,7 @@ impl Inferencer {
                 acc.subst = s1;
                 let is = acc.push(ts, cs);
                 let ia = acc.push(alpha.clone(), Constraint::True);
-                let u1 = Self::unify_at(
+                let u1 = self.unify_at(
                     acc.ty(is),
                     &Type::list(alpha),
                     "`match` scrutinee",
@@ -648,8 +670,7 @@ impl Inferencer {
                 acc.extend(&s3);
                 let icb = acc.push(tc, cc);
 
-                let u2 =
-                    Self::unify_at(acc.ty(in_), acc.ty(icb), "`match` branches", span)?;
+                let u2 = self.unify_at(acc.ty(in_), acc.ty(icb), "`match` branches", span)?;
                 acc.extend(&u2);
 
                 let ty = acc.ty(in_).clone();

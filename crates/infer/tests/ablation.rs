@@ -23,10 +23,7 @@ fn constrained(src: &str) -> bool {
 #[test]
 fn ocaml_accepts_the_fourth_projection() {
     // §2.1: "Its type given by the Objective Caml system is int."
-    assert_eq!(
-        plain("fst (1, mkpar (fun i -> i))").as_deref(),
-        Ok("int")
-    );
+    assert_eq!(plain("fst (1, mkpar (fun i -> i))").as_deref(), Ok("int"));
     assert!(!constrained("fst (1, mkpar (fun i -> i))"));
 }
 

@@ -148,7 +148,10 @@ fn mismatched_barriers_example_is_rejected() {
         let c2 = (vec2, 2) in
         mkpar (fun pid -> if pid < (bsp_p ()) / 2 then snd c1 else snd c2)";
     let err = rejects(src);
-    assert!(matches!(err, TypeError::LocalityViolation { .. }), "got {err}");
+    assert!(
+        matches!(err, TypeError::LocalityViolation { .. }),
+        "got {err}"
+    );
 }
 
 #[test]
@@ -156,10 +159,7 @@ fn parallel_identity_gets_the_paper_scheme() {
     // §4: [α → α / L(α) ⇒ False].
     let e = parse("fun x -> if mkpar (fun i -> true) at 0 then x else x").unwrap();
     let inf = infer(&e).unwrap();
-    assert_eq!(
-        inf.scheme().to_string(),
-        "∀'a.['a -> 'a / L('a) ⇒ False]"
-    );
+    assert_eq!(inf.scheme().to_string(), "∀'a.['a -> 'a / L('a) ⇒ False]");
 }
 
 #[test]
@@ -192,7 +192,10 @@ fn figures_9_and_10_derivations_render() {
         "{rendered}"
     );
     let last = rendered.lines().last().unwrap();
-    assert!(last.starts_with("(App)") && last.contains(": [int par /"), "{rendered}");
+    assert!(
+        last.starts_with("(App)") && last.contains(": [int par /"),
+        "{rendered}"
+    );
     // Figure 6's fst scheme shows its instantiated constraint
     // L(int par) ⇒ L(int) — the one that solves to True here and to
     // False in Figure 10.

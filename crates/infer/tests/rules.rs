@@ -127,10 +127,7 @@ fn parallel_identity_scheme_matches_the_paper() {
 fn rule_let_side_condition() {
     // Binding a vector and returning a local hides a global
     // evaluation — rejected, even outside any mkpar.
-    assert_eq!(
-        rejected_by("let this = mkpar (fun i -> i) in 5"),
-        "(Let)"
-    );
+    assert_eq!(rejected_by("let this = mkpar (fun i -> i) in 5"), "(Let)");
     // Returning the vector itself is fine.
     assert_eq!(ty_of("let v = mkpar (fun i -> i) in v"), "int par");
     // Chained global results are fine.
@@ -245,10 +242,7 @@ fn sums_extension() {
 fn lists_extension() {
     assert_eq!(ty_of("[1; 2; 3]"), "int list");
     assert_eq!(scheme_of("[]"), "∀'a.['a list]");
-    assert_eq!(
-        ty_of("match [1] with [] -> 0 | h :: t -> h"),
-        "int"
-    );
+    assert_eq!(ty_of("match [1] with [] -> 0 | h :: t -> h"), "int");
     // The (Match) side condition leaves the residual fact L('a): a
     // list elimination with a local result demands local elements
     // (which lists always have — the fact is satisfiable noise).
@@ -257,10 +251,7 @@ fn lists_extension() {
         "∀'a.['a list -> int / L('a)]"
     );
     // Lists of parallel vectors are rejected at the cons.
-    assert_eq!(
-        rejected_by("mkpar (fun i -> i) :: []"),
-        "(Cons)"
-    );
+    assert_eq!(rejected_by("mkpar (fun i -> i) :: []"), "(Cons)");
 }
 
 #[test]

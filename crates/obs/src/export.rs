@@ -1,0 +1,326 @@
+//! Exporters: human-readable span tree, JSONL events, and Chrome
+//! trace-event JSON.
+
+use std::fmt::Write as _;
+
+use crate::span::{FieldValue, SpanRecord};
+use crate::Telemetry;
+
+// ---------------------------------------------------------------
+// Span tree
+// ---------------------------------------------------------------
+
+/// Renders spans as an indented tree per track, followed by a metrics
+/// table.
+pub fn render_tree(tel: &Telemetry) -> String {
+    let mut out = String::new();
+    let tracks = tel.tracks();
+    let mut spans = tel.spans();
+    spans.sort_by_key(|s| s.start_seq);
+
+    for (track_id, track_name) in tracks.iter().enumerate() {
+        let on_track: Vec<&SpanRecord> = spans
+            .iter()
+            .filter(|s| s.track as usize == track_id)
+            .collect();
+        if on_track.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "[{track_name}]");
+        let mut stack: Vec<&SpanRecord> = Vec::new();
+        for span in on_track {
+            while let Some(top) = stack.last() {
+                if top.encloses(span) {
+                    break;
+                }
+                stack.pop();
+            }
+            let indent = "  ".repeat(stack.len() + 1);
+            let _ = write!(out, "{indent}{} — {} µs", span.label(), span.duration_us());
+            if !span.fields.is_empty() {
+                let fields: Vec<String> = span
+                    .fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={v}"))
+                    .collect();
+                let _ = write!(out, "  [{}]", fields.join(" "));
+            }
+            out.push('\n');
+            stack.push(span);
+        }
+    }
+
+    let metrics = tel.metrics();
+    if !metrics.counters.is_empty() {
+        let _ = writeln!(out, "[counters]");
+        for (name, value) in &metrics.counters {
+            let _ = writeln!(out, "  {name} = {value}");
+        }
+    }
+    if !metrics.histograms.is_empty() {
+        let _ = writeln!(out, "[histograms]");
+        for (name, h) in &metrics.histograms {
+            let _ = writeln!(
+                out,
+                "  {name}: n={} sum={} min={} max={} mean={:.1} p50≤{} p95≤{}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.p50_bound,
+                h.p95_bound,
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------
+// JSON plumbing (zero-dependency)
+// ---------------------------------------------------------------
+
+/// Escapes `s` as JSON string *contents* (no surrounding quotes).
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+fn push_field_value(out: &mut String, v: &FieldValue) {
+    match v {
+        FieldValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        FieldValue::F64(_) => out.push_str("null"),
+        FieldValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        FieldValue::Str(s) => push_json_str(out, s),
+    }
+}
+
+fn push_fields_object(out: &mut String, fields: &[(&'static str, FieldValue)]) {
+    out.push('{');
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(out, k);
+        out.push(':');
+        push_field_value(out, v);
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------
+// JSONL
+// ---------------------------------------------------------------
+
+/// One JSON object per line: spans (in start order), then counters,
+/// then histogram summaries.
+pub fn to_jsonl(tel: &Telemetry) -> String {
+    let tracks = tel.tracks();
+    let mut spans = tel.spans();
+    spans.sort_by_key(|s| (s.start_us, s.start_seq));
+    let mut out = String::new();
+    for s in &spans {
+        let track = tracks.get(s.track as usize).map_or("?", String::as_str);
+        out.push_str("{\"type\":\"span\",\"name\":");
+        push_json_str(&mut out, &s.label());
+        let _ = write!(
+            out,
+            ",\"track\":\"{track}\",\"start_us\":{},\"end_us\":{},\"fields\":",
+            s.start_us, s.end_us
+        );
+        push_fields_object(&mut out, &s.fields);
+        out.push_str("}\n");
+    }
+    let metrics = tel.metrics();
+    for (name, value) in &metrics.counters {
+        out.push_str("{\"type\":\"counter\",\"name\":");
+        push_json_str(&mut out, name);
+        let _ = writeln!(out, ",\"value\":{value}}}");
+    }
+    for (name, h) in &metrics.histograms {
+        out.push_str("{\"type\":\"histogram\",\"name\":");
+        push_json_str(&mut out, name);
+        let _ = writeln!(
+            out,
+            ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50_bound\":{},\"p95_bound\":{}}}",
+            h.count, h.sum, h.min, h.max, h.p50_bound, h.p95_bound
+        );
+    }
+    out
+}
+
+// ---------------------------------------------------------------
+// Chrome trace-event JSON
+// ---------------------------------------------------------------
+
+/// The Chrome trace-event "JSON object format": thread-name metadata
+/// per track, one complete (`"X"`) event per span — timestamps
+/// monotonic within the output — and one final counter (`"C"`) event
+/// per counter. Loadable in `chrome://tracing` and Perfetto.
+pub fn to_chrome_trace(tel: &Telemetry) -> String {
+    let tracks = tel.tracks();
+    let mut spans = tel.spans();
+    spans.sort_by_key(|s| (s.start_us, s.start_seq));
+
+    let mut events: Vec<String> = Vec::new();
+
+    for (tid, name) in tracks.iter().enumerate() {
+        let mut e = String::from("{\"ph\":\"M\",\"pid\":0,\"name\":\"thread_name\",\"tid\":");
+        let _ = write!(e, "{tid},\"args\":{{\"name\":");
+        push_json_str(&mut e, name);
+        e.push_str("}}");
+        events.push(e);
+    }
+
+    for s in &spans {
+        let mut e = String::from("{\"ph\":\"X\",\"pid\":0,\"tid\":");
+        let _ = write!(
+            e,
+            "{},\"ts\":{},\"dur\":{},",
+            s.track,
+            s.start_us,
+            s.duration_us()
+        );
+        e.push_str("\"cat\":\"bsml\",\"name\":");
+        push_json_str(&mut e, &s.label());
+        e.push_str(",\"args\":");
+        push_fields_object(&mut e, &s.fields);
+        e.push('}');
+        events.push(e);
+    }
+
+    let end_ts = spans.iter().map(|s| s.end_us).max().unwrap_or(0);
+    let metrics = tel.metrics();
+    for (name, value) in &metrics.counters {
+        let mut e = String::from("{\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":");
+        let _ = write!(e, "{end_ts},\"name\":");
+        push_json_str(&mut e, name);
+        let _ = write!(e, ",\"args\":{{\"value\":{value}}}}}");
+        events.push(e);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < events.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Telemetry {
+        let tel = Telemetry::enabled_logical();
+        {
+            let mut outer = tel.span("load");
+            outer.set("phrases", 2u64);
+            let mut inner = tel.span("parse");
+            inner.set("bytes", 11u64);
+            inner.set("kind", "module");
+        }
+        let p0 = tel.track("p0");
+        drop(p0.span_idx("superstep", 1));
+        tel.counter_add("eval.puts", 1);
+        tel.histogram_record("barrier_wait_us", 12);
+        tel
+    }
+
+    #[test]
+    fn tree_shows_nesting_tracks_and_metrics() {
+        let tree = sample().render_tree();
+        assert!(tree.contains("[main]"), "{tree}");
+        assert!(tree.contains("[p0]"), "{tree}");
+        // parse is nested one level under load.
+        assert!(tree.contains("\n    parse"), "{tree}");
+        assert!(tree.contains("superstep 1"), "{tree}");
+        assert!(tree.contains("eval.puts = 1"), "{tree}");
+        assert!(tree.contains("barrier_wait_us: n=1"), "{tree}");
+        assert!(tree.contains("[bytes=11 kind=module]"), "{tree}");
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_line() {
+        let jsonl = sample().to_jsonl();
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert_eq!(jsonl.lines().count(), 3 + 1 + 1);
+        assert!(jsonl.contains("\"type\":\"span\""));
+        assert!(jsonl.contains("\"type\":\"counter\""));
+        assert!(jsonl.contains("\"type\":\"histogram\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_monotonic_and_names_tracks() {
+        let trace = sample().to_chrome_trace();
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("\"name\":\"p0\""));
+        // ts values of "X" events are non-decreasing.
+        let mut last = 0u64;
+        for line in trace.lines().filter(|l| l.contains("\"ph\":\"X\"")) {
+            let ts: u64 = line
+                .split("\"ts\":")
+                .nth(1)
+                .and_then(|rest| rest.split(',').next())
+                .and_then(|n| n.parse().ok())
+                .expect("ts parses");
+            assert!(ts >= last, "ts regressed in {line}");
+            last = ts;
+        }
+        // Counter event present.
+        assert!(trace.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let tel = Telemetry::enabled_logical();
+        {
+            let mut s = tel.span("odd");
+            s.set("msg", "a\"b\\c\nd");
+        }
+        let jsonl = tel.to_jsonl();
+        assert!(jsonl.contains(r#""msg":"a\"b\\c\nd""#), "{jsonl}");
+    }
+
+    #[test]
+    fn disabled_exports_are_empty_but_valid() {
+        let tel = Telemetry::disabled();
+        assert_eq!(tel.render_tree(), "");
+        assert_eq!(tel.to_jsonl(), "");
+        assert!(tel.to_chrome_trace().contains("\"traceEvents\":[\n]"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The metrics registry: named counters and log₂-bucketed histograms.
+
+use std::collections::BTreeMap;
+
+/// Number of log₂ buckets: values up to `2^63` land in a bucket.
+const BUCKETS: usize = 64;
+
+/// A registry of named monotonic counters and histograms.
+///
+/// Keys are plain strings (`infer.unifications`,
+/// `bsp.barrier_wait_us`, …); dotted prefixes group related series by
+/// subsystem. The registry itself is not synchronized — the
+/// [`crate::Telemetry`] handle wraps it in the sink's lock.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Clone, Debug)]
+struct Histogram {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    /// `buckets[i]` counts values whose bit length is `i`, i.e.
+    /// values in `[2^(i-1), 2^i)` (bucket 0 is the value 0).
+    buckets: [u64; BUCKETS],
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        let bucket = (64 - value.leading_zeros()) as usize;
+        self.buckets[bucket.min(BUCKETS - 1)] += 1;
+    }
+
+    /// Upper bound of the bucket holding the q-quantile (0 ≤ q ≤ 1).
+    fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        self.max
+    }
+
+    fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            p50_bound: self.quantile_bound(0.50),
+            p95_bound: self.quantile_bound(0.95),
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram. Quantiles are upper
+/// bucket bounds (powers of two), not exact order statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Upper bound of the median's bucket.
+    pub p50_bound: u64,
+    /// Upper bound of the 95th percentile's bucket.
+    pub p95_bound: u64,
+}
+
+impl HistogramSummary {
+    /// Mean of recorded values (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+}
+
+/// Point-in-time snapshot of a whole registry.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to a counter, creating it at zero if new.
+    pub fn counter_add(&mut self, name: &str, n: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c = c.saturating_add(n),
+            None => {
+                self.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    /// Reads a counter (0 if never written).
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a value into a histogram, creating it if new.
+    pub fn histogram_record(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Snapshots every series.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.summary()))
+                .collect(),
+        }
+    }
+
+    /// Merges another registry into this one (counters add; histogram
+    /// streams concatenate).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.counter_add(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => {
+                    mine.count += h.count;
+                    mine.sum = mine.sum.saturating_add(h.sum);
+                    mine.min = mine.min.min(h.min);
+                    mine.max = mine.max.max(h.max);
+                    for (a, b) in mine.buckets.iter_mut().zip(&h.buckets) {
+                        *a += b;
+                    }
+                }
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_saturate() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", 2);
+        m.counter_add("x", 3);
+        assert_eq!(m.counter_value("x"), 5);
+        assert_eq!(m.counter_value("missing"), 0);
+        m.counter_add("x", u64::MAX);
+        assert_eq!(m.counter_value("x"), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_summary_tracks_extremes() {
+        let mut m = MetricsRegistry::new();
+        for v in [3u64, 9, 1000, 0] {
+            m.histogram_record("lat", v);
+        }
+        let s = m.snapshot().histograms["lat"];
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 1012);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 253.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_bounds_bracket_the_data() {
+        let mut m = MetricsRegistry::new();
+        for _ in 0..99 {
+            m.histogram_record("lat", 10);
+        }
+        m.histogram_record("lat", 100_000);
+        let s = m.snapshot().histograms["lat"];
+        // Median bucket bound covers 10, not the outlier.
+        assert!(s.p50_bound >= 10 && s.p50_bound < 100, "{s:?}");
+        assert!(s.p95_bound < 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zeroed() {
+        let h = Histogram::new();
+        assert_eq!(h.summary(), HistogramSummary::default());
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.histogram_record("h", 4);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.counter_add("only_b", 7);
+        b.histogram_record("h", 16);
+        a.merge(&b);
+        assert_eq!(a.counter_value("c"), 3);
+        assert_eq!(a.counter_value("only_b"), 7);
+        let s = a.snapshot().histograms["h"];
+        assert_eq!((s.count, s.min, s.max), (2, 4, 16));
+    }
+}

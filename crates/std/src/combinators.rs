@@ -10,8 +10,7 @@
 //! in a global value — which BSP programs naturally do.
 
 /// `replicate : α → α par` (paper §2.1).
-pub const REPLICATE_DEF: &str =
-    "let replicate = fun x -> mkpar (fun pid -> x)";
+pub const REPLICATE_DEF: &str = "let replicate = fun x -> mkpar (fun pid -> x)";
 
 /// `bcast : int → α par → α par` — the paper's direct broadcast
 /// (§2.1), cost `p + (p−1)·s·g + l` (equation (1)).
@@ -136,8 +135,7 @@ pub const APP2_DEF: &str = "\
 let app2 = fun a -> fun b -> rev_app (rev_app a []) b";
 
 /// The tail-recursive list helper suite, in dependency order.
-pub const LIST_HELPERS: [&str; 5] =
-    [REV_APP_DEF, TAKE_DEF, DROP_DEF, LENGTH_DEF, APP2_DEF];
+pub const LIST_HELPERS: [&str; 5] = [REV_APP_DEF, TAKE_DEF, DROP_DEF, LENGTH_DEF, APP2_DEF];
 
 /// `scatter : int → (int list) par → (int list) par` — the root's
 /// list is split into `p` balanced chunks, chunk `k` delivered to

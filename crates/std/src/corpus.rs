@@ -38,9 +38,8 @@ impl CorpusEntry {
     /// Panics on a parse failure (corpus sources are constants).
     #[must_use]
     pub fn ast(&self) -> Expr {
-        parse(&self.source).unwrap_or_else(|err| {
-            panic!("corpus `{}`: {}", self.name, err.render(&self.source))
-        })
+        parse(&self.source)
+            .unwrap_or_else(|err| panic!("corpus `{}`: {}", self.name, err.render(&self.source)))
     }
 }
 
@@ -71,8 +70,7 @@ pub fn paper_corpus() -> Vec<CorpusEntry> {
         CorpusEntry {
             name: "example2-hidden-nesting",
             paper_ref: "§2.1 example2 / Figure 8",
-            source: "mkpar (fun pid -> let this = mkpar (fun pid -> pid) in pid)"
-                .to_string(),
+            source: "mkpar (fun pid -> let this = mkpar (fun pid -> pid) in pid)".to_string(),
             verdict: Verdict::Reject,
         },
         CorpusEntry {
@@ -119,8 +117,7 @@ pub fn paper_corpus() -> Vec<CorpusEntry> {
         CorpusEntry {
             name: "parallel-identity-on-local",
             paper_ref: "§4 (instantiating the ifat identity at a usual value)",
-            source: "(fun x -> if mkpar (fun i -> true) at 0 then x else x) 1"
-                .to_string(),
+            source: "(fun x -> if mkpar (fun i -> true) at 0 then x else x) 1".to_string(),
             verdict: Verdict::Reject,
         },
         CorpusEntry {

@@ -260,10 +260,7 @@ pub fn inner_product(chunk: usize) -> Program {
         "inner-product",
         format!("dot product with {chunk} elements per processor"),
         combinators::prelude(
-            &[
-                combinators::FOLD_PLUS_DEF,
-                combinators::MAKE_LIST_DEF,
-            ],
+            &[combinators::FOLD_PLUS_DEF, combinators::MAKE_LIST_DEF],
             &format!(
                 "let dot = fun xs -> fun ys ->
                    let rec go a b = match a with

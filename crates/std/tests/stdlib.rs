@@ -138,9 +138,6 @@ fn inner_product_matches_sequential() {
             expected += (i * chunk as i64 + j) * ys[j as usize];
         }
     }
-    let expected = format!(
-        "<|{}|>",
-        vec![expected.to_string(); p].join(", ")
-    );
+    let expected = format!("<|{}|>", vec![expected.to_string(); p].join(", "));
     assert_eq!(v.to_string(), expected);
 }

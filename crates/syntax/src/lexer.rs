@@ -81,8 +81,7 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                     i += 1;
                 }
                 let word = &source[start..i];
-                let kind = keyword(word)
-                    .unwrap_or_else(|| TokenKind::Ident(word.to_string()));
+                let kind = keyword(word).unwrap_or_else(|| TokenKind::Ident(word.to_string()));
                 tokens.push(Token::new(kind, span(start, i)));
             }
             _ => {
@@ -135,11 +134,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        tokenize(src)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]

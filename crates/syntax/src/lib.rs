@@ -25,6 +25,6 @@ pub mod token;
 
 pub use error::ParseError;
 pub use lexer::tokenize;
-pub use module::{parse_module, Decl, Module};
-pub use parser::parse;
+pub use module::{parse_module, parse_module_with, Decl, Module};
+pub use parser::{parse, parse_with};
 pub use token::{Token, TokenKind};

@@ -58,11 +58,7 @@ impl Module {
         let body = self.body.clone()?;
         Some(self.decls.iter().rev().fold(body, |acc, d| {
             Expr::new(
-                bsml_ast::ExprKind::Let(
-                    d.name.clone(),
-                    Box::new(d.expr.clone()),
-                    Box::new(acc),
-                ),
+                bsml_ast::ExprKind::Let(d.name.clone(), Box::new(d.expr.clone()), Box::new(acc)),
                 d.span,
             )
         }))
@@ -107,7 +103,23 @@ impl fmt::Display for Module {
 /// # Ok::<(), bsml_syntax::ParseError>(())
 /// ```
 pub fn parse_module(source: &str) -> Result<Module, ParseError> {
+    parse_module_with(source, &bsml_obs::Telemetry::disabled())
+}
+
+/// [`parse_module`] under a telemetry `parse` span recording the
+/// source size, token count, and declaration count.
+///
+/// # Errors
+///
+/// Same as [`parse_module`].
+pub fn parse_module_with(
+    source: &str,
+    telemetry: &bsml_obs::Telemetry,
+) -> Result<Module, ParseError> {
+    let mut sp = telemetry.span("parse");
+    sp.set("bytes", source.len());
     let mut p = Parser::new(source)?;
+    sp.set("tokens", p.token_count());
     let mut module = Module::default();
     loop {
         // Optional `;;` separators.
@@ -135,6 +147,7 @@ pub fn parse_module(source: &str) -> Result<Module, ParseError> {
         module.body = Some(body);
         break;
     }
+    sp.set("decls", module.decls.len());
     Ok(module)
 }
 

@@ -46,6 +46,22 @@ pub fn parse(source: &str) -> Result<Expr, ParseError> {
     Ok(e)
 }
 
+/// [`parse`] under a telemetry `parse` span recording the source size
+/// and token count. With a disabled handle this is exactly [`parse`].
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_with(source: &str, telemetry: &bsml_obs::Telemetry) -> Result<Expr, ParseError> {
+    let mut sp = telemetry.span("parse");
+    sp.set("bytes", source.len());
+    let mut p = Parser::new(source)?;
+    sp.set("tokens", p.token_count());
+    let e = p.expr()?;
+    p.expect(&TokenKind::Eof)?;
+    Ok(e)
+}
+
 pub(crate) struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -57,6 +73,11 @@ impl Parser {
             tokens: tokenize(source)?,
             pos: 0,
         })
+    }
+
+    /// Number of tokens, excluding the trailing `Eof`.
+    pub(crate) fn token_count(&self) -> usize {
+        self.tokens.len().saturating_sub(1)
     }
 
     /// The current position, for backtracking.
@@ -92,9 +113,7 @@ impl Parser {
     /// Parses `let [rec] name params* = expr` at the toplevel.
     /// Returns `None` (for the caller to rewind) when the binding
     /// continues with `in` — i.e. it was an expression after all.
-    pub(crate) fn parse_toplevel_let(
-        &mut self,
-    ) -> Result<Option<crate::module::Decl>, ParseError> {
+    pub(crate) fn parse_toplevel_let(&mut self) -> Result<Option<crate::module::Decl>, ParseError> {
         let start = self.expect(&TokenKind::Let)?.span;
         let recursive = self.eat(&TokenKind::Rec);
         let name = self.expect_binder()?;
@@ -317,12 +336,7 @@ impl Parser {
             let els = self.expr()?;
             let span = start.join(els.span);
             Ok(Expr::new(
-                ExprKind::IfAt(
-                    Box::new(cond),
-                    Box::new(at),
-                    Box::new(then),
-                    Box::new(els),
-                ),
+                ExprKind::IfAt(Box::new(cond), Box::new(at), Box::new(then), Box::new(els)),
                 span,
             ))
         } else {
@@ -437,7 +451,10 @@ impl Parser {
         if self.eat(&TokenKind::ColonColon) {
             let tail = self.cons_expr()?; // right associative
             let span = head.span.join(tail.span);
-            Ok(Expr::new(ExprKind::Cons(Box::new(head), Box::new(tail)), span))
+            Ok(Expr::new(
+                ExprKind::Cons(Box::new(head), Box::new(tail)),
+                span,
+            ))
         } else {
             Ok(head)
         }
@@ -765,9 +782,18 @@ mod tests {
 
     #[test]
     fn arithmetic_precedence() {
-        assert_eq!(p("1 + 2 * 3"), b::add(b::int(1), b::mul(b::int(2), b::int(3))));
-        assert_eq!(p("(1 + 2) * 3"), b::mul(b::add(b::int(1), b::int(2)), b::int(3)));
-        assert_eq!(p("10 - 2 - 3"), b::sub(b::sub(b::int(10), b::int(2)), b::int(3)));
+        assert_eq!(
+            p("1 + 2 * 3"),
+            b::add(b::int(1), b::mul(b::int(2), b::int(3)))
+        );
+        assert_eq!(
+            p("(1 + 2) * 3"),
+            b::mul(b::add(b::int(1), b::int(2)), b::int(3))
+        );
+        assert_eq!(
+            p("10 - 2 - 3"),
+            b::sub(b::sub(b::int(10), b::int(2)), b::int(3))
+        );
         assert_eq!(p("7 mod 2"), b::modulo(b::int(7), b::int(2)));
     }
 
@@ -796,9 +822,15 @@ mod tests {
     #[test]
     fn application_chains() {
         assert_eq!(p("f x y"), b::apps(b::var("f"), [b::var("x"), b::var("y")]));
-        assert_eq!(p("f (g x)"), b::app(b::var("f"), b::app(b::var("g"), b::var("x"))));
+        assert_eq!(
+            p("f (g x)"),
+            b::app(b::var("f"), b::app(b::var("g"), b::var("x")))
+        );
         // Application binds tighter than *.
-        assert_eq!(p("f x * 2"), b::mul(b::app(b::var("f"), b::var("x")), b::int(2)));
+        assert_eq!(
+            p("f x * 2"),
+            b::mul(b::app(b::var("f"), b::var("x")), b::int(2))
+        );
     }
 
     #[test]
@@ -812,10 +844,7 @@ mod tests {
 
     #[test]
     fn lets_and_sugar() {
-        assert_eq!(
-            p("let x = 1 in x"),
-            b::let_("x", b::int(1), b::var("x"))
-        );
+        assert_eq!(p("let x = 1 in x"), b::let_("x", b::int(1), b::var("x")));
         assert_eq!(
             p("let f x = x in f"),
             b::let_("f", b::fun_("x", b::var("x")), b::var("f"))
@@ -849,10 +878,7 @@ mod tests {
             b::mkpar(b::fun_("pid", b::var("pid")))
         );
         assert_eq!(p("put f"), b::put(b::var("f")));
-        assert_eq!(
-            p("apply (f, v)"),
-            b::apply(b::var("f"), b::var("v"))
-        );
+        assert_eq!(p("apply (f, v)"), b::apply(b::var("f"), b::var("v")));
         assert_eq!(p("bsp_p ()"), b::nprocs());
         assert!(parse("fun mkpar -> mkpar").is_err());
         assert!(parse("let put = 1 in put").is_err());
@@ -869,7 +895,10 @@ mod tests {
 
     #[test]
     fn lists() {
-        assert_eq!(p("[1; 2; 3]"), b::list(vec![b::int(1), b::int(2), b::int(3)]));
+        assert_eq!(
+            p("[1; 2; 3]"),
+            b::list(vec![b::int(1), b::int(2), b::int(3)])
+        );
         assert_eq!(p("1 :: 2 :: []"), b::list(vec![b::int(1), b::int(2)]));
         // :: binds looser than +.
         assert_eq!(

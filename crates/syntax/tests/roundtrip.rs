@@ -56,8 +56,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             (ident_strategy(), inner.clone(), inner.clone())
                 .prop_map(|(x, e1, e2)| b::let_(x, e1, e2)),
             (inner.clone(), inner.clone()).prop_map(|(a, c)| b::pair(a, c)),
-            (inner.clone(), inner.clone(), inner.clone())
-                .prop_map(|(c, t, e)| b::if_(c, t, e)),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| b::if_(c, t, e)),
             (inner.clone(), inner.clone(), inner.clone(), inner.clone())
                 .prop_map(|(v, n, t, e)| b::ifat(v, n, t, e)),
             (inner.clone(), inner.clone()).prop_map(|(h, t)| b::cons(h, t)),
@@ -124,8 +123,7 @@ fn binop_sugar_round_trips() {
     ] {
         let e = b::binop(op, b::var("x"), b::var("y"));
         let printed = e.to_string();
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|err| panic!("failed on `{printed}`: {err}"));
+        let reparsed = parse(&printed).unwrap_or_else(|err| panic!("failed on `{printed}`: {err}"));
         assert_eq!(reparsed, e, "op {op:?} printed as `{printed}`");
     }
 }

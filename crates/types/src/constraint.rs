@@ -125,11 +125,21 @@ impl Constraint {
     /// variables, and conservatively reported as residual otherwise.
     #[must_use]
     pub fn solve(&self) -> Solution {
+        let mut iterations = 0;
+        self.solve_counted(&mut iterations)
+    }
+
+    /// [`Constraint::solve`], adding the number of solver iterations
+    /// (unit-propagation rounds, plus truth assignments tried by the
+    /// non-Horn fallback) to `iterations`. Feeds the telemetry
+    /// counters in `bsml-infer`.
+    #[must_use]
+    pub fn solve_counted(&self, iterations: &mut u64) -> Solution {
         let expanded = self.expand();
         let mut clauses = Vec::new();
         match to_clauses(&expanded, &BTreeSet::new(), &mut clauses) {
-            Ok(()) => propagate(clauses),
-            Err(NonHorn) => brute_force(&expanded),
+            Ok(()) => propagate(clauses, iterations),
+            Err(NonHorn) => brute_force(&expanded, iterations),
         }
     }
 
@@ -251,11 +261,7 @@ impl Clause {
     /// Converts the clause back to a [`Constraint`] formula.
     #[must_use]
     pub fn to_constraint(&self) -> Constraint {
-        let body = Constraint::conj(
-            self.body
-                .iter()
-                .map(|v| Constraint::loc(Type::Var(*v))),
-        );
+        let body = Constraint::conj(self.body.iter().map(|v| Constraint::loc(Type::Var(*v))));
         let head = match self.head {
             Head::Atom(v) => Constraint::loc(Type::Var(v)),
             Head::Absurd => Constraint::False,
@@ -472,12 +478,14 @@ fn antecedent_atoms(c: &Constraint, out: &mut BTreeSet<TyVar>) -> AnteResult {
     }
 }
 
-/// Unit propagation on a Horn clause set.
-fn propagate(clauses: Vec<Clause>) -> Solution {
+/// Unit propagation on a Horn clause set. Each round over the clause
+/// set counts as one iteration.
+fn propagate(clauses: Vec<Clause>, iterations: &mut u64) -> Solution {
     let mut facts: BTreeSet<TyVar> = BTreeSet::new();
     let mut pending: Vec<Clause> = clauses;
 
     loop {
+        *iterations += 1;
         let mut changed = false;
         let mut next: Vec<Clause> = Vec::with_capacity(pending.len());
         for mut clause in pending {
@@ -518,9 +526,8 @@ fn propagate(clauses: Vec<Clause>) -> Solution {
     // has a subset body.
     let all: Vec<Clause> = residual.iter().cloned().collect();
     let survives = |c: &Clause| {
-        !all.iter().any(|other| {
-            other != c && other.head == c.head && other.body.is_subset(&c.body)
-        })
+        !all.iter()
+            .any(|other| other != c && other.head == c.head && other.body.is_subset(&c.body))
     };
     let reduced: Vec<Clause> = all.iter().filter(|c| survives(c)).cloned().collect();
 
@@ -535,7 +542,7 @@ fn propagate(clauses: Vec<Clause>) -> Solution {
 /// non-Horn formulas. Exact for up to 22 variables; above that the
 /// formula is reported residual via a single conservative clause
 /// carrying all its variables.
-fn brute_force(c: &Constraint) -> Solution {
+fn brute_force(c: &Constraint, iterations: &mut u64) -> Solution {
     let vars = c.free_vars();
     if vars.len() > 22 {
         // Conservative: keep the formula contingent. (Documented as
@@ -547,6 +554,7 @@ fn brute_force(c: &Constraint) -> Solution {
     let mut any_false = false;
     let mut assignment = BTreeMap::new();
     for bits in 0u64..(1u64 << n) {
+        *iterations += 1;
         assignment.clear();
         for (i, v) in vars.iter().enumerate() {
             assignment.insert(*v, bits >> i & 1 == 1);
@@ -582,7 +590,7 @@ fn brute_force(c: &Constraint) -> Solution {
             if clauses.is_empty() {
                 clauses.push(Clause::rule(vars, Head::Absurd));
             }
-            propagate(clauses)
+            propagate(clauses, iterations)
         }
     }
 }
@@ -708,10 +716,7 @@ mod tests {
     #[test]
     fn parallel_identity_constraint_stays_residual() {
         // L(α) ⇒ False — contingent; α simply may not be local.
-        let c = Constraint::Implies(
-            Box::new(Constraint::loc(a())),
-            Box::new(Constraint::False),
-        );
+        let c = Constraint::Implies(Box::new(Constraint::loc(a())), Box::new(Constraint::False));
         match c.solve() {
             Solution::Residual(cs) => {
                 assert_eq!(cs, vec![Clause::rule([TyVar(0)], Head::Absurd)]);
@@ -735,7 +740,10 @@ mod tests {
         // L(α) ∧ (L(α) ⇒ L(β)) — both become facts.
         let c = Constraint::and(
             Constraint::loc(a()),
-            Constraint::Implies(Box::new(Constraint::loc(a())), Box::new(Constraint::loc(b()))),
+            Constraint::Implies(
+                Box::new(Constraint::loc(a())),
+                Box::new(Constraint::loc(b())),
+            ),
         );
         match c.solve() {
             Solution::Residual(cs) => {
@@ -785,7 +793,10 @@ mod tests {
         // (L(α) ⇒ L(β)) ∧ (L(α) ∧ L(γ) ⇒ L(β)): second is subsumed.
         let g = Type::var(2);
         let c = Constraint::and(
-            Constraint::Implies(Box::new(Constraint::loc(a())), Box::new(Constraint::loc(b()))),
+            Constraint::Implies(
+                Box::new(Constraint::loc(a())),
+                Box::new(Constraint::loc(b())),
+            ),
             Constraint::Implies(
                 Box::new(Constraint::and(Constraint::loc(a()), Constraint::loc(g))),
                 Box::new(Constraint::loc(b())),
@@ -802,10 +813,8 @@ mod tests {
     #[test]
     fn non_horn_brute_force() {
         // (L(α) ⇒ False) ⇒ False — classically equivalent to L(α).
-        let inner = Constraint::Implies(
-            Box::new(Constraint::loc(a())),
-            Box::new(Constraint::False),
-        );
+        let inner =
+            Constraint::Implies(Box::new(Constraint::loc(a())), Box::new(Constraint::False));
         let c = Constraint::Implies(Box::new(inner), Box::new(Constraint::False));
         match c.solve() {
             Solution::Residual(cs) => {

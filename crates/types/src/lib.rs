@@ -48,4 +48,4 @@ pub use locality::{basic_constraint, locality};
 pub use scheme::Scheme;
 pub use subst::Subst;
 pub use ty::{TyVar, TyVarGen, Type};
-pub use unify::{unify, UnifyError};
+pub use unify::{unify, unify_counted, UnifyError, UnifyStats};

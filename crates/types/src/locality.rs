@@ -155,7 +155,10 @@ mod tests {
             locality(&Type::list(Type::var(3))),
             Constraint::loc(Type::var(3))
         );
-        assert_eq!(locality(&Type::list(Type::par(Type::Int))), Constraint::False);
+        assert_eq!(
+            locality(&Type::list(Type::par(Type::Int))),
+            Constraint::False
+        );
     }
 
     #[test]

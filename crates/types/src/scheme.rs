@@ -135,9 +135,7 @@ impl Scheme {
         if self.vars.is_empty() {
             return (self.ty.clone(), self.constraint.clone());
         }
-        let renaming = Subst::from_pairs(
-            self.vars.iter().map(|v| (*v, gen.fresh_ty())),
-        );
+        let renaming = Subst::from_pairs(self.vars.iter().map(|v| (*v, gen.fresh_ty())));
         // A pure renaming: the images are fresh variables, whose basic
         // constraints are True, so plain structural application
         // coincides with Definition 1 here.
@@ -196,9 +194,9 @@ impl Scheme {
         debug_assert!(
             self.vars.iter().all(|v| {
                 phi.get(*v).is_none()
-                    && phi.domain().all(|d| {
-                        phi.get(d).is_none_or(|img| !img.occurs(*v))
-                    })
+                    && phi
+                        .domain()
+                        .all(|d| phi.get(d).is_none_or(|img| !img.occurs(*v)))
             }),
             "substitution reaches quantified variables of {self}"
         );
@@ -240,10 +238,7 @@ mod tests {
         Scheme::new(
             vec![TyVar(0), TyVar(1)],
             Type::arrow(Type::pair(Type::var(0), Type::var(1)), Type::var(0)),
-            Constraint::implies(
-                Constraint::loc(Type::var(0)),
-                Constraint::loc(Type::var(1)),
-            ),
+            Constraint::implies(Constraint::loc(Type::var(0)), Constraint::loc(Type::var(1))),
         )
     }
 
@@ -259,10 +254,7 @@ mod tests {
         // A constraint-only variable must be captured.
         let s = Scheme::close(
             Type::var(0),
-            Constraint::implies(
-                Constraint::loc(Type::var(1)),
-                Constraint::loc(Type::var(0)),
-            ),
+            Constraint::implies(Constraint::loc(Type::var(1)), Constraint::loc(Type::var(0))),
         );
         assert_eq!(s.quantified(), &[TyVar(0), TyVar(1)]);
         assert!(s.free_vars().is_empty());
@@ -311,10 +303,7 @@ mod tests {
         let phi = Subst::singleton(TyVar(2), Type::par(Type::Int));
         let s2 = s.apply_subst(&phi);
         assert_eq!(s2.constraint().solve(), Solution::False);
-        assert_eq!(
-            s2.ty(),
-            &Type::pair(Type::var(0), Type::par(Type::Int))
-        );
+        assert_eq!(s2.ty(), &Type::pair(Type::var(0), Type::par(Type::Int)));
     }
 
     #[test]

@@ -105,14 +105,12 @@ impl Subst {
             Constraint::True => Constraint::True,
             Constraint::False => Constraint::False,
             Constraint::Loc(t) => Constraint::Loc(self.apply(t)),
-            Constraint::And(a, b) => Constraint::and(
-                self.apply_constraint(a),
-                self.apply_constraint(b),
-            ),
-            Constraint::Implies(a, b) => Constraint::implies(
-                self.apply_constraint(a),
-                self.apply_constraint(b),
-            ),
+            Constraint::And(a, b) => {
+                Constraint::and(self.apply_constraint(a), self.apply_constraint(b))
+            }
+            Constraint::Implies(a, b) => {
+                Constraint::implies(self.apply_constraint(a), self.apply_constraint(b))
+            }
         }
     }
 
@@ -144,11 +142,8 @@ impl Subst {
     /// `(self.compose(other)).apply(t) == self.apply(&other.apply(t))`.
     #[must_use]
     pub fn compose(&self, other: &Subst) -> Subst {
-        let mut map: BTreeMap<TyVar, Type> = other
-            .map
-            .iter()
-            .map(|(v, t)| (*v, self.apply(t)))
-            .collect();
+        let mut map: BTreeMap<TyVar, Type> =
+            other.map.iter().map(|(v, t)| (*v, self.apply(t))).collect();
         for (v, t) in &self.map {
             map.entry(*v).or_insert_with(|| t.clone());
         }
@@ -244,10 +239,7 @@ mod tests {
         assert_eq!(c2.solve(), Solution::False);
 
         // The benign instantiation stays satisfiable.
-        let phi = Subst::from_pairs([
-            (TyVar(0), Type::par(Type::Int)),
-            (TyVar(1), Type::Int),
-        ]);
+        let phi = Subst::from_pairs([(TyVar(0), Type::par(Type::Int)), (TyVar(1), Type::Int)]);
         let (_, c2) = phi.apply_constrained(&ty, &c);
         assert_eq!(c2.solve(), Solution::True);
     }

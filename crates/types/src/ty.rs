@@ -119,7 +119,10 @@ impl Type {
 
     /// Builds a right-nested curried arrow `t₁ → t₂ → … → ret`.
     #[must_use]
-    pub fn arrows(params: impl IntoIterator<IntoIter = impl DoubleEndedIterator<Item = Type>>, ret: Type) -> Type {
+    pub fn arrows(
+        params: impl IntoIterator<IntoIter = impl DoubleEndedIterator<Item = Type>>,
+        ret: Type,
+    ) -> Type {
         params
             .into_iter()
             .rev()
@@ -225,9 +228,7 @@ impl Type {
         match self {
             Type::Int | Type::Bool | Type::Unit => false,
             Type::Var(w) => *w == v,
-            Type::Arrow(a, b) | Type::Pair(a, b) | Type::Sum(a, b) => {
-                a.occurs(v) || b.occurs(v)
-            }
+            Type::Arrow(a, b) | Type::Pair(a, b) | Type::Sum(a, b) => a.occurs(v) || b.occurs(v),
             Type::Par(t) | Type::List(t) | Type::Ref(t) => t.occurs(v),
         }
     }
@@ -363,9 +364,7 @@ mod tests {
         assert!(!Type::par(Type::Int).has_nested_par());
         assert!(Type::par(Type::par(Type::Int)).has_nested_par());
         assert!(Type::par(Type::pair(Type::Int, Type::par(Type::Bool))).has_nested_par());
-        assert!(
-            Type::arrow(Type::par(Type::par(Type::Int)), Type::Int).has_nested_par()
-        );
+        assert!(Type::arrow(Type::par(Type::par(Type::Int)), Type::Int).has_nested_par());
         assert!(!Type::arrow(Type::par(Type::Int), Type::par(Type::Bool)).has_nested_par());
     }
 

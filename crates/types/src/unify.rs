@@ -34,6 +34,16 @@ impl fmt::Display for UnifyError {
 
 impl std::error::Error for UnifyError {}
 
+/// Work counters filled in by [`unify_counted`]. Deltas feed the
+/// telemetry counters in `bsml-infer`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UnifyStats {
+    /// Type pairs decomposed (work-list pops).
+    pub unifications: u64,
+    /// Occurs-checks performed before a variable binding.
+    pub occurs_checks: u64,
+}
+
 /// Computes the most general unifier of `a` and `b`.
 ///
 /// # Errors
@@ -53,9 +63,20 @@ impl std::error::Error for UnifyError {}
 /// # Ok::<(), bsml_types::UnifyError>(())
 /// ```
 pub fn unify(a: &Type, b: &Type) -> Result<Subst, UnifyError> {
+    let mut stats = UnifyStats::default();
+    unify_counted(a, b, &mut stats)
+}
+
+/// [`unify`], accumulating work counts into `stats`.
+///
+/// # Errors
+///
+/// Same as [`unify`].
+pub fn unify_counted(a: &Type, b: &Type, stats: &mut UnifyStats) -> Result<Subst, UnifyError> {
     let mut subst = Subst::new();
     let mut work = vec![(a.clone(), b.clone())];
     while let Some((x, y)) = work.pop() {
+        stats.unifications += 1;
         let x = subst.apply(&x);
         let y = subst.apply(&y);
         match (x, y) {
@@ -64,6 +85,7 @@ pub fn unify(a: &Type, b: &Type) -> Result<Subst, UnifyError> {
                 if t == Type::Var(v) {
                     continue;
                 }
+                stats.occurs_checks += 1;
                 if t.occurs(v) {
                     return Err(UnifyError::Occurs(v, t));
                 }
@@ -155,10 +177,7 @@ mod tests {
         let b = Type::par(Type::arrow(Type::var(1), Type::Bool));
         let s = unify(&a, &b).unwrap();
         assert_eq!(s.apply(&a), s.apply(&b));
-        assert_eq!(
-            s.apply(&a),
-            Type::par(Type::arrow(Type::Int, Type::Bool))
-        );
+        assert_eq!(s.apply(&a), Type::par(Type::arrow(Type::Int, Type::Bool)));
     }
 
     #[test]
@@ -169,6 +188,20 @@ mod tests {
         let once = s.apply(&Type::var(0));
         let twice = s.apply(&once);
         assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn counted_variant_reports_work() {
+        let mut stats = UnifyStats::default();
+        let a = Type::arrow(Type::var(0), Type::pair(Type::var(1), Type::Int));
+        let b = Type::arrow(Type::Bool, Type::pair(Type::var(2), Type::var(3)));
+        let s = unify_counted(&a, &b, &mut stats).unwrap();
+        assert_eq!(s.apply(&a), s.apply(&b));
+        // One pop per decomposed pair: the arrow, both sides, the
+        // pair, both components.
+        assert_eq!(stats.unifications, 5);
+        // Three variable bindings, each occurs-checked.
+        assert_eq!(stats.occurs_checks, 3);
     }
 
     #[test]

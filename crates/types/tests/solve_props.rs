@@ -43,10 +43,7 @@ fn horn_strategy() -> impl Strategy<Value = Constraint> {
         .prop_map(Constraint::conj);
     let clause = prop_oneof![
         atom.clone(),
-        (ante, atom.clone()).prop_map(|(a, b)| Constraint::Implies(
-            Box::new(a),
-            Box::new(b)
-        )),
+        (ante, atom.clone()).prop_map(|(a, b)| Constraint::Implies(Box::new(a), Box::new(b))),
     ];
     proptest::collection::vec(clause, 1..6).prop_map(Constraint::conj)
 }
@@ -62,8 +59,7 @@ fn any_constraint() -> impl Strategy<Value = Constraint> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Constraint::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| Constraint::Implies(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Constraint::Implies(Box::new(a), Box::new(b))),
         ]
     })
 }

@@ -321,7 +321,10 @@ mod tests {
     #[test]
     fn constants_and_vars() {
         let p = compile(&b::int(7)).unwrap();
-        assert_eq!(p.block(p.entry), &[Instr::Const(Const::Int(7)), Instr::Return]);
+        assert_eq!(
+            p.block(p.entry),
+            &[Instr::Const(Const::Int(7)), Instr::Return]
+        );
         assert!(matches!(
             compile(&b::var("x")),
             Err(CompileError::Unbound(_))
@@ -358,10 +361,7 @@ mod tests {
         // let f = fun x -> f x — the self call is a TailApply.
         let e = b::fun_("f", b::fun_("x", b::app(b::var("f"), b::var("x"))));
         let p = compile(&e).unwrap();
-        assert!(p
-            .blocks
-            .iter()
-            .any(|blk| blk.contains(&Instr::TailApply)));
+        assert!(p.blocks.iter().any(|blk| blk.contains(&Instr::TailApply)));
         // Operands are non-tail: function position compiled with
         // plain Access, not followed by Return before TailApply.
     }

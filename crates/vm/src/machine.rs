@@ -102,12 +102,7 @@ impl State<'_> {
 
     /// Runs a code block to its value (a fresh frame stack; used for
     /// the entry point and for nested calls made by primitives).
-    fn run_block(
-        &mut self,
-        code: CodeRef,
-        env: MEnv,
-        mode: Mode,
-    ) -> Result<MValue, EvalError> {
+    fn run_block(&mut self, code: CodeRef, env: MEnv, mode: Mode) -> Result<MValue, EvalError> {
         let mut frames: Vec<Frame> = Vec::new();
         let mut cur = Frame {
             code,
@@ -228,9 +223,7 @@ impl State<'_> {
                     let target = match c {
                         MValue::Bool(true) => *tb,
                         MValue::Bool(false) => *eb,
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch("if", v.to_string()))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("if", v.to_string())),
                     };
                     self.enter_block(&mut frames, &mut cur, target, None, *tail)?;
                 }
@@ -239,20 +232,9 @@ impl State<'_> {
                     let (target, payload) = match s {
                         MValue::Inl(v) => (*lb, (*v).clone()),
                         MValue::Inr(v) => (*rb, (*v).clone()),
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch(
-                                "case",
-                                v.to_string(),
-                            ))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("case", v.to_string())),
                     };
-                    self.enter_block(
-                        &mut frames,
-                        &mut cur,
-                        target,
-                        Some(vec![payload]),
-                        *tail,
-                    )?;
+                    self.enter_block(&mut frames, &mut cur, target, Some(vec![payload]), *tail)?;
                 }
                 Instr::MatchJump(nb, cb, tail) => {
                     let s = stack.pop().expect("MatchJump scrutinee");
@@ -270,12 +252,7 @@ impl State<'_> {
                                 *tail,
                             )?;
                         }
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch(
-                                "match",
-                                v.to_string(),
-                            ))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("match", v.to_string())),
                     }
                 }
                 Instr::IfAtJump(tb, eb, tail) => {
@@ -286,18 +263,11 @@ impl State<'_> {
                     let v = stack.pop().expect("IfAt vector");
                     let idx = match n {
                         MValue::Int(i) => i,
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch("at", v.to_string()))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("at", v.to_string())),
                     };
                     let bools = match v {
                         MValue::Vector(vs) => vs,
-                        v => {
-                            return Err(EvalError::ScrutineeMismatch(
-                                "if‥at‥",
-                                v.to_string(),
-                            ))
-                        }
+                        v => return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string())),
                     };
                     if idx < 0 || idx as usize >= self.p {
                         return Err(EvalError::PidOutOfRange(idx, self.p));
@@ -305,10 +275,7 @@ impl State<'_> {
                     let chosen = match bools.get(idx as usize) {
                         Some(MValue::Bool(b)) => *b,
                         Some(v) => {
-                            return Err(EvalError::ScrutineeMismatch(
-                                "if‥at‥",
-                                v.to_string(),
-                            ))
+                            return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string()))
                         }
                         None => return Err(EvalError::PidOutOfRange(idx, self.p)),
                     };
@@ -365,12 +332,7 @@ impl State<'_> {
 
     /// Resolves a call: primitives and tables compute immediately,
     /// closures yield a jump target.
-    fn prepare_call(
-        &mut self,
-        f: MValue,
-        arg: MValue,
-        mode: Mode,
-    ) -> Result<Callee, EvalError> {
+    fn prepare_call(&mut self, f: MValue, arg: MValue, mode: Mode) -> Result<Callee, EvalError> {
         match f {
             MValue::Closure { code, env } => Ok(Callee::Jump(code, env.push(arg))),
             MValue::Prim(op) => Ok(Callee::Done(self.delta(op, arg, mode)?)),
@@ -399,11 +361,7 @@ impl State<'_> {
                 let env = env.push(MValue::Fix(Rc::new(f.clone())));
                 self.run_block(*code, env, mode)
             }
-            other => self.call(
-                other.clone(),
-                MValue::Fix(Rc::new(other.clone())),
-                mode,
-            ),
+            other => self.call(other.clone(), MValue::Fix(Rc::new(other.clone())), mode),
         }
     }
 
@@ -474,11 +432,7 @@ impl State<'_> {
             },
             Op::And | Op::Or => match arg {
                 Pair(a, b) => match (&*a, &*b) {
-                    (Bool(x), Bool(y)) => Ok(Bool(if op == Op::And {
-                        *x && *y
-                    } else {
-                        *x || *y
-                    })),
+                    (Bool(x), Bool(y)) => Ok(Bool(if op == Op::And { *x && *y } else { *x || *y })),
                     _ => mismatch(Pair(a, b)),
                 },
                 v => mismatch(v),
@@ -580,11 +534,7 @@ impl State<'_> {
                     (Vector(fs), Vector(vs)) if fs.len() == vs.len() => {
                         let mut out = Vec::with_capacity(fs.len());
                         for i in 0..fs.len() {
-                            let v = self.call(
-                                fs[i].clone(),
-                                vs[i].clone(),
-                                Mode::OnProc(i),
-                            )?;
+                            let v = self.call(fs[i].clone(), vs[i].clone(), Mode::OnProc(i))?;
                             self.check_local(&v)?;
                             out.push(v);
                         }
@@ -600,8 +550,7 @@ impl State<'_> {
                     for (j, f) in fs.iter().enumerate() {
                         let mut row = Vec::with_capacity(self.p);
                         for i in 0..self.p {
-                            let v =
-                                self.call(f.clone(), Int(i as i64), Mode::OnProc(j))?;
+                            let v = self.call(f.clone(), Int(i as i64), Mode::OnProc(j))?;
                             self.check_local(&v)?;
                             row.push(v);
                         }
@@ -659,7 +608,10 @@ mod tests {
     #[test]
     fn recursion_and_tail_calls() {
         assert_eq!(
-            run("let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 10", 1),
+            run(
+                "let rec fact n = if n = 0 then 1 else n * fact (n - 1) in fact 10",
+                1
+            ),
             "3628800"
         );
         // A million tail-recursive iterations in constant frames.
@@ -675,10 +627,7 @@ mod tests {
 
     #[test]
     fn deep_tail_loops_do_not_grow_frames() {
-        let e = parse(
-            "let rec go n = if n = 0 then 0 else go (n - 1) in go 200000",
-        )
-        .unwrap();
+        let e = parse("let rec go n = if n = 0 then 0 else go (n - 1) in go 200000").unwrap();
         let program = compile(&e).unwrap();
         assert_eq!(Vm::new(1).run(&program).unwrap().to_string(), "0");
     }
@@ -712,10 +661,7 @@ mod tests {
             ),
             "<|100, 101, 102|>"
         );
-        assert_eq!(
-            run("if mkpar (fun i -> i = 1) at 1 then 5 else 6", 2),
-            "5"
-        );
+        assert_eq!(run("if mkpar (fun i -> i = 1) at 1 then 5 else 6", 2), "5");
     }
 
     #[test]

@@ -147,9 +147,7 @@ impl MValue {
     pub fn contains_vector(&self) -> bool {
         match self {
             MValue::Vector(_) => true,
-            MValue::Pair(a, b) | MValue::Cons(a, b) => {
-                a.contains_vector() || b.contains_vector()
-            }
+            MValue::Pair(a, b) | MValue::Cons(a, b) => a.contains_vector() || b.contains_vector(),
             MValue::Inl(v) | MValue::Inr(v) => v.contains_vector(),
             MValue::Cell { cell, .. } => cell.borrow().contains_vector(),
             _ => false,

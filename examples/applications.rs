@@ -42,14 +42,20 @@ fn main() {
                    let step = c := !c + 1 in
                    mkpar (fun i -> !c * 10 + i)";
     let out = bsml.run(counter).expect("counter runs");
-    println!("   replicated counter, read in components: {}", out.report.value);
+    println!(
+        "   replicated counter, read in components: {}",
+        out.report.value
+    );
 
     let per_proc = "mkpar (fun i ->
                       let acc = ref 0 in
                       let upd = acc := i * i in
                       !acc)";
     let out = bsml.run(per_proc).expect("per-proc cells run");
-    println!("   per-processor cells:                     {}", out.report.value);
+    println!(
+        "   per-processor cells:                     {}",
+        out.report.value
+    );
 
     // Assigning a replicated cell inside one component: the *type
     // system* already rejects the composition (a local-typed binding
@@ -58,25 +64,25 @@ fn main() {
                       let bad = mkpar (fun i -> c := i) in
                       !c";
     match bsml.run(incoherent) {
-        Err(err) => println!(
-            "   assigning a replicated cell locally:     rejected statically — {err}"
-        ),
+        Err(err) => {
+            println!("   assigning a replicated cell locally:     rejected statically — {err}")
+        }
         Ok(_) => unreachable!("the coherence discipline must fire"),
     }
     // …and even bypassing the checker, the dynamic coherence
     // discipline of §6 catches it at run time.
     match bsml.run_unchecked(incoherent) {
-        Err(err) => println!(
-            "   (unchecked)                              rejected dynamically — {err}"
-        ),
+        Err(err) => {
+            println!("   (unchecked)                              rejected dynamically — {err}")
+        }
         Ok(_) => unreachable!("the dynamic discipline must fire"),
     }
 
     let vector_in_ref = "ref (mkpar (fun i -> i))";
     match bsml.run(vector_in_ref) {
-        Err(err) => println!(
-            "   a cell holding a parallel vector:        rejected statically — {err}"
-        ),
+        Err(err) => {
+            println!("   a cell holding a parallel vector:        rejected statically — {err}")
+        }
         Ok(_) => unreachable!("L(α) on ref must fire"),
     }
 }

@@ -62,9 +62,7 @@ fn main() {
         let td = direct.time(&params);
         let tl = log.time(&params);
         let winner = if td <= tl { "direct" } else { "log" };
-        println!(
-            "  {name:<27} direct = {td:>9}  log = {tl:>9}  → {winner} wins"
-        );
+        println!("  {name:<27} direct = {td:>9}  log = {tl:>9}  → {winner} wins");
     }
 
     println!("\n=== Measured: direct vs two-phase broadcast, p = 8 ===\n");

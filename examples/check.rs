@@ -86,12 +86,9 @@ fn main() {
 
     if bytecode {
         let result = bsml.check(&source).and_then(|check| {
-            bsml_vm::compile(&check.ast)
-                .map_err(|e| {
-                    bsml_core::BsmlError::Eval(bsml_core::eval::EvalError::NotAFunction(
-                        e.to_string(),
-                    ))
-                })
+            bsml_vm::compile(&check.ast).map_err(|e| {
+                bsml_core::BsmlError::Eval(bsml_core::eval::EvalError::NotAFunction(e.to_string()))
+            })
         });
         match result {
             Ok(program) => {

@@ -57,7 +57,10 @@ fn main() {
                 }
             ),
         };
-        println!("  {:<28} [{}]\n      {verdict}\n", entry.name, entry.paper_ref);
+        println!(
+            "  {:<28} [{}]\n      {verdict}\n",
+            entry.name, entry.paper_ref
+        );
     }
 }
 

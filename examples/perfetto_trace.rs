@@ -1,0 +1,26 @@
+//! Dumps a Perfetto-loadable Chrome trace of an instrumented session —
+//! the README's observability example, runnable.
+
+use bsml_bsp::BspParams;
+use bsml_core::obs::Telemetry;
+use bsml_core::session::Session;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry = Telemetry::enabled();
+    let mut s = Session::with_telemetry(BspParams::new(4, 10, 1000), telemetry.clone());
+    s.load(
+        "let recv = put (mkpar (fun j -> fun i -> j * j)) in
+         apply (recv, mkpar (fun i -> 2))",
+    )?;
+
+    println!("{}", telemetry.render_tree());
+    assert_eq!(telemetry.counter_value("bsp.supersteps"), 1);
+
+    let path = std::env::temp_dir().join("bsml-trace.json");
+    std::fs::write(&path, telemetry.to_chrome_trace())?;
+    println!(
+        "wrote {} — load it in https://ui.perfetto.dev",
+        path.display()
+    );
+    Ok(())
+}

@@ -68,8 +68,8 @@ fn main() {
 
         buffer.push_str(&line);
         // A phrase ends at `;;` or at a line that parses on its own.
-        let complete = buffer.trim_end().ends_with(";;")
-            || bsml_syntax::parse_module(&buffer).is_ok();
+        let complete =
+            buffer.trim_end().ends_with(";;") || bsml_syntax::parse_module(&buffer).is_ok();
         if !complete {
             continue;
         }

@@ -30,7 +30,6 @@ impl Gen {
         Ident::new(format!("{prefix}{}", self.counter))
     }
 
-
     fn gen(&mut self, ty: GenTy, depth: u32, ctx: &[(Ident, GenTy)]) -> Expr {
         let leafy = depth == 0 || self.rng.gen_range(0..100) < 20;
         match ty {
@@ -62,11 +61,7 @@ impl Gen {
                             let bound = self.gen(GenTy::Int, depth - 1, ctx);
                             let mut ctx2 = ctx.to_vec();
                             ctx2.push((x.clone(), GenTy::Int));
-                            b::let_(
-                                x.as_str(),
-                                bound,
-                                self.gen(GenTy::Int, depth - 1, &ctx2),
-                            )
+                            b::let_(x.as_str(), bound, self.gen(GenTy::Int, depth - 1, &ctx2))
                         }
                         5 => {
                             // (fun x -> int-body) int-arg
@@ -100,10 +95,7 @@ impl Gen {
                                 b::let_(
                                     "_",
                                     b::binop(bsml_ast::Op::Assign, rv(), update),
-                                    b::add(
-                                        b::app(b::op(bsml_ast::Op::Deref), rv()),
-                                        extra,
-                                    ),
+                                    b::add(b::app(b::op(bsml_ast::Op::Deref), rv()), extra),
                                 ),
                             )
                         }
@@ -171,10 +163,7 @@ impl Gen {
                             let msg = self.gen(GenTy::Int, depth.saturating_sub(1), &inner);
                             let sender = self.rng.gen_range(0..P as i64);
                             b::apply(
-                                b::put(b::mkpar(b::fun_(
-                                    j.as_str(),
-                                    b::fun_(d.as_str(), msg),
-                                ))),
+                                b::put(b::mkpar(b::fun_(j.as_str(), b::fun_(d.as_str(), msg)))),
                                 b::mkpar(b::fun_("who", b::int(sender))),
                             )
                         }
@@ -194,11 +183,7 @@ impl Gen {
                             let bound = self.gen(GenTy::IntPar, depth - 1, ctx);
                             let mut ctx2 = ctx.to_vec();
                             ctx2.push((v.clone(), GenTy::IntPar));
-                            b::let_(
-                                v.as_str(),
-                                bound,
-                                self.gen(GenTy::IntPar, depth - 1, &ctx2),
-                            )
+                            b::let_(v.as_str(), bound, self.gen(GenTy::IntPar, depth - 1, &ctx2))
                         }
                     }
                 }
@@ -268,8 +253,6 @@ impl Gen {
         b::mkpar(b::fun_(i.as_str(), body))
     }
 }
-
-
 
 /// Generates a closed, well-typed program of the given type.
 #[must_use]

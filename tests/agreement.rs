@@ -11,8 +11,8 @@ use bsml_std::workloads;
 
 fn agree(program: &bsml_std::Program, p: usize) {
     let ast = program.ast();
-    let big = eval_closed(&ast, p)
-        .unwrap_or_else(|e| panic!("{} big-step at p={p}: {e}", program.name));
+    let big =
+        eval_closed(&ast, p).unwrap_or_else(|e| panic!("{} big-step at p={p}: {e}", program.name));
     let small = smallstep::run(&ast, p, 50_000_000)
         .unwrap_or_else(|e| panic!("{} small-step at p={p}: {e}", program.name));
     assert!(

@@ -20,7 +20,9 @@ fn vector_of_lists(v: &Value) -> Vec<Vec<i64>> {
             loop {
                 match cur {
                     Value::Cons(h, t) => {
-                        let Value::Int(n) = *h else { panic!("non-int in list: {h}") };
+                        let Value::Int(n) = *h else {
+                            panic!("non-int in list: {h}")
+                        };
                         out.push(n);
                         cur = (*t).clone();
                     }
@@ -81,9 +83,7 @@ fn psrs_sorts_globally() {
         // …and the multiset of values is exactly the input.
         let mut all: Vec<i64> = blocks.concat();
         all.sort_unstable();
-        let mut expected: Vec<i64> = (0..p as i64)
-            .flat_map(|i| gen(n, i * 13 + 5))
-            .collect();
+        let mut expected: Vec<i64> = (0..p as i64).flat_map(|i| gen(n, i * 13 + 5)).collect();
         expected.sort_unstable();
         assert_eq!(all, expected, "value multiset differs at p={p}");
     }
@@ -113,8 +113,7 @@ fn matvec_matches_reference() {
             assert_eq!(block.len(), r, "p={p}");
             for (local_row, &y) in block.iter().enumerate() {
                 let i = (proc * r + local_row) as i64;
-                let expected: i64 =
-                    (0..cols as i64).map(|j| (i + 2 * j) * x[j as usize]).sum();
+                let expected: i64 = (0..cols as i64).map(|j| (i + 2 * j) * x[j as usize]).sum();
                 assert_eq!(y, expected, "row {i} at p={p}");
             }
         }
@@ -139,6 +138,11 @@ fn matvec_superstep_structure() {
 fn algorithms_typecheck_and_are_global() {
     for w in [algorithms::psrs_sort(4), algorithms::matvec(1, 1)] {
         let inf = infer(&w.ast()).unwrap_or_else(|e| panic!("{}", e.render(&w.source)));
-        assert!(inf.ty.to_string().ends_with("par"), "{}: {}", w.name, inf.ty);
+        assert!(
+            inf.ty.to_string().ends_with("par"),
+            "{}: {}",
+            w.name,
+            inf.ty
+        );
     }
 }

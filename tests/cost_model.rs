@@ -70,11 +70,7 @@ fn equation1_work_term_grows_linearly_in_p() {
 fn log_bcast_has_logarithmic_supersteps() {
     for p in [1, 2, 3, 4, 5, 8, 16] {
         let cost = run_cost(p, &workloads::bcast_log_payload(1));
-        assert_eq!(
-            cost.supersteps,
-            formulas::ceil_log2(p),
-            "S at p={p}"
-        );
+        assert_eq!(cost.supersteps, formulas::ceil_log2(p), "S at p={p}");
     }
 }
 

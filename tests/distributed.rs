@@ -61,11 +61,7 @@ fn machines_agree_on_the_applications() {
 fn machines_agree_on_replicated_scalars_and_ifat() {
     // A program whose result is a replicated local value — every rank
     // must compute the same thing.
-    cross_check(
-        "replicated-scalar",
-        "let x = 3 in x * x + 1",
-        4,
-    );
+    cross_check("replicated-scalar", "let x = 3 in x * x + 1", 4);
     cross_check(
         "ifat-branching",
         "if mkpar (fun i -> i = 2) at 2
@@ -119,10 +115,7 @@ fn unserializable_messages_are_rejected() {
     // Sending a closure through put: no portable form.
     let e = parse("put (mkpar (fun j -> fun d -> fun x -> x + j))").unwrap();
     let err = DistMachine::new(2).run(&e).unwrap_err();
-    assert!(
-        matches!(err, EvalError::NotSerializable(_)),
-        "got {err}"
-    );
+    assert!(matches!(err, EvalError::NotSerializable(_)), "got {err}");
     // The lockstep machine, living in one address space, allows it —
     // a documented difference (OCaml marshalling has the same split).
     let lockstep = BspMachine::new(BspParams::new(2, 1, 1)).run(&e);

@@ -27,10 +27,7 @@ fn sequencing_desugars_to_let() {
 
 #[test]
 fn sequencing_with_references() {
-    assert_eq!(
-        run("let c = ref 0 in c := 5; c := !c * 2; !c + 1", 1),
-        "11"
-    );
+    assert_eq!(run("let c = ref 0 in c := 5; c := !c * 2; !c + 1", 1), "11");
 }
 
 #[test]
@@ -78,7 +75,10 @@ fn for_loops() {
     );
     // Empty range: to < from.
     assert_eq!(
-        run("let acc = ref 7 in for k = 5 to 1 do acc := 0 done; !acc", 1),
+        run(
+            "let acc = ref 7 in for k = 5 to 1 do acc := 0 done; !acc",
+            1
+        ),
         "7"
     );
 }
@@ -167,8 +167,7 @@ fn pretty_printed_desugarings_reparse() {
     ] {
         let e = parse(src).unwrap();
         let printed = e.to_string();
-        let again = parse(&printed)
-            .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+        let again = parse(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
         assert_eq!(e, again, "on `{src}` → `{printed}`");
     }
 }

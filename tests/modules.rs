@@ -66,10 +66,7 @@ fn the_same_file_loads_into_a_session() {
         s.scheme_of("exchange").unwrap().to_string(),
         "∀'a.['a par -> (int -> 'a) par / L('a)]"
     );
-    assert_eq!(
-        s.scheme_of("sum_to").unwrap().to_string(),
-        "int -> int"
-    );
+    assert_eq!(s.scheme_of("sum_to").unwrap().to_string(), "int -> int");
 }
 
 #[test]

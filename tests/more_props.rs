@@ -102,10 +102,7 @@ proptest! {
 #[test]
 fn shift_pipelines_compose_linearly() {
     let machine = BspMachine::new(BspParams::new(4, 1, 1));
-    let unit_cost = machine
-        .run(&workloads::ping_rounds(1).ast())
-        .unwrap()
-        .cost;
+    let unit_cost = machine.run(&workloads::ping_rounds(1).ast()).unwrap().cost;
     for rounds in 2..=8 {
         let cost = machine
             .run(&workloads::ping_rounds(rounds).ast())

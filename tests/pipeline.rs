@@ -23,10 +23,9 @@ fn corpus_pipeline_verdicts() {
                 err.render(&entry.source)
             ),
             (Verdict::Reject, Err(BsmlError::Type(_))) => {}
-            (Verdict::Reject, Err(other)) => panic!(
-                "`{}` rejected, but not statically: {other}",
-                entry.name
-            ),
+            (Verdict::Reject, Err(other)) => {
+                panic!("`{}` rejected, but not statically: {other}", entry.name)
+            }
             (Verdict::Reject, Ok(out)) => panic!(
                 "`{}` should be rejected, produced {}",
                 entry.name, out.report.value
@@ -76,11 +75,7 @@ fn workloads_run_end_to_end_with_costs() {
         let out = b
             .run(&w.source)
             .unwrap_or_else(|err| panic!("{}: {}", w.name, err.render(&w.source)));
-        assert!(
-            out.report.cost.work > 0,
-            "{} did no work at all",
-            w.name
-        );
+        assert!(out.report.cost.work > 0, "{} did no work at all", w.name);
         // Global results are vectors.
         assert!(out.check.inference.ty.to_string().contains("par"));
     }
@@ -107,10 +102,7 @@ fn machine_size_does_not_change_verdicts() {
         let b = bsml(p);
         let out = b.run(&workloads::fold_plus().source).unwrap();
         let expected: i64 = (1..=p as i64).sum();
-        let expected = format!(
-            "<|{}|>",
-            vec![expected.to_string(); p].join(", ")
-        );
+        let expected = format!("<|{}|>", vec![expected.to_string(); p].join(", "));
         assert_eq!(out.report.value.to_string(), expected, "p={p}");
     }
 }

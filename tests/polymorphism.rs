@@ -90,9 +90,7 @@ fn higher_order_primitives_as_arguments() {
         accepts("let call = fun f -> f (fun i -> i * 2) in call mkpar"),
         "int par"
     );
-    rejects(
-        "let call = fun f -> f (fun i -> mkpar (fun j -> j)) in call mkpar",
-    );
+    rejects("let call = fun f -> f (fun i -> mkpar (fun j -> j)) in call mkpar");
 }
 
 #[test]

@@ -31,14 +31,10 @@ fn instance_of(specific: &Type, general: &Type) -> bool {
                     true
                 }
             },
-            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) | (Type::Unit, Type::Unit) => {
-                true
-            }
+            (Type::Int, Type::Int) | (Type::Bool, Type::Bool) | (Type::Unit, Type::Unit) => true,
             (Type::Arrow(a1, b1), Type::Arrow(a2, b2))
             | (Type::Pair(a1, b1), Type::Pair(a2, b2))
-            | (Type::Sum(a1, b1), Type::Sum(a2, b2)) => {
-                go(a1, a2, map) && go(b1, b2, map)
-            }
+            | (Type::Sum(a1, b1), Type::Sum(a2, b2)) => go(a1, a2, map) && go(b1, b2, map),
             (Type::Par(x), Type::Par(y)) | (Type::List(x), Type::List(y)) => go(x, y, map),
             _ => false,
         }

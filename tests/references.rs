@@ -35,8 +35,7 @@ fn syntax_round_trips() {
     ] {
         let e = parse(src).unwrap_or_else(|err| panic!("{}", err.render(src)));
         let printed = e.to_string();
-        let again = parse(&printed)
-            .unwrap_or_else(|err| panic!("re-parse `{printed}`: {err}"));
+        let again = parse(&printed).unwrap_or_else(|err| panic!("re-parse `{printed}`: {err}"));
         assert_eq!(e, again, "`{src}` printed as `{printed}`");
     }
 }
@@ -130,10 +129,7 @@ fn assigning_a_global_cell_locally_is_incoherent() {
         4,
     )
     .unwrap_err();
-    assert!(
-        matches!(err, EvalError::IncoherentReplicas(_)),
-        "got {err}"
-    );
+    assert!(matches!(err, EvalError::IncoherentReplicas(_)), "got {err}");
 }
 
 #[test]
@@ -150,10 +146,7 @@ fn local_cells_leaking_across_processors_are_incoherent() {
         3,
     )
     .unwrap_err();
-    assert!(
-        matches!(err, EvalError::IncoherentReplicas(_)),
-        "got {err}"
-    );
+    assert!(matches!(err, EvalError::IncoherentReplicas(_)), "got {err}");
 }
 
 #[test]
@@ -211,10 +204,7 @@ fn session_with_references() {
 fn figure6_style_schemes_for_ref_ops() {
     use bsml_ast::Op;
     use bsml_infer::env::op_scheme;
-    assert_eq!(
-        op_scheme(Op::Ref).to_string(),
-        "∀'a.['a -> 'a ref / L('a)]"
-    );
+    assert_eq!(op_scheme(Op::Ref).to_string(), "∀'a.['a -> 'a ref / L('a)]");
     assert_eq!(
         op_scheme(Op::Deref).to_string(),
         "∀'a.['a ref -> 'a / L('a)]"

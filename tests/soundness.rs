@@ -57,9 +57,8 @@ fn mentions_refs(e: &Expr) -> bool {
 
 fn check_theorem1(e: &Expr, expect_par: bool) {
     // 1. The type system accepts the generated program.
-    let inf = infer(e).unwrap_or_else(|err| {
-        panic!("generated program rejected: {err}\n  program: {e}")
-    });
+    let inf =
+        infer(e).unwrap_or_else(|err| panic!("generated program rejected: {err}\n  program: {e}"));
     if expect_par {
         assert!(
             matches!(inf.ty, Type::Par(_)),
@@ -69,8 +68,8 @@ fn check_theorem1(e: &Expr, expect_par: bool) {
     }
 
     // 2. Big-step evaluation succeeds.
-    let big = eval_closed(e, P)
-        .unwrap_or_else(|err| panic!("big-step failed: {err}\n  program: {e}"));
+    let big =
+        eval_closed(e, P).unwrap_or_else(|err| panic!("big-step failed: {err}\n  program: {e}"));
 
     // 3./4. Small-step reaches a value and agrees — for the pure
     // fragment (the store-free machine has no rules for references;

@@ -1,0 +1,200 @@
+//! Telemetry integration: the Chrome-trace export's golden shape, the
+//! exact correspondence between superstep span fields and the BSP cost
+//! model, and agreement between the lockstep and distributed backends.
+
+use bsml_bsp::distributed::DistMachine;
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_core::session::Session;
+use bsml_obs::{FieldValue, Telemetry};
+use bsml_syntax::parse;
+
+/// One put, one if‥at‥: two supersteps plus the program tail.
+const PROGRAM: &str = "let a = put (mkpar (fun j -> fun i -> j)) in
+     if mkpar (fun i -> true) at 0 then mkpar (fun i -> 1) else mkpar (fun i -> 2)";
+
+#[test]
+fn superstep_spans_match_run_report_exactly() {
+    let tel = Telemetry::enabled_logical();
+    let params = BspParams::new(3, 2, 5);
+    let machine = BspMachine::new(params).with_telemetry(tel.clone());
+    let report = machine.run(&parse(PROGRAM).unwrap()).unwrap();
+
+    let tracks = tel.tracks();
+    let spans: Vec<_> = tel
+        .spans()
+        .into_iter()
+        .filter(|s| s.name == "superstep")
+        .collect();
+    // One span per processor per trace record.
+    assert_eq!(spans.len(), report.trace.len() * params.p);
+
+    for s in &spans {
+        let step = usize::try_from(s.index.expect("indexed")).unwrap();
+        let rec = &report.trace[step];
+        let track_name = &tracks[s.track as usize];
+        let i: usize = track_name[1..].parse().expect("track is p<i>");
+        assert_eq!(s.field("w"), Some(&FieldValue::U64(rec.work[i])), "{s:?}");
+        assert_eq!(s.field("h_plus"), Some(&FieldValue::U64(rec.sent[i])));
+        assert_eq!(s.field("h_minus"), Some(&FieldValue::U64(rec.received[i])));
+        let expected_barrier = match rec.barrier {
+            bsml_bsp::Barrier::Put => "put",
+            bsml_bsp::Barrier::IfAt => "ifat",
+            bsml_bsp::Barrier::ProgramEnd => "end",
+        };
+        assert_eq!(
+            s.field("barrier"),
+            Some(&FieldValue::Str(expected_barrier.to_string()))
+        );
+        // The span duration is exactly the processor's local work.
+        assert_eq!(s.duration_us(), rec.work[i]);
+    }
+
+    // Counters mirror the cost summary.
+    assert_eq!(tel.counter_value("bsp.supersteps"), report.cost.supersteps);
+    assert_eq!(tel.counter_value("bsp.puts"), 1);
+    assert_eq!(tel.counter_value("bsp.ifats"), 1);
+    let total_sent: u64 = report.trace.iter().flat_map(|r| r.sent.iter()).sum();
+    assert_eq!(tel.counter_value("bsp.words_sent"), total_sent);
+}
+
+fn traced_session_output() -> (Telemetry, String) {
+    let tel = Telemetry::enabled_logical();
+    let mut s = Session::with_telemetry(BspParams::new(2, 1, 10), tel.clone());
+    s.load("let v = put (mkpar (fun j -> fun i -> j)) ;; 1 + 2")
+        .unwrap();
+    let trace = tel.to_chrome_trace();
+    (tel, trace)
+}
+
+#[test]
+fn session_chrome_trace_has_golden_shape() {
+    let (tel, trace) = traced_session_output();
+
+    // Envelope.
+    let lines: Vec<&str> = trace.lines().collect();
+    assert_eq!(lines.first(), Some(&"{\"traceEvents\":["));
+    assert_eq!(lines.last(), Some(&"]}"));
+
+    // Thread-name metadata maps tracks to Perfetto threads: the main
+    // pipeline track plus one per processor.
+    for name in ["main", "p0", "p1"] {
+        assert!(
+            trace.contains(&format!(
+                "\"thread_name\",\"tid\":{},\"args\":{{\"name\":\"{name}\"}}",
+                tel.tracks().iter().position(|t| t == name).unwrap()
+            )),
+            "missing thread_name for {name}: {trace}"
+        );
+    }
+
+    // The whole pipeline shows up as complete events.
+    for span in [
+        "\"load\"",
+        "\"parse\"",
+        "\"infer\"",
+        "\"bsp.run\"",
+        "\"superstep 0\"",
+    ] {
+        assert!(trace.contains(span), "missing {span} in {trace}");
+    }
+
+    // Counter events for the wired subsystems.
+    for counter in ["infer.unifications", "bsp.supersteps"] {
+        assert!(trace.contains(counter), "missing counter {counter}");
+    }
+
+    // Timestamps of complete events never regress (Perfetto requires
+    // monotonic input within a stream; we sort globally).
+    let mut last = 0u64;
+    let mut complete_events = 0;
+    for line in lines.iter().filter(|l| l.contains("\"ph\":\"X\"")) {
+        let ts: u64 = line
+            .split("\"ts\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .and_then(|n| n.parse().ok())
+            .expect("ts parses");
+        assert!(ts >= last, "ts regressed: {line}");
+        last = ts;
+        complete_events += 1;
+    }
+    assert!(
+        complete_events >= 8,
+        "expected a rich trace, got {complete_events} events"
+    );
+}
+
+#[test]
+fn session_chrome_trace_is_deterministic() {
+    // The logical clock makes the whole export reproducible: byte
+    // identical across runs.
+    let (_, first) = traced_session_output();
+    let (_, second) = traced_session_output();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn lockstep_and_distributed_telemetry_totals_agree() {
+    let e = parse(PROGRAM).unwrap();
+    let p = 4;
+
+    let lockstep = Telemetry::enabled_logical();
+    let report = BspMachine::new(BspParams::new(p, 1, 1))
+        .with_telemetry(lockstep.clone())
+        .run(&e)
+        .unwrap();
+
+    let distributed = Telemetry::enabled_logical();
+    let out = DistMachine::new(p)
+        .with_telemetry(distributed.clone())
+        .run(&e)
+        .unwrap();
+
+    for counter in ["bsp.supersteps", "bsp.puts", "bsp.ifats", "bsp.words_sent"] {
+        assert_eq!(
+            lockstep.counter_value(counter),
+            distributed.counter_value(counter),
+            "backends disagree on {counter}"
+        );
+    }
+    // And both agree with the structured outcomes.
+    assert_eq!(
+        lockstep.counter_value("bsp.supersteps"),
+        report.cost.supersteps
+    );
+    assert_eq!(distributed.counter_value("bsp.supersteps"), out.supersteps);
+    assert_eq!(
+        distributed.counter_value("bsp.words_sent"),
+        out.total_words_sent
+    );
+
+    // Every rank timed both barrier phases of both supersteps.
+    let metrics = distributed.metrics();
+    let waits = &metrics.histograms["bsp.barrier_wait_us"];
+    assert_eq!(waits.count, (p as u64) * 2 * out.supersteps);
+}
+
+#[test]
+fn disabled_session_records_nothing() {
+    let mut s = Session::new(BspParams::new(2, 1, 10));
+    s.load("put (mkpar (fun j -> fun i -> j))").unwrap();
+    assert!(!s.telemetry().is_enabled());
+    assert!(s.telemetry().spans().is_empty());
+    assert_eq!(s.telemetry().to_jsonl(), "");
+}
+
+#[test]
+fn session_events_carry_cumulative_metrics() {
+    let tel = Telemetry::enabled_logical();
+    let mut s = Session::with_telemetry(BspParams::new(2, 1, 10), tel);
+    let first = &s.load("put (mkpar (fun j -> fun i -> j))").unwrap()[0];
+    let first_puts = first.metrics().expect("telemetry on").counters["eval.puts"];
+    assert_eq!(first_puts, 1);
+    let second = &s.load("put (mkpar (fun j -> fun i -> j))").unwrap()[0];
+    assert_eq!(second.metrics().unwrap().counters["eval.puts"], 2);
+
+    // Sessions without telemetry expose no snapshot.
+    let mut plain = Session::new(BspParams::new(2, 1, 10));
+    let ev = &plain.load("1 + 1").unwrap()[0];
+    assert!(ev.metrics().is_none());
+}

@@ -29,9 +29,7 @@ fn cross_check_expr(name: &str, e: &bsml_ast::Expr, p: usize) {
             assert_eq!(a, b, "{name}: values differ at p={p}");
         }
         (Err(a), Err(b)) => assert_eq!(a, b, "{name}: errors differ at p={p}"),
-        (vm, tree) => panic!(
-            "{name}: outcome mismatch at p={p}: vm={vm:?} tree={tree:?}"
-        ),
+        (vm, tree) => panic!("{name}: outcome mismatch at p={p}: vm={vm:?} tree={tree:?}"),
     }
 }
 
@@ -87,7 +85,10 @@ fn vm_error_classes_match() {
             "mkpar (fun pid -> if mkpar (fun i -> true) at 0 then 1 else 2)",
             EvalError::NestedParallelism,
         ),
-        ("if mkpar (fun i -> true) at 9 then 1 else 2", EvalError::PidOutOfRange(9, 4)),
+        (
+            "if mkpar (fun i -> true) at 9 then 1 else 2",
+            EvalError::PidOutOfRange(9, 4),
+        ),
     ] {
         let e = bsml_syntax::parse(src).unwrap();
         let program = compile(&e).unwrap();

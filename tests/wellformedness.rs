@@ -22,8 +22,7 @@ fn assert_well_formed(ty: &Type, what: &str) {
 fn corpus_accepts_have_well_formed_types() {
     for entry in paper_corpus() {
         if entry.verdict == Verdict::Accept {
-            let inf = infer(&entry.ast())
-                .unwrap_or_else(|e| panic!("{}: {e}", entry.name));
+            let inf = infer(&entry.ast()).unwrap_or_else(|e| panic!("{}: {e}", entry.name));
             assert_well_formed(&inf.ty, entry.name);
         }
     }
