@@ -12,6 +12,16 @@
 //! and synchronize on a poisonable barrier (a failing processor
 //! releases, rather than deadlocks, its peers).
 //!
+//! **Robustness** (DESIGN.md §9): every barrier wait runs under a
+//! wall-clock watchdog ([`DEFAULT_BARRIER_TIMEOUT`]), so a stalled or
+//! deadlocked peer surfaces as [`EvalError::BarrierTimeout`] instead
+//! of hanging `run()` forever; a *panicking* processor thread is
+//! contained (unwind-caught, barrier poisoned) and reported as
+//! [`EvalError::PeerFailure`] instead of aborting the runner; and a
+//! seeded [`crate::faults::FaultPlan`] can deterministically inject
+//! crashes, message drops and stalls for chaos testing — see
+//! [`crate::supervisor::Supervisor`] for replay-based recovery.
+//!
 //! The lockstep simulator ([`crate::BspMachine`]) and this machine
 //! are cross-checked in `tests/distributed.rs`: same values, same
 //! per-superstep h-relations.
@@ -29,8 +39,9 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use bsml_ast::Expr;
 use bsml_eval::{
@@ -38,9 +49,35 @@ use bsml_eval::{
 };
 use bsml_obs::Telemetry;
 
+use crate::faults::{FaultKind, FaultPlan};
+
+/// Default per-processor fuel of a [`DistMachine`]: conservative
+/// enough that a divergent SPMD program terminates with
+/// [`EvalError::OutOfFuel`] in well under a second per thread instead
+/// of spinning `p` threads indefinitely. Raise it with
+/// [`DistMachine::with_fuel`] for genuinely long computations.
+pub const DIST_DEFAULT_FUEL: u64 = 10_000_000;
+
+/// Default watchdog timeout on every barrier wait. Generous for a
+/// shared-memory machine (barriers are microseconds); its job is to
+/// convert *pathological* states — a deadlocked or runaway peer —
+/// into [`EvalError::BarrierTimeout`] rather than a hang. Override
+/// with [`DistMachine::with_barrier_timeout`], or disable with
+/// [`DistMachine::without_watchdog`].
+pub const DEFAULT_BARRIER_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Locks a mutex whose protected data stays valid across a peer
+/// panic (plain counters): poisoning is ignored, the guard recovered.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A synchronization barrier that can be *poisoned*: when one
 /// processor fails, every processor waiting (now or later) is
 /// released with [`EvalError::PeerFailure`] instead of deadlocking.
+/// Waits may carry a watchdog timeout; a timed-out wait poisons the
+/// barrier (so every peer is released too) and surfaces as
+/// [`EvalError::BarrierTimeout`].
 #[derive(Debug)]
 struct PoisonBarrier {
     n: usize,
@@ -64,21 +101,55 @@ impl PoisonBarrier {
         }
     }
 
-    fn wait(&self) -> Result<(), EvalError> {
-        let mut st = self.state.lock().expect("barrier lock");
+    /// Waits for all `n` processors, or until `timeout` elapses.
+    ///
+    /// A poisoned *mutex* (a peer panicked inside the critical
+    /// section) is treated like a poisoned barrier: the state may be
+    /// inconsistent, so the only safe report is a peer failure.
+    fn wait(&self, timeout: Option<Duration>) -> Result<(), EvalError> {
+        let Ok(mut st) = self.state.lock() else {
+            return Err(EvalError::PeerFailure);
+        };
         if st.poisoned {
             return Err(EvalError::PeerFailure);
         }
         st.waiting += 1;
         if st.waiting == self.n {
             st.waiting = 0;
-            st.generation += 1;
+            // Wrapping: generations only distinguish *adjacent*
+            // barrier episodes, so reuse across u64 wraparound is
+            // sound (and unit-tested).
+            st.generation = st.generation.wrapping_add(1);
             self.cv.notify_all();
             return Ok(());
         }
         let gen = st.generation;
+        let deadline = timeout.map(|t| Instant::now() + t);
         while st.generation == gen && !st.poisoned {
-            st = self.cv.wait(st).expect("barrier wait");
+            match deadline {
+                None => {
+                    st = match self.cv.wait(st) {
+                        Ok(g) => g,
+                        Err(_) => return Err(EvalError::PeerFailure),
+                    };
+                }
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        let waiting = st.waiting;
+                        st.poisoned = true;
+                        self.cv.notify_all();
+                        return Err(EvalError::BarrierTimeout {
+                            superstep: gen,
+                            waiting,
+                        });
+                    }
+                    st = match self.cv.wait_timeout(st, d - now) {
+                        Ok((g, _)) => g,
+                        Err(_) => return Err(EvalError::PeerFailure),
+                    };
+                }
+            }
         }
         if st.poisoned {
             Err(EvalError::PeerFailure)
@@ -88,7 +159,7 @@ impl PoisonBarrier {
     }
 
     fn poison(&self) {
-        let mut st = self.state.lock().expect("barrier lock");
+        let mut st = lock_ignore_poison(&self.state);
         st.poisoned = true;
         self.cv.notify_all();
     }
@@ -104,8 +175,18 @@ struct CommStats {
     ifats: u64,
 }
 
+/// Counters for everything the fault layer did to one run; flushed
+/// into the `bsp.faults_injected` / `bsp.barrier_timeouts` telemetry
+/// counters whether the run succeeds or fails.
+#[derive(Debug, Default)]
+struct FaultLedger {
+    faults_injected: AtomicU64,
+    barrier_timeouts: AtomicU64,
+}
+
 /// The shared "network": the message mailbox, the `if‥at‥` broadcast
-/// slot, and the barrier.
+/// slot, the barrier, and the (optional) fault plan governing this
+/// attempt.
 #[derive(Debug)]
 struct Network {
     p: usize,
@@ -116,15 +197,32 @@ struct Network {
     mailbox: Mutex<Vec<Vec<PortableValue>>>,
     /// The broadcast boolean of the current `if‥at‥`.
     ifat_slot: Mutex<Option<bool>>,
+    /// Watchdog timeout applied to every barrier wait.
+    barrier_timeout: Option<Duration>,
+    /// Faults to inject into this attempt (`None` = zero-cost).
+    faults: Option<Arc<FaultPlan>>,
+    /// Which retry attempt this network serves (plans arm faults
+    /// per-attempt).
+    attempt: u32,
+    ledger: FaultLedger,
 }
 
 impl Network {
-    fn new(p: usize) -> Network {
+    fn new(
+        p: usize,
+        barrier_timeout: Option<Duration>,
+        faults: Option<Arc<FaultPlan>>,
+        attempt: u32,
+    ) -> Network {
         Network {
             p,
             barrier: PoisonBarrier::new(p),
             mailbox: Mutex::new(vec![vec![PortableValue::NoComm; p]; p]),
             ifat_slot: Mutex::new(None),
+            barrier_timeout,
+            faults,
+            attempt,
+            ledger: FaultLedger::default(),
         }
     }
 }
@@ -142,18 +240,100 @@ struct SpmdDriver {
 }
 
 impl SpmdDriver {
-    /// Waits on the shared barrier, recording how long this thread
-    /// spent blocked into the `bsp.barrier_wait_us` histogram.
-    fn barrier_wait(&self) -> Result<(), EvalError> {
-        if !self.telemetry.is_enabled() {
-            return self.net.barrier.wait();
+    /// The superstep this rank is currently entering (completed
+    /// barriers so far) — the coordinate fault plans are keyed on.
+    fn superstep(&self) -> u64 {
+        lock_ignore_poison(&self.stats).supersteps
+    }
+
+    /// Injects any crash/panic/stall the fault plan schedules for
+    /// this rank at the current superstep. Called once at the entry
+    /// of each synchronizing primitive.
+    fn inject_entry_faults(&self) -> Result<u64, EvalError> {
+        let superstep = self.superstep();
+        let Some(plan) = &self.net.faults else {
+            return Ok(superstep);
+        };
+        if let Some(delay) = plan.stall_before(self.rank, superstep, self.net.attempt) {
+            self.net
+                .ledger
+                .faults_injected
+                .fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(delay);
         }
-        let before = Instant::now();
-        let result = self.net.barrier.wait();
-        let waited = u64::try_from(before.elapsed().as_micros()).unwrap_or(u64::MAX);
-        self.telemetry
-            .histogram_record("bsp.barrier_wait_us", waited);
-        result
+        match plan.crash_at(self.rank, superstep, self.net.attempt) {
+            Some(FaultKind::Panic { .. }) => {
+                self.net
+                    .ledger
+                    .faults_injected
+                    .fetch_add(1, Ordering::Relaxed);
+                // Contained by `run_rank`'s unwind guard, which also
+                // poisons the barrier on our behalf.
+                panic!(
+                    "injected panic: processor {} at superstep {superstep}",
+                    self.rank
+                );
+            }
+            Some(_) => {
+                self.net
+                    .ledger
+                    .faults_injected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.net.barrier.poison();
+                Err(EvalError::InjectedFault {
+                    rank: self.rank,
+                    superstep,
+                })
+            }
+            None => Ok(superstep),
+        }
+    }
+
+    /// Whether the fault plan drops this rank's message to `dst` in
+    /// the given superstep (counting the injection if so).
+    fn drops_message(&self, dst: usize, superstep: u64) -> bool {
+        let Some(plan) = &self.net.faults else {
+            return false;
+        };
+        if plan.drops(self.rank, dst, superstep, self.net.attempt) {
+            self.net
+                .ledger
+                .faults_injected
+                .fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Waits on the shared barrier under the watchdog, recording how
+    /// long this thread spent blocked into the `bsp.barrier_wait_us`
+    /// histogram. Timeouts are re-tagged with this rank's BSP
+    /// superstep and counted.
+    fn barrier_wait(&self) -> Result<(), EvalError> {
+        let result = if self.telemetry.is_enabled() {
+            let before = Instant::now();
+            let result = self.net.barrier.wait(self.net.barrier_timeout);
+            let waited = u64::try_from(before.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.telemetry
+                .histogram_record("bsp.barrier_wait_us", waited);
+            result
+        } else {
+            self.net.barrier.wait(self.net.barrier_timeout)
+        };
+        match result {
+            Err(EvalError::BarrierTimeout { waiting, .. }) => {
+                self.net
+                    .ledger
+                    .barrier_timeouts
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(EvalError::BarrierTimeout {
+                    superstep: self.superstep(),
+                    waiting,
+                })
+            }
+            other => other,
+        }
     }
 
     fn my_component<'v>(
@@ -213,6 +393,7 @@ impl ParallelDriver for SpmdDriver {
 
     fn put(&mut self, ev: &mut dyn Applier, fs: &[Value]) -> Result<Value, EvalError> {
         let p = self.net.p;
+        let superstep = self.inject_entry_faults()?;
         let f = self.my_component(fs, "put")?.clone();
         // Local phase: evaluate my send function for every target and
         // serialize the messages.
@@ -222,22 +403,35 @@ impl ParallelDriver for SpmdDriver {
             ev.ensure_local(&v)?;
             let words = v.size_in_words();
             if dst != self.rank {
-                self.stats.lock().expect("stats lock").sent_words += words;
+                lock_ignore_poison(&self.stats).sent_words += words;
             }
-            row.push(v.to_portable().inspect_err(|_| self.net.barrier.poison())?);
+            let portable = v.to_portable().inspect_err(|_| self.net.barrier.poison())?;
+            // A dropped message was *sent* (the sender paid for it)
+            // but never arrives: the receiver sees `nc ()`.
+            row.push(if self.drops_message(dst, superstep) {
+                PortableValue::NoComm
+            } else {
+                portable
+            });
         }
         {
-            let mut mailbox = self.net.mailbox.lock().expect("mailbox lock");
+            let Ok(mut mailbox) = self.net.mailbox.lock() else {
+                self.net.barrier.poison();
+                return Err(EvalError::PeerFailure);
+            };
             mailbox[self.rank] = row;
         }
         // Communication phase + barrier.
         self.barrier_wait()?;
         let table: Vec<Value> = {
-            let mailbox = self.net.mailbox.lock().expect("mailbox lock");
+            let Ok(mailbox) = self.net.mailbox.lock() else {
+                self.net.barrier.poison();
+                return Err(EvalError::PeerFailure);
+            };
             (0..p).map(|j| mailbox[j][self.rank].to_value()).collect()
         };
         {
-            let mut stats = self.stats.lock().expect("stats lock");
+            let mut stats = lock_ignore_poison(&self.stats);
             for (j, v) in table.iter().enumerate() {
                 if j != self.rank {
                     stats.received_words += v.size_in_words();
@@ -259,6 +453,7 @@ impl ParallelDriver for SpmdDriver {
         bools: &[Value],
         at: usize,
     ) -> Result<bool, EvalError> {
+        self.inject_entry_faults()?;
         let mine = match self.my_component(bools, "if‥at‥")? {
             Value::Bool(b) => *b,
             v => {
@@ -267,18 +462,33 @@ impl ParallelDriver for SpmdDriver {
             }
         };
         if self.rank == at {
-            *self.net.ifat_slot.lock().expect("ifat lock") = Some(mine);
-            self.stats.lock().expect("stats lock").sent_words += (self.net.p - 1) as u64;
+            let Ok(mut slot) = self.net.ifat_slot.lock() else {
+                self.net.barrier.poison();
+                return Err(EvalError::PeerFailure);
+            };
+            *slot = Some(mine);
+            drop(slot);
+            lock_ignore_poison(&self.stats).sent_words += (self.net.p - 1) as u64;
         }
         self.barrier_wait()?;
-        let chosen = self
-            .net
-            .ifat_slot
-            .lock()
-            .expect("ifat lock")
-            .expect("broadcaster filled the slot");
+        let chosen = {
+            let Ok(slot) = self.net.ifat_slot.lock() else {
+                self.net.barrier.poison();
+                return Err(EvalError::PeerFailure);
+            };
+            // An empty slot means the broadcaster died before filling
+            // it — a peer failure, not a bug worth panicking over.
+            match *slot {
+                Some(b) => b,
+                None => {
+                    drop(slot);
+                    self.net.barrier.poison();
+                    return Err(EvalError::PeerFailure);
+                }
+            }
+        };
         {
-            let mut stats = self.stats.lock().expect("stats lock");
+            let mut stats = lock_ignore_poison(&self.stats);
             if self.rank != at {
                 stats.received_words += 1;
             }
@@ -314,10 +524,14 @@ pub struct DistMachine {
     p: usize,
     fuel: u64,
     telemetry: Telemetry,
+    barrier_timeout: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl DistMachine {
-    /// A machine of `p` processors.
+    /// A machine of `p` processors, with the conservative
+    /// [`DIST_DEFAULT_FUEL`] per-processor fuel and the
+    /// [`DEFAULT_BARRIER_TIMEOUT`] watchdog.
     ///
     /// # Panics
     ///
@@ -327,15 +541,56 @@ impl DistMachine {
         assert!(p > 0, "a BSP machine needs at least one processor");
         DistMachine {
             p,
-            fuel: bsml_eval::bigstep::DEFAULT_FUEL,
+            fuel: DIST_DEFAULT_FUEL,
             telemetry: Telemetry::disabled(),
+            barrier_timeout: Some(DEFAULT_BARRIER_TIMEOUT),
+            faults: None,
         }
     }
 
-    /// Overrides the per-processor fuel.
+    /// The machine size.
+    #[must_use]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The per-processor fuel budget.
+    #[must_use]
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Overrides the per-processor fuel (the default is the
+    /// conservative [`DIST_DEFAULT_FUEL`], which bounds divergent
+    /// programs; raise it for long-running computations).
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> DistMachine {
         self.fuel = fuel;
+        self
+    }
+
+    /// Overrides the watchdog timeout applied to every barrier wait.
+    #[must_use]
+    pub fn with_barrier_timeout(mut self, timeout: Duration) -> DistMachine {
+        self.barrier_timeout = Some(timeout);
+        self
+    }
+
+    /// Disables the barrier watchdog entirely (waits may then hang on
+    /// a truly stalled peer — only for environments with their own
+    /// supervision).
+    #[must_use]
+    pub fn without_watchdog(mut self) -> DistMachine {
+        self.barrier_timeout = None;
+        self
+    }
+
+    /// Attaches a deterministic fault-injection plan (chaos testing).
+    /// Fault-free machines pay nothing: the plan is behind an
+    /// `Option` checked once per synchronization.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> DistMachine {
+        self.faults = Some(Arc::new(plan));
         self
     }
 
@@ -344,14 +599,17 @@ impl DistMachine {
     /// its own `p{rank}` track), and each run bumps the same
     /// `bsp.supersteps` / `bsp.puts` / `bsp.ifats` / `bsp.words_sent`
     /// counters as the lockstep [`crate::BspMachine`], so the two
-    /// backends' telemetry totals can be compared directly.
+    /// backends' telemetry totals can be compared directly. Failure
+    /// paths additionally record `bsp.faults_injected` and
+    /// `bsp.barrier_timeouts`.
     #[must_use]
     pub fn with_telemetry(mut self, telemetry: Telemetry) -> DistMachine {
         self.telemetry = telemetry;
         self
     }
 
-    /// Runs a closed program SPMD on `p` threads.
+    /// Runs a closed program SPMD on `p` threads (attempt 0 of its
+    /// fault plan, if any).
     ///
     /// # Errors
     ///
@@ -360,7 +618,24 @@ impl DistMachine {
     /// discarded in its favour), or [`EvalError::NotSerializable`]
     /// if the final value cannot be gathered.
     pub fn run(&self, e: &Expr) -> Result<DistOutcome, EvalError> {
-        let net = Arc::new(Network::new(self.p));
+        self.run_attempt(e, 0)
+    }
+
+    /// Like [`DistMachine::run`], but identifying which retry
+    /// `attempt` this is — fault plans arm each fault for one
+    /// specific attempt, which is how a supervised retry runs clean
+    /// while the first attempt is perturbed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DistMachine::run`].
+    pub fn run_attempt(&self, e: &Expr, attempt: u32) -> Result<DistOutcome, EvalError> {
+        let net = Arc::new(Network::new(
+            self.p,
+            self.barrier_timeout,
+            self.faults.clone(),
+            attempt,
+        ));
         let program = Arc::new(e.clone());
         let fuel = self.fuel;
 
@@ -376,9 +651,23 @@ impl DistMachine {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("processor thread panicked"))
+                    // A panic that somehow escaped the rank's unwind
+                    // guard is still a peer failure, not our abort.
+                    .map(|h| h.join().unwrap_or(Err(EvalError::PeerFailure)))
                     .collect()
             });
+
+        // Account for the fault layer whether or not the run
+        // succeeded — chaos tests reconcile these counters against
+        // the plan.
+        let injected = net.ledger.faults_injected.load(Ordering::Relaxed);
+        let timeouts = net.ledger.barrier_timeouts.load(Ordering::Relaxed);
+        if injected > 0 {
+            self.telemetry.counter_add("bsp.faults_injected", injected);
+        }
+        if timeouts > 0 {
+            self.telemetry.counter_add("bsp.barrier_timeouts", timeouts);
+        }
 
         // Prefer a real error over PeerFailure echoes.
         if results.iter().any(|r| r.is_err()) {
@@ -429,8 +718,32 @@ impl DistMachine {
     }
 }
 
-/// One processor's run.
+/// One processor's run: the evaluation itself runs under an unwind
+/// guard, so a panicking processor (an injected [`FaultKind::Panic`]
+/// or a genuine bug) poisons the barrier — releasing its peers — and
+/// comes home as [`EvalError::PeerFailure`] instead of killing the
+/// whole runner.
 fn run_rank(
+    rank: usize,
+    net: Arc<Network>,
+    program: &Expr,
+    fuel: u64,
+    telemetry: Telemetry,
+) -> Result<(PortableValue, CommStats, u64), EvalError> {
+    let guard_net = Arc::clone(&net);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_rank_inner(rank, net, program, fuel, telemetry)
+    }));
+    match result {
+        Ok(r) => r,
+        Err(_) => {
+            guard_net.barrier.poison();
+            Err(EvalError::PeerFailure)
+        }
+    }
+}
+
+fn run_rank_inner(
     rank: usize,
     net: Arc<Network>,
     program: &Expr,
@@ -451,7 +764,7 @@ fn run_rank(
     match result {
         Ok(v) => {
             let portable = v.to_portable().inspect_err(|_| net.barrier.poison())?;
-            let final_stats = *stats.lock().expect("stats lock");
+            let final_stats = *lock_ignore_poison(&stats);
             Ok((portable, final_stats, work))
         }
         Err(err) => {
@@ -499,14 +812,87 @@ mod tests {
     fn poison_barrier_releases_waiters() {
         let barrier = Arc::new(PoisonBarrier::new(2));
         let b2 = Arc::clone(&barrier);
-        let waiter = std::thread::spawn(move || b2.wait());
+        let waiter = std::thread::spawn(move || b2.wait(None));
         // Give the waiter time to block, then poison instead of join.
         std::thread::sleep(std::time::Duration::from_millis(20));
         barrier.poison();
         let r = waiter.join().expect("no panic");
         assert_eq!(r, Err(EvalError::PeerFailure));
-        // Later arrivals see the poison immediately.
-        assert_eq!(barrier.wait(), Err(EvalError::PeerFailure));
+    }
+
+    #[test]
+    fn poison_barrier_rejects_late_arrivals() {
+        // A waiter arriving *after* the poisoning must not hang (or
+        // disturb the waiting count): it sees the poison immediately.
+        let barrier = PoisonBarrier::new(3);
+        barrier.poison();
+        assert_eq!(barrier.wait(None), Err(EvalError::PeerFailure));
+        assert_eq!(
+            barrier.wait(Some(Duration::from_secs(5))),
+            Err(EvalError::PeerFailure)
+        );
+        assert_eq!(lock_ignore_poison(&barrier.state).waiting, 0);
+    }
+
+    #[test]
+    fn poison_barrier_survives_concurrent_poisoning() {
+        // Two processors fail at the same time: both poisons must be
+        // idempotent, and every innocent waiter must be released with
+        // PeerFailure (no deadlock, no panic).
+        for _ in 0..50 {
+            let barrier = Arc::new(PoisonBarrier::new(4));
+            std::thread::scope(|scope| {
+                let waiters: Vec<_> = (0..2)
+                    .map(|_| {
+                        let b = Arc::clone(&barrier);
+                        scope.spawn(move || b.wait(Some(Duration::from_secs(5))))
+                    })
+                    .collect();
+                for _ in 0..2 {
+                    let b = Arc::clone(&barrier);
+                    scope.spawn(move || b.poison());
+                }
+                for w in waiters {
+                    assert_eq!(w.join().expect("no panic"), Err(EvalError::PeerFailure));
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn poison_barrier_generation_wraps_around() {
+        // Generations only distinguish adjacent episodes; reuse
+        // across u64 wraparound must keep synchronizing correctly.
+        let barrier = Arc::new(PoisonBarrier::new(2));
+        lock_ignore_poison(&barrier.state).generation = u64::MAX - 1;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let b = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        b.wait(Some(Duration::from_secs(5))).expect("no poison");
+                    }
+                });
+            }
+        });
+        // 4 episodes from u64::MAX - 1: wrapped past 0 to 3.
+        let st = lock_ignore_poison(&barrier.state);
+        assert_eq!(st.generation, 2);
+        assert!(!st.poisoned);
+    }
+
+    #[test]
+    fn poison_barrier_timeout_surfaces_and_poisons() {
+        let barrier = PoisonBarrier::new(2);
+        let err = barrier
+            .wait(Some(Duration::from_millis(10)))
+            .expect_err("nobody else is coming");
+        assert!(
+            matches!(err, EvalError::BarrierTimeout { waiting: 1, .. }),
+            "got {err:?}"
+        );
+        // The timeout poisoned the barrier: everyone else is released.
+        assert_eq!(barrier.wait(None), Err(EvalError::PeerFailure));
     }
 
     #[test]
@@ -517,7 +903,7 @@ mod tests {
             let b = Arc::clone(&barrier);
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50 {
-                    b.wait()?;
+                    b.wait(None)?;
                 }
                 Ok::<(), EvalError>(())
             }));
@@ -562,6 +948,63 @@ mod tests {
         let out = DistMachine::new(5).run(&e).unwrap();
         assert_eq!(out.work.len(), 5);
         assert!(out.work.iter().all(|&w| w > 0));
+    }
+
+    #[test]
+    fn default_fuel_bounds_divergent_programs() {
+        // An infinite SPMD loop terminates with OutOfFuel under the
+        // conservative default instead of spinning p threads forever.
+        let e = parse("let rec forever n = forever (n + 1) in forever 0").unwrap();
+        let err = DistMachine::new(2).run(&e).unwrap_err();
+        assert_eq!(err, EvalError::OutOfFuel);
+    }
+
+    #[test]
+    fn injected_crash_surfaces_without_deadlock() {
+        let e = parse(
+            "let r = put (mkpar (fun j -> fun i -> j)) in
+             apply (mkpar (fun i -> fun t -> t i), r)",
+        )
+        .unwrap();
+        let machine = DistMachine::new(4).with_faults(FaultPlan::new().crash(2, 0));
+        let err = machine.run(&e).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::InjectedFault {
+                rank: 2,
+                superstep: 0
+            }
+        );
+        // The same machine on attempt 1 (fault disarmed) succeeds.
+        let out = machine.run_attempt(&e, 1).unwrap();
+        assert_eq!(out.value.to_string(), "<|0, 1, 2, 3|>");
+    }
+
+    #[test]
+    fn injected_panic_is_contained() {
+        let e = parse("put (mkpar (fun j -> fun i -> j))").unwrap();
+        let machine = DistMachine::new(3).with_faults(FaultPlan::new().panic(1, 0));
+        // The panicking thread is caught, the barrier poisoned, every
+        // peer released: the run *returns* (PeerFailure) rather than
+        // aborting or hanging.
+        let err = machine.run(&e).unwrap_err();
+        assert_eq!(err, EvalError::PeerFailure);
+    }
+
+    #[test]
+    fn long_stall_trips_the_watchdog() {
+        let e = parse("put (mkpar (fun j -> fun i -> j))").unwrap();
+        let machine = DistMachine::new(2)
+            .with_barrier_timeout(Duration::from_millis(50))
+            .with_faults(FaultPlan::new().stall(0, 0, Duration::from_millis(400)));
+        let start = Instant::now();
+        let err = machine.run(&e).unwrap_err();
+        assert!(
+            matches!(err, EvalError::BarrierTimeout { .. }),
+            "got {err:?}"
+        );
+        // Every thread exited within the stall + some slack — no hang.
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

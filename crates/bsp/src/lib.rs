@@ -38,12 +38,17 @@
 
 pub mod cost;
 pub mod distributed;
+pub mod faults;
 pub mod formulas;
 pub mod hooks;
 pub mod machine;
+pub mod supervisor;
 pub mod symbolic;
 pub mod trace;
 
 pub use cost::{Barrier, Cost, CostSummary, SuperstepRecord};
+pub use distributed::{DistMachine, DistOutcome};
+pub use faults::{Fault, FaultKind, FaultPlan};
 pub use hooks::BspCostHooks;
 pub use machine::{BspMachine, BspParams, RunReport};
+pub use supervisor::{SupervisedOutcome, Supervisor};

@@ -1,0 +1,318 @@
+//! Supervised execution of the distributed machine: watchdog,
+//! retries with exponential backoff, and an oracle cross-check.
+//!
+//! **Why naive replay is sound.** The paper's semantics are
+//! deterministic and confluent (§5, Theorem 2): a mini-BSML program's
+//! value and per-superstep h-relations are a pure function of the
+//! program and `p`. A distributed attempt that fails — a crashed
+//! peer, a lost message, a barrier timeout — can therefore simply be
+//! *re-run from scratch*; there is no partial state worth salvaging
+//! and no risk that the retry computes something different. The
+//! supervisor leans on this twice: it retries failed attempts, and it
+//! asserts on success that the distributed answer matches the
+//! lockstep [`BspMachine`] oracle (value, superstep count, and total
+//! communication volume) — a *silently* corrupted run (e.g. a dropped
+//! message that produced a plausible-but-wrong value) is thereby
+//! detected and retried like any other failure.
+//!
+//! ```
+//! use bsml_bsp::distributed::DistMachine;
+//! use bsml_bsp::faults::FaultPlan;
+//! use bsml_bsp::supervisor::Supervisor;
+//! use bsml_syntax::parse;
+//!
+//! // Rank 1 crashes in superstep 0 of the first attempt; the
+//! // supervised retry replays clean and converges.
+//! let machine = DistMachine::new(4).with_faults(FaultPlan::new().crash(1, 0));
+//! let out = Supervisor::new(machine).run(&parse(
+//!     "let r = put (mkpar (fun j -> fun i -> j * j)) in
+//!      apply (mkpar (fun i -> fun t -> t i), r)")?)?;
+//! assert_eq!(out.outcome.value.to_string(), "<|0, 1, 4, 9|>");
+//! assert_eq!(out.attempts, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::time::Duration;
+
+use bsml_ast::Expr;
+use bsml_eval::EvalError;
+use bsml_obs::Telemetry;
+
+use crate::distributed::{DistMachine, DistOutcome};
+use crate::machine::{BspMachine, BspParams};
+
+/// Default maximum number of attempts (1 initial + 2 retries).
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Default base backoff; attempt `k` sleeps `base · 2^(k-1)`.
+pub const DEFAULT_BACKOFF: Duration = Duration::from_millis(5);
+
+/// The result of a supervised run.
+#[derive(Clone, Debug)]
+pub struct SupervisedOutcome {
+    /// The (oracle-checked) distributed outcome.
+    pub outcome: DistOutcome,
+    /// How many attempts were made (1 = first try succeeded).
+    pub attempts: u32,
+    /// The structured error of every failed attempt, in order —
+    /// oracle divergences appear as
+    /// [`EvalError::ScrutineeMismatch`]`("supervised replay", …)`.
+    pub recovered: Vec<EvalError>,
+}
+
+/// Runs a [`DistMachine`] under supervision: each attempt executes
+/// under the machine's barrier watchdog, failures are retried with
+/// exponential backoff, and successes are cross-checked against the
+/// lockstep [`BspMachine`] oracle before being believed.
+#[derive(Clone, Debug)]
+pub struct Supervisor {
+    machine: DistMachine,
+    max_attempts: u32,
+    backoff: Duration,
+    oracle_check: bool,
+    telemetry: Telemetry,
+}
+
+impl Supervisor {
+    /// Supervises `machine` with [`DEFAULT_MAX_ATTEMPTS`],
+    /// [`DEFAULT_BACKOFF`], and the oracle check enabled.
+    #[must_use]
+    pub fn new(machine: DistMachine) -> Supervisor {
+        Supervisor {
+            machine,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            backoff: DEFAULT_BACKOFF,
+            oracle_check: true,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Overrides the attempt budget (must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_attempts == 0`.
+    #[must_use]
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Supervisor {
+        assert!(max_attempts > 0, "a supervisor needs at least one attempt");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Overrides the base backoff (use [`Duration::ZERO`] in tests).
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Supervisor {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Enables/disables the lockstep-oracle cross-check on success.
+    /// On by default; disable only when the program is known to
+    /// behave differently on the two backends (e.g. it communicates
+    /// closures, which only the lockstep machine allows).
+    #[must_use]
+    pub fn with_oracle_check(mut self, check: bool) -> Supervisor {
+        self.oracle_check = check;
+        self
+    }
+
+    /// Attaches telemetry: retries bump `bsp.retries`, and the
+    /// supervised machine's own counters (`bsp.faults_injected`,
+    /// `bsp.barrier_timeouts`, …) record into the same sink.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Supervisor {
+        self.machine = self.machine.with_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Runs `e` under supervision.
+    ///
+    /// # Errors
+    ///
+    /// * The oracle's own error, if the program fails
+    ///   *deterministically* (fuel, division by zero, …) — replay
+    ///   cannot recover a program that is simply wrong, so no
+    ///   distributed attempt is made.
+    /// * The last attempt's [`EvalError`] if every attempt failed.
+    pub fn run(&self, e: &Expr) -> Result<SupervisedOutcome, EvalError> {
+        // Determinism (§5, Thm. 2) means the oracle's verdict is THE
+        // verdict: if the program fails on the lockstep machine it
+        // fails on every faithful backend, and retrying is pointless.
+        let oracle = if self.oracle_check {
+            // The lockstep machine plays all p processors on ONE fuel
+            // pool, so give it p× the distributed per-rank budget —
+            // never under-fueled relative to the supervised machine,
+            // still bounded on divergent programs.
+            let oracle_fuel = self.machine.fuel().saturating_mul(self.machine.p() as u64);
+            Some(
+                BspMachine::new(BspParams::new(self.machine.p(), 1, 1))
+                    .with_fuel(oracle_fuel)
+                    .run(e)?,
+            )
+        } else {
+            None
+        };
+
+        let mut recovered = Vec::new();
+        for attempt in 0..self.max_attempts {
+            if attempt > 0 {
+                self.telemetry.counter_add("bsp.retries", 1);
+                let exp = 2u32.saturating_pow(attempt - 1);
+                std::thread::sleep(self.backoff.saturating_mul(exp));
+            }
+            match self.machine.run_attempt(e, attempt) {
+                Ok(out) => match &oracle {
+                    Some(report) if !agrees(report, &out) => {
+                        recovered.push(EvalError::ScrutineeMismatch(
+                            "supervised replay",
+                            format!(
+                                "attempt {attempt} diverged from the lockstep oracle: \
+                                 got {} in {} superstep(s), expected {} in {}",
+                                out.value, out.supersteps, report.value, report.cost.supersteps
+                            ),
+                        ));
+                    }
+                    _ => {
+                        return Ok(SupervisedOutcome {
+                            outcome: out,
+                            attempts: attempt + 1,
+                            recovered,
+                        });
+                    }
+                },
+                Err(err) => recovered.push(err),
+            }
+        }
+        Err(recovered.last().cloned().expect("at least one attempt ran"))
+    }
+}
+
+/// Whether a distributed outcome reproduces the lockstep oracle:
+/// same value, same superstep count, same total communication volume
+/// (the h-relations, summed — the per-superstep split is already
+/// identical by construction when these totals and the superstep
+/// count agree on a deterministic program).
+fn agrees(oracle: &crate::machine::RunReport, out: &DistOutcome) -> bool {
+    let oracle_words: u64 = oracle
+        .trace
+        .iter()
+        .map(|r| r.sent.iter().sum::<u64>())
+        .sum();
+    oracle.value.to_string() == out.value.to_string()
+        && oracle.cost.supersteps == out.supersteps
+        && oracle_words == out.total_words_sent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use bsml_syntax::parse;
+
+    const PUT: &str = "let r = put (mkpar (fun j -> fun i -> j + i)) in
+                       apply (mkpar (fun i -> fun t -> t i), r)";
+
+    fn supervisor(machine: DistMachine) -> Supervisor {
+        Supervisor::new(machine).with_backoff(Duration::ZERO)
+    }
+
+    #[test]
+    fn clean_runs_succeed_first_try() {
+        let e = parse(PUT).unwrap();
+        let out = supervisor(DistMachine::new(4)).run(&e).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert!(out.recovered.is_empty());
+        assert_eq!(out.outcome.value.to_string(), "<|0, 2, 4, 6|>");
+    }
+
+    #[test]
+    fn crash_is_recovered_by_replay() {
+        let e = parse(PUT).unwrap();
+        let machine = DistMachine::new(4).with_faults(FaultPlan::new().crash(3, 0));
+        let out = supervisor(machine).run(&e).unwrap();
+        assert_eq!(out.attempts, 2);
+        assert_eq!(
+            out.recovered,
+            vec![EvalError::InjectedFault {
+                rank: 3,
+                superstep: 0
+            }]
+        );
+        assert_eq!(out.outcome.value.to_string(), "<|0, 2, 4, 6|>");
+    }
+
+    #[test]
+    fn dropped_message_is_caught_by_the_oracle() {
+        // Each rank reads its right neighbour's message; dropping
+        // 1 → 0 silently corrupts rank 0's value. No error is raised —
+        // only the oracle cross-check notices, and the retry repairs.
+        let e = parse(
+            "let r = put (mkpar (fun j -> fun i -> j * 10 + i)) in
+             apply (mkpar (fun i -> fun t -> t ((i + 1) mod (bsp_p ()))), r)",
+        )
+        .unwrap();
+        let machine = DistMachine::new(4).with_faults(FaultPlan::new().drop_message(1, 0, 0));
+        let out = supervisor(machine).run(&e).unwrap();
+        assert_eq!(out.attempts, 2);
+        assert!(matches!(
+            out.recovered[0],
+            EvalError::ScrutineeMismatch("supervised replay", _)
+        ));
+        assert_eq!(out.outcome.value.to_string(), "<|10, 21, 32, 3|>");
+    }
+
+    #[test]
+    fn attempts_exhaust_on_persistent_faults() {
+        let e = parse(PUT).unwrap();
+        // Crash armed on every attempt the supervisor will make.
+        let plan = FaultPlan::new()
+            .crash(0, 0)
+            .crash(0, 0)
+            .on_attempt(1)
+            .crash(0, 0)
+            .on_attempt(2);
+        let machine = DistMachine::new(2).with_faults(plan);
+        let err = supervisor(machine).run(&e).unwrap_err();
+        assert_eq!(
+            err,
+            EvalError::InjectedFault {
+                rank: 0,
+                superstep: 0
+            }
+        );
+    }
+
+    #[test]
+    fn deterministic_program_errors_are_not_retried() {
+        let e = parse("1 / 0").unwrap();
+        let tel = Telemetry::enabled_logical();
+        let err = supervisor(DistMachine::new(2))
+            .with_telemetry(tel.clone())
+            .run(&e)
+            .unwrap_err();
+        assert_eq!(err, EvalError::DivisionByZero);
+        // No distributed attempt, hence no retries.
+        assert_eq!(tel.counter_value("bsp.retries"), 0);
+    }
+
+    #[test]
+    fn retries_are_counted() {
+        let e = parse(PUT).unwrap();
+        let tel = Telemetry::enabled_logical();
+        let machine = DistMachine::new(2).with_faults(FaultPlan::new().crash(1, 0));
+        let out = supervisor(machine)
+            .with_telemetry(tel.clone())
+            .run(&e)
+            .unwrap();
+        assert_eq!(out.attempts, 2);
+        assert_eq!(tel.counter_value("bsp.retries"), 1);
+        assert_eq!(tel.counter_value("bsp.faults_injected"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempts_rejected() {
+        let _ = Supervisor::new(DistMachine::new(1)).with_max_attempts(0);
+    }
+}

@@ -1,5 +1,6 @@
 //! Interactive sessions: persistent toplevel bindings across inputs,
-//! OCaml-toplevel style, with cumulative BSP cost accounting.
+//! OCaml-toplevel style, with cumulative BSP cost accounting and
+//! graceful degradation on runtime failures.
 //!
 //! ```
 //! use bsml_core::session::Session;
@@ -8,13 +9,22 @@
 //! let mut s = Session::new(BspParams::new(4, 10, 1000));
 //! s.load("let replicate x = mkpar (fun pid -> x) ;;")?;
 //! let events = s.load("replicate 7")?;
-//! assert_eq!(events[0].value.to_string(), "<|7, 7, 7, 7|>");
+//! assert_eq!(events[0].value().unwrap().to_string(), "<|7, 7, 7, 7|>");
 //! # Ok::<(), bsml_core::BsmlError>(())
 //! ```
+//!
+//! **Failure semantics.** *Static* failures (parse or type errors)
+//! abort the whole `load` and bind nothing — there is nothing
+//! meaningful to recover from a phrase that never typechecked.
+//! *Dynamic* failures (an evaluation error, a barrier timeout, a peer
+//! failure) degrade gracefully instead: the failing phrase yields a
+//! [`SessionEvent::PhraseFailed`] carrying the structured
+//! [`EvalError`] and the [`Recovery`] taken, nothing is bound for it,
+//! and subsequent phrases continue against the last good environment.
 
 use bsml_ast::{Expr, Ident};
 use bsml_bsp::{BspMachine, BspParams, CostSummary, RunReport};
-use bsml_eval::{Env, Value};
+use bsml_eval::{Env, EvalError, Value};
 use bsml_infer::{Inferencer, TypeEnv};
 use bsml_obs::{MetricsSnapshot, Telemetry};
 use bsml_syntax::parse_module_with;
@@ -22,9 +32,9 @@ use bsml_types::Scheme;
 
 use crate::BsmlError;
 
-/// What one toplevel phrase produced.
+/// What one successfully evaluated toplevel phrase produced.
 #[derive(Clone, Debug)]
-pub struct SessionEvent {
+pub struct PhraseOutput {
     /// The bound name (`None` for a bare expression).
     pub name: Option<Ident>,
     /// The phrase's toplevel scheme.
@@ -38,21 +48,137 @@ pub struct SessionEvent {
     metrics: Option<MetricsSnapshot>,
 }
 
+/// How the session recovered from a failed phrase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recovery {
+    /// The phrase was skipped: nothing was bound, and subsequent
+    /// phrases continue from the last good environment. (BSP
+    /// determinism makes this sound — a failed phrase has no partial
+    /// effect worth keeping.)
+    Skipped,
+    /// A supervised backend retried and eventually succeeded after
+    /// this many attempts.
+    Recovered {
+        /// Total attempts made (≥ 2).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Recovery::Skipped => f.write_str("phrase skipped, session continues"),
+            Recovery::Recovered { attempts } => {
+                write!(f, "recovered after {attempts} attempts")
+            }
+        }
+    }
+}
+
+/// A phrase that typechecked but failed at runtime.
+#[derive(Clone, Debug)]
+pub struct PhraseFailure {
+    /// The name the phrase would have bound.
+    pub name: Option<Ident>,
+    /// The phrase's (perfectly good) toplevel scheme.
+    pub scheme: Scheme,
+    /// The structured runtime error.
+    pub error: EvalError,
+    /// What the session did about it.
+    pub recovery: Recovery,
+}
+
+/// What one toplevel phrase produced: a value, or a contained
+/// runtime failure the session recovered from.
+#[derive(Clone, Debug)]
+pub enum SessionEvent {
+    /// The phrase evaluated to a value.
+    Phrase(PhraseOutput),
+    /// The phrase failed dynamically; the session degraded gracefully
+    /// (see [`PhraseFailure::recovery`]).
+    PhraseFailed(PhraseFailure),
+}
+
 impl SessionEvent {
+    /// The bound name (`None` for bare expressions).
+    #[must_use]
+    pub fn name(&self) -> Option<&Ident> {
+        match self {
+            SessionEvent::Phrase(p) => p.name.as_ref(),
+            SessionEvent::PhraseFailed(f) => f.name.as_ref(),
+        }
+    }
+
+    /// The phrase's toplevel scheme (inferred even for phrases that
+    /// later failed dynamically).
+    #[must_use]
+    pub fn scheme(&self) -> &Scheme {
+        match self {
+            SessionEvent::Phrase(p) => &p.scheme,
+            SessionEvent::PhraseFailed(f) => &f.scheme,
+        }
+    }
+
+    /// The computed value (`None` if the phrase failed).
+    #[must_use]
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            SessionEvent::Phrase(p) => Some(&p.value),
+            SessionEvent::PhraseFailed(_) => None,
+        }
+    }
+
+    /// The BSP cost of evaluating this phrase (`None` if it failed).
+    #[must_use]
+    pub fn cost(&self) -> Option<&CostSummary> {
+        match self {
+            SessionEvent::Phrase(p) => Some(&p.cost),
+            SessionEvent::PhraseFailed(_) => None,
+        }
+    }
+
+    /// The structured runtime error (`None` for successful phrases).
+    #[must_use]
+    pub fn error(&self) -> Option<&EvalError> {
+        match self {
+            SessionEvent::Phrase(_) => None,
+            SessionEvent::PhraseFailed(f) => Some(&f.error),
+        }
+    }
+
+    /// Whether this phrase failed.
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(self, SessionEvent::PhraseFailed(_))
+    }
+
     /// The cumulative telemetry metrics (counters and histogram
     /// summaries) as of the end of this phrase. `None` unless the
-    /// session was built with [`Session::with_telemetry`].
+    /// session was built with [`Session::with_telemetry`] (or the
+    /// phrase failed).
     #[must_use]
     pub fn metrics(&self) -> Option<&MetricsSnapshot> {
-        self.metrics.as_ref()
+        match self {
+            SessionEvent::Phrase(p) => p.metrics.as_ref(),
+            SessionEvent::PhraseFailed(_) => None,
+        }
     }
 }
 
 impl std::fmt::Display for SessionEvent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match &self.name {
-            Some(name) => write!(f, "val {name} : {} = {}", self.scheme, self.value),
-            None => write!(f, "- : {} = {}", self.scheme, self.value),
+        match self {
+            SessionEvent::Phrase(p) => match &p.name {
+                Some(name) => write!(f, "val {name} : {} = {}", p.scheme, p.value),
+                None => write!(f, "- : {} = {}", p.scheme, p.value),
+            },
+            SessionEvent::PhraseFailed(p) => {
+                match &p.name {
+                    Some(name) => write!(f, "val {name} : {} = <failed: {}>", p.scheme, p.error)?,
+                    None => write!(f, "- : {} = <failed: {}>", p.scheme, p.error)?,
+                }
+                write!(f, " ({})", p.recovery)
+            }
         }
     }
 }
@@ -62,6 +188,8 @@ impl std::fmt::Display for SessionEvent {
 /// Each successfully loaded phrase extends the typing and value
 /// environments; costs accumulate (BSP cost composition is
 /// sequential — exactly what the nesting restriction guarantees).
+/// Phrases that fail *dynamically* are contained (see the module
+/// docs): they bind nothing and the session survives them.
 #[derive(Clone, Debug)]
 pub struct Session {
     machine: BspMachine,
@@ -80,8 +208,9 @@ impl Session {
 
     /// A session whose whole pipeline records into `telemetry`: each
     /// `load` wraps its phrases in spans (`load` → `phrase` → `parse`
-    /// / `infer` / `bsp.run` → per-processor `superstep`s), and each
-    /// [`SessionEvent`] carries the cumulative metrics snapshot.
+    /// / `infer` / `bsp.run` → per-processor `superstep`s), each
+    /// [`SessionEvent`] carries the cumulative metrics snapshot, and
+    /// contained runtime failures bump `session.phrase_failures`.
     ///
     /// Export the collected data through
     /// [`telemetry()`](Session::telemetry) — e.g.
@@ -125,13 +254,16 @@ impl Session {
     /// Parses and processes a chunk of toplevel input (declarations
     /// and/or one final expression), returning one event per phrase.
     ///
-    /// On error nothing is bound: the session state is unchanged
-    /// (all-or-nothing per `load` call).
+    /// On a *static* error (parse, type) nothing is bound: the
+    /// session state is unchanged (all-or-nothing per `load` call).
+    /// A *dynamic* failure is contained instead: the phrase yields a
+    /// [`SessionEvent::PhraseFailed`], binds nothing, and subsequent
+    /// phrases continue against the last good environment.
     ///
     /// # Errors
     ///
-    /// Any [`BsmlError`]; the offending phrase is reported with its
-    /// location in the input.
+    /// [`BsmlError::Parse`] or [`BsmlError::Type`]; the offending
+    /// phrase is reported with its location in the input.
     pub fn load(&mut self, source: &str) -> Result<Vec<SessionEvent>, BsmlError> {
         let mut load_span = self.telemetry.span("load");
         let module = parse_module_with(source, &self.telemetry)?;
@@ -139,21 +271,22 @@ impl Session {
             "phrases",
             module.decls.len() + usize::from(module.body.is_some()),
         );
-        // Work on copies; commit only on overall success.
+        // Work on copies; commit only when no static error aborts us.
         let mut tenv = self.tenv.clone();
         let mut venv = self.venv.clone();
         let mut total = self.total.clone();
         let mut events = Vec::new();
 
         for decl in &module.decls {
-            let (event, value) =
-                self.process(&tenv, &venv, &mut total, Some(&decl.name), &decl.expr)?;
-            tenv = tenv.extend(decl.name.clone(), event.scheme.clone());
-            venv = venv.bind(decl.name.clone(), value);
+            let event = self.process(&tenv, &venv, &mut total, Some(&decl.name), &decl.expr)?;
+            if let SessionEvent::Phrase(output) = &event {
+                tenv = tenv.extend(decl.name.clone(), output.scheme.clone());
+                venv = venv.bind(decl.name.clone(), output.value.clone());
+            }
             events.push(event);
         }
         if let Some(body) = &module.body {
-            let (event, _) = self.process(&tenv, &venv, &mut total, None, body)?;
+            let event = self.process(&tenv, &venv, &mut total, None, body)?;
             events.push(event);
         }
 
@@ -170,7 +303,7 @@ impl Session {
         total: &mut CostSummary,
         name: Option<&Ident>,
         expr: &Expr,
-    ) -> Result<(SessionEvent, Value), BsmlError> {
+    ) -> Result<SessionEvent, BsmlError> {
         let mut phrase_span = self.telemetry.span("phrase");
         if let Some(name) = name {
             phrase_span.set("name", name.to_string());
@@ -200,21 +333,38 @@ impl Session {
         )
         .normalize();
 
-        let report: RunReport = self.machine.run_with_env(venv, expr)?;
+        // A dynamic failure is contained: the typechecked phrase is
+        // reported as failed (with its scheme and the structured
+        // error) and the session continues from the last good
+        // environment — determinism means nothing partial survives a
+        // failed phrase, so skipping it is the whole recovery.
+        let report: RunReport = match self.machine.run_with_env(venv, expr) {
+            Ok(report) => report,
+            Err(error) => {
+                phrase_span.set("error", error.to_string());
+                drop(phrase_span);
+                self.telemetry.counter_add("session.phrase_failures", 1);
+                return Ok(SessionEvent::PhraseFailed(PhraseFailure {
+                    name: name.cloned(),
+                    scheme,
+                    error,
+                    recovery: Recovery::Skipped,
+                }));
+            }
+        };
         *total = CostSummary::from_records(&report.trace).then_into(total);
 
         drop(phrase_span);
-        let event = SessionEvent {
+        Ok(SessionEvent::Phrase(PhraseOutput {
             name: name.cloned(),
             scheme,
-            value: report.value.clone(),
+            value: report.value,
             cost: report.cost,
             metrics: self
                 .telemetry
                 .is_enabled()
                 .then(|| self.telemetry.metrics()),
-        };
-        Ok((event, report.value))
+        }))
     }
 }
 
@@ -240,14 +390,18 @@ mod tests {
         Session::new(BspParams::new(4, 10, 100))
     }
 
+    fn value_of(ev: &SessionEvent) -> String {
+        ev.value().expect("phrase succeeded").to_string()
+    }
+
     #[test]
     fn bindings_persist_across_loads() {
         let mut s = session();
         s.load("let x = 20 ;; let y = 22").unwrap();
         let events = s.load("x + y").unwrap();
         assert_eq!(events.len(), 1);
-        assert_eq!(events[0].value.to_string(), "42");
-        assert_eq!(events[0].scheme.to_string(), "int");
+        assert_eq!(value_of(&events[0]), "42");
+        assert_eq!(events[0].scheme().to_string(), "int");
     }
 
     #[test]
@@ -256,7 +410,7 @@ mod tests {
         s.load("let id x = x").unwrap();
         assert_eq!(s.scheme_of("id").unwrap().to_string(), "∀'a.['a -> 'a]");
         let events = s.load("(id 1, id true)").unwrap();
-        assert_eq!(events[0].value.to_string(), "(1, true)");
+        assert_eq!(value_of(&events[0]), "(1, true)");
     }
 
     #[test]
@@ -278,13 +432,54 @@ mod tests {
         let mut s = session();
         s.load("let x = 1").unwrap();
         let before_cost = s.total_cost().clone();
-        // Second decl fails: nothing from this load is kept.
+        // Second decl fails statically: nothing from this load is kept.
         let err = s.load("let y = 2 ;; let bad = fst (1, mkpar (fun i -> i)) ;;");
         assert!(err.is_err());
         assert!(s.scheme_of("y").is_none());
         assert_eq!(s.total_cost(), &before_cost);
         // x still present.
-        assert_eq!(s.load("x").unwrap()[0].value.to_string(), "1");
+        assert_eq!(value_of(&s.load("x").unwrap()[0]), "1");
+    }
+
+    #[test]
+    fn runtime_failures_degrade_gracefully() {
+        let mut s = session();
+        s.load("let x = 10").unwrap();
+        // Phrase 2 typechecks but dies at runtime; phrases 1 and 3
+        // still evaluate, and phrase 3 sees phrase 1's binding.
+        let events = s
+            .load("let a = x + 1 ;; let bad = 1 / 0 ;; let b = a * 2 ;;")
+            .unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(value_of(&events[0]), "11");
+        assert!(events[1].is_failure());
+        assert_eq!(events[1].error(), Some(&EvalError::DivisionByZero));
+        assert_eq!(events[1].name().unwrap().to_string(), "bad");
+        assert_eq!(events[1].scheme().to_string(), "int");
+        assert_eq!(value_of(&events[2]), "22");
+        // The failed phrase bound nothing; the good ones did.
+        assert!(s.scheme_of("bad").is_none());
+        assert_eq!(s.scheme_of("a").unwrap().to_string(), "int");
+        assert_eq!(s.scheme_of("b").unwrap().to_string(), "int");
+        // And the session keeps working afterwards.
+        assert_eq!(value_of(&s.load("a + b").unwrap()[0]), "33");
+    }
+
+    #[test]
+    fn failed_phrases_cost_nothing_and_count_in_telemetry() {
+        let tel = Telemetry::enabled_logical();
+        let mut s = Session::with_telemetry(BspParams::new(2, 1, 10), tel.clone());
+        let before = s.total_cost().clone();
+        let events = s.load("1 / 0").unwrap();
+        assert!(events[0].is_failure());
+        assert!(events[0].value().is_none());
+        assert!(events[0].cost().is_none());
+        assert_eq!(s.total_cost(), &before);
+        assert_eq!(tel.counter_value("session.phrase_failures"), 1);
+        match &events[0] {
+            SessionEvent::PhraseFailed(f) => assert_eq!(f.recovery, Recovery::Skipped),
+            SessionEvent::Phrase(_) => panic!("expected a failure"),
+        }
     }
 
     #[test]
@@ -292,7 +487,7 @@ mod tests {
         let mut s = session();
         s.load("let rec fact n = if n = 0 then 1 else n * fact (n - 1)")
             .unwrap();
-        assert_eq!(s.load("fact 6").unwrap()[0].value.to_string(), "720");
+        assert_eq!(value_of(&s.load("fact 6").unwrap()[0]), "720");
     }
 
     #[test]
@@ -302,6 +497,11 @@ mod tests {
         assert_eq!(ev.to_string(), "val x : int = 42");
         let ev = &s.load("x").unwrap()[0];
         assert_eq!(ev.to_string(), "- : int = 42");
+        let ev = &s.load("let boom = 1 / 0").unwrap()[0];
+        let shown = ev.to_string();
+        assert!(shown.contains("val boom : int"), "{shown}");
+        assert!(shown.contains("division by zero"), "{shown}");
+        assert!(shown.contains("session continues"), "{shown}");
     }
 
     #[test]
@@ -311,7 +511,7 @@ mod tests {
             s.load(def).unwrap_or_else(|e| panic!("{def}: {e}"));
         }
         let events = s.load("bcast 1 (mkpar (fun i -> i * 100))").unwrap();
-        assert_eq!(events[0].value.to_string(), "<|100, 100, 100, 100|>");
+        assert_eq!(value_of(&events[0]), "<|100, 100, 100, 100|>");
         assert_eq!(s.total_cost().supersteps, 1);
     }
 }

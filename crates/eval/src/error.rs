@@ -45,6 +45,26 @@ pub enum EvalError {
     /// processor was released from a synchronization barrier without
     /// its data. The originating processor reports the real error.
     PeerFailure,
+    /// A synchronization barrier wait exceeded the distributed
+    /// machine's watchdog timeout: `waiting` processors had arrived
+    /// at the barrier of superstep `superstep`, the rest never came.
+    /// Surfaces a stalled (or deadlocked) peer as an error instead of
+    /// hanging the run forever.
+    BarrierTimeout {
+        /// The superstep whose barrier timed out.
+        superstep: u64,
+        /// How many processors were waiting when the watchdog fired.
+        waiting: usize,
+    },
+    /// A fault-injection plan (`bsml-bsp::faults`) deliberately
+    /// crashed this processor — only ever produced under test
+    /// harnesses, never by real programs.
+    InjectedFault {
+        /// The processor that was crashed.
+        rank: usize,
+        /// The superstep at which the crash was injected.
+        superstep: u64,
+    },
     /// A reference cell was read or written from an execution mode
     /// incompatible with where it was created — a replicated (global)
     /// cell assigned inside one vector component, or a processor-local
@@ -85,6 +105,15 @@ impl fmt::Display for EvalError {
                 write!(f, "value `{v}` has no serialized form for communication")
             }
             EvalError::PeerFailure => f.write_str("another processor failed during a superstep"),
+            EvalError::BarrierTimeout { superstep, waiting } => write!(
+                f,
+                "barrier watchdog timeout at superstep {superstep}: \
+                 {waiting} processor(s) arrived, the rest stalled"
+            ),
+            EvalError::InjectedFault { rank, superstep } => write!(
+                f,
+                "injected fault: processor {rank} crashed at superstep {superstep}"
+            ),
         }
     }
 }
@@ -106,5 +135,16 @@ mod tests {
         assert!(EvalError::DeltaMismatch(Op::Add, "true".into())
             .to_string()
             .contains("(+)"));
+        let timeout = EvalError::BarrierTimeout {
+            superstep: 3,
+            waiting: 2,
+        };
+        assert!(timeout.to_string().contains("superstep 3"));
+        assert!(timeout.to_string().contains("2 processor(s)"));
+        let fault = EvalError::InjectedFault {
+            rank: 1,
+            superstep: 0,
+        };
+        assert!(fault.to_string().contains("processor 1"));
     }
 }

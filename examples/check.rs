@@ -153,7 +153,10 @@ fn main() {
     match session.load(&source) {
         Ok(events) => {
             for ev in events {
-                println!("{ev}   (cost {})", ev.cost);
+                match ev.cost() {
+                    Some(cost) => println!("{ev}   (cost {cost})"),
+                    None => println!("{ev}"),
+                }
             }
             println!("total: {}", session.total_cost());
         }

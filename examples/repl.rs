@@ -78,7 +78,10 @@ fn main() {
         match session.load(&input) {
             Ok(events) => {
                 for ev in events {
-                    println!("{ev}   (cost {})", ev.cost);
+                    match ev.cost() {
+                        Some(cost) => println!("{ev}   (cost {cost})"),
+                        None => println!("{ev}"),
+                    }
                 }
             }
             Err(err) => println!("{}", err.render(&input)),

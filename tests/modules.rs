@@ -57,7 +57,7 @@ fn the_same_file_loads_into_a_session() {
     let mut s = Session::new(BspParams::new(4, 10, 1000));
     let events = s.load(src).unwrap();
     assert_eq!(events.len(), 5);
-    assert_eq!(events[4].value.to_string(), "<|52, 52, 52, 52|>");
+    assert_eq!(events[4].value().unwrap().to_string(), "<|52, 52, 52, 52|>");
     // The exchange costs one superstep, evaluated twice (once for
     // the decl, once — no: the decl bound the already-computed
     // value, the body just references it).

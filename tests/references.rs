@@ -197,7 +197,7 @@ fn session_with_references() {
     assert_eq!(s.scheme_of("c").unwrap().to_string(), "int ref");
     s.load("c := !c + 32").unwrap();
     let events = s.load("!c").unwrap();
-    assert_eq!(events[0].value.to_string(), "42");
+    assert_eq!(events[0].value().unwrap().to_string(), "42");
 }
 
 #[test]
