@@ -49,6 +49,9 @@ use bsml_eval::{
 };
 use bsml_obs::Telemetry;
 
+use crate::checkpoint::{
+    program_fingerprint, CheckpointPolicy, CheckpointStore, RankFrame, ResumePoint, SyncOutcome,
+};
 use crate::faults::{FaultKind, FaultPlan};
 
 /// Default per-processor fuel of a [`DistMachine`]: conservative
@@ -103,10 +106,20 @@ impl PoisonBarrier {
 
     /// Waits for all `n` processors, or until `timeout` elapses.
     ///
+    /// The **last** arriver runs `on_complete` (if any) while still
+    /// holding the barrier lock, *before* releasing anyone: whatever
+    /// the closure observes or publishes is a consistent cut — every
+    /// processor has arrived, none has moved on. This is how
+    /// checkpoint generations are committed (DESIGN.md §9).
+    ///
     /// A poisoned *mutex* (a peer panicked inside the critical
     /// section) is treated like a poisoned barrier: the state may be
     /// inconsistent, so the only safe report is a peer failure.
-    fn wait(&self, timeout: Option<Duration>) -> Result<(), EvalError> {
+    fn wait(
+        &self,
+        timeout: Option<Duration>,
+        on_complete: Option<&dyn Fn()>,
+    ) -> Result<(), EvalError> {
         let Ok(mut st) = self.state.lock() else {
             return Err(EvalError::PeerFailure);
         };
@@ -120,6 +133,9 @@ impl PoisonBarrier {
             // barrier episodes, so reuse across u64 wraparound is
             // sound (and unit-tested).
             st.generation = st.generation.wrapping_add(1);
+            if let Some(complete) = on_complete {
+                complete();
+            }
             self.cv.notify_all();
             return Ok(());
         }
@@ -175,13 +191,33 @@ struct CommStats {
     ifats: u64,
 }
 
-/// Counters for everything the fault layer did to one run; flushed
-/// into the `bsp.faults_injected` / `bsp.barrier_timeouts` telemetry
+/// Counters for everything the fault and checkpoint layers did to one
+/// run; flushed into the `bsp.faults_injected` / `bsp.barrier_timeouts`
+/// / `bsp.checkpoints_written` / `bsp.checkpoint_bytes` telemetry
 /// counters whether the run succeeds or fails.
 #[derive(Debug, Default)]
 struct FaultLedger {
     faults_injected: AtomicU64,
     barrier_timeouts: AtomicU64,
+    checkpoints_written: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    /// The highest superstep any rank completed (only maintained when
+    /// checkpointing is enabled) — how the supervisor knows, even for
+    /// errors that carry no coordinate (a peer panic), how much
+    /// progress a failed attempt made and therefore how many
+    /// supersteps a resume replays.
+    furthest_superstep: AtomicU64,
+}
+
+/// The checkpoint runtime shared by all ranks of one attempt.
+#[derive(Debug)]
+struct NetCheckpoint {
+    /// Checkpoint every `interval` completed supersteps.
+    interval: u64,
+    /// Where frames are staged and committed.
+    store: Arc<dyn CheckpointStore>,
+    /// [`program_fingerprint`] of this (program, p) pair.
+    fingerprint: u64,
 }
 
 /// The shared "network": the message mailbox, the `if‥at‥` broadcast
@@ -205,6 +241,9 @@ struct Network {
     /// per-attempt).
     attempt: u32,
     ledger: FaultLedger,
+    /// Checkpoint runtime (`None` = checkpointing disabled, which
+    /// keeps the hot path free of any new work).
+    checkpoint: Option<NetCheckpoint>,
 }
 
 impl Network {
@@ -213,6 +252,7 @@ impl Network {
         barrier_timeout: Option<Duration>,
         faults: Option<Arc<FaultPlan>>,
         attempt: u32,
+        checkpoint: Option<NetCheckpoint>,
     ) -> Network {
         Network {
             p,
@@ -223,8 +263,16 @@ impl Network {
             faults,
             attempt,
             ledger: FaultLedger::default(),
+            checkpoint,
         }
     }
+}
+
+/// Replay state of a resumed rank: the checkpoint frame being
+/// consumed and a cursor into its outcome log.
+struct ReplayState {
+    frame: RankFrame,
+    next: usize,
 }
 
 /// The SPMD driver for one processor (rank). Statistics are shared
@@ -237,6 +285,11 @@ struct SpmdDriver {
     /// Per-rank telemetry handle (on track `p{rank}`); disabled by
     /// default.
     telemetry: Telemetry,
+    /// The outcome log recorded for checkpoint frames (`Some` iff
+    /// checkpointing is enabled; grows by one entry per superstep).
+    record: Option<Vec<SyncOutcome>>,
+    /// Replay state when this attempt resumes from a checkpoint.
+    replay: Option<ReplayState>,
 }
 
 impl SpmdDriver {
@@ -311,15 +364,19 @@ impl SpmdDriver {
     /// histogram. Timeouts are re-tagged with this rank's BSP
     /// superstep and counted.
     fn barrier_wait(&self) -> Result<(), EvalError> {
+        self.barrier_wait_with(None)
+    }
+
+    fn barrier_wait_with(&self, on_complete: Option<&dyn Fn()>) -> Result<(), EvalError> {
         let result = if self.telemetry.is_enabled() {
             let before = Instant::now();
-            let result = self.net.barrier.wait(self.net.barrier_timeout);
+            let result = self.net.barrier.wait(self.net.barrier_timeout, on_complete);
             let waited = u64::try_from(before.elapsed().as_micros()).unwrap_or(u64::MAX);
             self.telemetry
                 .histogram_record("bsp.barrier_wait_us", waited);
             result
         } else {
-            self.net.barrier.wait(self.net.barrier_timeout)
+            self.net.barrier.wait(self.net.barrier_timeout, on_complete)
         };
         match result {
             Err(EvalError::BarrierTimeout { waiting, .. }) => {
@@ -352,6 +409,244 @@ impl SpmdDriver {
                 ),
             ))
         }
+    }
+
+    // --- checkpoint recording, staging and replay -------------------------
+
+    /// Whether this rank is still consuming a checkpoint's outcome log
+    /// (replay mode: no barriers, no faults, no staging).
+    fn replaying(&self) -> bool {
+        self.replay
+            .as_ref()
+            .is_some_and(|r| r.next < r.frame.outcomes.len())
+    }
+
+    /// Pops the next recorded outcome, also appending it to this
+    /// attempt's own record log (so frames staged after going live
+    /// carry the full history).
+    fn take_replay_outcome(&mut self) -> SyncOutcome {
+        let r = self.replay.as_mut().expect("checked by replaying()");
+        let outcome = r.frame.outcomes[r.next].clone();
+        r.next += 1;
+        if let Some(rec) = &mut self.record {
+            rec.push(outcome.clone());
+        }
+        outcome
+    }
+
+    /// A divergence between the replayed program and the checkpoint:
+    /// poisons the barrier (peers may already be live and waiting) and
+    /// reports the coordinate. The supervisor reacts by falling back
+    /// to a full restart — a wrong checkpoint costs time, never
+    /// correctness.
+    fn diverged(&self, superstep: u64, detail: impl Into<String>) -> EvalError {
+        self.net.barrier.poison();
+        EvalError::CheckpointDiverged {
+            rank: self.rank,
+            superstep,
+            detail: detail.into(),
+        }
+    }
+
+    /// At the end of a *replayed* superstep: tracks progress and, at
+    /// the replay boundary (log exhausted), verifies that the
+    /// deterministic re-run landed exactly on the state the frame
+    /// recorded — fuel and every statistic. Any mismatch means the
+    /// checkpoint does not describe this program's execution.
+    fn finish_replayed_superstep(&mut self, fuel_left: u64) -> Result<(), EvalError> {
+        let stats = *lock_ignore_poison(&self.stats);
+        self.net
+            .ledger
+            .furthest_superstep
+            .fetch_max(stats.supersteps, Ordering::Relaxed);
+        let r = self.replay.as_ref().expect("in replay");
+        if r.next < r.frame.outcomes.len() {
+            return Ok(());
+        }
+        let f = &r.frame;
+        if stats.supersteps != f.superstep {
+            return Err(self.diverged(
+                stats.supersteps,
+                format!(
+                    "replay ended after {} supersteps, frame cut is at {}",
+                    stats.supersteps, f.superstep
+                ),
+            ));
+        }
+        if fuel_left != f.fuel_left {
+            return Err(self.diverged(
+                stats.supersteps,
+                format!(
+                    "fuel fingerprint mismatch: replay has {fuel_left}, frame recorded {}",
+                    f.fuel_left
+                ),
+            ));
+        }
+        if stats.sent_words != f.sent_words
+            || stats.received_words != f.received_words
+            || stats.puts != f.puts
+            || stats.ifats != f.ifats
+        {
+            return Err(self.diverged(
+                stats.supersteps,
+                format!(
+                    "statistics mismatch: replay {stats:?}, frame ({}, {}, {}, {})",
+                    f.sent_words, f.received_words, f.puts, f.ifats
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// After a live superstep completes: appends the outcome to the
+    /// record log, tracks progress, and stages a frame when the
+    /// policy's interval divides the completed-superstep count.
+    /// Returns the staged generation, to be committed at the final
+    /// barrier. All of this is behind `net.checkpoint` — disabled
+    /// machines do nothing here.
+    fn record_and_stage(&mut self, outcome: SyncOutcome, fuel_left: u64) -> Option<u64> {
+        let ck = self.net.checkpoint.as_ref()?;
+        let stats = *lock_ignore_poison(&self.stats);
+        self.net
+            .ledger
+            .furthest_superstep
+            .fetch_max(stats.supersteps, Ordering::Relaxed);
+        let record = self.record.as_mut().expect("recording iff checkpointing");
+        record.push(outcome);
+        if !stats.supersteps.is_multiple_of(ck.interval) {
+            return None;
+        }
+        let frame = RankFrame {
+            fingerprint: ck.fingerprint,
+            rank: self.rank,
+            superstep: stats.supersteps,
+            fuel_left,
+            sent_words: stats.sent_words,
+            received_words: stats.received_words,
+            puts: stats.puts,
+            ifats: stats.ifats,
+            outcomes: record.clone(),
+        };
+        // A store that cannot stage simply skips this generation —
+        // checkpointing is best-effort, never a reason to fail a run.
+        ck.store.stage(&frame).ok().map(|_| stats.supersteps)
+    }
+
+    /// The final barrier of a superstep. If this rank staged a frame,
+    /// the last arriver commits the generation while holding the
+    /// barrier lock: at that instant every rank has staged its frame
+    /// of the same cut and none has started the next superstep — the
+    /// consistent-cut argument of DESIGN.md §9.
+    fn superstep_exit_barrier(&self, staged: Option<u64>) -> Result<(), EvalError> {
+        match (staged, &self.net.checkpoint) {
+            (Some(generation), Some(ck)) => {
+                let ledger = &self.net.ledger;
+                let store = Arc::clone(&ck.store);
+                let p = self.net.p;
+                let commit = move || {
+                    if let Ok(bytes) = store.commit(generation, p) {
+                        ledger.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                        ledger.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    }
+                };
+                self.barrier_wait_with(Some(&commit))
+            }
+            _ => self.barrier_wait(),
+        }
+    }
+
+    /// The replayed counterpart of [`ParallelDriver::put`]: re-runs
+    /// the local phase (so fuel and sent-word accounting advance
+    /// exactly as in the original run) but takes the delivered table
+    /// from the log instead of the network — no barrier, no mailbox,
+    /// no faults.
+    fn replay_put(&mut self, ev: &mut dyn Applier, fs: &[Value]) -> Result<Value, EvalError> {
+        let p = self.net.p;
+        let superstep = self.superstep();
+        let SyncOutcome::Put { delivered } = self.take_replay_outcome() else {
+            return Err(self.diverged(
+                superstep,
+                "program reaches a put where the log recorded an if‥at‥",
+            ));
+        };
+        let f = self.my_component(fs, "put")?.clone();
+        for dst in 0..p {
+            let v = ev.apply_fn(f.clone(), Value::Int(dst as i64), Mode::OnProc(self.rank))?;
+            ev.ensure_local(&v)?;
+            if dst != self.rank {
+                lock_ignore_poison(&self.stats).sent_words += v.size_in_words();
+            }
+        }
+        if delivered.len() != p {
+            return Err(self.diverged(
+                superstep,
+                format!(
+                    "delivered table of width {} on a {p}-rank cut",
+                    delivered.len()
+                ),
+            ));
+        }
+        let table: Vec<Value> = delivered.iter().map(PortableValue::to_value).collect();
+        {
+            let mut stats = lock_ignore_poison(&self.stats);
+            for (j, v) in table.iter().enumerate() {
+                if j != self.rank {
+                    stats.received_words += v.size_in_words();
+                }
+            }
+            stats.supersteps += 1;
+            stats.puts += 1;
+        }
+        self.finish_replayed_superstep(ev.fuel_left())?;
+        Ok(Value::vector(vec![Value::MsgTable(std::rc::Rc::new(
+            table,
+        ))]))
+    }
+
+    /// The replayed counterpart of [`ParallelDriver::ifat`].
+    fn replay_ifat(
+        &mut self,
+        ev: &mut dyn Applier,
+        bools: &[Value],
+        at: usize,
+    ) -> Result<bool, EvalError> {
+        let superstep = self.superstep();
+        let SyncOutcome::IfAt { chosen } = self.take_replay_outcome() else {
+            return Err(self.diverged(
+                superstep,
+                "program reaches an if‥at‥ where the log recorded a put",
+            ));
+        };
+        match self.my_component(bools, "if‥at‥")? {
+            Value::Bool(mine) => {
+                // The deciding rank's own boolean must be the one the
+                // log says was broadcast.
+                if self.rank == at && *mine != chosen {
+                    return Err(self.diverged(
+                        superstep,
+                        format!("deciding rank replayed {mine}, log recorded {chosen}"),
+                    ));
+                }
+            }
+            v => {
+                let v = v.to_string();
+                self.net.barrier.poison();
+                return Err(EvalError::ScrutineeMismatch("if‥at‥", v));
+            }
+        }
+        {
+            let mut stats = lock_ignore_poison(&self.stats);
+            if self.rank == at {
+                stats.sent_words += (self.net.p - 1) as u64;
+            } else {
+                stats.received_words += 1;
+            }
+            stats.supersteps += 1;
+            stats.ifats += 1;
+        }
+        ev.note_ifat(at, chosen);
+        self.finish_replayed_superstep(ev.fuel_left())?;
+        Ok(chosen)
     }
 }
 
@@ -392,6 +687,9 @@ impl ParallelDriver for SpmdDriver {
     }
 
     fn put(&mut self, ev: &mut dyn Applier, fs: &[Value]) -> Result<Value, EvalError> {
+        if self.replaying() {
+            return self.replay_put(ev, fs);
+        }
         let p = self.net.p;
         let superstep = self.inject_entry_faults()?;
         let f = self.my_component(fs, "put")?.clone();
@@ -423,12 +721,19 @@ impl ParallelDriver for SpmdDriver {
         }
         // Communication phase + barrier.
         self.barrier_wait()?;
-        let table: Vec<Value> = {
+        let (table, delivered): (Vec<Value>, Option<Vec<PortableValue>>) = {
             let Ok(mailbox) = self.net.mailbox.lock() else {
                 self.net.barrier.poison();
                 return Err(EvalError::PeerFailure);
             };
-            (0..p).map(|j| mailbox[j][self.rank].to_value()).collect()
+            let table = (0..p).map(|j| mailbox[j][self.rank].to_value()).collect();
+            // The serialized delivered row is kept only when a
+            // checkpoint frame will want it.
+            let delivered = self
+                .record
+                .is_some()
+                .then(|| (0..p).map(|j| mailbox[j][self.rank].clone()).collect());
+            (table, delivered)
         };
         {
             let mut stats = lock_ignore_poison(&self.stats);
@@ -440,8 +745,12 @@ impl ParallelDriver for SpmdDriver {
             stats.supersteps += 1;
             stats.puts += 1;
         }
-        // Everyone must finish reading before anyone overwrites.
-        self.barrier_wait()?;
+        let staged = delivered.and_then(|delivered| {
+            self.record_and_stage(SyncOutcome::Put { delivered }, ev.fuel_left())
+        });
+        // Everyone must finish reading before anyone overwrites — and
+        // the last arriver commits this superstep's checkpoint, if any.
+        self.superstep_exit_barrier(staged)?;
         Ok(Value::vector(vec![Value::MsgTable(std::rc::Rc::new(
             table,
         ))]))
@@ -453,6 +762,9 @@ impl ParallelDriver for SpmdDriver {
         bools: &[Value],
         at: usize,
     ) -> Result<bool, EvalError> {
+        if self.replaying() {
+            return self.replay_ifat(ev, bools, at);
+        }
         self.inject_entry_faults()?;
         let mine = match self.my_component(bools, "if‥at‥")? {
             Value::Bool(b) => *b,
@@ -496,7 +808,12 @@ impl ParallelDriver for SpmdDriver {
             stats.ifats += 1;
         }
         ev.note_ifat(at, chosen);
-        self.barrier_wait()?;
+        let staged = self
+            .record
+            .is_some()
+            .then(|| self.record_and_stage(SyncOutcome::IfAt { chosen }, ev.fuel_left()))
+            .flatten();
+        self.superstep_exit_barrier(staged)?;
         Ok(chosen)
     }
 }
@@ -515,6 +832,9 @@ pub struct DistOutcome {
     pub total_words_sent: u64,
     /// Per-rank evaluator steps (local work `w_i`).
     pub work: Vec<u64>,
+    /// The checkpoint generation this attempt resumed from (`None` =
+    /// the attempt ran from superstep 0).
+    pub resumed_from: Option<u64>,
 }
 
 /// A distributed BSP machine: `p` OS threads, shared-nothing except
@@ -526,6 +846,7 @@ pub struct DistMachine {
     telemetry: Telemetry,
     barrier_timeout: Option<Duration>,
     faults: Option<Arc<FaultPlan>>,
+    checkpoints: Option<(CheckpointPolicy, Arc<dyn CheckpointStore>)>,
 }
 
 impl DistMachine {
@@ -545,6 +866,7 @@ impl DistMachine {
             telemetry: Telemetry::disabled(),
             barrier_timeout: Some(DEFAULT_BARRIER_TIMEOUT),
             faults: None,
+            checkpoints: None,
         }
     }
 
@@ -594,6 +916,29 @@ impl DistMachine {
         self
     }
 
+    /// Enables superstep-granularity checkpointing: every
+    /// `policy.interval()` completed supersteps each rank stages a
+    /// frame into `store`, committed atomically at the superstep's
+    /// exit barrier. Disabled machines (the default) allocate no
+    /// store and take no new locks in the superstep hot path.
+    #[must_use]
+    pub fn with_checkpoints(
+        mut self,
+        policy: CheckpointPolicy,
+        store: Arc<dyn CheckpointStore>,
+    ) -> DistMachine {
+        self.checkpoints = Some((policy, store));
+        self
+    }
+
+    /// The checkpoint policy and store, if checkpointing is enabled.
+    #[must_use]
+    pub fn checkpoints(&self) -> Option<(CheckpointPolicy, Arc<dyn CheckpointStore>)> {
+        self.checkpoints
+            .as_ref()
+            .map(|(policy, store)| (*policy, Arc::clone(store)))
+    }
+
     /// Attaches a telemetry handle. Each processor thread then times
     /// its barrier waits into the `bsp.barrier_wait_us` histogram (on
     /// its own `p{rank}` track), and each run bumps the same
@@ -630,23 +975,92 @@ impl DistMachine {
     ///
     /// Same as [`DistMachine::run`].
     pub fn run_attempt(&self, e: &Expr, attempt: u32) -> Result<DistOutcome, EvalError> {
+        self.run_attempt_with_resume(e, attempt, None).0
+    }
+
+    /// The full-control entry point used by the supervisor: runs one
+    /// attempt, optionally resuming from a checkpointed cut, and also
+    /// reports how far the attempt got (the highest completed
+    /// superstep any rank reached — maintained only when checkpointing
+    /// is enabled) even when it fails, so resume accounting works for
+    /// errors that carry no coordinate.
+    pub(crate) fn run_attempt_with_resume(
+        &self,
+        e: &Expr,
+        attempt: u32,
+        resume: Option<ResumePoint>,
+    ) -> (Result<DistOutcome, EvalError>, u64) {
+        let checkpoint = self
+            .checkpoints
+            .as_ref()
+            .map(|(policy, store)| NetCheckpoint {
+                interval: policy.interval(),
+                store: Arc::clone(store),
+                fingerprint: program_fingerprint(e, self.p),
+            });
         let net = Arc::new(Network::new(
             self.p,
             self.barrier_timeout,
             self.faults.clone(),
             attempt,
+            checkpoint,
         ));
+        let resumed_from = resume.as_ref().map(|rp| rp.superstep);
+        let result = self.run_threads(e, &net, resume);
+
+        // Account for the fault and checkpoint layers whether or not
+        // the run succeeded — chaos tests reconcile these counters
+        // against the plan.
+        let injected = net.ledger.faults_injected.load(Ordering::Relaxed);
+        let timeouts = net.ledger.barrier_timeouts.load(Ordering::Relaxed);
+        let written = net.ledger.checkpoints_written.load(Ordering::Relaxed);
+        let ckpt_bytes = net.ledger.checkpoint_bytes.load(Ordering::Relaxed);
+        if injected > 0 {
+            self.telemetry.counter_add("bsp.faults_injected", injected);
+        }
+        if timeouts > 0 {
+            self.telemetry.counter_add("bsp.barrier_timeouts", timeouts);
+        }
+        if written > 0 {
+            self.telemetry
+                .counter_add("bsp.checkpoints_written", written);
+        }
+        if ckpt_bytes > 0 {
+            self.telemetry
+                .counter_add("bsp.checkpoint_bytes", ckpt_bytes);
+        }
+        let furthest = net.ledger.furthest_superstep.load(Ordering::Relaxed);
+        (
+            result.map(|mut out| {
+                out.resumed_from = resumed_from;
+                out
+            }),
+            furthest,
+        )
+    }
+
+    fn run_threads(
+        &self,
+        e: &Expr,
+        net: &Arc<Network>,
+        resume: Option<ResumePoint>,
+    ) -> Result<DistOutcome, EvalError> {
         let program = Arc::new(e.clone());
         let fuel = self.fuel;
+        let mut seeds: Vec<Option<RankFrame>> = match resume {
+            Some(rp) => rp.frames.into_iter().map(Some).collect(),
+            None => (0..self.p).map(|_| None).collect(),
+        };
 
         let results: Vec<Result<(PortableValue, CommStats, u64), EvalError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..self.p)
                     .map(|rank| {
-                        let net = Arc::clone(&net);
+                        let net = Arc::clone(net);
                         let program = Arc::clone(&program);
                         let telemetry = self.telemetry.track(&format!("p{rank}"));
-                        scope.spawn(move || run_rank(rank, net, &program, fuel, telemetry))
+                        let seed = seeds[rank].take();
+                        scope.spawn(move || run_rank(rank, net, &program, fuel, telemetry, seed))
                     })
                     .collect();
                 handles
@@ -656,18 +1070,6 @@ impl DistMachine {
                     .map(|h| h.join().unwrap_or(Err(EvalError::PeerFailure)))
                     .collect()
             });
-
-        // Account for the fault layer whether or not the run
-        // succeeded — chaos tests reconcile these counters against
-        // the plan.
-        let injected = net.ledger.faults_injected.load(Ordering::Relaxed);
-        let timeouts = net.ledger.barrier_timeouts.load(Ordering::Relaxed);
-        if injected > 0 {
-            self.telemetry.counter_add("bsp.faults_injected", injected);
-        }
-        if timeouts > 0 {
-            self.telemetry.counter_add("bsp.barrier_timeouts", timeouts);
-        }
 
         // Prefer a real error over PeerFailure echoes.
         if results.iter().any(|r| r.is_err()) {
@@ -714,6 +1116,7 @@ impl DistMachine {
             supersteps,
             total_words_sent,
             work,
+            resumed_from: None,
         })
     }
 }
@@ -729,10 +1132,11 @@ fn run_rank(
     program: &Expr,
     fuel: u64,
     telemetry: Telemetry,
+    replay: Option<RankFrame>,
 ) -> Result<(PortableValue, CommStats, u64), EvalError> {
     let guard_net = Arc::clone(&net);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_rank_inner(rank, net, program, fuel, telemetry)
+        run_rank_inner(rank, net, program, fuel, telemetry, replay)
     }));
     match result {
         Ok(r) => r,
@@ -749,13 +1153,17 @@ fn run_rank_inner(
     program: &Expr,
     fuel: u64,
     telemetry: Telemetry,
+    replay: Option<RankFrame>,
 ) -> Result<(PortableValue, CommStats, u64), EvalError> {
     let stats = Arc::new(Mutex::new(CommStats::default()));
+    let record = net.checkpoint.as_ref().map(|_| Vec::new());
     let driver = SpmdDriver {
         rank,
         net: Arc::clone(&net),
         stats: Arc::clone(&stats),
         telemetry,
+        record,
+        replay: replay.map(|frame| ReplayState { frame, next: 0 }),
     };
     let mut hooks = NoHooks;
     let mut ev = Evaluator::with_driver(&mut hooks, fuel, Box::new(driver));
@@ -812,7 +1220,7 @@ mod tests {
     fn poison_barrier_releases_waiters() {
         let barrier = Arc::new(PoisonBarrier::new(2));
         let b2 = Arc::clone(&barrier);
-        let waiter = std::thread::spawn(move || b2.wait(None));
+        let waiter = std::thread::spawn(move || b2.wait(None, None));
         // Give the waiter time to block, then poison instead of join.
         std::thread::sleep(std::time::Duration::from_millis(20));
         barrier.poison();
@@ -826,9 +1234,9 @@ mod tests {
         // disturb the waiting count): it sees the poison immediately.
         let barrier = PoisonBarrier::new(3);
         barrier.poison();
-        assert_eq!(barrier.wait(None), Err(EvalError::PeerFailure));
+        assert_eq!(barrier.wait(None, None), Err(EvalError::PeerFailure));
         assert_eq!(
-            barrier.wait(Some(Duration::from_secs(5))),
+            barrier.wait(Some(Duration::from_secs(5)), None),
             Err(EvalError::PeerFailure)
         );
         assert_eq!(lock_ignore_poison(&barrier.state).waiting, 0);
@@ -845,7 +1253,7 @@ mod tests {
                 let waiters: Vec<_> = (0..2)
                     .map(|_| {
                         let b = Arc::clone(&barrier);
-                        scope.spawn(move || b.wait(Some(Duration::from_secs(5))))
+                        scope.spawn(move || b.wait(Some(Duration::from_secs(5)), None))
                     })
                     .collect();
                 for _ in 0..2 {
@@ -870,7 +1278,8 @@ mod tests {
                 let b = Arc::clone(&barrier);
                 scope.spawn(move || {
                     for _ in 0..4 {
-                        b.wait(Some(Duration::from_secs(5))).expect("no poison");
+                        b.wait(Some(Duration::from_secs(5)), None)
+                            .expect("no poison");
                     }
                 });
             }
@@ -885,14 +1294,14 @@ mod tests {
     fn poison_barrier_timeout_surfaces_and_poisons() {
         let barrier = PoisonBarrier::new(2);
         let err = barrier
-            .wait(Some(Duration::from_millis(10)))
+            .wait(Some(Duration::from_millis(10)), None)
             .expect_err("nobody else is coming");
         assert!(
             matches!(err, EvalError::BarrierTimeout { waiting: 1, .. }),
             "got {err:?}"
         );
         // The timeout poisoned the barrier: everyone else is released.
-        assert_eq!(barrier.wait(None), Err(EvalError::PeerFailure));
+        assert_eq!(barrier.wait(None, None), Err(EvalError::PeerFailure));
     }
 
     #[test]
@@ -903,7 +1312,7 @@ mod tests {
             let b = Arc::clone(&barrier);
             handles.push(std::thread::spawn(move || {
                 for _ in 0..50 {
-                    b.wait(None)?;
+                    b.wait(None, None)?;
                 }
                 Ok::<(), EvalError>(())
             }));

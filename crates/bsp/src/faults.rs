@@ -282,17 +282,18 @@ impl FaultPlan {
 }
 
 /// Sebastiano Vigna's SplitMix64 — tiny, seedable, and good enough to
-/// scatter faults; avoids any external RNG dependency.
-struct SplitMix64 {
+/// scatter faults (and to jitter supervisor backoff); avoids any
+/// external RNG dependency.
+pub(crate) struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
-    fn new(seed: u64) -> SplitMix64 {
+    pub(crate) fn new(seed: u64) -> SplitMix64 {
         SplitMix64 { state: seed }
     }
 
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -36,6 +36,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 pub mod cost;
 pub mod distributed;
 pub mod faults;
@@ -46,9 +47,15 @@ pub mod supervisor;
 pub mod symbolic;
 pub mod trace;
 
+pub use checkpoint::{
+    CheckpointError, CheckpointPolicy, CheckpointStore, FileStore, MemoryStore, RankFrame,
+    ResumePoint, SyncOutcome,
+};
 pub use cost::{Barrier, Cost, CostSummary, SuperstepRecord};
 pub use distributed::{DistMachine, DistOutcome};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use hooks::BspCostHooks;
 pub use machine::{BspMachine, BspParams, RunReport};
-pub use supervisor::{SupervisedOutcome, Supervisor};
+pub use supervisor::{
+    backoff_delay, RecordingSleeper, Sleeper, SupervisedOutcome, Supervisor, ThreadSleeper,
+};

@@ -38,6 +38,8 @@ use bsml_infer::{Inference, Inferencer, TypeError};
 use bsml_syntax::ParseError;
 use bsml_types::Scheme;
 
+pub use session::{Session, SessionEvent, SessionSnapshot};
+
 pub use bsml_ast as ast;
 pub use bsml_bsp as bsp;
 pub use bsml_eval as eval;

@@ -23,8 +23,8 @@
 //! and subsequent phrases continue against the last good environment.
 
 use bsml_ast::{Expr, Ident};
-use bsml_bsp::{BspMachine, BspParams, CostSummary, RunReport};
-use bsml_eval::{Env, EvalError, Value};
+use bsml_bsp::{BspMachine, BspParams, CheckpointPolicy, CostSummary, RunReport};
+use bsml_eval::{Env, EvalError, Snapshot, Value};
 use bsml_infer::{Inferencer, TypeEnv};
 use bsml_obs::{MetricsSnapshot, Telemetry};
 use bsml_syntax::parse_module_with;
@@ -197,6 +197,35 @@ pub struct Session {
     venv: Env,
     total: CostSummary,
     telemetry: Telemetry,
+    checkpoint_policy: Option<CheckpointPolicy>,
+}
+
+/// A point-in-time copy of a session's toplevel state: the typing
+/// environment, a *deep, identity-free* copy of the value bindings
+/// (see [`bsml_eval::Snapshot`] — mutating a `ref` cell after the
+/// snapshot cannot retroactively change it), and the cumulative cost.
+///
+/// Restoring rolls the session back to exactly this point; phrases
+/// loaded in between are forgotten.
+#[derive(Clone, Debug)]
+pub struct SessionSnapshot {
+    tenv: TypeEnv,
+    values: Snapshot,
+    total: CostSummary,
+}
+
+impl SessionSnapshot {
+    /// How many toplevel bindings the snapshot holds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot holds no bindings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
 }
 
 impl Session {
@@ -223,7 +252,49 @@ impl Session {
             venv: Env::new(),
             total: CostSummary::default(),
             telemetry,
+            checkpoint_policy: None,
         }
+    }
+
+    /// Configures the checkpoint policy this session *advertises* for
+    /// distributed execution: frontends that hand phrases to a
+    /// `bsml_bsp::DistMachine` read it via
+    /// [`checkpoint_policy()`](Session::checkpoint_policy) and pass it
+    /// to `DistMachine::with_checkpoints`. `None` (the default) means
+    /// checkpointing stays off — the distributed hot path then
+    /// allocates no store and takes no extra locks.
+    #[must_use]
+    pub fn with_checkpoint_policy(mut self, policy: CheckpointPolicy) -> Session {
+        self.checkpoint_policy = Some(policy);
+        self
+    }
+
+    /// The configured checkpoint policy, if any.
+    #[must_use]
+    pub fn checkpoint_policy(&self) -> Option<CheckpointPolicy> {
+        self.checkpoint_policy
+    }
+
+    /// Captures the session's toplevel state — a deep, identity-free
+    /// copy of every binding (see [`SessionSnapshot`]).
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            tenv: self.tenv.clone(),
+            values: Snapshot::of_env(&self.venv),
+            total: self.total.clone(),
+        }
+    }
+
+    /// Rolls the session back to `snapshot`: bindings, schemes, and
+    /// cumulative cost all return to the captured point. Restoring is
+    /// itself non-destructive — the same snapshot can be restored any
+    /// number of times, and each restore produces fresh `ref` cells
+    /// (no shared mutable state between restores).
+    pub fn restore(&mut self, snapshot: &SessionSnapshot) {
+        self.tenv = snapshot.tenv.clone();
+        self.venv = snapshot.values.restore();
+        self.total = snapshot.total.clone();
     }
 
     /// The telemetry handle this session records into (disabled for
@@ -502,6 +573,44 @@ mod tests {
         assert!(shown.contains("val boom : int"), "{shown}");
         assert!(shown.contains("division by zero"), "{shown}");
         assert!(shown.contains("session continues"), "{shown}");
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back_bindings_and_cost() {
+        let mut s = session();
+        s.load("let x = 1 ;; let c = ref 10").unwrap();
+        s.load("put (mkpar (fun j -> fun i -> j))").unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.is_empty());
+        let cost_at_snap = s.total_cost().clone();
+
+        // Mutate state past the snapshot: a new binding, a cell
+        // assignment, and more accumulated cost.
+        s.load("let y = 2 ;; c := 99").unwrap();
+        s.load("put (mkpar (fun j -> fun i -> j))").unwrap();
+        assert_eq!(s.total_cost().supersteps, cost_at_snap.supersteps + 1);
+
+        s.restore(&snap);
+        assert!(s.scheme_of("y").is_none(), "post-snapshot binding kept");
+        assert_eq!(s.total_cost(), &cost_at_snap);
+        // The cell's mutation was rolled back too: the snapshot held a
+        // deep copy, not a shared Rc.
+        assert_eq!(value_of(&s.load("!c").unwrap()[0]), "10");
+        assert_eq!(value_of(&s.load("x").unwrap()[0]), "1");
+
+        // Restoring twice yields independent cells.
+        s.load("c := 77").unwrap();
+        s.restore(&snap);
+        assert_eq!(value_of(&s.load("!c").unwrap()[0]), "10");
+    }
+
+    #[test]
+    fn checkpoint_policy_is_configurable() {
+        let s = session();
+        assert_eq!(s.checkpoint_policy(), None);
+        let s = session().with_checkpoint_policy(CheckpointPolicy::every(4));
+        assert_eq!(s.checkpoint_policy().map(|p| p.interval()), Some(4));
     }
 
     #[test]

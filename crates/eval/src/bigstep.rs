@@ -645,6 +645,10 @@ impl<H: EvalHooks> Applier for Evaluator<'_, H> {
     fn note_async(&mut self) {
         self.hooks.on_async_parallel();
     }
+
+    fn fuel_left(&self) -> u64 {
+        self.fuel
+    }
 }
 
 #[cfg(test)]

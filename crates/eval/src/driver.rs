@@ -44,6 +44,12 @@ pub trait Applier {
 
     /// Reports an asynchronous vector operation to the cost hooks.
     fn note_async(&mut self);
+
+    /// The evaluator's remaining fuel budget. Deterministic replay
+    /// (checkpoint resume in `bsml-bsp`) uses this as a cheap but
+    /// sensitive progress fingerprint: replaying a superstep prefix
+    /// must land on exactly the fuel a checkpoint recorded.
+    fn fuel_left(&self) -> u64;
 }
 
 /// A backend implementing the parallel primitives.

@@ -84,6 +84,30 @@ impl Env {
     pub fn is_empty(&self) -> bool {
         self.head.is_none()
     }
+
+    /// Iterates over all bindings, innermost (most recent) first.
+    /// Shadowed bindings are included, after the binding that shadows
+    /// them — rebuilding with `bind` in *reverse* iteration order
+    /// reproduces the environment exactly.
+    pub fn iter(&self) -> impl Iterator<Item = (&Ident, &Value)> {
+        EnvIter {
+            cur: self.head.as_deref(),
+        }
+    }
+}
+
+struct EnvIter<'a> {
+    cur: Option<&'a Node>,
+}
+
+impl<'a> Iterator for EnvIter<'a> {
+    type Item = (&'a Ident, &'a Value);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let node = self.cur?;
+        self.cur = node.next.as_deref();
+        Some((&node.name, &node.value))
+    }
 }
 
 #[cfg(test)]

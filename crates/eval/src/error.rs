@@ -71,6 +71,19 @@ pub enum EvalError {
     /// cell touched elsewhere. This is the incoherence the paper's §6
     /// "imperative features" discussion describes.
     IncoherentReplicas(&'static str),
+    /// A checkpoint-resumed replay diverged from the state the
+    /// checkpoint recorded (fuel fingerprint mismatch, or a recorded
+    /// communication outcome that does not fit the replayed program).
+    /// The checkpoint is unusable; recovery falls back to a full
+    /// restart — never to the possibly-wrong resumed state.
+    CheckpointDiverged {
+        /// The processor whose replay diverged.
+        rank: usize,
+        /// The superstep at which the divergence was detected.
+        superstep: u64,
+        /// What went wrong, for diagnostics.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -114,6 +127,14 @@ impl fmt::Display for EvalError {
                 f,
                 "injected fault: processor {rank} crashed at superstep {superstep}"
             ),
+            EvalError::CheckpointDiverged {
+                rank,
+                superstep,
+                detail,
+            } => write!(
+                f,
+                "checkpoint resume diverged on processor {rank} at superstep {superstep}: {detail}"
+            ),
         }
     }
 }
@@ -146,5 +167,13 @@ mod tests {
             superstep: 0,
         };
         assert!(fault.to_string().contains("processor 1"));
+        let diverged = EvalError::CheckpointDiverged {
+            rank: 2,
+            superstep: 5,
+            detail: "fuel fingerprint mismatch".into(),
+        };
+        assert!(diverged.to_string().contains("processor 2"));
+        assert!(diverged.to_string().contains("superstep 5"));
+        assert!(diverged.to_string().contains("fuel fingerprint"));
     }
 }

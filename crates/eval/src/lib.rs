@@ -33,6 +33,7 @@ pub mod env;
 pub mod error;
 pub mod hooks;
 pub mod smallstep;
+pub mod snapshot;
 pub mod value;
 
 pub use bigstep::{eval_closed, Evaluator};
@@ -41,4 +42,5 @@ pub use env::Env;
 pub use error::EvalError;
 pub use hooks::{CountingHooks, EvalHooks, Mode, NoHooks, TeeHooks, TracingHooks};
 pub use smallstep::{run, step, StepOutcome};
+pub use snapshot::{Snapshot, ValueSnapshot};
 pub use value::{PortableValue, Value};

@@ -1,0 +1,280 @@
+//! Deep, identity-free copies of evaluator state.
+//!
+//! A [`Snapshot`] captures an [`Env`] (and [`ValueSnapshot`] a single
+//! [`Value`]) by **deep copy**: every `Rc` node is rebuilt, every
+//! reference cell gets a fresh `RefCell`. Restoring therefore shares
+//! *nothing* with either the snapshot or the live state it was taken
+//! from — mutating a cell after `restore()` can never reach back into
+//! the snapshot (no `Rc` identity leaks across restore). This is what
+//! makes snapshots safe to keep around as recovery points: a
+//! checkpointed environment is immutable by construction.
+//!
+//! Two structural properties are preserved carefully:
+//!
+//! * **Aliasing between cells.** Two bindings referring to the *same*
+//!   `ref` cell must still refer to one (fresh) cell after restore —
+//!   otherwise an assignment through one alias would stop being
+//!   visible through the other, silently changing program semantics.
+//!   The copier memoizes cells by `Rc` identity.
+//! * **Cyclic values.** A cell can hold a closure whose captured
+//!   environment contains the cell itself (`let r = ref (fun x -> x)
+//!   in r := (fun y -> !r y)`). The copier breaks the cycle by
+//!   registering a placeholder cell before descending into the
+//!   contents, then back-patching.
+//!
+//! ```
+//! use bsml_ast::Ident;
+//! use bsml_eval::{snapshot::Snapshot, Env, Value};
+//!
+//! let live = Env::new().bind(Ident::new("x"), Value::Int(1));
+//! let snap = Snapshot::of_env(&live);
+//! let restored = snap.restore();
+//! assert_eq!(restored.lookup(&Ident::new("x")).unwrap().to_string(), "1");
+//! ```
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::env::Env;
+use crate::value::Value;
+
+/// Memo table for reference cells, keyed by `Rc` pointer identity, so
+/// aliases stay aliases and cycles terminate.
+type CellMemo = HashMap<*const RefCell<Value>, Rc<RefCell<Value>>>;
+
+/// An isolated deep copy of an [`Env`].
+///
+/// The captured environment shares no `Rc` node with the environment
+/// it was taken from; [`Snapshot::restore`] deep-copies *again*, so a
+/// snapshot can be restored any number of times and each restoration
+/// is independent of the others (and of the snapshot itself).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    env: Env,
+}
+
+impl Snapshot {
+    /// Captures a deep copy of `env`.
+    #[must_use]
+    pub fn of_env(env: &Env) -> Snapshot {
+        Snapshot {
+            env: deep_copy_env(env, &mut CellMemo::new()),
+        }
+    }
+
+    /// Materializes a fresh environment from the snapshot (another
+    /// deep copy — the snapshot remains isolated).
+    #[must_use]
+    pub fn restore(&self) -> Env {
+        deep_copy_env(&self.env, &mut CellMemo::new())
+    }
+
+    /// Number of captured (possibly shadowed) bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.env.len()
+    }
+
+    /// `true` if the snapshot captured an empty environment.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.env.is_empty()
+    }
+}
+
+/// An isolated deep copy of a single [`Value`].
+#[derive(Clone, Debug)]
+pub struct ValueSnapshot {
+    value: Value,
+}
+
+impl ValueSnapshot {
+    /// Captures a deep copy of `v`.
+    #[must_use]
+    pub fn capture(v: &Value) -> ValueSnapshot {
+        ValueSnapshot {
+            value: deep_copy_value(v, &mut CellMemo::new()),
+        }
+    }
+
+    /// Materializes a fresh value (another deep copy).
+    #[must_use]
+    pub fn restore(&self) -> Value {
+        deep_copy_value(&self.value, &mut CellMemo::new())
+    }
+}
+
+fn deep_copy_env(env: &Env, memo: &mut CellMemo) -> Env {
+    // Rebuild outermost-first so shadowing order is preserved.
+    let bindings: Vec<_> = env.iter().collect();
+    let mut out = Env::new();
+    for (name, value) in bindings.into_iter().rev() {
+        out = out.bind(name.clone(), deep_copy_value(value, memo));
+    }
+    out
+}
+
+fn deep_copy_value(v: &Value, memo: &mut CellMemo) -> Value {
+    match v {
+        Value::Int(n) => Value::Int(*n),
+        Value::Bool(b) => Value::Bool(*b),
+        Value::Unit => Value::Unit,
+        Value::NoComm => Value::NoComm,
+        Value::Nil => Value::Nil,
+        Value::Prim(op) => Value::Prim(*op),
+        Value::Pair(a, b) => Value::Pair(
+            Rc::new(deep_copy_value(a, memo)),
+            Rc::new(deep_copy_value(b, memo)),
+        ),
+        Value::Cons(h, t) => Value::Cons(
+            Rc::new(deep_copy_value(h, memo)),
+            Rc::new(deep_copy_value(t, memo)),
+        ),
+        Value::Inl(inner) => Value::Inl(Rc::new(deep_copy_value(inner, memo))),
+        Value::Inr(inner) => Value::Inr(Rc::new(deep_copy_value(inner, memo))),
+        Value::Vector(vs) => Value::vector(vs.iter().map(|c| deep_copy_value(c, memo)).collect()),
+        Value::MsgTable(t) => Value::MsgTable(Rc::new(
+            t.iter().map(|c| deep_copy_value(c, memo)).collect(),
+        )),
+        Value::Fix(inner) => Value::Fix(Rc::new(deep_copy_value(inner, memo))),
+        Value::Closure { param, body, env } => Value::Closure {
+            param: param.clone(),
+            // A fresh Rc over a structural clone of the body: the
+            // snapshot must not keep the live AST node alive.
+            body: Rc::new((**body).clone()),
+            env: deep_copy_env(env, memo),
+        },
+        Value::Cell { cell, origin } => {
+            let key = Rc::as_ptr(cell);
+            if let Some(copied) = memo.get(&key) {
+                // An alias of a cell we already copied: preserve the
+                // aliasing in the copy.
+                return Value::Cell {
+                    cell: Rc::clone(copied),
+                    origin: *origin,
+                };
+            }
+            // Register a placeholder before descending so a cyclic
+            // value (a cell whose contents capture the cell) hits the
+            // memo instead of recursing forever; back-patch after.
+            let fresh = Rc::new(RefCell::new(Value::Unit));
+            memo.insert(key, Rc::clone(&fresh));
+            let contents = deep_copy_value(&cell.borrow(), memo);
+            *fresh.borrow_mut() = contents;
+            Value::Cell {
+                cell: fresh,
+                origin: *origin,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::Mode;
+    use bsml_ast::Ident;
+
+    fn x() -> Ident {
+        Ident::new("x")
+    }
+
+    #[test]
+    fn restore_is_structurally_equal() {
+        let env = Env::new()
+            .bind(x(), Value::Int(1))
+            .bind(Ident::new("y"), Value::pair(Value::Bool(true), Value::Nil))
+            .bind(x(), Value::Int(2)); // shadowing preserved
+        let snap = Snapshot::of_env(&env);
+        assert_eq!(snap.len(), 3);
+        let restored = snap.restore();
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.lookup(&x()).unwrap().to_string(), "2");
+        assert_eq!(
+            restored.lookup(&Ident::new("y")).unwrap().to_string(),
+            "(true, [])"
+        );
+    }
+
+    #[test]
+    fn no_rc_identity_leaks_through_cells() {
+        // Mutating a restored cell must not reach the original, nor
+        // the snapshot (each restore is independent).
+        let original_cell = Value::cell(Value::Int(1), Mode::Global);
+        let env = Env::new().bind(x(), original_cell.clone());
+        let snap = Snapshot::of_env(&env);
+        let restored = snap.restore();
+        let Some(Value::Cell { cell, .. }) = restored.lookup(&x()) else {
+            panic!("expected a cell");
+        };
+        *cell.borrow_mut() = Value::Int(99);
+        let Value::Cell { cell: orig, .. } = &original_cell else {
+            unreachable!()
+        };
+        assert_eq!(orig.borrow().to_string(), "1");
+        let Some(Value::Cell { cell: again, .. }) = snap.restore().lookup(&x()).cloned() else {
+            panic!("expected a cell");
+        };
+        assert_eq!(again.borrow().to_string(), "1");
+    }
+
+    #[test]
+    fn cell_aliasing_is_preserved() {
+        // Two bindings to ONE cell must restore as two bindings to one
+        // (fresh) cell: an assignment through either alias stays
+        // visible through the other.
+        let shared = Value::cell(Value::Int(7), Mode::Global);
+        let env = Env::new()
+            .bind(Ident::new("a"), shared.clone())
+            .bind(Ident::new("b"), shared);
+        let restored = Snapshot::of_env(&env).restore();
+        let Some(Value::Cell { cell: a, .. }) = restored.lookup(&Ident::new("a")) else {
+            panic!("expected a cell");
+        };
+        let Some(Value::Cell { cell: b, .. }) = restored.lookup(&Ident::new("b")) else {
+            panic!("expected a cell");
+        };
+        assert!(Rc::ptr_eq(a, b), "aliases must stay aliases");
+    }
+
+    #[test]
+    fn cyclic_values_terminate() {
+        // A cell whose contents (a closure environment) contain the
+        // cell itself: the copier must terminate and preserve the
+        // knot.
+        let cell = Value::cell(Value::Unit, Mode::Global);
+        let closure = Value::Closure {
+            param: x(),
+            body: Rc::new(bsml_ast::build::var("x")),
+            env: Env::new().bind(Ident::new("r"), cell.clone()),
+        };
+        let Value::Cell { cell: rc, .. } = &cell else {
+            unreachable!()
+        };
+        *rc.borrow_mut() = closure;
+        let snap = ValueSnapshot::capture(&cell);
+        let restored = snap.restore();
+        let Value::Cell { cell: fresh, .. } = &restored else {
+            panic!("expected a cell");
+        };
+        // The restored knot is tied onto the fresh cell, not the
+        // original.
+        let contents = fresh.borrow();
+        let Value::Closure { env, .. } = &*contents else {
+            panic!("expected the closure");
+        };
+        let Some(Value::Cell { cell: inner, .. }) = env.lookup(&Ident::new("r")) else {
+            panic!("expected the captured cell");
+        };
+        assert!(Rc::ptr_eq(fresh, inner), "cycle must close onto the copy");
+        assert!(!Rc::ptr_eq(rc, inner), "cycle must not leak the original");
+    }
+
+    #[test]
+    fn value_snapshot_roundtrip() {
+        let v = Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let snap = ValueSnapshot::capture(&v);
+        assert_eq!(snap.restore().to_string(), "[1; 2; 3]");
+    }
+}

@@ -110,10 +110,19 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, ParseError> {
                     (b'*', _) => (TokenKind::Star, 1),
                     (b'/', _) => (TokenKind::Slash, 1),
                     _ => {
+                        // `start` is always a char boundary (every
+                        // multi-byte character reaches this arm on its
+                        // first byte), but the character may span
+                        // several bytes — slicing `start..start + 1`
+                        // would panic on non-ASCII input.
+                        let ch = source[start..]
+                            .chars()
+                            .next()
+                            .expect("start lies on a char boundary");
                         return Err(ParseError::new(
-                            format!("unexpected character `{}`", &source[start..start + 1]),
-                            span(start, start + 1),
-                        ))
+                            format!("unexpected character `{ch}`"),
+                            span(start, start + ch.len_utf8()),
+                        ));
                     }
                 };
                 i += len;
@@ -214,6 +223,19 @@ mod tests {
         // `:` alone is not part of the language.
         let err = tokenize(": x").unwrap_err();
         assert!(err.message.contains("unexpected character"));
+    }
+
+    #[test]
+    fn multibyte_characters_error_instead_of_panicking() {
+        // Regression (found by `tests/frontend_fuzz.rs`): the
+        // unexpected-character path used to slice one *byte*, which
+        // panicked mid-character on non-ASCII input.
+        for src in ["⟨1⟩", "é", "🦀", "x ⟩", "日本語"] {
+            let err = tokenize(src).unwrap_err();
+            assert!(err.message.contains("unexpected character"), "{src}");
+        }
+        let err = tokenize("⟨").unwrap_err();
+        assert!(err.message.contains('⟨'));
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! Seeds can be shifted with `CHAOS_SEED_BASE=<n>` (the CI chaos job
 //! runs several bases) without touching the source.
 
+use std::sync::Arc;
 use std::time::Duration;
 
+use bsml_bsp::checkpoint::{CheckpointPolicy, MemoryStore};
 use bsml_bsp::distributed::DistMachine;
 use bsml_bsp::faults::{FaultKind, FaultPlan};
 use bsml_bsp::supervisor::Supervisor;
@@ -163,4 +165,137 @@ fn watchdog_converts_stalls_into_timeouts_and_recovers() {
     assert_eq!(tel.counter_value("bsp.faults_injected"), 1);
     assert!(tel.counter_value("bsp.barrier_timeouts") >= 1);
     assert_eq!(out.outcome.value.to_string(), oracle(&e, 4).0);
+}
+
+/// Five supersteps: chained total exchanges, each round re-exchanging
+/// the previous round's per-rank sums. Long enough that every
+/// checkpoint interval in the grid below has both exact-multiple and
+/// mid-interval crash coordinates.
+const EXCHANGE_5: &str = "
+    let sum = mkpar (fun i -> fun t ->
+        let acc = ref 0 in
+        (for j = 0 to bsp_p () - 1 do acc := !acc + t j done);
+        !acc) in
+    let next = fun v -> put (apply (mkpar (fun j -> fun v -> fun i -> v + j + 1), v)) in
+    let v1 = apply (sum, put (mkpar (fun j -> fun i -> j + i + 1))) in
+    let v2 = apply (sum, next v1) in
+    let v3 = apply (sum, next v2) in
+    let v4 = apply (sum, next v3) in
+    apply (sum, next v4)";
+
+const EXCHANGE_5_SUPERSTEPS: u64 = 5;
+
+/// Which checkpoint intervals to exercise. The CI chaos matrix runs
+/// one interval per job via `CHAOS_CHECKPOINT_INTERVAL=<k>`; locally
+/// (unset) the whole set runs.
+fn checkpoint_intervals() -> Vec<u64> {
+    match std::env::var("CHAOS_CHECKPOINT_INTERVAL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+    {
+        Some(k) => vec![k],
+        None => vec![1, 2, 4],
+    }
+}
+
+/// One cell of the checkpoint grid: crash rank `rank` at superstep
+/// `s` under interval `k`, and verify the *exact* recovery
+/// accounting, not just convergence:
+///
+/// * the resume point is the last committed generation
+///   `c = ⌊s/k⌋·k` (consistent-cut commits happen only at superstep
+///   exit barriers that are multiples of `k`),
+/// * the replay debt is exactly `s − c = s mod k` supersteps — within
+///   the acceptance bound of `k + (s mod k)`,
+/// * across both attempts exactly `⌊S/k⌋` generations are committed
+///   (the resumed attempt re-commits nothing below the cut),
+/// * the recovered value and superstep count are bit-identical to the
+///   unfaulted lockstep oracle (the supervisor's oracle check stays
+///   on; this re-asserts it from the outside).
+fn checkpoint_cell(e: &bsml_ast::Expr, p: usize, rank: usize, s: u64, k: u64) {
+    let ctx = format!("p={p} crash=({rank},{s}) k={k}");
+    let (expected_value, expected_supersteps) = oracle(e, p);
+    let store = Arc::new(MemoryStore::new());
+    let tel = Telemetry::enabled_logical();
+    let machine = DistMachine::new(p)
+        .with_faults(FaultPlan::new().crash(rank, s))
+        .with_barrier_timeout(Duration::from_secs(10))
+        .with_checkpoints(CheckpointPolicy::every(k), store);
+    let out = Supervisor::new(machine)
+        .with_backoff(Duration::ZERO)
+        .with_telemetry(tel.clone())
+        .run(e)
+        .unwrap_or_else(|err| panic!("{ctx}: {err}"));
+
+    assert_eq!(out.attempts, 2, "{ctx}");
+    assert_eq!(out.outcome.value.to_string(), expected_value, "{ctx}");
+    assert_eq!(out.outcome.supersteps, expected_supersteps, "{ctx}");
+
+    let committed = (s / k) * k;
+    assert_eq!(
+        out.outcome.resumed_from,
+        (committed > 0).then_some(committed),
+        "{ctx}"
+    );
+    assert_eq!(
+        tel.counter_value("bsp.resumes"),
+        u64::from(committed > 0),
+        "{ctx}"
+    );
+    assert_eq!(
+        tel.counter_value("bsp.supersteps_replayed"),
+        s - committed,
+        "{ctx}: replay debt must be exactly s mod k"
+    );
+    assert!(
+        tel.counter_value("bsp.supersteps_replayed") <= k + s % k,
+        "{ctx}: acceptance bound k + (s mod k) violated"
+    );
+    assert_eq!(
+        tel.counter_value("bsp.checkpoints_written"),
+        EXCHANGE_5_SUPERSTEPS / k,
+        "{ctx}: both attempts together commit each generation once"
+    );
+    assert_eq!(tel.counter_value("bsp.checkpoints_corrupt"), 0, "{ctx}");
+    assert!(tel.counter_value("bsp.checkpoint_bytes") > 0, "{ctx}");
+}
+
+#[test]
+fn checkpointed_crashes_replay_exactly_s_mod_k_supersteps() {
+    let p = 4;
+    let e = parse(EXCHANGE_5).unwrap();
+    for k in checkpoint_intervals() {
+        for rank in 0..p {
+            for s in 0..EXCHANGE_5_SUPERSTEPS {
+                checkpoint_cell(&e, p, rank, s, k);
+            }
+        }
+    }
+}
+
+#[test]
+fn checkpointing_composes_with_seeded_chaos() {
+    // The original chaos property — converge under an arbitrary
+    // seeded fault — must keep holding when checkpoint resume is on.
+    let base = seed_base() * SEEDS_PER_BASE;
+    let e = parse(EXCHANGE_2).unwrap();
+    let (expected_value, _) = oracle(&e, 4);
+    for k in checkpoint_intervals() {
+        for seed in base..base + SEEDS_PER_BASE {
+            let plan = FaultPlan::chaos(seed, 4, 2);
+            let machine = DistMachine::new(4)
+                .with_faults(plan)
+                .with_barrier_timeout(Duration::from_secs(10))
+                .with_checkpoints(CheckpointPolicy::every(k), Arc::new(MemoryStore::new()));
+            let out = Supervisor::new(machine)
+                .with_backoff(Duration::ZERO)
+                .run(&e)
+                .unwrap_or_else(|err| panic!("k={k} seed={seed}: {err}"));
+            assert_eq!(
+                out.outcome.value.to_string(),
+                expected_value,
+                "k={k} seed={seed}"
+            );
+        }
+    }
 }

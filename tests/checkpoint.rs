@@ -1,0 +1,173 @@
+//! End-to-end recovery-ladder tests for the *file-backed* checkpoint
+//! store: a supervised run persists consistent cuts to disk, a later
+//! run resumes from them, and on-disk corruption demotes recovery one
+//! rung at a time — to the previous generation, then to a full
+//! restart — without ever producing a wrong answer.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bsml_bsp::checkpoint::{CheckpointPolicy, CheckpointStore, FileStore};
+use bsml_bsp::distributed::DistMachine;
+use bsml_bsp::faults::FaultPlan;
+use bsml_bsp::supervisor::Supervisor;
+use bsml_bsp::{BspMachine, BspParams};
+use bsml_obs::Telemetry;
+use bsml_syntax::parse;
+
+/// Four supersteps of chained total exchanges (every message ≥ 1, so
+/// any corruption of the recorded traffic would shift some sum).
+const EXCHANGE_4: &str = "
+    let sum = mkpar (fun i -> fun t ->
+        let acc = ref 0 in
+        (for j = 0 to bsp_p () - 1 do acc := !acc + t j done);
+        !acc) in
+    let next = fun v -> put (apply (mkpar (fun j -> fun v -> fun i -> v + j + 1), v)) in
+    let v1 = apply (sum, put (mkpar (fun j -> fun i -> j + i + 1))) in
+    let v2 = apply (sum, next v1) in
+    let v3 = apply (sum, next v2) in
+    apply (sum, next v3)";
+
+const P: usize = 4;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "bsml-ckpt-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn oracle_value(e: &bsml_ast::Expr) -> String {
+    BspMachine::new(BspParams::new(P, 1, 1))
+        .run(e)
+        .unwrap()
+        .value
+        .to_string()
+}
+
+fn supervised(store: Arc<FileStore>, plan: FaultPlan, tel: &Telemetry) -> Supervisor {
+    let machine = DistMachine::new(P)
+        .with_faults(plan)
+        .with_barrier_timeout(Duration::from_secs(10))
+        .with_checkpoints(CheckpointPolicy::every(1), store);
+    Supervisor::new(machine)
+        .with_backoff(Duration::ZERO)
+        .with_telemetry(tel.clone())
+}
+
+/// Populates `dir` with the generations of a clean checkpointed run
+/// and returns their numbers (ascending).
+fn populate(dir: &PathBuf, e: &bsml_ast::Expr) -> Vec<u64> {
+    let store = Arc::new(FileStore::open(dir).unwrap());
+    let out = supervised(Arc::clone(&store), FaultPlan::new(), &Telemetry::disabled())
+        .run(e)
+        .unwrap();
+    assert_eq!(out.attempts, 1);
+    let gens = store.generations();
+    assert_eq!(gens, vec![1, 2, 3, 4], "k=1 over 4 supersteps");
+    gens
+}
+
+fn corrupt(dir: &std::path::Path, generation: u64) {
+    let path = dir.join(format!("gen-{generation:08}.ckpt"));
+    let mut bytes = fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    fs::write(&path, &bytes).unwrap();
+}
+
+#[test]
+fn supervised_run_persists_checkpoints_to_disk() {
+    let e = parse(EXCHANGE_4).unwrap();
+    let dir = temp_dir("persist");
+    let tel = Telemetry::enabled_logical();
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+    let out = supervised(Arc::clone(&store), FaultPlan::new().crash(2, 3), &tel)
+        .run(&e)
+        .unwrap();
+    // Crash at superstep 3 with k=1: generations 1..3 were already on
+    // disk, so the retry resumes from 3 and replays nothing.
+    assert_eq!(out.attempts, 2);
+    assert_eq!(out.outcome.resumed_from, Some(3));
+    assert_eq!(tel.counter_value("bsp.resumes"), 1);
+    assert_eq!(tel.counter_value("bsp.supersteps_replayed"), 0);
+    assert_eq!(tel.counter_value("bsp.checkpoints_corrupt"), 0);
+    assert_eq!(out.outcome.value.to_string(), oracle_value(&e));
+    assert_eq!(store.generations(), vec![1, 2, 3, 4]);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_latest_generation_falls_back_to_previous() {
+    let e = parse(EXCHANGE_4).unwrap();
+    let dir = temp_dir("fallback");
+    populate(&dir, &e);
+    // Flip a byte in the newest generation; the ladder must detect it
+    // (checksums), count it, and resume from the one below.
+    corrupt(&dir, 4);
+
+    let tel = Telemetry::enabled_logical();
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+    let out = supervised(store, FaultPlan::new().crash(1, 0), &tel)
+        .run(&e)
+        .unwrap();
+    assert_eq!(out.attempts, 2);
+    assert_eq!(tel.counter_value("bsp.checkpoints_corrupt"), 1);
+    assert_eq!(out.outcome.resumed_from, Some(3));
+    assert_eq!(tel.counter_value("bsp.resumes"), 1);
+    assert_eq!(out.outcome.value.to_string(), oracle_value(&e));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_generations_corrupt_forces_full_restart() {
+    let e = parse(EXCHANGE_4).unwrap();
+    let dir = temp_dir("restart");
+    let gens = populate(&dir, &e);
+    for g in &gens {
+        corrupt(&dir, *g);
+    }
+
+    let tel = Telemetry::enabled_logical();
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+    let out = supervised(store, FaultPlan::new().crash(1, 0), &tel)
+        .run(&e)
+        .unwrap();
+    // Every rung of the ladder is corrupt: all four are counted, no
+    // resume happens, and the full restart still converges — a
+    // corrupted checkpoint costs time, never correctness.
+    assert_eq!(out.attempts, 2);
+    assert_eq!(tel.counter_value("bsp.checkpoints_corrupt"), 4);
+    assert_eq!(tel.counter_value("bsp.resumes"), 0);
+    assert_eq!(out.outcome.resumed_from, None);
+    assert_eq!(out.outcome.value.to_string(), oracle_value(&e));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_commit_marker_is_skipped_silently() {
+    let e = parse(EXCHANGE_4).unwrap();
+    let dir = temp_dir("marker");
+    populate(&dir, &e);
+    // Drop the newest generation's commit trailer: an interrupted
+    // write, not corruption — skipped without counting.
+    let path = dir.join(format!("gen-{:08}.ckpt", 4));
+    let bytes = fs::read(&path).unwrap();
+    fs::write(&path, &bytes[..bytes.len() - 8]).unwrap();
+
+    let tel = Telemetry::enabled_logical();
+    let store = Arc::new(FileStore::open(&dir).unwrap());
+    let out = supervised(store, FaultPlan::new().crash(0, 1), &tel)
+        .run(&e)
+        .unwrap();
+    assert_eq!(out.attempts, 2);
+    assert_eq!(tel.counter_value("bsp.checkpoints_corrupt"), 0);
+    assert_eq!(out.outcome.resumed_from, Some(3));
+    assert_eq!(out.outcome.value.to_string(), oracle_value(&e));
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,170 @@
+//! Frontend robustness fuzzing: arbitrary byte soup and random token
+//! sequences must flow through lexer → parser → inferencer as
+//! structured `Err`s, never as panics. The frontend is the part of
+//! the pipeline exposed to raw user input, so "garbage in, error out"
+//! is a hard robustness requirement — a panic in `tokenize`/`parse`
+//! would take down an interactive session.
+//!
+//! The offline proptest stand-in is deterministic and keeps no
+//! persistence files, so inputs that once misbehaved are pinned as
+//! explicit regression tests at the bottom instead of in a
+//! `proptest-regressions` file.
+
+use bsml_ast::Expr;
+use bsml_infer::{Inferencer, TypeEnv};
+use bsml_syntax::{parse, parse_module, tokenize};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Runs one input through the whole frontend. Every stage may reject
+/// (that is the point); none may panic. When a phrase survives to an
+/// `Expr`, the inferencer must also return rather than unwind — type
+/// errors on nonsense are expected, aborts are not.
+fn frontend_must_not_panic(source: &str) {
+    let _ = tokenize(source);
+    if let Ok(e) = parse(source) {
+        infer_must_not_panic(&e);
+    }
+    if let Ok(module) = parse_module(source) {
+        for decl in &module.decls {
+            infer_must_not_panic(&decl.expr);
+        }
+        if let Some(body) = &module.body {
+            infer_must_not_panic(body);
+        }
+    }
+}
+
+fn infer_must_not_panic(e: &Expr) {
+    let _ = Inferencer::new().run(&TypeEnv::new(), e);
+}
+
+/// Every terminal of the grammar plus near-miss junk: random
+/// interleavings drive the parser into corners byte soup rarely
+/// reaches (byte soup almost always dies in the lexer).
+const VOCABULARY: &[&str] = &[
+    "let", "rec", "in", "fun", "->", "if", "then", "else", "at", "case", "of", "|", "(", ")", ",",
+    ";", ";;", "=", "<", "<=", "+", "-", "*", "/", "mod", "&&", "||", "not", "ref", ":=", "!",
+    "for", "to", "do", "done", "mkpar", "apply", "put", "bsp_p", "fst", "snd", "inl", "inr", "x",
+    "y", "f", "0", "1", "42", "true", "false", "()", "⟨", "⟩", "..", "_", "'a",
+];
+
+fn token_soup(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|i| VOCABULARY[i % VOCABULARY.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(400))]
+
+    #[test]
+    fn byte_soup_errors_never_panic(bytes in vec(any::<u8>(), 0..128)) {
+        frontend_must_not_panic(&String::from_utf8_lossy(&bytes));
+    }
+
+    #[test]
+    fn token_soup_errors_never_panic(picks in vec(any::<usize>(), 0..96)) {
+        frontend_must_not_panic(&token_soup(&picks));
+    }
+
+    #[test]
+    fn almost_a_program_never_panics(
+        picks in vec(any::<usize>(), 0..24),
+        cut in any::<usize>(),
+    ) {
+        // Valid programs with a random suffix chopped off / glued on:
+        // prefixes of well-formed input exercise the "unexpected EOF"
+        // paths of every parser production.
+        let program = "let rec f x = if x <= 0 then 0 else f (x - 1) in
+                       let v = mkpar (fun i -> f i) in
+                       put (apply (mkpar (fun i -> fun a -> fun d -> a), v))";
+        let cut = cut % (program.len() + 1);
+        let prefix = if program.is_char_boundary(cut) { &program[..cut] } else { program };
+        frontend_must_not_panic(&format!("{prefix} {}", token_soup(&picks)));
+    }
+}
+
+// --- Pinned regressions / deliberate corner cases -----------------
+
+#[test]
+fn unterminated_constructs_error_cleanly() {
+    for src in [
+        "let",
+        "let x",
+        "let x =",
+        "let rec",
+        "fun",
+        "fun x",
+        "fun x ->",
+        "if",
+        "if true",
+        "if true then",
+        "case",
+        "case inl 1 of",
+        "(",
+        "(1",
+        "(1,",
+        "⟨",
+        "!",
+        "for",
+        "for i = 0",
+        "for i = 0 to 3 do",
+        "1 +",
+        "x :=",
+        "let x = 1 ;;",
+        "(* unclosed comment",
+    ] {
+        frontend_must_not_panic(src);
+        assert!(parse(src).is_err(), "`{src}` should not parse");
+    }
+}
+
+#[test]
+fn pathological_but_bounded_nesting_errors_or_parses() {
+    // Deep but bounded: enough to stress precedence climbing, not
+    // enough to exhaust the stack (the fuzz soups above stay small
+    // for the same reason).
+    let depth = 64;
+    let balanced = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+    frontend_must_not_panic(&balanced);
+    assert!(parse(&balanced).is_ok());
+    let unbalanced = "(".repeat(depth);
+    frontend_must_not_panic(&unbalanced);
+    assert!(parse(&unbalanced).is_err());
+}
+
+#[test]
+fn non_ascii_and_control_bytes_error_cleanly() {
+    for src in [
+        "\u{0}",
+        "\u{7f}",
+        "let \u{0} = 1",
+        "débuter",
+        "🦀",
+        "\"no strings in mini-bsml\"",
+        "\t\r\n  \t",
+        "⟨1, 2⟩ ⟨",
+        "x ⟩",
+        "1 .. 2",
+    ] {
+        frontend_must_not_panic(src);
+    }
+}
+
+#[test]
+fn keyword_collisions_error_cleanly() {
+    for src in [
+        "let let = 1 in let",
+        "let in = in in in",
+        "fun fun -> fun",
+        "if if then then else else",
+        "mkpar mkpar",
+        "put put put",
+        "let rec rec = rec in rec",
+    ] {
+        frontend_must_not_panic(src);
+    }
+}
