@@ -25,9 +25,11 @@
 //! correctness.
 //!
 //! Frames are serialized with a length prefix and an FNV-1a trailer
-//! checksum; the file-backed store writes one file per generation
-//! under a run directory, with a commit-marker trailer, so any
-//! byte-flip is caught at load and the loader can fall down the
+//! checksum — the same [`crate::wire`] value codec and checksum the
+//! network transport speaks, so there is one serialized form on the
+//! wire and at rest; the file-backed store writes one file per
+//! generation under a run directory, with a commit-marker trailer, so
+//! any byte-flip is caught at load and the loader can fall down the
 //! generation ladder.
 
 use std::collections::BTreeMap;
@@ -40,10 +42,8 @@ use std::sync::Mutex;
 use bsml_ast::Expr;
 use bsml_eval::PortableValue;
 
-/// FNV-1a 64-bit offset basis.
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-/// FNV-1a 64-bit prime.
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+pub use crate::wire::fnv1a;
+use crate::wire::{decode_value, encode_value, put_u64, Reader, WireError};
 
 /// Leading magic of a serialized frame.
 const FRAME_MAGIC: u64 = 0x4253_4d4c_4652_414d; // "BSMLFRAM"
@@ -53,17 +53,6 @@ const FILE_MAGIC: u64 = 0x4253_4d4c_434b_5031; // "BSMLCKP1"
 /// the commit: a file without it was interrupted mid-write and is
 /// treated as never having existed.
 const COMMIT_MAGIC: u64 = 0x4253_4d4c_444f_4e45; // "BSMLDONE"
-
-/// FNV-1a over a byte slice.
-#[must_use]
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
 
 /// Fingerprint binding a checkpoint to one (program, p) pair: frames
 /// written for a different program or machine size never resume this
@@ -181,6 +170,15 @@ impl fmt::Display for CheckpointError {
 
 impl std::error::Error for CheckpointError {}
 
+impl From<WireError> for CheckpointError {
+    /// Codec-level failures (truncation, bad tags, count overflow)
+    /// surface as [`CheckpointError::Malformed`]; checksum checking
+    /// stays checkpoint-side so the error can carry its coordinates.
+    fn from(e: WireError) -> CheckpointError {
+        CheckpointError::Malformed(e.to_string())
+    }
+}
+
 /// How often the distributed machine checkpoints.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CheckpointPolicy {
@@ -278,137 +276,8 @@ pub fn latest_generation(store: &dyn CheckpointStore) -> Option<u64> {
 }
 
 // ---------------------------------------------------------------------------
-// Frame codec
+// Frame codec (value serialization shared with crate::wire)
 // ---------------------------------------------------------------------------
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn encode_portable(out: &mut Vec<u8>, v: &PortableValue) {
-    match v {
-        PortableValue::Int(n) => {
-            out.push(0);
-            out.extend_from_slice(&n.to_le_bytes());
-        }
-        PortableValue::Bool(b) => {
-            out.push(1);
-            out.push(u8::from(*b));
-        }
-        PortableValue::Unit => out.push(2),
-        PortableValue::NoComm => out.push(3),
-        PortableValue::Pair(a, b) => {
-            out.push(4);
-            encode_portable(out, a);
-            encode_portable(out, b);
-        }
-        PortableValue::Inl(inner) => {
-            out.push(5);
-            encode_portable(out, inner);
-        }
-        PortableValue::Inr(inner) => {
-            out.push(6);
-            encode_portable(out, inner);
-        }
-        PortableValue::Nil => out.push(7),
-        PortableValue::Cons(h, t) => {
-            out.push(8);
-            encode_portable(out, h);
-            encode_portable(out, t);
-        }
-        PortableValue::Vector(vs) => {
-            out.push(9);
-            put_u64(out, vs.len() as u64);
-            for c in vs {
-                encode_portable(out, c);
-            }
-        }
-    }
-}
-
-/// A bounds-checked little-endian reader over a byte slice.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Reader<'a> {
-        Reader { bytes, pos: 0 }
-    }
-
-    fn remaining(&self) -> usize {
-        self.bytes.len() - self.pos
-    }
-
-    fn u8(&mut self) -> Result<u8, CheckpointError> {
-        let b = *self
-            .bytes
-            .get(self.pos)
-            .ok_or_else(|| CheckpointError::Malformed("truncated frame".into()))?;
-        self.pos += 1;
-        Ok(b)
-    }
-
-    fn u64(&mut self) -> Result<u64, CheckpointError> {
-        let end = self.pos + 8;
-        let slice = self
-            .bytes
-            .get(self.pos..end)
-            .ok_or_else(|| CheckpointError::Malformed("truncated frame".into()))?;
-        self.pos = end;
-        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
-    }
-
-    fn i64(&mut self) -> Result<i64, CheckpointError> {
-        Ok(self.u64()? as i64)
-    }
-
-    /// A count that must plausibly fit in the remaining bytes (each
-    /// counted item takes ≥ 1 byte) — rejects corrupted lengths before
-    /// they become giant allocations.
-    fn count(&mut self) -> Result<usize, CheckpointError> {
-        let n = self.u64()?;
-        if n as usize > self.remaining() {
-            return Err(CheckpointError::Malformed(format!(
-                "count {n} exceeds remaining {} bytes",
-                self.remaining()
-            )));
-        }
-        Ok(n as usize)
-    }
-}
-
-fn decode_portable(r: &mut Reader<'_>) -> Result<PortableValue, CheckpointError> {
-    match r.u8()? {
-        0 => Ok(PortableValue::Int(r.i64()?)),
-        1 => Ok(PortableValue::Bool(r.u8()? != 0)),
-        2 => Ok(PortableValue::Unit),
-        3 => Ok(PortableValue::NoComm),
-        4 => Ok(PortableValue::Pair(
-            Box::new(decode_portable(r)?),
-            Box::new(decode_portable(r)?),
-        )),
-        5 => Ok(PortableValue::Inl(Box::new(decode_portable(r)?))),
-        6 => Ok(PortableValue::Inr(Box::new(decode_portable(r)?))),
-        7 => Ok(PortableValue::Nil),
-        8 => Ok(PortableValue::Cons(
-            Box::new(decode_portable(r)?),
-            Box::new(decode_portable(r)?),
-        )),
-        9 => {
-            let n = r.count()?;
-            let mut vs = Vec::with_capacity(n);
-            for _ in 0..n {
-                vs.push(decode_portable(r)?);
-            }
-            Ok(PortableValue::Vector(vs))
-        }
-        tag => Err(CheckpointError::Malformed(format!(
-            "unknown portable-value tag {tag}"
-        ))),
-    }
-}
 
 impl RankFrame {
     /// Serializes the frame: magic, header, outcome log, FNV-1a
@@ -432,7 +301,7 @@ impl RankFrame {
                     out.push(0);
                     put_u64(&mut out, delivered.len() as u64);
                     for v in delivered {
-                        encode_portable(&mut out, v);
+                        encode_value(&mut out, v);
                     }
                 }
                 SyncOutcome::IfAt { chosen } => {
@@ -487,7 +356,7 @@ impl RankFrame {
                     let m = r.count()?;
                     let mut delivered = Vec::with_capacity(m);
                     for _ in 0..m {
-                        delivered.push(decode_portable(&mut r)?);
+                        delivered.push(decode_value(&mut r)?);
                     }
                     SyncOutcome::Put { delivered }
                 }
@@ -732,14 +601,7 @@ impl FileStore {
         let mut frames = Vec::with_capacity(p);
         for _ in 0..p {
             let len = r.count()?;
-            let start = r.pos;
-            let end = start + len;
-            let slice = r
-                .bytes
-                .get(start..end)
-                .ok_or_else(|| CheckpointError::Malformed("truncated frame".into()))?;
-            r.pos = end;
-            frames.push(RankFrame::decode(slice)?);
+            frames.push(RankFrame::decode(r.take(len)?)?);
         }
         if r.remaining() != 0 {
             return Err(CheckpointError::Malformed(format!(

@@ -8,9 +8,17 @@
 //! (global) expressions are evaluated identically on every thread;
 //! parallel vectors exist only as each thread's own component
 //! (width-1 `Value::Vector`s). `put` and `if‥at‥` serialize values
-//! into [`PortableValue`]s, exchange them through a shared mailbox,
-//! and synchronize on a poisonable barrier (a failing processor
-//! releases, rather than deadlocks, its peers).
+//! into [`PortableValue`]s, frame them on the wire protocol of
+//! [`crate::wire`], and exchange them through per-rank mailboxes
+//! behind a [`crate::transport::Transport`] — reliably: every data
+//! frame carries a per-link sequence number and is acknowledged, lost
+//! or corrupted frames are retransmitted on an idle-poll deadline,
+//! duplicates are suppressed, and a full mailbox exerts backpressure
+//! instead of growing without bound (DESIGN.md §10). A superstep's
+//! exchange completes only when **all** expected frames are acked on
+//! every rank; the final barrier of the superstep is a poisonable
+//! [`PoisonBarrier`] (a failing processor releases, rather than
+//! deadlocks, its peers).
 //!
 //! **Robustness** (DESIGN.md §9): every barrier wait runs under a
 //! wall-clock watchdog ([`DEFAULT_BARRIER_TIMEOUT`]), so a stalled or
@@ -39,6 +47,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -53,6 +62,9 @@ use crate::checkpoint::{
     program_fingerprint, CheckpointPolicy, CheckpointStore, RankFrame, ResumePoint, SyncOutcome,
 };
 use crate::faults::{FaultKind, FaultPlan};
+use crate::supervisor::{Sleeper, ThreadSleeper};
+use crate::transport::{LossyNet, NetTuning, SharedMem, Transport, TransportConfig};
+use crate::wire::{Frame, FramePayload};
 
 /// Default per-processor fuel of a [`DistMachine`]: conservative
 /// enough that a divergent SPMD program terminates with
@@ -61,13 +73,31 @@ use crate::faults::{FaultKind, FaultPlan};
 /// [`DistMachine::with_fuel`] for genuinely long computations.
 pub const DIST_DEFAULT_FUEL: u64 = 10_000_000;
 
-/// Default watchdog timeout on every barrier wait. Generous for a
-/// shared-memory machine (barriers are microseconds); its job is to
-/// convert *pathological* states — a deadlocked or runaway peer —
-/// into [`EvalError::BarrierTimeout`] rather than a hang. Override
-/// with [`DistMachine::with_barrier_timeout`], or disable with
+/// Default watchdog timeout on every barrier wait (and on every
+/// message exchange). Generous for a shared-memory machine (barriers
+/// are microseconds); its job is to convert *pathological* states — a
+/// deadlocked or runaway peer — into [`EvalError::BarrierTimeout`]
+/// rather than a hang. Override with
+/// [`DistMachine::with_barrier_timeout`] or the
+/// `BSML_BARRIER_TIMEOUT_MS` environment variable (read at
+/// [`DistMachine::new`]), or disable with
 /// [`DistMachine::without_watchdog`].
 pub const DEFAULT_BARRIER_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The environment variable overriding [`DEFAULT_BARRIER_TIMEOUT`]
+/// (milliseconds). Unparsable values fall back to the default; the
+/// builder method still wins over the environment.
+pub const BARRIER_TIMEOUT_ENV: &str = "BSML_BARRIER_TIMEOUT_MS";
+
+/// The watchdog timeout [`DistMachine::new`] starts from: the
+/// [`BARRIER_TIMEOUT_ENV`] override when set and parsable, else
+/// [`DEFAULT_BARRIER_TIMEOUT`].
+fn barrier_timeout_from_env() -> Duration {
+    std::env::var(BARRIER_TIMEOUT_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .map_or(DEFAULT_BARRIER_TIMEOUT, Duration::from_millis)
+}
 
 /// Locks a mutex whose protected data stays valid across a peer
 /// panic (plain counters): poisoning is ignored, the guard recovered.
@@ -179,6 +209,12 @@ impl PoisonBarrier {
         st.poisoned = true;
         self.cv.notify_all();
     }
+
+    /// Whether a peer has failed. The exchange loop polls this so a
+    /// crash surfaces mid-communication, not only at the next barrier.
+    fn is_poisoned(&self) -> bool {
+        lock_ignore_poison(&self.state).poisoned
+    }
 }
 
 /// Per-superstep communication statistics of one processor.
@@ -191,10 +227,9 @@ struct CommStats {
     ifats: u64,
 }
 
-/// Counters for everything the fault and checkpoint layers did to one
-/// run; flushed into the `bsp.faults_injected` / `bsp.barrier_timeouts`
-/// / `bsp.checkpoints_written` / `bsp.checkpoint_bytes` telemetry
-/// counters whether the run succeeds or fails.
+/// Counters for everything the fault, checkpoint, and transport
+/// layers did to one run; flushed into the `bsp.*` and `net.*`
+/// telemetry counters whether the run succeeds or fails.
 #[derive(Debug, Default)]
 struct FaultLedger {
     faults_injected: AtomicU64,
@@ -207,6 +242,25 @@ struct FaultLedger {
     /// progress a failed attempt made and therefore how many
     /// supersteps a resume replays.
     furthest_superstep: AtomicU64,
+    /// Frames handed to the transport (data + acks, retransmissions
+    /// included).
+    frames_sent: AtomicU64,
+    /// Retransmissions of unacked data frames.
+    retransmits: AtomicU64,
+    /// Received frames suppressed by sequence number (duplicates and
+    /// stale frames from a completed exchange).
+    dups_dropped: AtomicU64,
+    /// Received frames rejected by the wire decoder (checksum,
+    /// truncation, bad tags) — each is treated as lost and repaired by
+    /// retransmission.
+    corrupt_frames: AtomicU64,
+    /// `try_send` refusals: how often a full peer mailbox made a
+    /// sender drain its own mail and retry.
+    backpressure_waits: AtomicU64,
+    /// Plan-injected in-flight losses swallowed by the reliable layer
+    /// (lossy transports only; the substrate's own injected drops are
+    /// counted by the transport itself).
+    frames_lost: AtomicU64,
 }
 
 /// The checkpoint runtime shared by all ranks of one attempt.
@@ -220,20 +274,27 @@ struct NetCheckpoint {
     fingerprint: u64,
 }
 
-/// The shared "network": the message mailbox, the `if‥at‥` broadcast
-/// slot, the barrier, and the (optional) fault plan governing this
-/// attempt.
+/// The shared "network": the frame transport, the barrier, the
+/// exchange-completion counter, and the (optional) fault plan
+/// governing this attempt.
 #[derive(Debug)]
 struct Network {
     p: usize,
     barrier: PoisonBarrier,
-    /// `mailbox[j][i]`: message from j to i for the current
-    /// superstep. Every sender rewrites its whole row each exchange,
-    /// so no clearing is needed.
-    mailbox: Mutex<Vec<Vec<PortableValue>>>,
-    /// The broadcast boolean of the current `if‥at‥`.
-    ifat_slot: Mutex<Option<bool>>,
-    /// Watchdog timeout applied to every barrier wait.
+    /// The substrate frames travel over (per-rank mailboxes).
+    transport: Arc<dyn Transport>,
+    /// Retransmission/backpressure knobs of the reliable layer.
+    tuning: NetTuning,
+    /// How idle exchange polls pause — injectable so chaos tests
+    /// never depend on wall-clock sleeping.
+    sleeper: Arc<dyn Sleeper>,
+    /// Cumulative count of locally-completed exchanges across all
+    /// ranks. Exchange `n` is globally complete when this reaches
+    /// `p·(n+1)`; until then every locally-done rank keeps servicing
+    /// its mailbox (re-acking duplicates), which is what makes a lost
+    /// *ack* recoverable — the peer that needs it is still listening.
+    exchanges_done: AtomicU64,
+    /// Watchdog timeout applied to every barrier wait and exchange.
     barrier_timeout: Option<Duration>,
     /// Faults to inject into this attempt (`None` = zero-cost).
     faults: Option<Arc<FaultPlan>>,
@@ -247,8 +308,14 @@ struct Network {
 }
 
 impl Network {
+    // Private constructor mirroring the field list one-for-one; a
+    // params struct would just restate it.
+    #[allow(clippy::too_many_arguments)]
     fn new(
         p: usize,
+        transport: Arc<dyn Transport>,
+        tuning: NetTuning,
+        sleeper: Arc<dyn Sleeper>,
         barrier_timeout: Option<Duration>,
         faults: Option<Arc<FaultPlan>>,
         attempt: u32,
@@ -257,8 +324,10 @@ impl Network {
         Network {
             p,
             barrier: PoisonBarrier::new(p),
-            mailbox: Mutex::new(vec![vec![PortableValue::NoComm; p]; p]),
-            ifat_slot: Mutex::new(None),
+            transport,
+            tuning,
+            sleeper,
+            exchanges_done: AtomicU64::new(0),
             barrier_timeout,
             faults,
             attempt,
@@ -273,6 +342,24 @@ impl Network {
 struct ReplayState {
     frame: RankFrame,
     next: usize,
+}
+
+/// One outbound data frame of an exchange and its delivery state —
+/// an entry of the per-exchange send window.
+struct OutFrame {
+    dst: usize,
+    seq: u64,
+    bytes: Vec<u8>,
+    /// Accepted by the transport at least once.
+    sent: bool,
+    /// Idle polls since the last (re)transmission.
+    idle: u32,
+    acked: bool,
+    retransmits: u32,
+    /// Plan-injected in-flight loss: the first transmission is
+    /// swallowed before reaching the transport, so the retransmission
+    /// machinery has to repair it (lossy substrates only).
+    drop_first: bool,
 }
 
 /// The SPMD driver for one processor (rank). Statistics are shared
@@ -290,6 +377,15 @@ struct SpmdDriver {
     record: Option<Vec<SyncOutcome>>,
     /// Replay state when this attempt resumes from a checkpoint.
     replay: Option<ReplayState>,
+    /// Next sequence number per `(self → dst)` link.
+    send_seq: Vec<u64>,
+    /// Next expected sequence number per `(src → self)` link; frames
+    /// below it are duplicates.
+    recv_seq: Vec<u64>,
+    /// Exchanges completed by this rank this attempt (identical on
+    /// every rank by SPMD replication — the exchange-completion
+    /// counter's target derives from it).
+    exchanges: u64,
 }
 
 impl SpmdDriver {
@@ -409,6 +505,254 @@ impl SpmdDriver {
                 ),
             ))
         }
+    }
+
+    /// Runs one reliable exchange over the transport: transmits
+    /// `sends` (this rank's window of data frames), collects and
+    /// acknowledges the frames this rank `expect`s, retransmits
+    /// unacked frames on an idle-poll deadline (lossy transports
+    /// only — on a lossless substrate an unacked frame means the peer
+    /// has not arrived yet, and the wall-clock watchdog owns that
+    /// case), suppresses duplicates by per-link sequence number, and
+    /// rejects frames the wire decoder refuses. The exchange is over
+    /// only when **every** rank has declared itself done (all expected
+    /// frames accepted, all own frames acked, all acks flushed): the
+    /// shared completion counter keeps locally-done ranks servicing
+    /// their mailboxes, which is what makes a lost *ack* recoverable —
+    /// the peer that needs to resend is still being listened to
+    /// (DESIGN.md §10).
+    fn exchange(
+        &mut self,
+        superstep: u64,
+        sends: Vec<(usize, FramePayload, bool)>,
+        expect: &[bool],
+    ) -> Result<Vec<Option<FramePayload>>, EvalError> {
+        // The exchange doubles as the superstep's entry
+        // synchronization (the old design's first barrier), so the
+        // time a rank spends in it lands in the same histogram its
+        // barrier waits do — the telemetry contract stays "two timed
+        // sync phases per rank per superstep".
+        if self.telemetry.is_enabled() {
+            let before = Instant::now();
+            let result = self.exchange_inner(superstep, sends, expect);
+            let waited = u64::try_from(before.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.telemetry
+                .histogram_record("bsp.barrier_wait_us", waited);
+            result
+        } else {
+            self.exchange_inner(superstep, sends, expect)
+        }
+    }
+
+    fn exchange_inner(
+        &mut self,
+        superstep: u64,
+        sends: Vec<(usize, FramePayload, bool)>,
+        expect: &[bool],
+    ) -> Result<Vec<Option<FramePayload>>, EvalError> {
+        let net = Arc::clone(&self.net);
+        let p = net.p;
+        let ledger = &net.ledger;
+        let lossless = net.transport.is_lossless();
+        let target = (self.exchanges + 1).saturating_mul(p as u64);
+        let deadline = net.barrier_timeout.map(|t| Instant::now() + t);
+
+        let mut window: Vec<OutFrame> = sends
+            .into_iter()
+            .map(|(dst, payload, drop_first)| {
+                let seq = self.send_seq[dst];
+                self.send_seq[dst] += 1;
+                let bytes = Frame {
+                    from: self.rank,
+                    superstep,
+                    seq,
+                    payload,
+                }
+                .encode();
+                OutFrame {
+                    dst,
+                    seq,
+                    bytes,
+                    sent: false,
+                    idle: 0,
+                    acked: false,
+                    retransmits: 0,
+                    drop_first,
+                }
+            })
+            .collect();
+
+        let mut inbox: Vec<Option<FramePayload>> = vec![None; p];
+        let mut awaiting = expect.iter().filter(|&&e| e).count();
+        let mut acks_due: VecDeque<(usize, u64)> = VecDeque::new();
+        let mut declared_done = false;
+
+        loop {
+            let mut progressed = false;
+
+            // Phase 1: (re)transmit the send window.
+            for f in &mut window {
+                if !f.sent {
+                    if f.drop_first {
+                        // Plan-injected in-flight loss: the frame
+                        // vanishes before the transport ever sees it;
+                        // the retransmission deadline repairs it.
+                        f.drop_first = false;
+                        f.sent = true;
+                        ledger.frames_lost.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    } else if net.transport.try_send(self.rank, f.dst, &f.bytes) {
+                        f.sent = true;
+                        f.idle = 0;
+                        ledger.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    } else {
+                        ledger.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if !f.acked && !lossless && f.idle >= net.tuning.retransmit_after {
+                    if f.retransmits >= net.tuning.retransmit_budget {
+                        net.barrier.poison();
+                        return Err(EvalError::TransportFailure {
+                            rank: self.rank,
+                            superstep,
+                            detail: format!(
+                                "message to rank {} (seq {}) unacknowledged after {} \
+                                 retransmissions",
+                                f.dst, f.seq, f.retransmits
+                            ),
+                        });
+                    }
+                    if net.transport.try_send(self.rank, f.dst, &f.bytes) {
+                        f.retransmits += 1;
+                        f.idle = 0;
+                        ledger.retransmits.fetch_add(1, Ordering::Relaxed);
+                        ledger.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    } else {
+                        ledger.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+
+            // Phase 2: flush pending acks. A refusal re-queues the ack
+            // and breaks — but the drain below keeps running either
+            // way, so two ranks with mutually full mailboxes cannot
+            // deadlock on each other.
+            while let Some(&(dst, seq)) = acks_due.front() {
+                let bytes = Frame {
+                    from: self.rank,
+                    superstep,
+                    seq,
+                    payload: FramePayload::Ack,
+                }
+                .encode();
+                if net.transport.try_send(self.rank, dst, &bytes) {
+                    acks_due.pop_front();
+                    ledger.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    progressed = true;
+                } else {
+                    ledger.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            }
+
+            // Phase 3: drain this rank's mailbox.
+            while let Some(bytes) = net.transport.recv(self.rank) {
+                progressed = true;
+                let frame = match Frame::decode(&bytes) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        // A frame the decoder rejects (bit corruption,
+                        // truncation) is treated as lost: dropped here,
+                        // repaired by the sender's retransmission.
+                        ledger.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                };
+                let src = frame.from;
+                if src >= p || src == self.rank {
+                    ledger.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                match frame.payload {
+                    FramePayload::Ack => {
+                        // A stale ack (no matching window entry) is
+                        // ignored: its exchange already completed.
+                        if let Some(f) = window
+                            .iter_mut()
+                            .find(|f| f.dst == src && f.seq == frame.seq)
+                        {
+                            f.acked = true;
+                        }
+                    }
+                    payload => {
+                        if frame.seq == self.recv_seq[src] && expect[src] && inbox[src].is_none() {
+                            self.recv_seq[src] += 1;
+                            inbox[src] = Some(payload);
+                            awaiting -= 1;
+                            acks_due.push_back((src, frame.seq));
+                        } else if frame.seq < self.recv_seq[src] {
+                            // Duplicate (a retransmission whose
+                            // original already arrived): suppress, but
+                            // re-ack — the sender may have lost ours.
+                            ledger.dups_dropped.fetch_add(1, Ordering::Relaxed);
+                            acks_due.push_back((src, frame.seq));
+                        } else {
+                            // A data frame from the future, or on a
+                            // link nothing was expected on: protocol
+                            // noise — suppress without acking so the
+                            // sender's budget eventually surfaces it.
+                            ledger.dups_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+
+            if !declared_done
+                && awaiting == 0
+                && window.iter().all(|f| f.acked)
+                && acks_due.is_empty()
+            {
+                declared_done = true;
+                net.exchanges_done.fetch_add(1, Ordering::AcqRel);
+                progressed = true;
+            }
+            if declared_done && net.exchanges_done.load(Ordering::Acquire) >= target {
+                break;
+            }
+
+            // Liveness: a crashed peer surfaces mid-exchange, and a
+            // stalled one trips the wall-clock watchdog.
+            if net.barrier.is_poisoned() {
+                return Err(EvalError::PeerFailure);
+            }
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    ledger.barrier_timeouts.fetch_add(1, Ordering::Relaxed);
+                    net.barrier.poison();
+                    let done = net.exchanges_done.load(Ordering::Acquire);
+                    let base = self.exchanges.saturating_mul(p as u64);
+                    return Err(EvalError::BarrierTimeout {
+                        superstep,
+                        waiting: usize::try_from(done.saturating_sub(base)).unwrap_or(0),
+                    });
+                }
+            }
+            if !progressed {
+                // Idle poll: age unacked frames toward their
+                // retransmission deadline and pause through the
+                // injectable sleeper (never a bare thread::sleep, so
+                // tests control all wall-clock behavior).
+                for f in &mut window {
+                    if f.sent && !f.acked {
+                        f.idle += 1;
+                    }
+                }
+                net.sleeper.sleep(net.tuning.poll_sleep);
+            }
+        }
+        self.exchanges += 1;
+        Ok(inbox)
     }
 
     // --- checkpoint recording, staging and replay -------------------------
@@ -692,10 +1036,12 @@ impl ParallelDriver for SpmdDriver {
         }
         let p = self.net.p;
         let superstep = self.inject_entry_faults()?;
+        let lossless = self.net.transport.is_lossless();
         let f = self.my_component(fs, "put")?.clone();
         // Local phase: evaluate my send function for every target and
-        // serialize the messages.
-        let mut row = Vec::with_capacity(p);
+        // serialize the messages into wire frames.
+        let mut sends: Vec<(usize, FramePayload, bool)> = Vec::with_capacity(p.saturating_sub(1));
+        let mut self_payload = PortableValue::NoComm;
         for dst in 0..p {
             let v = ev.apply_fn(f.clone(), Value::Int(dst as i64), Mode::OnProc(self.rank))?;
             ev.ensure_local(&v)?;
@@ -704,37 +1050,58 @@ impl ParallelDriver for SpmdDriver {
                 lock_ignore_poison(&self.stats).sent_words += words;
             }
             let portable = v.to_portable().inspect_err(|_| self.net.barrier.poison())?;
-            // A dropped message was *sent* (the sender paid for it)
-            // but never arrives: the receiver sees `nc ()`.
-            row.push(if self.drops_message(dst, superstep) {
-                PortableValue::NoComm
+            let plan_drop = self.drops_message(dst, superstep);
+            if dst == self.rank {
+                // A self-message never touches the wire; dropping one
+                // can only be modelled as silent loss (`nc ()`), and
+                // only a lossless substrate keeps that legacy reading.
+                self_payload = if plan_drop && lossless {
+                    PortableValue::NoComm
+                } else {
+                    portable
+                };
+            } else if lossless {
+                // Legacy drop semantics: the message was *sent* (the
+                // sender paid for it) but never arrives — the receiver
+                // sees `nc ()`, and only the oracle cross-check can
+                // tell. This is exactly what the reliable layer below
+                // exists to fix.
+                let payload = FramePayload::Put(if plan_drop {
+                    PortableValue::NoComm
+                } else {
+                    portable
+                });
+                sends.push((dst, payload, false));
             } else {
-                portable
-            });
+                // On a lossy substrate the drop happens *in flight*:
+                // the reliable layer detects the missing ack and
+                // retransmits, so the receiver still gets the value.
+                sends.push((dst, FramePayload::Put(portable), plan_drop));
+            }
         }
-        {
-            let Ok(mut mailbox) = self.net.mailbox.lock() else {
-                self.net.barrier.poison();
-                return Err(EvalError::PeerFailure);
-            };
-            mailbox[self.rank] = row;
+        // Communication phase: the reliable exchange is also the
+        // superstep's entry synchronization (it cannot complete before
+        // every rank has arrived and delivered).
+        let expect: Vec<bool> = (0..p).map(|j| j != self.rank).collect();
+        let delivered = self.exchange(superstep, sends, &expect)?;
+        let mut row: Vec<PortableValue> = Vec::with_capacity(p);
+        for (j, slot) in delivered.into_iter().enumerate() {
+            if j == self.rank {
+                row.push(std::mem::replace(&mut self_payload, PortableValue::NoComm));
+            } else {
+                match slot {
+                    Some(FramePayload::Put(v)) => row.push(v),
+                    // A completed exchange delivered something other
+                    // than a put payload: a peer ran a different
+                    // primitive — SPMD replication is broken.
+                    _ => {
+                        self.net.barrier.poison();
+                        return Err(EvalError::PeerFailure);
+                    }
+                }
+            }
         }
-        // Communication phase + barrier.
-        self.barrier_wait()?;
-        let (table, delivered): (Vec<Value>, Option<Vec<PortableValue>>) = {
-            let Ok(mailbox) = self.net.mailbox.lock() else {
-                self.net.barrier.poison();
-                return Err(EvalError::PeerFailure);
-            };
-            let table = (0..p).map(|j| mailbox[j][self.rank].to_value()).collect();
-            // The serialized delivered row is kept only when a
-            // checkpoint frame will want it.
-            let delivered = self
-                .record
-                .is_some()
-                .then(|| (0..p).map(|j| mailbox[j][self.rank].clone()).collect());
-            (table, delivered)
-        };
+        let table: Vec<Value> = row.iter().map(PortableValue::to_value).collect();
         {
             let mut stats = lock_ignore_poison(&self.stats);
             for (j, v) in table.iter().enumerate() {
@@ -745,11 +1112,15 @@ impl ParallelDriver for SpmdDriver {
             stats.supersteps += 1;
             stats.puts += 1;
         }
-        let staged = delivered.and_then(|delivered| {
-            self.record_and_stage(SyncOutcome::Put { delivered }, ev.fuel_left())
-        });
-        // Everyone must finish reading before anyone overwrites — and
-        // the last arriver commits this superstep's checkpoint, if any.
+        // The serialized delivered row is kept only when a checkpoint
+        // frame will want it.
+        let staged = if self.record.is_some() {
+            self.record_and_stage(SyncOutcome::Put { delivered: row }, ev.fuel_left())
+        } else {
+            None
+        };
+        // The exit barrier separates supersteps — and the last arriver
+        // commits this superstep's checkpoint, if any.
         self.superstep_exit_barrier(staged)?;
         Ok(Value::vector(vec![Value::MsgTable(std::rc::Rc::new(
             table,
@@ -765,7 +1136,8 @@ impl ParallelDriver for SpmdDriver {
         if self.replaying() {
             return self.replay_ifat(ev, bools, at);
         }
-        self.inject_entry_faults()?;
+        let superstep = self.inject_entry_faults()?;
+        let p = self.net.p;
         let mine = match self.my_component(bools, "if‥at‥")? {
             Value::Bool(b) => *b,
             v => {
@@ -773,27 +1145,30 @@ impl ParallelDriver for SpmdDriver {
                 return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string()));
             }
         };
+        // The deciding rank broadcasts its boolean as one wire frame
+        // per peer; everyone else expects exactly one frame, from
+        // `at`. (The plan's message drops target `put` h-relations;
+        // the if‥at‥ broadcast is never plan-dropped.)
+        let mut sends: Vec<(usize, FramePayload, bool)> = Vec::new();
         if self.rank == at {
-            let Ok(mut slot) = self.net.ifat_slot.lock() else {
-                self.net.barrier.poison();
-                return Err(EvalError::PeerFailure);
-            };
-            *slot = Some(mine);
-            drop(slot);
-            lock_ignore_poison(&self.stats).sent_words += (self.net.p - 1) as u64;
+            lock_ignore_poison(&self.stats).sent_words += (p - 1) as u64;
+            sends.extend(
+                (0..p)
+                    .filter(|&dst| dst != self.rank)
+                    .map(|dst| (dst, FramePayload::IfAt(mine), false)),
+            );
         }
-        self.barrier_wait()?;
-        let chosen = {
-            let Ok(slot) = self.net.ifat_slot.lock() else {
-                self.net.barrier.poison();
-                return Err(EvalError::PeerFailure);
-            };
-            // An empty slot means the broadcaster died before filling
-            // it — a peer failure, not a bug worth panicking over.
-            match *slot {
-                Some(b) => b,
-                None => {
-                    drop(slot);
+        let expect: Vec<bool> = (0..p).map(|j| j == at && self.rank != at).collect();
+        let delivered = self.exchange(superstep, sends, &expect)?;
+        let chosen = if self.rank == at {
+            mine
+        } else {
+            match delivered[at] {
+                Some(FramePayload::IfAt(b)) => b,
+                // The broadcaster delivered something else (or the
+                // completed exchange holds no frame at all): SPMD
+                // replication is broken — a peer failure.
+                _ => {
                     self.net.barrier.poison();
                     return Err(EvalError::PeerFailure);
                 }
@@ -838,7 +1213,7 @@ pub struct DistOutcome {
 }
 
 /// A distributed BSP machine: `p` OS threads, shared-nothing except
-/// the message mailbox.
+/// the message transport's per-rank mailboxes.
 #[derive(Clone, Debug)]
 pub struct DistMachine {
     p: usize,
@@ -847,6 +1222,9 @@ pub struct DistMachine {
     barrier_timeout: Option<Duration>,
     faults: Option<Arc<FaultPlan>>,
     checkpoints: Option<(CheckpointPolicy, Arc<dyn CheckpointStore>)>,
+    transport: TransportConfig,
+    tuning: NetTuning,
+    net_sleeper: Arc<dyn Sleeper>,
 }
 
 impl DistMachine {
@@ -864,9 +1242,12 @@ impl DistMachine {
             p,
             fuel: DIST_DEFAULT_FUEL,
             telemetry: Telemetry::disabled(),
-            barrier_timeout: Some(DEFAULT_BARRIER_TIMEOUT),
+            barrier_timeout: Some(barrier_timeout_from_env()),
             faults: None,
             checkpoints: None,
+            transport: TransportConfig::SharedMem,
+            tuning: NetTuning::default(),
+            net_sleeper: Arc::new(ThreadSleeper),
         }
     }
 
@@ -904,6 +1285,50 @@ impl DistMachine {
     #[must_use]
     pub fn without_watchdog(mut self) -> DistMachine {
         self.barrier_timeout = None;
+        self
+    }
+
+    /// Selects the message transport: the default
+    /// [`TransportConfig::SharedMem`] fast path, or a seeded
+    /// [`TransportConfig::Lossy`] substrate that drops, reorders,
+    /// duplicates, delays and bit-corrupts frames for chaos testing.
+    /// Lossy runs either complete with exactly the values a lossless
+    /// run produces (the reliable layer repairs every injected
+    /// perturbation) or fail with [`EvalError::TransportFailure`]
+    /// once a frame exhausts its retransmission budget — never a hang,
+    /// never a silently wrong answer.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportConfig) -> DistMachine {
+        self.transport = transport;
+        self
+    }
+
+    /// The configured message transport.
+    #[must_use]
+    pub fn transport(&self) -> &TransportConfig {
+        &self.transport
+    }
+
+    /// Overrides the reliable layer's retransmission and backpressure
+    /// knobs ([`NetTuning`]).
+    #[must_use]
+    pub fn with_net_tuning(mut self, tuning: NetTuning) -> DistMachine {
+        self.tuning = tuning;
+        self
+    }
+
+    /// The reliable layer's tuning knobs.
+    #[must_use]
+    pub fn net_tuning(&self) -> NetTuning {
+        self.tuning
+    }
+
+    /// Overrides how idle exchange polls pause. Tests inject a
+    /// [`crate::supervisor::RecordingSleeper`] (or a no-op) so chaos
+    /// suites never depend on wall-clock sleeping.
+    #[must_use]
+    pub fn with_net_sleeper(mut self, sleeper: Arc<dyn Sleeper>) -> DistMachine {
+        self.net_sleeper = sleeper;
         self
     }
 
@@ -998,8 +1423,26 @@ impl DistMachine {
                 store: Arc::clone(store),
                 fingerprint: program_fingerprint(e, self.p),
             });
+        let transport: Arc<dyn Transport> = match &self.transport {
+            TransportConfig::SharedMem => {
+                Arc::new(SharedMem::new(self.p, self.tuning.mailbox_capacity))
+            }
+            TransportConfig::Lossy(cfg) if attempt < cfg.armed_attempts => Arc::new(LossyNet::new(
+                self.p,
+                cfg.for_attempt(attempt),
+                self.tuning.mailbox_capacity,
+            )),
+            // Chaos disarmed for this attempt: supervised retries past
+            // the armed window run on the clean fast path.
+            TransportConfig::Lossy(_) => {
+                Arc::new(SharedMem::new(self.p, self.tuning.mailbox_capacity))
+            }
+        };
         let net = Arc::new(Network::new(
             self.p,
+            transport,
+            self.tuning,
+            Arc::clone(&self.net_sleeper),
             self.barrier_timeout,
             self.faults.clone(),
             attempt,
@@ -1028,6 +1471,34 @@ impl DistMachine {
         if ckpt_bytes > 0 {
             self.telemetry
                 .counter_add("bsp.checkpoint_bytes", ckpt_bytes);
+        }
+        // Transport accounting: plan-injected in-flight losses plus
+        // the drops the lossy substrate itself rolled.
+        let frames_sent = net.ledger.frames_sent.load(Ordering::Relaxed);
+        let retransmits = net.ledger.retransmits.load(Ordering::Relaxed);
+        let dups_dropped = net.ledger.dups_dropped.load(Ordering::Relaxed);
+        let corrupt = net.ledger.corrupt_frames.load(Ordering::Relaxed);
+        let backpressure = net.ledger.backpressure_waits.load(Ordering::Relaxed);
+        let frames_lost =
+            net.ledger.frames_lost.load(Ordering::Relaxed) + net.transport.injected_drops();
+        if frames_sent > 0 {
+            self.telemetry.counter_add("net.frames_sent", frames_sent);
+        }
+        if retransmits > 0 {
+            self.telemetry.counter_add("net.retransmits", retransmits);
+        }
+        if dups_dropped > 0 {
+            self.telemetry.counter_add("net.dups_dropped", dups_dropped);
+        }
+        if corrupt > 0 {
+            self.telemetry.counter_add("net.corrupt_frames", corrupt);
+        }
+        if backpressure > 0 {
+            self.telemetry
+                .counter_add("net.backpressure_waits", backpressure);
+        }
+        if frames_lost > 0 {
+            self.telemetry.counter_add("net.frames_lost", frames_lost);
         }
         let furthest = net.ledger.furthest_superstep.load(Ordering::Relaxed);
         (
@@ -1157,6 +1628,7 @@ fn run_rank_inner(
 ) -> Result<(PortableValue, CommStats, u64), EvalError> {
     let stats = Arc::new(Mutex::new(CommStats::default()));
     let record = net.checkpoint.as_ref().map(|_| Vec::new());
+    let p = net.p;
     let driver = SpmdDriver {
         rank,
         net: Arc::clone(&net),
@@ -1164,6 +1636,9 @@ fn run_rank_inner(
         telemetry,
         record,
         replay: replay.map(|frame| ReplayState { frame, next: 0 }),
+        send_seq: vec![0; p],
+        recv_seq: vec![0; p],
+        exchanges: 0,
     };
     let mut hooks = NoHooks;
     let mut ev = Evaluator::with_driver(&mut hooks, fuel, Box::new(driver));
@@ -1420,5 +1895,94 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_processors_rejected() {
         let _ = DistMachine::new(0);
+    }
+
+    #[test]
+    fn barrier_timeout_env_knob() {
+        // Exercise the parser directly (the machine constructor just
+        // calls it), restoring the environment either way.
+        std::env::set_var(BARRIER_TIMEOUT_ENV, "45000");
+        assert_eq!(barrier_timeout_from_env(), Duration::from_millis(45000));
+        std::env::set_var(BARRIER_TIMEOUT_ENV, " 250 ");
+        assert_eq!(barrier_timeout_from_env(), Duration::from_millis(250));
+        std::env::set_var(BARRIER_TIMEOUT_ENV, "soon");
+        assert_eq!(barrier_timeout_from_env(), DEFAULT_BARRIER_TIMEOUT);
+        std::env::remove_var(BARRIER_TIMEOUT_ENV);
+        assert_eq!(barrier_timeout_from_env(), DEFAULT_BARRIER_TIMEOUT);
+    }
+
+    #[test]
+    fn lossy_transport_delivers_oracle_identical() {
+        let e = parse(
+            "let r = put (mkpar (fun j -> fun i -> j * 10 + i)) in
+             apply (mkpar (fun i -> fun t -> t ((i + 1) mod (bsp_p ()))), r)",
+        )
+        .unwrap();
+        let oracle = DistMachine::new(4).run(&e).unwrap();
+        let lossy = DistMachine::new(4)
+            .with_transport(TransportConfig::Lossy(
+                crate::transport::LossyConfig::new(0xB5F1)
+                    .drop(150)
+                    .reorder(150)
+                    .duplicate(150)
+                    .corrupt(150)
+                    .delay(150),
+            ))
+            .with_barrier_timeout(Duration::from_secs(20))
+            .run(&e)
+            .unwrap();
+        assert_eq!(lossy.value.to_string(), oracle.value.to_string());
+        assert_eq!(lossy.supersteps, oracle.supersteps);
+        assert_eq!(lossy.total_words_sent, oracle.total_words_sent);
+    }
+
+    #[test]
+    fn transport_budget_exhaustion_surfaces_failure() {
+        // Total loss: every transmission is swallowed, so acks never
+        // arrive, the retransmit budget runs out, and the failure is
+        // *reported* — never a hang, never a wrong answer.
+        let e = parse("put (mkpar (fun j -> fun i -> j))").unwrap();
+        let machine = DistMachine::new(2)
+            .with_transport(TransportConfig::Lossy(
+                crate::transport::LossyConfig::new(7).drop(1000),
+            ))
+            .with_net_tuning(NetTuning {
+                retransmit_after: 2,
+                retransmit_budget: 3,
+                poll_sleep: Duration::ZERO,
+                ..NetTuning::default()
+            })
+            .with_barrier_timeout(Duration::from_secs(30));
+        let start = Instant::now();
+        let err = machine.run(&e).unwrap_err();
+        assert!(
+            matches!(err, EvalError::TransportFailure { superstep: 0, .. }),
+            "got {err:?}"
+        );
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn plan_drop_is_healed_on_lossy() {
+        // On the lossless transport a FaultPlan message drop silently
+        // replaces the payload with `nc ()` (only the oracle
+        // cross-check can tell). On a lossy transport the same drop
+        // happens *in flight* — and the reliable layer repairs it.
+        let e = parse(
+            "let r = put (mkpar (fun j -> fun i -> j + 100)) in
+             apply (mkpar (fun i -> fun t -> t ((i + 1) mod (bsp_p ()))), r)",
+        )
+        .unwrap();
+        let telemetry = Telemetry::enabled_logical();
+        let machine = DistMachine::new(2)
+            .with_faults(FaultPlan::new().drop_message(0, 1, 0))
+            .with_transport(TransportConfig::Lossy(crate::transport::LossyConfig::new(
+                3,
+            )))
+            .with_telemetry(telemetry.clone());
+        let out = machine.run(&e).unwrap();
+        assert_eq!(out.value.to_string(), "<|101, 100|>");
+        assert!(telemetry.counter_value("net.frames_lost") >= 1);
+        assert!(telemetry.counter_value("net.retransmits") >= 1);
     }
 }

@@ -46,6 +46,8 @@ pub mod machine;
 pub mod supervisor;
 pub mod symbolic;
 pub mod trace;
+pub mod transport;
+pub mod wire;
 
 pub use checkpoint::{
     CheckpointError, CheckpointPolicy, CheckpointStore, FileStore, MemoryStore, RankFrame,
@@ -59,3 +61,5 @@ pub use machine::{BspMachine, BspParams, RunReport};
 pub use supervisor::{
     backoff_delay, RecordingSleeper, Sleeper, SupervisedOutcome, Supervisor, ThreadSleeper,
 };
+pub use transport::{LossyConfig, NetTuning, TransportConfig};
+pub use wire::{Frame, FramePayload, WireError};

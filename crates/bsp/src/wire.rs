@@ -1,0 +1,483 @@
+//! The wire protocol of the distributed backend: length-prefixed,
+//! checksummed frames carrying one `put` message, one `if‥at‥`
+//! broadcast, or one acknowledgement between two ranks.
+//!
+//! This is the layer every transport speaks (see [`crate::transport`])
+//! and the layer the reliable-delivery protocol reasons about
+//! (DESIGN.md §10). A frame is self-delimiting and self-validating:
+//!
+//! ```text
+//! frame :=
+//!     len       u32   bytes following this prefix (header + payload + trailer)
+//!     kind      u8    0 = Put data, 1 = IfAt data, 2 = Ack
+//!     from      u32   sending rank
+//!     superstep u64   the sender's superstep when the frame was built
+//!     seq       u64   per-(sender → receiver)-link sequence number
+//!     payload         Put: one encoded PortableValue · IfAt: u8 bool · Ack: empty
+//!     checksum  u64   FNV-1a over every preceding byte (prefix included)
+//! ```
+//!
+//! All integers are little-endian. The decoder rejects — with an error,
+//! never a panic — truncated frames, length-prefix mismatches, checksum
+//! mismatches (any single bit flip is caught), unknown tags and
+//! trailing garbage; the reliable layer treats every rejection as a
+//! lost frame, so corruption degrades into retransmission.
+//!
+//! The [`PortableValue`] codec here is also the one checkpoint frames
+//! embed ([`crate::checkpoint`]) — one serialized form on the wire and
+//! at rest.
+//!
+//! ```
+//! use bsml_bsp::wire::{Frame, FramePayload};
+//! use bsml_eval::PortableValue;
+//!
+//! let f = Frame {
+//!     from: 2,
+//!     superstep: 7,
+//!     seq: 42,
+//!     payload: FramePayload::Put(PortableValue::Int(-3)),
+//! };
+//! assert_eq!(Frame::decode(&f.encode()), Ok(f));
+//! ```
+
+use std::fmt;
+
+use bsml_eval::PortableValue;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte slice — the checksum of wire and checkpoint
+/// frames.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Why a frame (or an embedded value) failed to decode. Every variant
+/// is a *rejection*: the decoder never panics on hostile bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The bytes end before the structure does.
+    Truncated,
+    /// The length prefix disagrees with the actual byte count — a
+    /// truncated tail or a corrupted prefix.
+    LengthMismatch {
+        /// Bytes the prefix claims follow it.
+        claimed: u64,
+        /// Bytes actually present after the prefix.
+        actual: u64,
+    },
+    /// The FNV-1a trailer does not match the frame's contents.
+    ChecksumMismatch,
+    /// An unknown frame-kind or value tag.
+    UnknownTag(u8),
+    /// Well-formed structure followed by garbage.
+    TrailingBytes(usize),
+    /// An embedded count larger than the bytes that could back it.
+    CountOverflow(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("truncated frame"),
+            WireError::LengthMismatch { claimed, actual } => {
+                write!(f, "length prefix claims {claimed} byte(s), found {actual}")
+            }
+            WireError::ChecksumMismatch => f.write_str("frame checksum mismatch"),
+            WireError::UnknownTag(tag) => write!(f, "unknown wire tag {tag}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing byte(s) after frame"),
+            WireError::CountOverflow(n) => {
+                write!(f, "count {n} exceeds the remaining frame bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked little-endian reader over a byte slice — shared by
+/// the frame decoder and the checkpoint loader.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader at the start of `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Reader<'a> {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at the end of input.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        let b = *self.bytes.get(self.pos).ok_or(WireError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at the end of input.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        let end = self.pos + 4;
+        let slice = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at the end of input.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let end = self.pos + 8;
+        let slice = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] at the end of input.
+    pub fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// A count that must plausibly fit in the remaining bytes (each
+    /// counted item takes ≥ 1 byte) — rejects corrupted lengths before
+    /// they become giant allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] or [`WireError::CountOverflow`].
+    pub fn count(&mut self) -> Result<usize, WireError> {
+        let n = self.u64()?;
+        if n as usize > self.remaining() {
+            return Err(WireError::CountOverflow(n));
+        }
+        Ok(n as usize)
+    }
+
+    /// Consumes and returns the next `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than `len` bytes remain.
+    pub fn take(&mut self, len: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(len).ok_or(WireError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+}
+
+/// Appends a little-endian `u64`.
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes one [`PortableValue`] (the message codec of both wire
+/// frames and checkpoint frames).
+pub fn encode_value(out: &mut Vec<u8>, v: &PortableValue) {
+    match v {
+        PortableValue::Int(n) => {
+            out.push(0);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        PortableValue::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        PortableValue::Unit => out.push(2),
+        PortableValue::NoComm => out.push(3),
+        PortableValue::Pair(a, b) => {
+            out.push(4);
+            encode_value(out, a);
+            encode_value(out, b);
+        }
+        PortableValue::Inl(inner) => {
+            out.push(5);
+            encode_value(out, inner);
+        }
+        PortableValue::Inr(inner) => {
+            out.push(6);
+            encode_value(out, inner);
+        }
+        PortableValue::Nil => out.push(7),
+        PortableValue::Cons(h, t) => {
+            out.push(8);
+            encode_value(out, h);
+            encode_value(out, t);
+        }
+        PortableValue::Vector(vs) => {
+            out.push(9);
+            put_u64(out, vs.len() as u64);
+            for c in vs {
+                encode_value(out, c);
+            }
+        }
+    }
+}
+
+/// Deserializes one [`PortableValue`].
+///
+/// # Errors
+///
+/// Any [`WireError`] on truncated or malformed input — never a panic.
+pub fn decode_value(r: &mut Reader<'_>) -> Result<PortableValue, WireError> {
+    match r.u8()? {
+        0 => Ok(PortableValue::Int(r.i64()?)),
+        1 => Ok(PortableValue::Bool(r.u8()? != 0)),
+        2 => Ok(PortableValue::Unit),
+        3 => Ok(PortableValue::NoComm),
+        4 => Ok(PortableValue::Pair(
+            Box::new(decode_value(r)?),
+            Box::new(decode_value(r)?),
+        )),
+        5 => Ok(PortableValue::Inl(Box::new(decode_value(r)?))),
+        6 => Ok(PortableValue::Inr(Box::new(decode_value(r)?))),
+        7 => Ok(PortableValue::Nil),
+        8 => Ok(PortableValue::Cons(
+            Box::new(decode_value(r)?),
+            Box::new(decode_value(r)?),
+        )),
+        9 => {
+            let n = r.count()?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(decode_value(r)?);
+            }
+            Ok(PortableValue::Vector(vs))
+        }
+        tag => Err(WireError::UnknownTag(tag)),
+    }
+}
+
+/// What a frame carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FramePayload {
+    /// One `put` message (already serialized by the sender's local
+    /// phase).
+    Put(PortableValue),
+    /// The broadcast boolean of an `if‥at‥`.
+    IfAt(bool),
+    /// An acknowledgement of the data frame with the same `seq` on the
+    /// reverse link; `from` is the *acknowledging* rank.
+    Ack,
+}
+
+const KIND_PUT: u8 = 0;
+const KIND_IFAT: u8 = 1;
+const KIND_ACK: u8 = 2;
+
+/// One unit of communication between two ranks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The sending rank.
+    pub from: usize,
+    /// The sender's superstep when the frame was built (diagnostic —
+    /// delivery and duplicate suppression key on `seq`).
+    pub superstep: u64,
+    /// Per-(sender → receiver)-link sequence number. Data frames use
+    /// the sender's counter for that link; an ack echoes the sequence
+    /// number it acknowledges.
+    pub seq: u64,
+    /// The payload.
+    pub payload: FramePayload,
+}
+
+impl Frame {
+    /// Serializes the frame (see the module docs for the layout).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(48);
+        out.extend_from_slice(&0u32.to_le_bytes()); // patched below
+        match &self.payload {
+            FramePayload::Put(_) => out.push(KIND_PUT),
+            FramePayload::IfAt(_) => out.push(KIND_IFAT),
+            FramePayload::Ack => out.push(KIND_ACK),
+        }
+        out.extend_from_slice(&u32::try_from(self.from).unwrap_or(u32::MAX).to_le_bytes());
+        put_u64(&mut out, self.superstep);
+        put_u64(&mut out, self.seq);
+        match &self.payload {
+            FramePayload::Put(v) => encode_value(&mut out, v),
+            FramePayload::IfAt(b) => out.push(u8::from(*b)),
+            FramePayload::Ack => {}
+        }
+        let len = u32::try_from(out.len() - 4 + 8).expect("frames fit in u32");
+        out[0..4].copy_from_slice(&len.to_le_bytes());
+        let checksum = fnv1a(&out);
+        put_u64(&mut out, checksum);
+        out
+    }
+
+    /// Parses and verifies one frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; the caller treats the frame as lost (the
+    /// sender's retransmission repairs it).
+    pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
+        let mut r = Reader::new(bytes);
+        let claimed = u64::from(r.u32()?);
+        let actual = (bytes.len() - 4) as u64;
+        if claimed != actual {
+            return Err(WireError::LengthMismatch { claimed, actual });
+        }
+        if bytes.len() < 4 + 1 + 4 + 8 + 8 + 8 {
+            return Err(WireError::Truncated);
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        if fnv1a(body) != u64::from_le_bytes(trailer.try_into().expect("8 bytes")) {
+            return Err(WireError::ChecksumMismatch);
+        }
+        let mut r = Reader::new(&body[4..]);
+        let kind = r.u8()?;
+        let from = r.u32()? as usize;
+        let superstep = r.u64()?;
+        let seq = r.u64()?;
+        let payload = match kind {
+            KIND_PUT => FramePayload::Put(decode_value(&mut r)?),
+            KIND_IFAT => FramePayload::IfAt(r.u8()? != 0),
+            KIND_ACK => FramePayload::Ack,
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes(r.remaining()));
+        }
+        Ok(Frame {
+            from,
+            superstep,
+            seq,
+            payload,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            from: 3,
+            superstep: 11,
+            seq: 207,
+            payload: FramePayload::Put(PortableValue::Pair(
+                Box::new(PortableValue::Int(-42)),
+                Box::new(PortableValue::Cons(
+                    Box::new(PortableValue::NoComm),
+                    Box::new(PortableValue::Nil),
+                )),
+            )),
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        for f in [
+            sample(),
+            Frame {
+                from: 0,
+                superstep: 0,
+                seq: 0,
+                payload: FramePayload::IfAt(true),
+            },
+            Frame {
+                from: 15,
+                superstep: u64::MAX,
+                seq: u64::MAX,
+                payload: FramePayload::Ack,
+            },
+        ] {
+            assert_eq!(Frame::decode(&f.encode()), Ok(f));
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = sample().encode();
+        for cut in 0..bytes.len() {
+            assert!(Frame::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let f = sample();
+        let bytes = f.encode();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[i] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&corrupt).is_err(),
+                    "flip of bit {bit} at byte {i} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample().encode();
+        bytes.push(0);
+        // The length prefix no longer matches.
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(WireError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn count_overflow_does_not_allocate() {
+        // A Vector claiming u64::MAX components must be rejected by
+        // the count guard, not by the allocator.
+        let f = Frame {
+            from: 1,
+            superstep: 0,
+            seq: 0,
+            payload: FramePayload::Put(PortableValue::Vector(vec![PortableValue::Unit])),
+        };
+        let mut bytes = f.encode();
+        // The vector count sits after prefix(4) + kind(1) + from(4) +
+        // superstep(8) + seq(8) + value tag(1).
+        let at = 4 + 1 + 4 + 8 + 8 + 1;
+        bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        // Re-seal the checksum so the corruption reaches the decoder.
+        let body_len = bytes.len() - 8;
+        let checksum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&checksum.to_le_bytes());
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::CountOverflow(u64::MAX))
+        );
+    }
+}

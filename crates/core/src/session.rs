@@ -23,7 +23,7 @@
 //! and subsequent phrases continue against the last good environment.
 
 use bsml_ast::{Expr, Ident};
-use bsml_bsp::{BspMachine, BspParams, CheckpointPolicy, CostSummary, RunReport};
+use bsml_bsp::{BspMachine, BspParams, CheckpointPolicy, CostSummary, RunReport, TransportConfig};
 use bsml_eval::{Env, EvalError, Snapshot, Value};
 use bsml_infer::{Inferencer, TypeEnv};
 use bsml_obs::{MetricsSnapshot, Telemetry};
@@ -198,6 +198,7 @@ pub struct Session {
     total: CostSummary,
     telemetry: Telemetry,
     checkpoint_policy: Option<CheckpointPolicy>,
+    transport: TransportConfig,
 }
 
 /// A point-in-time copy of a session's toplevel state: the typing
@@ -253,6 +254,7 @@ impl Session {
             total: CostSummary::default(),
             telemetry,
             checkpoint_policy: None,
+            transport: TransportConfig::default(),
         }
     }
 
@@ -273,6 +275,27 @@ impl Session {
     #[must_use]
     pub fn checkpoint_policy(&self) -> Option<CheckpointPolicy> {
         self.checkpoint_policy
+    }
+
+    /// Configures the message transport this session *advertises* for
+    /// distributed execution, mirroring
+    /// [`with_checkpoint_policy`](Session::with_checkpoint_policy):
+    /// frontends that hand phrases to a `bsml_bsp::DistMachine` read
+    /// it via [`transport()`](Session::transport) and pass it to
+    /// `DistMachine::with_transport`. The default is the lossless
+    /// shared-memory fast path; a seeded
+    /// [`TransportConfig::Lossy`] subjects distributed runs to
+    /// reliable delivery over a chaotic network.
+    #[must_use]
+    pub fn with_transport(mut self, transport: TransportConfig) -> Session {
+        self.transport = transport;
+        self
+    }
+
+    /// The configured distributed-execution transport.
+    #[must_use]
+    pub fn transport(&self) -> &TransportConfig {
+        &self.transport
     }
 
     /// Captures the session's toplevel state — a deep, identity-free
@@ -611,6 +634,24 @@ mod tests {
         assert_eq!(s.checkpoint_policy(), None);
         let s = session().with_checkpoint_policy(CheckpointPolicy::every(4));
         assert_eq!(s.checkpoint_policy().map(|p| p.interval()), Some(4));
+    }
+
+    #[test]
+    fn transport_is_configurable() {
+        use bsml_bsp::LossyConfig;
+        let s = session();
+        assert_eq!(s.transport(), &TransportConfig::SharedMem);
+        let s = session().with_transport(TransportConfig::Lossy(
+            LossyConfig::new(42).drop(100).corrupt(50),
+        ));
+        match s.transport() {
+            TransportConfig::Lossy(cfg) => {
+                assert_eq!(cfg.seed, 42);
+                assert_eq!(cfg.drop_permille, 100);
+                assert_eq!(cfg.corrupt_permille, 50);
+            }
+            other => panic!("expected a lossy transport, got {other:?}"),
+        }
     }
 
     #[test]

@@ -84,6 +84,19 @@ pub enum EvalError {
         /// What went wrong, for diagnostics.
         detail: String,
     },
+    /// The reliable message-passing transport gave up: a frame was
+    /// retransmitted up to the machine's retransmit budget and never
+    /// acknowledged (the network is lossier than the budget tolerates,
+    /// or the peer stopped servicing its mailbox). Loss *within* the
+    /// budget is repaired silently and never produces this error.
+    TransportFailure {
+        /// The processor whose exchange gave up.
+        rank: usize,
+        /// The superstep whose communication phase failed.
+        superstep: u64,
+        /// What was still outstanding when the budget ran out.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -134,6 +147,14 @@ impl fmt::Display for EvalError {
             } => write!(
                 f,
                 "checkpoint resume diverged on processor {rank} at superstep {superstep}: {detail}"
+            ),
+            EvalError::TransportFailure {
+                rank,
+                superstep,
+                detail,
+            } => write!(
+                f,
+                "transport failure on processor {rank} at superstep {superstep}: {detail}"
             ),
         }
     }
