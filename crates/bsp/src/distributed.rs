@@ -56,12 +56,13 @@ use bsml_ast::Expr;
 use bsml_eval::{
     Applier, EvalError, Evaluator, Mode, NoHooks, ParallelDriver, PortableValue, Value,
 };
-use bsml_obs::Telemetry;
+use bsml_obs::{FlightEvent, FlightRecorder, Telemetry};
 
 use crate::checkpoint::{
     program_fingerprint, CheckpointPolicy, CheckpointStore, RankFrame, ResumePoint, SyncOutcome,
 };
 use crate::faults::{FaultKind, FaultPlan};
+use crate::postmortem::{FlightLog, RankFlightLog};
 use crate::supervisor::{Sleeper, ThreadSleeper};
 use crate::transport::{LossyNet, NetTuning, SharedMem, Transport, TransportConfig};
 use crate::wire::{Frame, FramePayload};
@@ -97,6 +98,25 @@ fn barrier_timeout_from_env() -> Duration {
         .ok()
         .and_then(|raw| raw.trim().parse::<u64>().ok())
         .map_or(DEFAULT_BARRIER_TIMEOUT, Duration::from_millis)
+}
+
+/// The environment variable enabling the per-rank flight recorder and
+/// setting its ring-buffer capacity (events per rank). Unset or
+/// unparsable values leave the recorder off; builder methods
+/// ([`DistMachine::with_flight_recorder`]) still win over the
+/// environment.
+pub const FLIGHT_CAPACITY_ENV: &str = "BSML_FLIGHT_CAPACITY";
+
+/// The flight-recorder capacity the supervisor uses when a postmortem
+/// directory is configured but no capacity was chosen explicitly.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// The flight capacity [`DistMachine::new`] starts from: the
+/// [`FLIGHT_CAPACITY_ENV`] override when set and parsable, else off.
+fn flight_capacity_from_env() -> Option<usize> {
+    std::env::var(FLIGHT_CAPACITY_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<usize>().ok())
 }
 
 /// Locks a mutex whose protected data stays valid across a peer
@@ -305,6 +325,14 @@ struct Network {
     /// Checkpoint runtime (`None` = checkpointing disabled, which
     /// keeps the hot path free of any new work).
     checkpoint: Option<NetCheckpoint>,
+    /// Per-rank flight recorders (`None` = recording disabled). They
+    /// live here — not in the driver — so the attempt can drain every
+    /// rank's ring after the threads are gone, including ranks that
+    /// panicked.
+    flight: Option<Vec<Arc<FlightRecorder>>>,
+    /// Unique ids for telemetry flow arrows (one per delivered data
+    /// frame).
+    flow_ids: AtomicU64,
 }
 
 impl Network {
@@ -320,6 +348,7 @@ impl Network {
         faults: Option<Arc<FaultPlan>>,
         attempt: u32,
         checkpoint: Option<NetCheckpoint>,
+        flight: Option<Vec<Arc<FlightRecorder>>>,
     ) -> Network {
         Network {
             p,
@@ -333,6 +362,8 @@ impl Network {
             attempt,
             ledger: FaultLedger::default(),
             checkpoint,
+            flight,
+            flow_ids: AtomicU64::new(0),
         }
     }
 }
@@ -352,6 +383,9 @@ struct OutFrame {
     bytes: Vec<u8>,
     /// Accepted by the transport at least once.
     sent: bool,
+    /// The exchange-loop poll iteration of the first transmission —
+    /// the zero point of the `net.ack_latency_polls` histogram.
+    sent_at_poll: u64,
     /// Idle polls since the last (re)transmission.
     idle: u32,
     acked: bool,
@@ -386,6 +420,21 @@ struct SpmdDriver {
     /// every rank by SPMD replication — the exchange-completion
     /// counter's target derives from it).
     exchanges: u64,
+    /// This rank's Lamport clock (DESIGN.md §12): advanced by one on
+    /// every local protocol event (stamping a frame, entering or
+    /// leaving a barrier), and to `max(local, remote) + 1` on every
+    /// received frame — so a receive is always strictly after its
+    /// send in Lamport order, across ranks.
+    clock: u64,
+    /// This rank's flight recorder (`None` = recording disabled).
+    flight: Option<Arc<FlightRecorder>>,
+    /// Fuel remaining at the previous superstep boundary — the
+    /// [`FlightEvent::SuperstepEnd`] work figure is the delta.
+    fuel_mark: u64,
+    /// `sent_words` at the previous superstep boundary.
+    sent_mark: u64,
+    /// `received_words` at the previous superstep boundary.
+    recv_mark: u64,
 }
 
 impl SpmdDriver {
@@ -395,27 +444,90 @@ impl SpmdDriver {
         lock_ignore_poison(&self.stats).supersteps
     }
 
+    /// Advances the Lamport clock for a local event and returns the
+    /// new stamp.
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Advances the Lamport clock past a received remote stamp
+    /// (`max(local, remote) + 1`) and returns the new stamp.
+    fn observe(&mut self, remote: u64) -> u64 {
+        self.clock = self.clock.max(remote) + 1;
+        self.clock
+    }
+
+    /// Records one flight event at the given stamp (no-op when the
+    /// recorder is off).
+    fn flight_record(&self, lamport: u64, event: FlightEvent) {
+        if let Some(rec) = &self.flight {
+            rec.record(lamport, event);
+        }
+    }
+
+    /// At every superstep boundary: one [`FlightEvent::SuperstepEnd`]
+    /// carrying the per-superstep work (the fuel delta) and traffic
+    /// (sent/received word deltas) since the previous boundary —
+    /// the record the postmortem analyzer folds into observed BSP
+    /// parameters. No-op when the recorder is off.
+    fn note_superstep_end(&mut self, superstep: u64, fuel_left: u64) {
+        if self.flight.is_none() {
+            return;
+        }
+        let stats = *lock_ignore_poison(&self.stats);
+        let work = self.fuel_mark.saturating_sub(fuel_left);
+        let sent_words = stats.sent_words - self.sent_mark;
+        let received_words = stats.received_words - self.recv_mark;
+        self.fuel_mark = fuel_left;
+        self.sent_mark = stats.sent_words;
+        self.recv_mark = stats.received_words;
+        let lamport = self.tick();
+        self.flight_record(
+            lamport,
+            FlightEvent::SuperstepEnd {
+                superstep,
+                work,
+                sent_words,
+                received_words,
+            },
+        );
+    }
+
     /// Injects any crash/panic/stall the fault plan schedules for
     /// this rank at the current superstep. Called once at the entry
-    /// of each synchronizing primitive.
-    fn inject_entry_faults(&self) -> Result<u64, EvalError> {
+    /// of each synchronizing primitive. Every firing lands in the
+    /// flight recorder *before* its effect — a panicking rank's last
+    /// recorded event is the panic that killed it.
+    fn inject_entry_faults(&mut self) -> Result<u64, EvalError> {
         let superstep = self.superstep();
         let Some(plan) = &self.net.faults else {
             return Ok(superstep);
         };
+        let plan = Arc::clone(plan);
         if let Some(delay) = plan.stall_before(self.rank, superstep, self.net.attempt) {
             self.net
                 .ledger
                 .faults_injected
                 .fetch_add(1, Ordering::Relaxed);
+            let lamport = self.tick();
+            self.flight_record(lamport, FlightEvent::FaultFired { superstep, kind: 3 });
             std::thread::sleep(delay);
         }
         match plan.crash_at(self.rank, superstep, self.net.attempt) {
-            Some(FaultKind::Panic { .. }) => {
+            Some(kind @ FaultKind::Panic { .. }) => {
                 self.net
                     .ledger
                     .faults_injected
                     .fetch_add(1, Ordering::Relaxed);
+                let lamport = self.tick();
+                self.flight_record(
+                    lamport,
+                    FlightEvent::FaultFired {
+                        superstep,
+                        kind: kind.code(),
+                    },
+                );
                 // Contained by `run_rank`'s unwind guard, which also
                 // poisons the barrier on our behalf.
                 panic!(
@@ -423,11 +535,19 @@ impl SpmdDriver {
                     self.rank
                 );
             }
-            Some(_) => {
+            Some(kind) => {
                 self.net
                     .ledger
                     .faults_injected
                     .fetch_add(1, Ordering::Relaxed);
+                let lamport = self.tick();
+                self.flight_record(
+                    lamport,
+                    FlightEvent::FaultFired {
+                        superstep,
+                        kind: kind.code(),
+                    },
+                );
                 self.net.barrier.poison();
                 Err(EvalError::InjectedFault {
                     rank: self.rank,
@@ -439,8 +559,9 @@ impl SpmdDriver {
     }
 
     /// Whether the fault plan drops this rank's message to `dst` in
-    /// the given superstep (counting the injection if so).
-    fn drops_message(&self, dst: usize, superstep: u64) -> bool {
+    /// the given superstep (counting and recording the injection if
+    /// so).
+    fn drops_message(&mut self, dst: usize, superstep: u64) -> bool {
         let Some(plan) = &self.net.faults else {
             return false;
         };
@@ -449,6 +570,8 @@ impl SpmdDriver {
                 .ledger
                 .faults_injected
                 .fetch_add(1, Ordering::Relaxed);
+            let lamport = self.tick();
+            self.flight_record(lamport, FlightEvent::FaultFired { superstep, kind: 2 });
             true
         } else {
             false
@@ -557,40 +680,58 @@ impl SpmdDriver {
         let target = (self.exchanges + 1).saturating_mul(p as u64);
         let deadline = net.barrier_timeout.map(|t| Instant::now() + t);
 
-        let mut window: Vec<OutFrame> = sends
-            .into_iter()
-            .map(|(dst, payload, drop_first)| {
-                let seq = self.send_seq[dst];
-                self.send_seq[dst] += 1;
-                let bytes = Frame {
-                    from: self.rank,
+        // Stamp each outbound frame with this rank's Lamport clock at
+        // build time. A retransmission reuses these exact bytes: same
+        // stamp, same logical message — which is what lets the
+        // postmortem analyzer pair every receive with its send.
+        let mut window: Vec<OutFrame> = Vec::with_capacity(sends.len());
+        for (dst, payload, drop_first) in sends {
+            let seq = self.send_seq[dst];
+            self.send_seq[dst] += 1;
+            let lamport = self.tick();
+            let bytes = Frame {
+                from: self.rank,
+                superstep,
+                seq,
+                lamport,
+                payload,
+            }
+            .encode();
+            self.flight_record(
+                lamport,
+                FlightEvent::FrameSent {
+                    to: dst as u64,
+                    seq,
                     superstep,
-                    seq,
-                    payload,
-                }
-                .encode();
-                OutFrame {
-                    dst,
-                    seq,
-                    bytes,
-                    sent: false,
-                    idle: 0,
-                    acked: false,
-                    retransmits: 0,
-                    drop_first,
-                }
-            })
-            .collect();
+                    bytes: bytes.len() as u64,
+                },
+            );
+            window.push(OutFrame {
+                dst,
+                seq,
+                bytes,
+                sent: false,
+                sent_at_poll: 0,
+                idle: 0,
+                acked: false,
+                retransmits: 0,
+                drop_first,
+            });
+        }
 
         let mut inbox: Vec<Option<FramePayload>> = vec![None; p];
         let mut awaiting = expect.iter().filter(|&&e| e).count();
         let mut acks_due: VecDeque<(usize, u64)> = VecDeque::new();
         let mut declared_done = false;
+        let mut polls: u64 = 0;
 
         loop {
+            polls += 1;
             let mut progressed = false;
 
             // Phase 1: (re)transmit the send window.
+            let mut backpressured_to: Option<usize> = None;
+            let mut retransmitted: Option<(usize, u64)> = None;
             for f in &mut window {
                 if !f.sent {
                     if f.drop_first {
@@ -599,15 +740,18 @@ impl SpmdDriver {
                         // the retransmission deadline repairs it.
                         f.drop_first = false;
                         f.sent = true;
+                        f.sent_at_poll = polls;
                         ledger.frames_lost.fetch_add(1, Ordering::Relaxed);
                         progressed = true;
                     } else if net.transport.try_send(self.rank, f.dst, &f.bytes) {
                         f.sent = true;
+                        f.sent_at_poll = polls;
                         f.idle = 0;
                         ledger.frames_sent.fetch_add(1, Ordering::Relaxed);
                         progressed = true;
                     } else {
                         ledger.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+                        backpressured_to = Some(f.dst);
                     }
                 } else if !f.acked && !lossless && f.idle >= net.tuning.retransmit_after {
                     if f.retransmits >= net.tuning.retransmit_budget {
@@ -627,11 +771,30 @@ impl SpmdDriver {
                         f.idle = 0;
                         ledger.retransmits.fetch_add(1, Ordering::Relaxed);
                         ledger.frames_sent.fetch_add(1, Ordering::Relaxed);
+                        retransmitted = Some((f.dst, f.seq));
                         progressed = true;
                     } else {
                         ledger.backpressure_waits.fetch_add(1, Ordering::Relaxed);
+                        backpressured_to = Some(f.dst);
                     }
                 }
+            }
+            // Flight events are recorded outside the window borrow (at
+            // most one of each per poll — enough for a postmortem, and
+            // it keeps a spinning sender from flooding its own ring).
+            if let Some((dst, seq)) = retransmitted {
+                let lamport = self.tick();
+                self.flight_record(
+                    lamport,
+                    FlightEvent::FrameRetransmitted {
+                        to: dst as u64,
+                        seq,
+                    },
+                );
+            }
+            if let Some(dst) = backpressured_to {
+                let lamport = self.tick();
+                self.flight_record(lamport, FlightEvent::BackpressureWait { to: dst as u64 });
             }
 
             // Phase 2: flush pending acks. A refusal re-queues the ack
@@ -639,18 +802,29 @@ impl SpmdDriver {
             // way, so two ranks with mutually full mailboxes cannot
             // deadlock on each other.
             while let Some(&(dst, seq)) = acks_due.front() {
+                let lamport = self.tick();
                 let bytes = Frame {
                     from: self.rank,
                     superstep,
                     seq,
+                    lamport,
                     payload: FramePayload::Ack,
                 }
                 .encode();
                 if net.transport.try_send(self.rank, dst, &bytes) {
                     acks_due.pop_front();
                     ledger.frames_sent.fetch_add(1, Ordering::Relaxed);
+                    self.flight_record(
+                        lamport,
+                        FlightEvent::AckSent {
+                            to: dst as u64,
+                            seq,
+                        },
+                    );
                     progressed = true;
                 } else {
+                    // The stamp is discarded with the frame — a fresh
+                    // one is drawn when the ack is retried.
                     ledger.backpressure_waits.fetch_add(1, Ordering::Relaxed);
                     break;
                 }
@@ -666,23 +840,46 @@ impl SpmdDriver {
                         // truncation) is treated as lost: dropped here,
                         // repaired by the sender's retransmission.
                         ledger.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                        let lamport = self.tick();
+                        self.flight_record(lamport, FlightEvent::CorruptRejected);
                         continue;
                     }
                 };
                 let src = frame.from;
                 if src >= p || src == self.rank {
                     ledger.corrupt_frames.fetch_add(1, Ordering::Relaxed);
+                    let lamport = self.tick();
+                    self.flight_record(lamport, FlightEvent::CorruptRejected);
                     continue;
                 }
+                // Every received frame advances the Lamport clock past
+                // the sender's stamp: the receive is strictly after
+                // the send, machine-wide.
+                let stamp = self.observe(frame.lamport);
                 match frame.payload {
                     FramePayload::Ack => {
                         // A stale ack (no matching window entry) is
                         // ignored: its exchange already completed.
+                        let mut round_trip = None;
                         if let Some(f) = window
                             .iter_mut()
                             .find(|f| f.dst == src && f.seq == frame.seq)
                         {
-                            f.acked = true;
+                            if !f.acked {
+                                f.acked = true;
+                                round_trip = Some(polls.saturating_sub(f.sent_at_poll));
+                            }
+                        }
+                        if let Some(rt) = round_trip {
+                            self.telemetry.histogram_record("net.ack_latency_polls", rt);
+                            self.flight_record(
+                                stamp,
+                                FlightEvent::AckReceived {
+                                    from: src as u64,
+                                    seq: frame.seq,
+                                    polls: rt,
+                                },
+                            );
                         }
                     }
                     payload => {
@@ -691,6 +888,36 @@ impl SpmdDriver {
                             inbox[src] = Some(payload);
                             awaiting -= 1;
                             acks_due.push_back((src, frame.seq));
+                            self.flight_record(
+                                stamp,
+                                FlightEvent::FrameReceived {
+                                    from: src as u64,
+                                    seq: frame.seq,
+                                    superstep: frame.superstep,
+                                    sent_lamport: frame.lamport,
+                                },
+                            );
+                            if self.telemetry.is_enabled() {
+                                // A causal arrow from the sender's rank
+                                // track to ours, at the delivery
+                                // instant (the sender's wall clock is
+                                // not observable here).
+                                let now = self.telemetry.now_us();
+                                let from_track =
+                                    self.telemetry.track(&format!("p{src}")).current_track();
+                                let id = net.flow_ids.fetch_add(1, Ordering::Relaxed);
+                                self.telemetry.record_flow(
+                                    id,
+                                    match inbox[src] {
+                                        Some(FramePayload::IfAt(_)) => "ifat",
+                                        _ => "put",
+                                    },
+                                    from_track,
+                                    self.telemetry.current_track(),
+                                    now,
+                                    now,
+                                );
+                            }
                         } else if frame.seq < self.recv_seq[src] {
                             // Duplicate (a retransmission whose
                             // original already arrived): suppress, but
@@ -849,7 +1076,10 @@ impl SpmdDriver {
     /// barrier. All of this is behind `net.checkpoint` — disabled
     /// machines do nothing here.
     fn record_and_stage(&mut self, outcome: SyncOutcome, fuel_left: u64) -> Option<u64> {
-        let ck = self.net.checkpoint.as_ref()?;
+        let (interval, fingerprint, store) = {
+            let ck = self.net.checkpoint.as_ref()?;
+            (ck.interval, ck.fingerprint, Arc::clone(&ck.store))
+        };
         let stats = *lock_ignore_poison(&self.stats);
         self.net
             .ledger
@@ -857,11 +1087,11 @@ impl SpmdDriver {
             .fetch_max(stats.supersteps, Ordering::Relaxed);
         let record = self.record.as_mut().expect("recording iff checkpointing");
         record.push(outcome);
-        if !stats.supersteps.is_multiple_of(ck.interval) {
+        if !stats.supersteps.is_multiple_of(interval) {
             return None;
         }
         let frame = RankFrame {
-            fingerprint: ck.fingerprint,
+            fingerprint,
             rank: self.rank,
             superstep: stats.supersteps,
             fuel_left,
@@ -873,7 +1103,12 @@ impl SpmdDriver {
         };
         // A store that cannot stage simply skips this generation —
         // checkpointing is best-effort, never a reason to fail a run.
-        ck.store.stage(&frame).ok().map(|_| stats.supersteps)
+        let staged = store.stage(&frame).ok().map(|_| stats.supersteps);
+        if let Some(generation) = staged {
+            let lamport = self.tick();
+            self.flight_record(lamport, FlightEvent::CheckpointStaged { generation });
+        }
+        staged
     }
 
     /// The final barrier of a superstep. If this rank staged a frame,
@@ -881,8 +1116,14 @@ impl SpmdDriver {
     /// barrier lock: at that instant every rank has staged its frame
     /// of the same cut and none has started the next superstep — the
     /// consistent-cut argument of DESIGN.md §9.
-    fn superstep_exit_barrier(&self, staged: Option<u64>) -> Result<(), EvalError> {
-        match (staged, &self.net.checkpoint) {
+    fn superstep_exit_barrier(
+        &mut self,
+        staged: Option<u64>,
+        superstep: u64,
+    ) -> Result<(), EvalError> {
+        let lamport = self.tick();
+        self.flight_record(lamport, FlightEvent::BarrierEnter { superstep });
+        let result = match (staged, &self.net.checkpoint) {
             (Some(generation), Some(ck)) => {
                 let ledger = &self.net.ledger;
                 let store = Arc::clone(&ck.store);
@@ -896,7 +1137,19 @@ impl SpmdDriver {
                 self.barrier_wait_with(Some(&commit))
             }
             _ => self.barrier_wait(),
+        };
+        if result.is_ok() {
+            let lamport = self.tick();
+            self.flight_record(lamport, FlightEvent::BarrierExit { superstep });
+            if let Some(generation) = staged {
+                // Recorded on every rank, not just the committing
+                // arriver: the commit is a property of the consistent
+                // cut, and every rank passed through it.
+                let lamport = self.tick();
+                self.flight_record(lamport, FlightEvent::CheckpointCommitted { generation });
+            }
         }
+        result
     }
 
     /// The replayed counterpart of [`ParallelDriver::put`]: re-runs
@@ -941,6 +1194,10 @@ impl SpmdDriver {
             stats.supersteps += 1;
             stats.puts += 1;
         }
+        // Replayed supersteps land in the flight recorder too — the
+        // postmortem timeline of a resumed attempt starts at the cut,
+        // and these entries are its prefix.
+        self.note_superstep_end(superstep, ev.fuel_left());
         self.finish_replayed_superstep(ev.fuel_left())?;
         Ok(Value::vector(vec![Value::MsgTable(std::rc::Rc::new(
             table,
@@ -989,6 +1246,7 @@ impl SpmdDriver {
             stats.ifats += 1;
         }
         ev.note_ifat(at, chosen);
+        self.note_superstep_end(superstep, ev.fuel_left());
         self.finish_replayed_superstep(ev.fuel_left())?;
         Ok(chosen)
     }
@@ -1112,6 +1370,7 @@ impl ParallelDriver for SpmdDriver {
             stats.supersteps += 1;
             stats.puts += 1;
         }
+        self.note_superstep_end(superstep, ev.fuel_left());
         // The serialized delivered row is kept only when a checkpoint
         // frame will want it.
         let staged = if self.record.is_some() {
@@ -1121,7 +1380,7 @@ impl ParallelDriver for SpmdDriver {
         };
         // The exit barrier separates supersteps — and the last arriver
         // commits this superstep's checkpoint, if any.
-        self.superstep_exit_barrier(staged)?;
+        self.superstep_exit_barrier(staged, superstep)?;
         Ok(Value::vector(vec![Value::MsgTable(std::rc::Rc::new(
             table,
         ))]))
@@ -1183,12 +1442,13 @@ impl ParallelDriver for SpmdDriver {
             stats.ifats += 1;
         }
         ev.note_ifat(at, chosen);
+        self.note_superstep_end(superstep, ev.fuel_left());
         let staged = self
             .record
             .is_some()
             .then(|| self.record_and_stage(SyncOutcome::IfAt { chosen }, ev.fuel_left()))
             .flatten();
-        self.superstep_exit_barrier(staged)?;
+        self.superstep_exit_barrier(staged, superstep)?;
         Ok(chosen)
     }
 }
@@ -1225,6 +1485,7 @@ pub struct DistMachine {
     transport: TransportConfig,
     tuning: NetTuning,
     net_sleeper: Arc<dyn Sleeper>,
+    flight: Option<usize>,
 }
 
 impl DistMachine {
@@ -1248,6 +1509,7 @@ impl DistMachine {
             transport: TransportConfig::SharedMem,
             tuning: NetTuning::default(),
             net_sleeper: Arc::new(ThreadSleeper),
+            flight: flight_capacity_from_env(),
         }
     }
 
@@ -1364,6 +1626,32 @@ impl DistMachine {
             .map(|(policy, store)| (*policy, Arc::clone(store)))
     }
 
+    /// Enables the per-rank flight recorder: each attempt gives every
+    /// rank a ring buffer of the last `capacity` protocol events
+    /// ([`FlightEvent`]), Lamport-stamped, drained into a
+    /// [`FlightLog`] when the attempt ends. Also enabled by setting
+    /// the `BSML_FLIGHT_CAPACITY` environment variable; a builder
+    /// call overrides the environment.
+    #[must_use]
+    pub fn with_flight_recorder(mut self, capacity: usize) -> DistMachine {
+        self.flight = Some(capacity);
+        self
+    }
+
+    /// Disables the flight recorder (overriding
+    /// `BSML_FLIGHT_CAPACITY`).
+    #[must_use]
+    pub fn without_flight_recorder(mut self) -> DistMachine {
+        self.flight = None;
+        self
+    }
+
+    /// The flight-recorder ring capacity, if recording is enabled.
+    #[must_use]
+    pub fn flight_capacity(&self) -> Option<usize> {
+        self.flight
+    }
+
     /// Attaches a telemetry handle. Each processor thread then times
     /// its barrier waits into the `bsp.barrier_wait_us` histogram (on
     /// its own `p{rank}` track), and each run bumps the same
@@ -1403,6 +1691,19 @@ impl DistMachine {
         self.run_attempt_with_resume(e, attempt, None).0
     }
 
+    /// Like [`DistMachine::run_attempt`], but also returning the
+    /// drained per-rank [`FlightLog`] (when the flight recorder is
+    /// enabled) — for both failed *and* successful attempts, so clean
+    /// runs can be analyzed against the lockstep cost model too.
+    pub fn run_recorded(
+        &self,
+        e: &Expr,
+        attempt: u32,
+    ) -> (Result<DistOutcome, EvalError>, Option<FlightLog>) {
+        let (result, _, log) = self.run_attempt_with_resume(e, attempt, None);
+        (result, log)
+    }
+
     /// The full-control entry point used by the supervisor: runs one
     /// attempt, optionally resuming from a checkpointed cut, and also
     /// reports how far the attempt got (the highest completed
@@ -1414,7 +1715,7 @@ impl DistMachine {
         e: &Expr,
         attempt: u32,
         resume: Option<ResumePoint>,
-    ) -> (Result<DistOutcome, EvalError>, u64) {
+    ) -> (Result<DistOutcome, EvalError>, u64, Option<FlightLog>) {
         let checkpoint = self
             .checkpoints
             .as_ref()
@@ -1438,6 +1739,11 @@ impl DistMachine {
                 Arc::new(SharedMem::new(self.p, self.tuning.mailbox_capacity))
             }
         };
+        let flight: Option<Vec<Arc<FlightRecorder>>> = self.flight.map(|capacity| {
+            (0..self.p)
+                .map(|_| Arc::new(FlightRecorder::new(capacity)))
+                .collect()
+        });
         let net = Arc::new(Network::new(
             self.p,
             transport,
@@ -1447,6 +1753,7 @@ impl DistMachine {
             self.faults.clone(),
             attempt,
             checkpoint,
+            flight,
         ));
         let resumed_from = resume.as_ref().map(|rp| rp.superstep);
         let result = self.run_threads(e, &net, resume);
@@ -1501,12 +1808,28 @@ impl DistMachine {
             self.telemetry.counter_add("net.frames_lost", frames_lost);
         }
         let furthest = net.ledger.furthest_superstep.load(Ordering::Relaxed);
+        // Drain the recorders after every rank thread has exited —
+        // crashed, panicked or finished, whatever each rank last
+        // recorded is in its ring. Dropped counts are read first
+        // (drain preserves them, but the order documents the intent).
+        let flight_log = net.flight.as_ref().map(|recs| FlightLog {
+            ranks: recs
+                .iter()
+                .enumerate()
+                .map(|(rank, r)| RankFlightLog {
+                    rank,
+                    dropped: r.dropped(),
+                    events: r.drain(),
+                })
+                .collect(),
+        });
         (
             result.map(|mut out| {
                 out.resumed_from = resumed_from;
                 out
             }),
             furthest,
+            flight_log,
         )
     }
 
@@ -1629,6 +1952,7 @@ fn run_rank_inner(
     let stats = Arc::new(Mutex::new(CommStats::default()));
     let record = net.checkpoint.as_ref().map(|_| Vec::new());
     let p = net.p;
+    let flight = net.flight.as_ref().map(|recs| Arc::clone(&recs[rank]));
     let driver = SpmdDriver {
         rank,
         net: Arc::clone(&net),
@@ -1639,6 +1963,11 @@ fn run_rank_inner(
         send_seq: vec![0; p],
         recv_seq: vec![0; p],
         exchanges: 0,
+        clock: 0,
+        flight,
+        fuel_mark: fuel,
+        sent_mark: 0,
+        recv_mark: 0,
     };
     let mut hooks = NoHooks;
     let mut ev = Evaluator::with_driver(&mut hooks, fuel, Box::new(driver));

@@ -90,6 +90,33 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// The kind's stable wire code, as recorded in flight-recorder
+    /// [`bsml_obs::FlightEvent::FaultFired`] events and postmortem
+    /// bundles: 0 crash, 1 panic, 2 drop, 3 stall. Matches the codes
+    /// [`FaultPlan::chaos`] derives kinds from.
+    #[must_use]
+    pub fn code(&self) -> u64 {
+        match self {
+            FaultKind::Crash { .. } => 0,
+            FaultKind::Panic { .. } => 1,
+            FaultKind::DropMessage { .. } => 2,
+            FaultKind::Stall { .. } => 3,
+        }
+    }
+
+    /// A short human-readable label for the kind.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Panic { .. } => "panic",
+            FaultKind::DropMessage { .. } => "drop",
+            FaultKind::Stall { .. } => "stall",
+        }
+    }
+}
+
 /// A fault armed for one specific attempt (retry index). Faults on
 /// attempt 0 perturb the first run; the supervisor's retries run with
 /// progressively fewer (typically zero) armed faults, which is what

@@ -43,6 +43,7 @@ pub mod faults;
 pub mod formulas;
 pub mod hooks;
 pub mod machine;
+pub mod postmortem;
 pub mod supervisor;
 pub mod symbolic;
 pub mod trace;
@@ -58,6 +59,10 @@ pub use distributed::{DistMachine, DistOutcome};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use hooks::BspCostHooks;
 pub use machine::{BspMachine, BspParams, RunReport};
+pub use postmortem::{
+    Analysis, CausalViolation, FailureReport, FlightLog, PostmortemBundle, PostmortemError,
+    RankFlightLog, SuperstepObservation,
+};
 pub use supervisor::{
     backoff_delay, RecordingSleeper, Sleeper, SupervisedOutcome, Supervisor, ThreadSleeper,
 };

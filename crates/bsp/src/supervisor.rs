@@ -55,6 +55,7 @@
 //! ```
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -63,12 +64,19 @@ use bsml_eval::EvalError;
 use bsml_obs::Telemetry;
 
 use crate::checkpoint::{program_fingerprint, CheckpointError, ResumePoint};
-use crate::distributed::{DistMachine, DistOutcome};
+use crate::distributed::{DistMachine, DistOutcome, DEFAULT_FLIGHT_CAPACITY};
 use crate::faults::SplitMix64;
 use crate::machine::{BspMachine, BspParams};
+use crate::postmortem::{error_coordinate, FlightLog, PostmortemBundle};
 
 /// Default maximum number of attempts (1 initial + 2 retries).
 pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Environment variable naming a directory for crash-time postmortem
+/// bundles. When set, the supervisor writes one bundle per failed
+/// attempt (enabling the machine's flight recorder at
+/// [`DEFAULT_FLIGHT_CAPACITY`] if it is not already on).
+pub const POSTMORTEM_DIR_ENV: &str = "BSML_POSTMORTEM_DIR";
 
 /// Default base backoff; retry `k` sleeps `base · 2^(k-1)`, jittered.
 pub const DEFAULT_BACKOFF: Duration = Duration::from_millis(5);
@@ -151,6 +159,10 @@ pub struct SupervisedOutcome {
     /// oracle divergences appear as
     /// [`EvalError::ScrutineeMismatch`]`("supervised replay", …)`.
     pub recovered: Vec<EvalError>,
+    /// Postmortem bundles written for the failed attempts, in order
+    /// (empty unless a postmortem directory is configured — see
+    /// [`Supervisor::with_postmortem`] and [`POSTMORTEM_DIR_ENV`]).
+    pub postmortems: Vec<PathBuf>,
 }
 
 /// Runs a [`DistMachine`] under supervision: each attempt executes
@@ -168,6 +180,7 @@ pub struct Supervisor {
     sleeper: Arc<dyn Sleeper>,
     oracle_check: bool,
     telemetry: Telemetry,
+    postmortem_dir: Option<PathBuf>,
 }
 
 impl Supervisor {
@@ -176,6 +189,15 @@ impl Supervisor {
     /// check enabled.
     #[must_use]
     pub fn new(machine: DistMachine) -> Supervisor {
+        let postmortem_dir = std::env::var_os(POSTMORTEM_DIR_ENV).map(PathBuf::from);
+        // A postmortem is drained from the flight recorder, so the
+        // env knob implies recording (at the default ring capacity)
+        // unless the machine already configured it.
+        let machine = if postmortem_dir.is_some() && machine.flight_capacity().is_none() {
+            machine.with_flight_recorder(DEFAULT_FLIGHT_CAPACITY)
+        } else {
+            machine
+        };
         Supervisor {
             machine,
             max_attempts: DEFAULT_MAX_ATTEMPTS,
@@ -184,6 +206,7 @@ impl Supervisor {
             sleeper: Arc::new(ThreadSleeper),
             oracle_check: true,
             telemetry: Telemetry::disabled(),
+            postmortem_dir,
         }
     }
 
@@ -231,6 +254,21 @@ impl Supervisor {
         self
     }
 
+    /// Writes a postmortem bundle into `dir` for every failed attempt
+    /// (the crash-time black box of DESIGN.md §12), enabling the
+    /// machine's flight recorder at [`DEFAULT_FLIGHT_CAPACITY`] if it
+    /// is not already on. Bundle writes are best-effort: an
+    /// unwritable directory is counted
+    /// (`bsp.postmortem_write_errors`), never an error.
+    #[must_use]
+    pub fn with_postmortem(mut self, dir: impl Into<PathBuf>) -> Supervisor {
+        self.postmortem_dir = Some(dir.into());
+        if self.machine.flight_capacity().is_none() {
+            self.machine = self.machine.with_flight_recorder(DEFAULT_FLIGHT_CAPACITY);
+        }
+        self
+    }
+
     /// Attaches telemetry: retries bump `bsp.retries`, resumes bump
     /// `bsp.resumes` and `bsp.supersteps_replayed`, invalid
     /// checkpoints bump `bsp.checkpoints_corrupt`, and the supervised
@@ -273,6 +311,7 @@ impl Supervisor {
 
         let checkpointing = self.machine.checkpoints().is_some();
         let mut recovered = Vec::new();
+        let mut postmortems = Vec::new();
         // The furthest superstep any attempt completed — what a
         // fresh, unfaulted run would NOT have to redo. The difference
         // between it and the resume point is the replay debt.
@@ -298,7 +337,8 @@ impl Supervisor {
                     .counter_add("bsp.supersteps_replayed", furthest.saturating_sub(from));
             }
             let resumed = resume.is_some();
-            let (result, reached) = self.machine.run_attempt_with_resume(e, attempt, resume);
+            let (result, reached, flight) =
+                self.machine.run_attempt_with_resume(e, attempt, resume);
             furthest = furthest.max(reached);
             match result {
                 Ok(out) => match &oracle {
@@ -307,24 +347,30 @@ impl Supervisor {
                         // of this run are suspect too — never resume
                         // from them.
                         full_restart_only = true;
-                        recovered.push(EvalError::ScrutineeMismatch(
+                        let err = EvalError::ScrutineeMismatch(
                             "supervised replay",
                             format!(
                                 "attempt {attempt} diverged from the lockstep oracle: \
                                  got {} in {} superstep(s), expected {} in {}",
                                 out.value, out.supersteps, report.value, report.cost.supersteps
                             ),
-                        ));
+                        );
+                        // A silent corruption deserves a black box as
+                        // much as a loud crash does.
+                        postmortems.extend(self.write_postmortem(e, attempt, &err, flight));
+                        recovered.push(err);
                     }
                     _ => {
                         return Ok(SupervisedOutcome {
                             outcome: out,
                             attempts: attempt + 1,
                             recovered,
+                            postmortems,
                         });
                     }
                 },
                 Err(err) => {
+                    postmortems.extend(self.write_postmortem(e, attempt, &err, flight));
                     if resumed || matches!(err, EvalError::CheckpointDiverged { .. }) {
                         // A resumed attempt can only fail through a
                         // fresh fault or a *poisoned record* — a fault
@@ -342,6 +388,44 @@ impl Supervisor {
             }
         }
         Err(recovered.last().cloned().expect("at least one attempt ran"))
+    }
+
+    /// Writes one failed attempt's flight log as a postmortem bundle
+    /// (no-op without a configured directory or an enabled recorder).
+    /// Best-effort on purpose: a failing run must never be turned
+    /// into a panicking one by its own black box, so every i/o error
+    /// here is swallowed into a counter.
+    fn write_postmortem(
+        &self,
+        e: &Expr,
+        attempt: u32,
+        err: &EvalError,
+        flight: Option<FlightLog>,
+    ) -> Option<PathBuf> {
+        let dir = self.postmortem_dir.as_ref()?;
+        let log = flight?;
+        let (error_rank, error_superstep) = error_coordinate(err);
+        let bundle = PostmortemBundle::new(
+            self.machine.p(),
+            attempt,
+            err.to_string(),
+            error_rank,
+            error_superstep,
+            log,
+        );
+        let fingerprint = program_fingerprint(e, self.machine.p());
+        let path = dir.join(format!(
+            "pm-{fingerprint:016x}-p{}-attempt{attempt}.bsmlpm",
+            self.machine.p()
+        ));
+        let written = std::fs::create_dir_all(dir).is_ok() && bundle.write_to(&path).is_ok();
+        if written {
+            self.telemetry.counter_add("bsp.postmortems_written", 1);
+            Some(path)
+        } else {
+            self.telemetry.counter_add("bsp.postmortem_write_errors", 1);
+            None
+        }
     }
 
     /// Walks the store's generations newest-first and returns the

@@ -13,6 +13,7 @@
 //!     from      u32   sending rank
 //!     superstep u64   the sender's superstep when the frame was built
 //!     seq       u64   per-(sender → receiver)-link sequence number
+//!     lamport   u64   the sender's Lamport clock when the frame was stamped
 //!     payload         Put: one encoded PortableValue · IfAt: u8 bool · Ack: empty
 //!     checksum  u64   FNV-1a over every preceding byte (prefix included)
 //! ```
@@ -35,6 +36,7 @@
 //!     from: 2,
 //!     superstep: 7,
 //!     seq: 42,
+//!     lamport: 19,
 //!     payload: FramePayload::Put(PortableValue::Int(-3)),
 //! };
 //! assert_eq!(Frame::decode(&f.encode()), Ok(f));
@@ -308,6 +310,12 @@ pub struct Frame {
     /// the sender's counter for that link; an ack echoes the sequence
     /// number it acknowledges.
     pub seq: u64,
+    /// The sender's Lamport clock when the frame was *stamped* (built).
+    /// A retransmission reuses the original bytes — same stamp, same
+    /// logical message — so cross-rank causality (every receive
+    /// happens-after its send) is reconstructable from a trace of
+    /// stamps alone (DESIGN.md §12).
+    pub lamport: u64,
     /// The payload.
     pub payload: FramePayload,
 }
@@ -326,6 +334,7 @@ impl Frame {
         out.extend_from_slice(&u32::try_from(self.from).unwrap_or(u32::MAX).to_le_bytes());
         put_u64(&mut out, self.superstep);
         put_u64(&mut out, self.seq);
+        put_u64(&mut out, self.lamport);
         match &self.payload {
             FramePayload::Put(v) => encode_value(&mut out, v),
             FramePayload::IfAt(b) => out.push(u8::from(*b)),
@@ -351,7 +360,7 @@ impl Frame {
         if claimed != actual {
             return Err(WireError::LengthMismatch { claimed, actual });
         }
-        if bytes.len() < 4 + 1 + 4 + 8 + 8 + 8 {
+        if bytes.len() < 4 + 1 + 4 + 8 + 8 + 8 + 8 {
             return Err(WireError::Truncated);
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 8);
@@ -363,6 +372,7 @@ impl Frame {
         let from = r.u32()? as usize;
         let superstep = r.u64()?;
         let seq = r.u64()?;
+        let lamport = r.u64()?;
         let payload = match kind {
             KIND_PUT => FramePayload::Put(decode_value(&mut r)?),
             KIND_IFAT => FramePayload::IfAt(r.u8()? != 0),
@@ -376,6 +386,7 @@ impl Frame {
             from,
             superstep,
             seq,
+            lamport,
             payload,
         })
     }
@@ -390,6 +401,7 @@ mod tests {
             from: 3,
             superstep: 11,
             seq: 207,
+            lamport: 1009,
             payload: FramePayload::Put(PortableValue::Pair(
                 Box::new(PortableValue::Int(-42)),
                 Box::new(PortableValue::Cons(
@@ -408,12 +420,14 @@ mod tests {
                 from: 0,
                 superstep: 0,
                 seq: 0,
+                lamport: 0,
                 payload: FramePayload::IfAt(true),
             },
             Frame {
                 from: 15,
                 superstep: u64::MAX,
                 seq: u64::MAX,
+                lamport: u64::MAX,
                 payload: FramePayload::Ack,
             },
         ] {
@@ -464,12 +478,13 @@ mod tests {
             from: 1,
             superstep: 0,
             seq: 0,
+            lamport: 0,
             payload: FramePayload::Put(PortableValue::Vector(vec![PortableValue::Unit])),
         };
         let mut bytes = f.encode();
         // The vector count sits after prefix(4) + kind(1) + from(4) +
-        // superstep(8) + seq(8) + value tag(1).
-        let at = 4 + 1 + 4 + 8 + 8 + 1;
+        // superstep(8) + seq(8) + lamport(8) + value tag(1).
+        let at = 4 + 1 + 4 + 8 + 8 + 8 + 1;
         bytes[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
         // Re-seal the checksum so the corruption reaches the decoder.
         let body_len = bytes.len() - 8;

@@ -199,6 +199,7 @@ pub struct Session {
     telemetry: Telemetry,
     checkpoint_policy: Option<CheckpointPolicy>,
     transport: TransportConfig,
+    flight_capacity: Option<usize>,
 }
 
 /// A point-in-time copy of a session's toplevel state: the typing
@@ -255,6 +256,7 @@ impl Session {
             telemetry,
             checkpoint_policy: None,
             transport: TransportConfig::default(),
+            flight_capacity: None,
         }
     }
 
@@ -296,6 +298,26 @@ impl Session {
     #[must_use]
     pub fn transport(&self) -> &TransportConfig {
         &self.transport
+    }
+
+    /// Configures the flight-recorder ring capacity this session
+    /// *advertises* for distributed execution, mirroring
+    /// [`with_transport`](Session::with_transport): frontends that
+    /// hand phrases to a `bsml_bsp::DistMachine` read it via
+    /// [`flight_capacity()`](Session::flight_capacity) and pass it to
+    /// `DistMachine::with_flight_recorder`, so failed runs leave a
+    /// postmortem bundle behind. `None` (the default) defers to the
+    /// machine's own `BSML_FLIGHT_CAPACITY` environment knob.
+    #[must_use]
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Session {
+        self.flight_capacity = Some(capacity);
+        self
+    }
+
+    /// The advertised flight-recorder capacity, if any.
+    #[must_use]
+    pub fn flight_capacity(&self) -> Option<usize> {
+        self.flight_capacity
     }
 
     /// Captures the session's toplevel state — a deep, identity-free
@@ -652,6 +674,14 @@ mod tests {
             }
             other => panic!("expected a lossy transport, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn flight_capacity_is_configurable() {
+        let s = session();
+        assert_eq!(s.flight_capacity(), None);
+        let s = session().with_flight_capacity(512);
+        assert_eq!(s.flight_capacity(), Some(512));
     }
 
     #[test]

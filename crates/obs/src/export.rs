@@ -182,8 +182,10 @@ pub fn to_jsonl(tel: &Telemetry) -> String {
 
 /// The Chrome trace-event "JSON object format": thread-name metadata
 /// per track, one complete (`"X"`) event per span — timestamps
-/// monotonic within the output — and one final counter (`"C"`) event
-/// per counter. Loadable in `chrome://tracing` and Perfetto.
+/// monotonic within the output — flow start/finish (`"s"`/`"f"`)
+/// pairs per recorded flow (Perfetto draws them as arrows between the
+/// tracks), and one final counter (`"C"`) event per counter. Loadable
+/// in `chrome://tracing` and Perfetto.
 pub fn to_chrome_trace(tel: &Telemetry) -> String {
     let tracks = tel.tracks();
     let mut spans = tel.spans();
@@ -212,6 +214,25 @@ pub fn to_chrome_trace(tel: &Telemetry) -> String {
         push_json_str(&mut e, &s.label());
         e.push_str(",\"args\":");
         push_fields_object(&mut e, &s.fields);
+        e.push('}');
+        events.push(e);
+    }
+
+    let mut flows = tel.flows();
+    flows.sort_by_key(|f| (f.start_us, f.id));
+    for f in &flows {
+        let mut s = String::from("{\"ph\":\"s\",\"pid\":0,\"tid\":");
+        let _ = write!(s, "{},\"ts\":{},\"id\":{},", f.from_track, f.start_us, f.id);
+        s.push_str("\"cat\":\"bsml.flow\",\"name\":");
+        push_json_str(&mut s, f.name);
+        s.push('}');
+        events.push(s);
+        // "bp":"e" binds the finish to the enclosing slice, which is
+        // what makes Perfetto draw the arrow into the receiving span.
+        let mut e = String::from("{\"ph\":\"f\",\"bp\":\"e\",\"pid\":0,\"tid\":");
+        let _ = write!(e, "{},\"ts\":{},\"id\":{},", f.to_track, f.end_us, f.id);
+        e.push_str("\"cat\":\"bsml.flow\",\"name\":");
+        push_json_str(&mut e, f.name);
         e.push('}');
         events.push(e);
     }
@@ -303,6 +324,30 @@ mod tests {
         }
         // Counter event present.
         assert!(trace.contains("\"ph\":\"C\""));
+    }
+
+    #[test]
+    fn chrome_trace_emits_flow_pairs() {
+        let tel = Telemetry::enabled_logical();
+        let p0 = tel.track("p0");
+        let p1 = tel.track("p1");
+        tel.record_flow(7, "put", p0.current_track(), p1.current_track(), 3, 9);
+        let trace = tel.to_chrome_trace();
+        let start = trace
+            .lines()
+            .find(|l| l.contains("\"ph\":\"s\""))
+            .expect("flow start event");
+        assert!(start.contains("\"id\":7"), "{start}");
+        assert!(start.contains("\"ts\":3"), "{start}");
+        assert!(start.contains("\"tid\":1"), "{start}");
+        let finish = trace
+            .lines()
+            .find(|l| l.contains("\"ph\":\"f\""))
+            .expect("flow finish event");
+        assert!(finish.contains("\"bp\":\"e\""), "{finish}");
+        assert!(finish.contains("\"id\":7"), "{finish}");
+        assert!(finish.contains("\"ts\":9"), "{finish}");
+        assert!(finish.contains("\"tid\":2"), "{finish}");
     }
 
     #[test]

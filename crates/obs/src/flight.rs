@@ -1,0 +1,305 @@
+//! The crash-time **flight recorder**: a fixed-capacity per-rank ring
+//! buffer of protocol-level events, each stamped with the rank's
+//! Lamport clock (DESIGN.md §12).
+//!
+//! The recorder is the black box of a distributed attempt. Every rank
+//! records what its reliable-exchange engine and barrier discipline
+//! did — frames sent/received/acked/retransmitted/corrupt-rejected,
+//! barrier enter/exit, checkpoint stage/commit, fault firings,
+//! backpressure waits — at a cost of one short mutex-protected push
+//! per event. When the buffer is full the *oldest* event is evicted
+//! (and counted), so a long healthy run keeps only its recent past:
+//! exactly what a postmortem wants. On attempt failure the supervisor
+//! drains all ranks' recorders into a checksummed postmortem bundle;
+//! on success the events are simply dropped.
+//!
+//! ```
+//! use bsml_obs::{FlightEvent, FlightRecorder};
+//!
+//! let rec = FlightRecorder::new(2);
+//! rec.record(1, FlightEvent::BarrierEnter { superstep: 0 });
+//! rec.record(2, FlightEvent::BarrierExit { superstep: 0 });
+//! rec.record(3, FlightEvent::FaultFired { superstep: 1, kind: 0 });
+//! // Capacity 2: the oldest event was evicted and counted.
+//! assert_eq!(rec.dropped(), 1);
+//! let events = rec.drain();
+//! assert_eq!(events.len(), 2);
+//! assert_eq!(events[0].lamport, 2);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// One protocol-level event of a distributed attempt, as seen by one
+/// rank. All fields are logical (ranks, sequence numbers, Lamport
+/// stamps, word/byte counts) — no wall-clock time — so a seeded run
+/// records a bit-identical event stream every time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A data frame was stamped and handed to the exchange engine.
+    /// `bytes` is the encoded frame size (what travels on the wire).
+    FrameSent {
+        /// Destination rank.
+        to: u64,
+        /// Per-link sequence number.
+        seq: u64,
+        /// The sender's superstep.
+        superstep: u64,
+        /// Encoded frame size in bytes.
+        bytes: u64,
+    },
+    /// A data frame was accepted (exact expected sequence number).
+    FrameReceived {
+        /// Source rank.
+        from: u64,
+        /// Per-link sequence number.
+        seq: u64,
+        /// The *sender's* superstep, from the frame header.
+        superstep: u64,
+        /// The sender's Lamport stamp, from the frame header — the
+        /// analyzer checks `lamport > sent_lamport` (no receive before
+        /// its send).
+        sent_lamport: u64,
+    },
+    /// An acknowledgement frame was sent for a received data frame.
+    AckSent {
+        /// The rank being acknowledged.
+        to: u64,
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// An acknowledgement for one of our in-flight data frames
+    /// arrived.
+    AckReceived {
+        /// The acknowledging rank.
+        from: u64,
+        /// The acknowledged sequence number.
+        seq: u64,
+        /// Exchange-loop poll iterations between first transmission
+        /// and this ack (the logical round-trip time).
+        polls: u64,
+    },
+    /// An unacked data frame was retransmitted (original stamp, new
+    /// transmission).
+    FrameRetransmitted {
+        /// Destination rank.
+        to: u64,
+        /// Per-link sequence number.
+        seq: u64,
+    },
+    /// The wire decoder rejected an incoming frame (checksum,
+    /// truncation, bad tag) — treated as lost, repaired by
+    /// retransmission.
+    CorruptRejected,
+    /// `try_send` was refused by a full peer mailbox.
+    BackpressureWait {
+        /// The rank whose mailbox was full.
+        to: u64,
+    },
+    /// This rank arrived at the superstep's exit barrier.
+    BarrierEnter {
+        /// The superstep being completed.
+        superstep: u64,
+    },
+    /// The exit barrier released this rank.
+    BarrierExit {
+        /// The superstep just completed.
+        superstep: u64,
+    },
+    /// One superstep's local accounting, measured at its exit: the
+    /// fuel this rank burned and the words it exchanged since the
+    /// previous superstep boundary — what the postmortem analyzer
+    /// compares against the lockstep cost model's per-superstep
+    /// `(w, h)` figures.
+    SuperstepEnd {
+        /// The superstep just completed.
+        superstep: u64,
+        /// Evaluator steps (fuel) this rank burned this superstep.
+        work: u64,
+        /// Words this rank sent this superstep (self-messages
+        /// excluded).
+        sent_words: u64,
+        /// Words this rank received this superstep.
+        received_words: u64,
+    },
+    /// This rank staged a checkpoint frame for the given generation.
+    CheckpointStaged {
+        /// The staged generation (completed-superstep count).
+        generation: u64,
+    },
+    /// The generation was committed at the exit barrier (a
+    /// consistent cut: every rank records this after the barrier
+    /// releases it).
+    CheckpointCommitted {
+        /// The committed generation.
+        generation: u64,
+    },
+    /// A planned fault fired on this rank (crash, panic, stall or
+    /// message drop — see `kind`).
+    FaultFired {
+        /// The superstep the fault was keyed on.
+        superstep: u64,
+        /// The fault kind's wire code (see `bsml_bsp::faults`).
+        kind: u64,
+    },
+}
+
+/// A [`FlightEvent`] with the Lamport stamp it was recorded at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TimedFlightEvent {
+    /// The recording rank's Lamport clock at the event.
+    pub lamport: u64,
+    /// What happened.
+    pub event: FlightEvent,
+}
+
+/// A fixed-capacity ring buffer of [`TimedFlightEvent`]s. Records are
+/// kept in insertion order (which is causal order for a single rank:
+/// the Lamport stamps are non-decreasing); when full, the oldest
+/// record is evicted and counted in [`FlightRecorder::dropped`].
+///
+/// The buffer is internally locked so the supervisor can drain it
+/// after the rank's thread is gone — including a thread that
+/// *panicked* while holding nothing of ours (poisoning is ignored; the
+/// protected data is a plain event queue, valid at every instant).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    state: Mutex<Ring>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TimedFlightEvent>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` events. Capacity 0 is
+    /// legal: every event is immediately dropped (but still counted) —
+    /// a recorder that measures overhead without retaining anything.
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            capacity,
+            state: Mutex::new(Ring {
+                // A huge configured capacity must not pre-allocate:
+                // the queue grows to the high-water mark actually hit.
+                events: VecDeque::with_capacity(capacity.min(1024)),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Ring> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event at the given Lamport stamp.
+    pub fn record(&self, lamport: u64, event: FlightEvent) {
+        let mut ring = self.lock();
+        if self.capacity == 0 {
+            ring.dropped += 1;
+            return;
+        }
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(TimedFlightEvent { lamport, event });
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().events.is_empty()
+    }
+
+    /// Events evicted (or refused, at capacity 0) so far. A non-zero
+    /// count tells the postmortem analyzer the record is a *suffix* of
+    /// the rank's history, so a missing send for an observed receive
+    /// is inconclusive rather than a causality violation.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// Removes and returns all buffered events, oldest first (the
+    /// rank's causal order). The dropped count is preserved.
+    #[must_use]
+    pub fn drain(&self) -> Vec<TimedFlightEvent> {
+        self.lock().events.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_and_evicts_oldest() {
+        let rec = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            rec.record(i, FlightEvent::BarrierEnter { superstep: i });
+        }
+        assert_eq!(rec.len(), 3);
+        assert_eq!(rec.dropped(), 2);
+        let events = rec.drain();
+        assert_eq!(
+            events.iter().map(|e| e.lamport).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(rec.len(), 0);
+        assert!(rec.is_empty());
+        // Dropped survives the drain — it describes history, not the
+        // current buffer.
+        assert_eq!(rec.dropped(), 2);
+    }
+
+    #[test]
+    fn capacity_zero_counts_but_keeps_nothing() {
+        let rec = FlightRecorder::new(0);
+        rec.record(1, FlightEvent::CorruptRejected);
+        rec.record(2, FlightEvent::CorruptRejected);
+        assert!(rec.is_empty());
+        assert_eq!(rec.dropped(), 2);
+        assert!(rec.drain().is_empty());
+    }
+
+    #[test]
+    fn capacity_one_keeps_the_newest() {
+        let rec = FlightRecorder::new(1);
+        rec.record(7, FlightEvent::BarrierEnter { superstep: 0 });
+        rec.record(9, FlightEvent::BarrierExit { superstep: 0 });
+        let events = rec.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].lamport, 9);
+        assert_eq!(events[0].event, FlightEvent::BarrierExit { superstep: 0 });
+        assert_eq!(rec.dropped(), 1);
+    }
+
+    #[test]
+    fn survives_a_poisoned_lock() {
+        let rec = std::sync::Arc::new(FlightRecorder::new(4));
+        let r2 = std::sync::Arc::clone(&rec);
+        let _ = std::thread::spawn(move || {
+            let _guard = r2.state.lock().expect("first lock");
+            panic!("poison the recorder");
+        })
+        .join();
+        rec.record(1, FlightEvent::CorruptRejected);
+        assert_eq!(rec.len(), 1);
+    }
+}

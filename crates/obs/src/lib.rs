@@ -42,14 +42,16 @@
 //! clock — golden tests and reproducible traces use the latter.
 
 mod export;
+mod flight;
 mod metrics;
 mod span;
 
+pub use flight::{FlightEvent, FlightRecorder, TimedFlightEvent};
 pub use metrics::{HistogramSummary, MetricsRegistry, MetricsSnapshot};
 pub use span::{FieldValue, SpanGuard, SpanRecord};
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Identifies one horizontal track (≈ one thread / one BSP processor)
@@ -78,11 +80,44 @@ pub(crate) struct Inner {
     pub(crate) state: Mutex<State>,
 }
 
+impl Inner {
+    /// Locks the sink state, recovering from poisoning: the protected
+    /// data (plain vectors and counters) is valid at every instant, and
+    /// telemetry — especially the exporters — must never panic inside
+    /// an already-failing run, which would mask the original failure.
+    pub(crate) fn state(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 pub(crate) struct State {
     /// Track names; index is the [`TrackId`].
     pub(crate) tracks: Vec<String>,
     pub(crate) spans: Vec<SpanRecord>,
     pub(crate) metrics: MetricsRegistry,
+    /// Cross-track causal arrows (message flows), in recording order.
+    pub(crate) flows: Vec<FlowRecord>,
+}
+
+/// One causal arrow between two tracks — a message observed at both
+/// ends. Rendered as a Chrome trace-event flow (`"s"` on the sending
+/// track, `"f"` on the receiving one), which Perfetto draws as an
+/// arrow between the rank tracks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// Flow identifier — ties the start and finish events together.
+    /// Unique per flow within one sink.
+    pub id: u64,
+    /// Static flow name (e.g. `"put"`, `"ack"`).
+    pub name: &'static str,
+    /// The sending track.
+    pub from_track: TrackId,
+    /// The receiving track.
+    pub to_track: TrackId,
+    /// When the message was sent, µs in the sink's time base.
+    pub start_us: u64,
+    /// When it was received (clamped to ≥ `start_us`).
+    pub end_us: u64,
 }
 
 /// A cheap, clonable, thread-safe handle to a telemetry sink — or to
@@ -144,6 +179,7 @@ impl Telemetry {
                     tracks: vec!["main".to_string()],
                     spans: Vec::new(),
                     metrics: MetricsRegistry::new(),
+                    flows: Vec::new(),
                 }),
             })),
             track: 0,
@@ -169,7 +205,7 @@ impl Telemetry {
         let Some(inner) = &self.inner else {
             return self.clone();
         };
-        let mut state = inner.state.lock().expect("telemetry state");
+        let mut state = inner.state();
         let id = match state.tracks.iter().position(|t| t == name) {
             Some(i) => i,
             None => {
@@ -179,7 +215,7 @@ impl Telemetry {
         };
         Telemetry {
             inner: self.inner.clone(),
-            track: TrackId::try_from(id).expect("track count fits u32"),
+            track: TrackId::try_from(id).unwrap_or(TrackId::MAX),
         }
     }
 
@@ -230,7 +266,7 @@ impl Telemetry {
         let Some(inner) = &self.inner else { return };
         let start_seq = Telemetry::next_seq(inner);
         let end_seq = Telemetry::next_seq(inner);
-        let mut state = inner.state.lock().expect("telemetry state");
+        let mut state = inner.state();
         state.spans.push(SpanRecord {
             track,
             name,
@@ -251,31 +287,47 @@ impl Telemetry {
         self.inner.as_ref().map_or(0, |i| i.clock.now_us())
     }
 
+    /// Records a causal arrow between two tracks (a message observed
+    /// at both ends). `id` must be unique per flow within this sink;
+    /// `end_us` is clamped to ≥ `start_us`.
+    pub fn record_flow(
+        &self,
+        id: u64,
+        name: &'static str,
+        from_track: TrackId,
+        to_track: TrackId,
+        start_us: u64,
+        end_us: u64,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        inner.state().flows.push(FlowRecord {
+            id,
+            name,
+            from_track,
+            to_track,
+            start_us,
+            end_us: end_us.max(start_us),
+        });
+    }
+
     /// Adds `n` to the named counter.
     pub fn counter_add(&self, name: &str, n: u64) {
         let Some(inner) = &self.inner else { return };
-        let mut state = inner.state.lock().expect("telemetry state");
-        state.metrics.counter_add(name, n);
+        inner.state().metrics.counter_add(name, n);
     }
 
     /// Records `value` into the named histogram.
     pub fn histogram_record(&self, name: &str, value: u64) {
         let Some(inner) = &self.inner else { return };
-        let mut state = inner.state.lock().expect("telemetry state");
-        state.metrics.histogram_record(name, value);
+        inner.state().metrics.histogram_record(name, value);
     }
 
     /// The value of a counter (0 if never written).
     #[must_use]
     pub fn counter_value(&self, name: &str) -> u64 {
-        self.inner.as_ref().map_or(0, |inner| {
-            inner
-                .state
-                .lock()
-                .expect("telemetry state")
-                .metrics
-                .counter_value(name)
-        })
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.state().metrics.counter_value(name))
     }
 
     /// A snapshot of all metrics.
@@ -284,29 +336,32 @@ impl Telemetry {
         self.inner
             .as_ref()
             .map_or_else(MetricsSnapshot::default, |inner| {
-                inner
-                    .state
-                    .lock()
-                    .expect("telemetry state")
-                    .metrics
-                    .snapshot()
+                inner.state().metrics.snapshot()
             })
     }
 
     /// All recorded spans, in recording order.
     #[must_use]
     pub fn spans(&self) -> Vec<SpanRecord> {
-        self.inner.as_ref().map_or_else(Vec::new, |inner| {
-            inner.state.lock().expect("telemetry state").spans.clone()
-        })
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.state().spans.clone())
+    }
+
+    /// All recorded flows, in recording order.
+    #[must_use]
+    pub fn flows(&self) -> Vec<FlowRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.state().flows.clone())
     }
 
     /// Registered track names, indexed by [`TrackId`].
     #[must_use]
     pub fn tracks(&self) -> Vec<String> {
-        self.inner.as_ref().map_or_else(Vec::new, |inner| {
-            inner.state.lock().expect("telemetry state").tracks.clone()
-        })
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |inner| inner.state().tracks.clone())
     }
 
     /// The human-readable span tree + metrics table.

@@ -170,7 +170,11 @@ impl Drop for SpanGuard {
         };
         let end_us = open.inner.clock.now_us().max(open.start_us);
         let end_seq = Telemetry::next_seq(&open.inner);
-        let mut state = open.inner.state.lock().expect("telemetry state");
+        // Ignore-poison lock: this Drop may run during a panic unwind
+        // (a failing rank dropping its span guards); a second panic
+        // here would abort the whole process and mask the original
+        // failure.
+        let mut state = open.inner.state();
         state.spans.push(SpanRecord {
             track: open.track,
             name: open.name,

@@ -99,6 +99,20 @@ fn chaos_cell(source: &str, supersteps: u64, p: usize, seed: u64) {
         u64::from(out.attempts - 1),
         "{ctx}"
     );
+    // Even the lossless substrate acks every data frame, so the ack
+    // round-trip histogram must be populated — it is the zero point
+    // the lossy grid's latencies are read against.
+    let acks = tel
+        .metrics()
+        .histograms
+        .get("net.ack_latency_polls")
+        .copied()
+        .unwrap_or_default();
+    assert!(
+        acks.count > 0,
+        "{ctx}: net.ack_latency_polls must be populated on a lossless run"
+    );
+    assert!(acks.max >= acks.min, "{ctx}");
     if matches!(fault, FaultKind::Stall { .. }) {
         assert_eq!(out.attempts, 1, "a 1–3 ms stall must not fail: {ctx}");
     }

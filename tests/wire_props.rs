@@ -40,14 +40,20 @@ fn frame() -> impl Strategy<Value = Frame> {
         any::<bool>().prop_map(FramePayload::IfAt),
         Just(FramePayload::Ack),
     ];
-    (0usize..64, any::<u64>(), any::<u64>(), payload).prop_map(|(from, superstep, seq, payload)| {
-        Frame {
+    (
+        0usize..64,
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        payload,
+    )
+        .prop_map(|(from, superstep, seq, lamport, payload)| Frame {
             from,
             superstep,
             seq,
+            lamport,
             payload,
-        }
-    })
+        })
 }
 
 proptest! {
