@@ -63,9 +63,10 @@ use crate::checkpoint::{
 };
 use crate::faults::{FaultKind, FaultPlan};
 use crate::postmortem::{FlightLog, RankFlightLog};
+use crate::process::RemoteHub;
 use crate::supervisor::{Sleeper, ThreadSleeper};
 use crate::transport::{LossyNet, NetTuning, SharedMem, Transport, TransportConfig};
-use crate::wire::{Frame, FramePayload};
+use crate::wire::{CtlLedger, CtlStats, Frame, FramePayload};
 
 /// Default per-processor fuel of a [`DistMachine`]: conservative
 /// enough that a divergent SPMD program terminates with
@@ -132,7 +133,7 @@ fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// barrier (so every peer is released too) and surfaces as
 /// [`EvalError::BarrierTimeout`].
 #[derive(Debug)]
-struct PoisonBarrier {
+pub(crate) struct PoisonBarrier {
     n: usize,
     state: Mutex<BarrierState>,
     cv: Condvar,
@@ -237,6 +238,20 @@ impl PoisonBarrier {
     }
 }
 
+/// How one attempt's ranks synchronize: through a shared in-memory
+/// [`PoisonBarrier`] (the thread-per-rank backend), or through the
+/// parent coordinator's control stream (the process-per-rank backend,
+/// DESIGN.md §13 — each rank is an OS process holding one end of a
+/// Unix socket, and "poison" is a control message instead of a flag).
+#[derive(Debug)]
+pub(crate) enum SyncBackend {
+    /// All ranks share one address space and one barrier.
+    Local(PoisonBarrier),
+    /// This rank is alone in its process; barriers, exchange
+    /// completion and poison all travel through the hub's socket.
+    Remote(Arc<RemoteHub>),
+}
+
 /// Per-superstep communication statistics of one processor.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct CommStats {
@@ -283,6 +298,70 @@ struct FaultLedger {
     frames_lost: AtomicU64,
 }
 
+impl FaultLedger {
+    /// A plain snapshot of the portable counters — the form a rank
+    /// process ships home over the control stream, and the form
+    /// [`flush_counters`] consumes.
+    fn counters(&self) -> CtlLedger {
+        CtlLedger {
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            barrier_timeouts: self.barrier_timeouts.load(Ordering::Relaxed),
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dups_dropped: self.dups_dropped.load(Ordering::Relaxed),
+            corrupt_frames: self.corrupt_frames.load(Ordering::Relaxed),
+            backpressure_waits: self.backpressure_waits.load(Ordering::Relaxed),
+            frames_lost: self.frames_lost.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Flushes one attempt's reliability and checkpoint counters into the
+/// `bsp.*` / `net.*` telemetry counters — shared by the in-process
+/// backend (from its own [`FaultLedger`]) and the multi-process parent
+/// (from the [`CtlLedger`]s its rank processes shipped home), so both
+/// backends account identically. `extra_frames_lost` carries the lossy
+/// substrate's own injected drops.
+pub(crate) fn flush_counters(
+    telemetry: &Telemetry,
+    counters: &CtlLedger,
+    checkpoints_written: u64,
+    checkpoint_bytes: u64,
+    extra_frames_lost: u64,
+) {
+    if counters.faults_injected > 0 {
+        telemetry.counter_add("bsp.faults_injected", counters.faults_injected);
+    }
+    if counters.barrier_timeouts > 0 {
+        telemetry.counter_add("bsp.barrier_timeouts", counters.barrier_timeouts);
+    }
+    if checkpoints_written > 0 {
+        telemetry.counter_add("bsp.checkpoints_written", checkpoints_written);
+    }
+    if checkpoint_bytes > 0 {
+        telemetry.counter_add("bsp.checkpoint_bytes", checkpoint_bytes);
+    }
+    if counters.frames_sent > 0 {
+        telemetry.counter_add("net.frames_sent", counters.frames_sent);
+    }
+    if counters.retransmits > 0 {
+        telemetry.counter_add("net.retransmits", counters.retransmits);
+    }
+    if counters.dups_dropped > 0 {
+        telemetry.counter_add("net.dups_dropped", counters.dups_dropped);
+    }
+    if counters.corrupt_frames > 0 {
+        telemetry.counter_add("net.corrupt_frames", counters.corrupt_frames);
+    }
+    if counters.backpressure_waits > 0 {
+        telemetry.counter_add("net.backpressure_waits", counters.backpressure_waits);
+    }
+    let frames_lost = counters.frames_lost + extra_frames_lost;
+    if frames_lost > 0 {
+        telemetry.counter_add("net.frames_lost", frames_lost);
+    }
+}
+
 /// The checkpoint runtime shared by all ranks of one attempt.
 #[derive(Debug)]
 struct NetCheckpoint {
@@ -300,7 +379,9 @@ struct NetCheckpoint {
 #[derive(Debug)]
 struct Network {
     p: usize,
-    barrier: PoisonBarrier,
+    /// How this rank synchronizes with its peers (in-memory barrier,
+    /// or the parent coordinator's control stream).
+    sync: SyncBackend,
     /// The substrate frames travel over (per-rank mailboxes).
     transport: Arc<dyn Transport>,
     /// Retransmission/backpressure knobs of the reliable layer.
@@ -352,7 +433,7 @@ impl Network {
     ) -> Network {
         Network {
             p,
-            barrier: PoisonBarrier::new(p),
+            sync: SyncBackend::Local(PoisonBarrier::new(p)),
             transport,
             tuning,
             sleeper,
@@ -364,6 +445,42 @@ impl Network {
             checkpoint,
             flight,
             flow_ids: AtomicU64::new(0),
+        }
+    }
+
+    /// Marks the run as dead, releasing every waiter — a barrier flag
+    /// locally, a control message through the hub remotely.
+    fn poison(&self) {
+        match &self.sync {
+            SyncBackend::Local(barrier) => barrier.poison(),
+            SyncBackend::Remote(hub) => hub.poison(),
+        }
+    }
+
+    /// Whether a peer (or the parent) has declared the run dead.
+    fn is_poisoned(&self) -> bool {
+        match &self.sync {
+            SyncBackend::Local(barrier) => barrier.is_poisoned(),
+            SyncBackend::Remote(hub) => hub.is_poisoned(),
+        }
+    }
+
+    /// Declares this rank's current exchange locally complete.
+    fn declare_exchange_done(&self) {
+        match &self.sync {
+            SyncBackend::Local(_) => {
+                self.exchanges_done.fetch_add(1, Ordering::AcqRel);
+            }
+            SyncBackend::Remote(hub) => hub.declare_exchange_done(),
+        }
+    }
+
+    /// The machine-wide count of locally-completed exchanges (exchange
+    /// `n` is globally complete at `p·(n+1)`).
+    fn exchange_global_count(&self) -> u64 {
+        match &self.sync {
+            SyncBackend::Local(_) => self.exchanges_done.load(Ordering::Acquire),
+            SyncBackend::Remote(hub) => hub.exchange_total(),
         }
     }
 }
@@ -548,7 +665,7 @@ impl SpmdDriver {
                         kind: kind.code(),
                     },
                 );
-                self.net.barrier.poison();
+                self.net.poison();
                 Err(EvalError::InjectedFault {
                     rank: self.rank,
                     superstep,
@@ -587,15 +704,29 @@ impl SpmdDriver {
     }
 
     fn barrier_wait_with(&self, on_complete: Option<&dyn Fn()>) -> Result<(), EvalError> {
+        self.timed_barrier(|| match &self.net.sync {
+            SyncBackend::Local(barrier) => barrier.wait(self.net.barrier_timeout, on_complete),
+            // The remote backend synchronizes through the hub in
+            // `superstep_exit_barrier`; a bare local wait has no
+            // remote counterpart, so reaching one is a protocol bug
+            // reported as a peer failure (never a hang).
+            SyncBackend::Remote(_) => Err(EvalError::PeerFailure),
+        })
+    }
+
+    /// Runs one barrier wait (any backend), timing it into the
+    /// `bsp.barrier_wait_us` histogram and re-tagging timeouts with
+    /// this rank's BSP superstep (counted in the ledger).
+    fn timed_barrier(&self, wait: impl FnOnce() -> Result<(), EvalError>) -> Result<(), EvalError> {
         let result = if self.telemetry.is_enabled() {
             let before = Instant::now();
-            let result = self.net.barrier.wait(self.net.barrier_timeout, on_complete);
+            let result = wait();
             let waited = u64::try_from(before.elapsed().as_micros()).unwrap_or(u64::MAX);
             self.telemetry
                 .histogram_record("bsp.barrier_wait_us", waited);
             result
         } else {
-            self.net.barrier.wait(self.net.barrier_timeout, on_complete)
+            wait()
         };
         match result {
             Err(EvalError::BarrierTimeout { waiting, .. }) => {
@@ -755,7 +886,7 @@ impl SpmdDriver {
                     }
                 } else if !f.acked && !lossless && f.idle >= net.tuning.retransmit_after {
                     if f.retransmits >= net.tuning.retransmit_budget {
-                        net.barrier.poison();
+                        net.poison();
                         return Err(EvalError::TransportFailure {
                             rank: self.rank,
                             superstep,
@@ -941,23 +1072,23 @@ impl SpmdDriver {
                 && acks_due.is_empty()
             {
                 declared_done = true;
-                net.exchanges_done.fetch_add(1, Ordering::AcqRel);
+                net.declare_exchange_done();
                 progressed = true;
             }
-            if declared_done && net.exchanges_done.load(Ordering::Acquire) >= target {
+            if declared_done && net.exchange_global_count() >= target {
                 break;
             }
 
             // Liveness: a crashed peer surfaces mid-exchange, and a
             // stalled one trips the wall-clock watchdog.
-            if net.barrier.is_poisoned() {
+            if net.is_poisoned() {
                 return Err(EvalError::PeerFailure);
             }
             if let Some(d) = deadline {
                 if Instant::now() >= d {
                     ledger.barrier_timeouts.fetch_add(1, Ordering::Relaxed);
-                    net.barrier.poison();
-                    let done = net.exchanges_done.load(Ordering::Acquire);
+                    net.poison();
+                    let done = net.exchange_global_count();
                     let base = self.exchanges.saturating_mul(p as u64);
                     return Err(EvalError::BarrierTimeout {
                         superstep,
@@ -1011,7 +1142,7 @@ impl SpmdDriver {
     /// to a full restart — a wrong checkpoint costs time, never
     /// correctness.
     fn diverged(&self, superstep: u64, detail: impl Into<String>) -> EvalError {
-        self.net.barrier.poison();
+        self.net.poison();
         EvalError::CheckpointDiverged {
             rank: self.rank,
             superstep,
@@ -1123,20 +1254,33 @@ impl SpmdDriver {
     ) -> Result<(), EvalError> {
         let lamport = self.tick();
         self.flight_record(lamport, FlightEvent::BarrierEnter { superstep });
-        let result = match (staged, &self.net.checkpoint) {
-            (Some(generation), Some(ck)) => {
-                let ledger = &self.net.ledger;
-                let store = Arc::clone(&ck.store);
-                let p = self.net.p;
-                let commit = move || {
-                    if let Ok(bytes) = store.commit(generation, p) {
-                        ledger.checkpoints_written.fetch_add(1, Ordering::Relaxed);
-                        ledger.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
-                    }
-                };
-                self.barrier_wait_with(Some(&commit))
+        let result = match &self.net.sync {
+            // Process mode: the *parent* owns the commit — it collects
+            // every rank's `BarrierEnter` (with its staged frame),
+            // commits the generation at the quorum instant (the same
+            // consistent cut: every rank has arrived, none has been
+            // released), and broadcasts the release this rank waits
+            // for here.
+            SyncBackend::Remote(hub) => {
+                let hub = Arc::clone(hub);
+                let timeout = self.net.barrier_timeout;
+                self.timed_barrier(move || hub.barrier_enter(superstep, timeout))
             }
-            _ => self.barrier_wait(),
+            SyncBackend::Local(_) => match (staged, &self.net.checkpoint) {
+                (Some(generation), Some(ck)) => {
+                    let ledger = &self.net.ledger;
+                    let store = Arc::clone(&ck.store);
+                    let p = self.net.p;
+                    let commit = move || {
+                        if let Ok(bytes) = store.commit(generation, p) {
+                            ledger.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                            ledger.checkpoint_bytes.fetch_add(bytes, Ordering::Relaxed);
+                        }
+                    };
+                    self.barrier_wait_with(Some(&commit))
+                }
+                _ => self.barrier_wait(),
+            },
         };
         if result.is_ok() {
             let lamport = self.tick();
@@ -1231,7 +1375,7 @@ impl SpmdDriver {
             }
             v => {
                 let v = v.to_string();
-                self.net.barrier.poison();
+                self.net.poison();
                 return Err(EvalError::ScrutineeMismatch("if‥at‥", v));
             }
         }
@@ -1307,7 +1451,7 @@ impl ParallelDriver for SpmdDriver {
             if dst != self.rank {
                 lock_ignore_poison(&self.stats).sent_words += words;
             }
-            let portable = v.to_portable().inspect_err(|_| self.net.barrier.poison())?;
+            let portable = v.to_portable().inspect_err(|_| self.net.poison())?;
             let plan_drop = self.drops_message(dst, superstep);
             if dst == self.rank {
                 // A self-message never touches the wire; dropping one
@@ -1353,7 +1497,7 @@ impl ParallelDriver for SpmdDriver {
                     // than a put payload: a peer ran a different
                     // primitive — SPMD replication is broken.
                     _ => {
-                        self.net.barrier.poison();
+                        self.net.poison();
                         return Err(EvalError::PeerFailure);
                     }
                 }
@@ -1400,7 +1544,7 @@ impl ParallelDriver for SpmdDriver {
         let mine = match self.my_component(bools, "if‥at‥")? {
             Value::Bool(b) => *b,
             v => {
-                self.net.barrier.poison();
+                self.net.poison();
                 return Err(EvalError::ScrutineeMismatch("if‥at‥", v.to_string()));
             }
         };
@@ -1428,7 +1572,7 @@ impl ParallelDriver for SpmdDriver {
                 // completed exchange holds no frame at all): SPMD
                 // replication is broken — a peer failure.
                 _ => {
-                    self.net.barrier.poison();
+                    self.net.poison();
                     return Err(EvalError::PeerFailure);
                 }
             }
@@ -1472,20 +1616,37 @@ pub struct DistOutcome {
     pub resumed_from: Option<u64>,
 }
 
-/// A distributed BSP machine: `p` OS threads, shared-nothing except
+/// How a [`DistMachine`] places its `p` ranks.
+#[derive(Clone, Debug, Default)]
+pub enum Execution {
+    /// One OS thread per rank inside this process (the default): the
+    /// fastest substrate, with crashes *simulated* by `catch_unwind`.
+    #[default]
+    InProcess,
+    /// One OS process per rank, each connected to this (parent)
+    /// process over a Unix-domain socket — the paper's BSMLlib-over-MPI
+    /// shape. Rank death is real (`SIGKILL` survives nothing) and is
+    /// detected as socket EOF + `waitpid`, mapped to the failed
+    /// (rank, superstep) coordinate.
+    Processes(crate::process::ProcessConfig),
+}
+
+/// A distributed BSP machine: `p` OS threads (or, with
+/// [`Execution::Processes`], `p` OS processes), shared-nothing except
 /// the message transport's per-rank mailboxes.
 #[derive(Clone, Debug)]
 pub struct DistMachine {
-    p: usize,
-    fuel: u64,
-    telemetry: Telemetry,
-    barrier_timeout: Option<Duration>,
-    faults: Option<Arc<FaultPlan>>,
-    checkpoints: Option<(CheckpointPolicy, Arc<dyn CheckpointStore>)>,
-    transport: TransportConfig,
-    tuning: NetTuning,
-    net_sleeper: Arc<dyn Sleeper>,
-    flight: Option<usize>,
+    pub(crate) p: usize,
+    pub(crate) fuel: u64,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) barrier_timeout: Option<Duration>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
+    pub(crate) checkpoints: Option<(CheckpointPolicy, Arc<dyn CheckpointStore>)>,
+    pub(crate) transport: TransportConfig,
+    pub(crate) tuning: NetTuning,
+    pub(crate) net_sleeper: Arc<dyn Sleeper>,
+    pub(crate) flight: Option<usize>,
+    pub(crate) execution: Execution,
 }
 
 impl DistMachine {
@@ -1510,7 +1671,23 @@ impl DistMachine {
             tuning: NetTuning::default(),
             net_sleeper: Arc::new(ThreadSleeper),
             flight: flight_capacity_from_env(),
+            execution: Execution::InProcess,
         }
+    }
+
+    /// Selects how ranks are placed: in-process threads (the default)
+    /// or one OS process per rank over Unix-domain sockets
+    /// ([`Execution::Processes`]).
+    #[must_use]
+    pub fn with_execution(mut self, execution: Execution) -> DistMachine {
+        self.execution = execution;
+        self
+    }
+
+    /// The configured rank placement.
+    #[must_use]
+    pub fn execution(&self) -> &Execution {
+        &self.execution
     }
 
     /// The machine size.
@@ -1716,6 +1893,9 @@ impl DistMachine {
         attempt: u32,
         resume: Option<ResumePoint>,
     ) -> (Result<DistOutcome, EvalError>, u64, Option<FlightLog>) {
+        if let Execution::Processes(cfg) = &self.execution {
+            return crate::process::run_process_attempt(self, cfg, e, attempt, resume);
+        }
         let checkpoint = self
             .checkpoints
             .as_ref()
@@ -1758,55 +1938,18 @@ impl DistMachine {
         let resumed_from = resume.as_ref().map(|rp| rp.superstep);
         let result = self.run_threads(e, &net, resume);
 
-        // Account for the fault and checkpoint layers whether or not
-        // the run succeeded — chaos tests reconcile these counters
-        // against the plan.
-        let injected = net.ledger.faults_injected.load(Ordering::Relaxed);
-        let timeouts = net.ledger.barrier_timeouts.load(Ordering::Relaxed);
-        let written = net.ledger.checkpoints_written.load(Ordering::Relaxed);
-        let ckpt_bytes = net.ledger.checkpoint_bytes.load(Ordering::Relaxed);
-        if injected > 0 {
-            self.telemetry.counter_add("bsp.faults_injected", injected);
-        }
-        if timeouts > 0 {
-            self.telemetry.counter_add("bsp.barrier_timeouts", timeouts);
-        }
-        if written > 0 {
-            self.telemetry
-                .counter_add("bsp.checkpoints_written", written);
-        }
-        if ckpt_bytes > 0 {
-            self.telemetry
-                .counter_add("bsp.checkpoint_bytes", ckpt_bytes);
-        }
-        // Transport accounting: plan-injected in-flight losses plus
-        // the drops the lossy substrate itself rolled.
-        let frames_sent = net.ledger.frames_sent.load(Ordering::Relaxed);
-        let retransmits = net.ledger.retransmits.load(Ordering::Relaxed);
-        let dups_dropped = net.ledger.dups_dropped.load(Ordering::Relaxed);
-        let corrupt = net.ledger.corrupt_frames.load(Ordering::Relaxed);
-        let backpressure = net.ledger.backpressure_waits.load(Ordering::Relaxed);
-        let frames_lost =
-            net.ledger.frames_lost.load(Ordering::Relaxed) + net.transport.injected_drops();
-        if frames_sent > 0 {
-            self.telemetry.counter_add("net.frames_sent", frames_sent);
-        }
-        if retransmits > 0 {
-            self.telemetry.counter_add("net.retransmits", retransmits);
-        }
-        if dups_dropped > 0 {
-            self.telemetry.counter_add("net.dups_dropped", dups_dropped);
-        }
-        if corrupt > 0 {
-            self.telemetry.counter_add("net.corrupt_frames", corrupt);
-        }
-        if backpressure > 0 {
-            self.telemetry
-                .counter_add("net.backpressure_waits", backpressure);
-        }
-        if frames_lost > 0 {
-            self.telemetry.counter_add("net.frames_lost", frames_lost);
-        }
+        // Account for the fault, checkpoint and transport layers
+        // whether or not the run succeeded — chaos tests reconcile
+        // these counters against the plan. `injected_drops` carries
+        // the plan-injected in-flight losses plus the drops the lossy
+        // substrate itself rolled.
+        flush_counters(
+            &self.telemetry,
+            &net.ledger.counters(),
+            net.ledger.checkpoints_written.load(Ordering::Relaxed),
+            net.ledger.checkpoint_bytes.load(Ordering::Relaxed),
+            net.transport.injected_drops(),
+        );
         let furthest = net.ledger.furthest_superstep.load(Ordering::Relaxed);
         // Drain the recorders after every rank thread has exited —
         // crashed, panicked or finished, whatever each rank last
@@ -1854,7 +1997,10 @@ impl DistMachine {
                         let program = Arc::clone(&program);
                         let telemetry = self.telemetry.track(&format!("p{rank}"));
                         let seed = seeds[rank].take();
-                        scope.spawn(move || run_rank(rank, net, &program, fuel, telemetry, seed))
+                        let flight = net.flight.as_ref().map(|recs| Arc::clone(&recs[rank]));
+                        scope.spawn(move || {
+                            run_rank(rank, net, &program, fuel, telemetry, seed, flight)
+                        })
                     })
                     .collect();
                 handles
@@ -1927,15 +2073,16 @@ fn run_rank(
     fuel: u64,
     telemetry: Telemetry,
     replay: Option<RankFrame>,
+    flight: Option<Arc<FlightRecorder>>,
 ) -> Result<(PortableValue, CommStats, u64), EvalError> {
     let guard_net = Arc::clone(&net);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        run_rank_inner(rank, net, program, fuel, telemetry, replay)
+        run_rank_inner(rank, net, program, fuel, telemetry, replay, flight)
     }));
     match result {
         Ok(r) => r,
         Err(_) => {
-            guard_net.barrier.poison();
+            guard_net.poison();
             Err(EvalError::PeerFailure)
         }
     }
@@ -1948,11 +2095,11 @@ fn run_rank_inner(
     fuel: u64,
     telemetry: Telemetry,
     replay: Option<RankFrame>,
+    flight: Option<Arc<FlightRecorder>>,
 ) -> Result<(PortableValue, CommStats, u64), EvalError> {
     let stats = Arc::new(Mutex::new(CommStats::default()));
     let record = net.checkpoint.as_ref().map(|_| Vec::new());
     let p = net.p;
-    let flight = net.flight.as_ref().map(|recs| Arc::clone(&recs[rank]));
     let driver = SpmdDriver {
         rank,
         net: Arc::clone(&net),
@@ -1975,20 +2122,101 @@ fn run_rank_inner(
     let work = fuel - ev.fuel_left();
     match result {
         Ok(v) => {
-            let portable = v.to_portable().inspect_err(|_| net.barrier.poison())?;
+            let portable = v.to_portable().inspect_err(|_| net.poison())?;
             let final_stats = *lock_ignore_poison(&stats);
             Ok((portable, final_stats, work))
         }
         Err(err) => {
-            net.barrier.poison();
+            net.poison();
             Err(err)
         }
     }
 }
 
+/// Runs one rank of a multi-process attempt inside a rank process:
+/// builds a [`Network`] whose synchronization backend is the parent's
+/// control stream (via `hub`) and whose data plane is `transport`,
+/// then executes the ordinary [`run_rank`] loop. Returns wire-portable
+/// statistics plus the rank's counter ledger so the child can ship
+/// both home in its `Done`/`Fatal` control message.
+///
+/// Telemetry is disabled in rank processes — the parent owns the
+/// session's [`Telemetry`] and flushes the shipped [`CtlLedger`]s
+/// through [`flush_counters`], so counters still reconcile; only the
+/// per-poll `net.ack_latency_polls` histogram is unavailable in
+/// process mode.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_remote_rank(
+    rank: usize,
+    p: usize,
+    hub: Arc<RemoteHub>,
+    transport: Arc<dyn Transport>,
+    program: &Expr,
+    fuel: u64,
+    tuning: NetTuning,
+    barrier_timeout: Option<Duration>,
+    faults: Option<Arc<FaultPlan>>,
+    attempt: u32,
+    checkpoint: Option<(u64, Arc<dyn CheckpointStore>, u64)>,
+    flight: Option<Arc<FlightRecorder>>,
+    replay: Option<RankFrame>,
+) -> (Result<(PortableValue, CtlStats, u64), EvalError>, CtlLedger) {
+    let net = Arc::new(Network {
+        p,
+        sync: SyncBackend::Remote(hub),
+        transport,
+        tuning,
+        sleeper: Arc::new(ThreadSleeper),
+        exchanges_done: AtomicU64::new(0),
+        barrier_timeout,
+        faults,
+        attempt,
+        ledger: FaultLedger::default(),
+        checkpoint: checkpoint.map(|(interval, store, fingerprint)| NetCheckpoint {
+            interval,
+            store,
+            fingerprint,
+        }),
+        // The ring is owned by the child's postmortem accumulator, not
+        // the network: the parent cannot drain a SIGKILLed process, so
+        // the child flushes its ring to disk itself (satellite: bundles
+        // survive real process death).
+        flight: None,
+        flow_ids: AtomicU64::new(0),
+    });
+    let result = run_rank(
+        rank,
+        Arc::clone(&net),
+        program,
+        fuel,
+        Telemetry::disabled(),
+        replay,
+        flight,
+    );
+    let ledger = net.ledger.counters();
+    (
+        result.map(|(v, stats, work)| {
+            (
+                v,
+                CtlStats {
+                    sent_words: stats.sent_words,
+                    received_words: stats.received_words,
+                    supersteps: stats.supersteps,
+                    puts: stats.puts,
+                    ifats: stats.ifats,
+                },
+                work,
+            )
+        }),
+        ledger,
+    )
+}
+
 /// Reassembles per-rank results: width-1 vectors become one `p`-wide
 /// vector; identical replicated values pass through.
-fn assemble<'a>(per_rank: impl Iterator<Item = &'a PortableValue>) -> Result<Value, EvalError> {
+pub(crate) fn assemble<'a>(
+    per_rank: impl Iterator<Item = &'a PortableValue>,
+) -> Result<Value, EvalError> {
     let per_rank: Vec<&PortableValue> = per_rank.collect();
     let all_width1 = per_rank
         .iter()

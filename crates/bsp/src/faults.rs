@@ -146,6 +146,14 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// Reassembles a plan from already-armed faults — how a rank
+    /// process reconstructs the plan the parent shipped it over the
+    /// control stream (`wire::CtlMsg::Welcome`).
+    #[must_use]
+    pub(crate) fn from_faults(faults: Vec<Fault>) -> FaultPlan {
+        FaultPlan { faults }
+    }
+
     /// Adds a clean crash of `rank` at `superstep` (attempt 0).
     #[must_use]
     pub fn crash(mut self, rank: usize, superstep: u64) -> FaultPlan {

@@ -44,6 +44,7 @@ pub mod formulas;
 pub mod hooks;
 pub mod machine;
 pub mod postmortem;
+pub mod process;
 pub mod supervisor;
 pub mod symbolic;
 pub mod trace;
@@ -55,7 +56,7 @@ pub use checkpoint::{
     ResumePoint, SyncOutcome,
 };
 pub use cost::{Barrier, Cost, CostSummary, SuperstepRecord};
-pub use distributed::{DistMachine, DistOutcome};
+pub use distributed::{DistMachine, DistOutcome, Execution};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use hooks::BspCostHooks;
 pub use machine::{BspMachine, BspParams, RunReport};
@@ -63,6 +64,7 @@ pub use postmortem::{
     Analysis, CausalViolation, FailureReport, FlightLog, PostmortemBundle, PostmortemError,
     RankFlightLog, SuperstepObservation,
 };
+pub use process::{KillSpec, ProcessConfig};
 pub use supervisor::{
     backoff_delay, RecordingSleeper, Sleeper, SupervisedOutcome, Supervisor, ThreadSleeper,
 };

@@ -174,7 +174,7 @@ const TAG_CHECKPOINT_STAGED: u8 = 10;
 const TAG_CHECKPOINT_COMMITTED: u8 = 11;
 const TAG_FAULT_FIRED: u8 = 12;
 
-fn encode_event(out: &mut Vec<u8>, ev: &TimedFlightEvent) {
+pub(crate) fn encode_event(out: &mut Vec<u8>, ev: &TimedFlightEvent) {
     let fields: (u8, [u64; 4], usize) = match ev.event {
         FlightEvent::FrameSent {
             to,
@@ -227,7 +227,7 @@ fn encode_event(out: &mut Vec<u8>, ev: &TimedFlightEvent) {
     }
 }
 
-fn decode_event(r: &mut Reader<'_>) -> Result<TimedFlightEvent, PostmortemError> {
+pub(crate) fn decode_event(r: &mut Reader<'_>) -> Result<TimedFlightEvent, PostmortemError> {
     let tag = r.u8()?;
     let lamport = r.u64()?;
     let event = match tag {

@@ -1,0 +1,1598 @@
+//! Process-per-rank execution (DESIGN.md §13): the paper's
+//! BSMLlib-over-MPI shape, where each rank is one OS process that can
+//! genuinely die.
+//!
+//! Topology is a star: the parent binds a Unix-domain socket, spawns
+//! `p` copies of the `bsml-rank` binary, handshakes each connection
+//! (magic + protocol version + program fingerprint + rank id + `p`,
+//! under [`HANDSHAKE_TIMEOUT_ENV`]), and then routes every data-plane
+//! frame and every synchronization message over the per-child control
+//! streams ([`crate::wire::CtlMsg`]). Rank death is detected as
+//! socket EOF and confirmed with `waitpid` ([`std::process::Child`]),
+//! then mapped to the failed (rank, superstep) coordinate as
+//! [`EvalError::TransportFailure`] — which is exactly the error class
+//! the [`crate::Supervisor`] already retries with
+//! checkpoint resume, so respawn-and-resume needs no new supervisor
+//! machinery: the whole fleet is respawned and resumed from the
+//! newest committed generation, demoting to a full restart on
+//! [`EvalError::CheckpointDiverged`] like the in-process ladder.
+
+use std::collections::VecDeque;
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use bsml_ast::Expr;
+use bsml_eval::{EvalError, PortableValue};
+use bsml_obs::{FlightRecorder, TimedFlightEvent};
+
+use crate::checkpoint::{
+    program_fingerprint, CheckpointError, CheckpointStore, RankFrame, ResumePoint,
+};
+use crate::distributed::{
+    assemble, flush_counters, run_remote_rank, DistMachine, DistOutcome, DEFAULT_FLIGHT_CAPACITY,
+};
+use crate::faults::FaultPlan;
+use crate::postmortem::{error_coordinate, FlightLog, PostmortemBundle, RankFlightLog};
+use crate::supervisor::POSTMORTEM_DIR_ENV;
+use crate::transport::{NetTuning, SocketTransport, Transport};
+use crate::wire::{read_ctl, write_ctl, CtlLedger, CtlMsg, CtlStats, CTL_MAGIC, PROTOCOL_VERSION};
+
+/// The environment variable overriding the connect/handshake deadline
+/// (milliseconds). The companion of
+/// [`crate::distributed::BARRIER_TIMEOUT_ENV`]: that knob bounds how
+/// long a *running* rank waits at a barrier, this one bounds how long
+/// the parent waits for a spawned rank to connect and identify itself.
+/// Unset or unparsable values fall back to
+/// [`DEFAULT_HANDSHAKE_TIMEOUT`]; a never-connecting rank therefore
+/// always fails with [`EvalError::TransportFailure`], never a hang.
+pub const HANDSHAKE_TIMEOUT_ENV: &str = "BSML_HANDSHAKE_TIMEOUT_MS";
+
+/// Handshake deadline when [`HANDSHAKE_TIMEOUT_ENV`] is unset:
+/// generous against a loaded CI machine, far below any test timeout.
+pub const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The handshake deadline: the [`HANDSHAKE_TIMEOUT_ENV`] override when
+/// set and parsable, else [`DEFAULT_HANDSHAKE_TIMEOUT`].
+fn handshake_timeout_from_env() -> Duration {
+    std::env::var(HANDSHAKE_TIMEOUT_ENV)
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .map_or(DEFAULT_HANDSHAKE_TIMEOUT, Duration::from_millis)
+}
+
+/// Overrides where the parent looks for the rank-runner binary when
+/// [`ProcessConfig::rank_binary`] is unset (the last resort is a
+/// `bsml-rank` sibling of the current executable).
+pub const RANK_BIN_ENV: &str = "BSML_RANK_BIN";
+
+/// Child environment: path of the parent's coordination socket.
+pub const RANK_SOCKET_ENV: &str = "BSML_RANK_SOCKET";
+/// Child environment: this process's rank id.
+pub const RANK_ID_ENV: &str = "BSML_RANK_ID";
+/// Child environment: the machine width `p`.
+pub const RANK_P_ENV: &str = "BSML_RANK_P";
+/// Child environment: the [`program_fingerprint`] the child must echo
+/// in its `Hello` and re-verify against the welcomed program text.
+pub const RANK_FINGERPRINT_ENV: &str = "BSML_RANK_FINGERPRINT";
+
+/// Deterministically SIGKILL one rank process — the chaos grid's
+/// process-mode fault. `superstep = s` kills the rank as it *enters*
+/// superstep `s` (it is withheld the barrier release that would let it
+/// proceed past superstep `s - 1`; `s = 0` kills right after the
+/// handshake), which mirrors the in-process crash fault's coordinate:
+/// the newest committed checkpoint generation is `⌊s/k⌋·k`, so a
+/// supervised resume replays exactly `s mod k` supersteps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillSpec {
+    /// The rank to kill.
+    pub rank: usize,
+    /// The superstep whose entry the kill lands on.
+    pub superstep: u64,
+    /// The attempt the kill is armed for, 0-based like
+    /// [`crate::faults::Fault::attempt`] (`0` = the first attempt;
+    /// retries run clean unless armed separately).
+    pub attempt: u32,
+}
+
+/// Configuration of [`crate::Execution::Processes`].
+#[derive(Clone, Debug, Default)]
+pub struct ProcessConfig {
+    /// Where the coordination socket lives. `None` creates (and
+    /// removes) a fresh directory under the system temp dir — socket
+    /// paths have a ~100-byte limit, so deep workspaces should leave
+    /// this unset.
+    pub socket_dir: Option<PathBuf>,
+    /// The rank-runner binary. `None` falls back to [`RANK_BIN_ENV`],
+    /// then to a `bsml-rank` sibling of the current executable.
+    pub rank_binary: Option<PathBuf>,
+    /// Connect/handshake deadline. `None` reads
+    /// [`HANDSHAKE_TIMEOUT_ENV`] (default
+    /// [`DEFAULT_HANDSHAKE_TIMEOUT`]).
+    pub handshake_timeout: Option<Duration>,
+    /// Ranks to SIGKILL at specific (superstep, attempt) coordinates.
+    pub kills: Vec<KillSpec>,
+    /// Where rank processes write their `.bsmlpm` flight-recorder
+    /// bundles (exported to children as `BSML_POSTMORTEM_DIR`). `None`
+    /// lets children inherit the parent's environment.
+    pub postmortem_dir: Option<PathBuf>,
+}
+
+/// Locks a mutex, recovering the guard if a holder panicked (all
+/// protected data here are plain counters and queues).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Child side: postmortem accumulator, control hub, relay store
+// ---------------------------------------------------------------------------
+
+/// Accumulated flight events of a rank process. The ring's `drain` is
+/// destructive, so periodic disk flushes (one per barrier release)
+/// move events into this bounded accumulator — at SIGKILL time the
+/// last flushed bundle survives on disk, which is what makes process
+/// death postmortem-analyzable.
+#[derive(Debug, Default)]
+struct Accum {
+    events: Vec<TimedFlightEvent>,
+    /// Events the accumulator itself evicted to stay bounded (on top
+    /// of what the ring dropped).
+    evicted: u64,
+}
+
+/// A rank process's own postmortem writer: single-rank
+/// [`PostmortemBundle`]s written tmp-then-rename (a kill mid-write
+/// leaves the previous complete bundle, never a torn one).
+#[derive(Debug)]
+pub(crate) struct ChildPostmortem {
+    path: PathBuf,
+    p: usize,
+    attempt: u32,
+    rank: usize,
+    recorder: Arc<FlightRecorder>,
+    accum: Mutex<Accum>,
+    capacity: usize,
+}
+
+impl ChildPostmortem {
+    /// Creates the writer (and the directory). Returns `None` when the
+    /// directory cannot be created — postmortems are best-effort and
+    /// never fail a run.
+    fn new(
+        dir: &Path,
+        rank: usize,
+        p: usize,
+        attempt: u32,
+        fingerprint: u64,
+        recorder: Arc<FlightRecorder>,
+        capacity: usize,
+    ) -> Option<ChildPostmortem> {
+        std::fs::create_dir_all(dir).ok()?;
+        let path = dir.join(format!(
+            "pm-rank{rank}-{fingerprint:016x}-p{p}-attempt{attempt}.bsmlpm"
+        ));
+        Some(ChildPostmortem {
+            path,
+            p,
+            attempt,
+            rank,
+            recorder,
+            accum: Mutex::new(Accum::default()),
+            capacity,
+        })
+    }
+
+    /// Moves everything currently in the ring into the accumulator and
+    /// returns (total dropped, accumulated events).
+    fn snapshot(&self) -> (u64, Vec<TimedFlightEvent>) {
+        let mut accum = lock(&self.accum);
+        accum.events.extend(self.recorder.drain());
+        if accum.events.len() > self.capacity {
+            let overflow = accum.events.len() - self.capacity;
+            accum.events.drain(..overflow);
+            accum.evicted += overflow as u64;
+        }
+        (
+            self.recorder.dropped() + accum.evicted,
+            accum.events.clone(),
+        )
+    }
+
+    /// Writes the current accumulated history as a one-rank bundle.
+    /// Best-effort: I/O failures are swallowed (a rank must never die
+    /// of its own black box).
+    fn flush(&self, error: &str, error_rank: Option<u64>, error_superstep: Option<u64>) {
+        let (dropped, events) = self.snapshot();
+        let bundle = PostmortemBundle::new(
+            self.p,
+            self.attempt,
+            error.to_string(),
+            error_rank,
+            error_superstep,
+            FlightLog {
+                ranks: vec![RankFlightLog {
+                    rank: self.rank,
+                    dropped,
+                    events,
+                }],
+            },
+        );
+        let tmp = self.path.with_extension("tmp");
+        if std::fs::write(&tmp, bundle.encode()).is_ok() {
+            let _ = std::fs::rename(&tmp, &self.path);
+        }
+    }
+}
+
+/// State a barrier wait blocks on: releases observed so far and the
+/// poison flag.
+#[derive(Debug, Default)]
+struct BarrierProgress {
+    releases: u64,
+    poisoned: bool,
+}
+
+/// A rank process's end of the parent's control stream: the writer
+/// half plus everything the reader thread routes off the stream
+/// (delivered frames, exchange totals, barrier releases, poison).
+/// This is what [`crate::distributed::SyncBackend::Remote`] and
+/// [`SocketTransport`] talk to.
+#[derive(Debug)]
+pub(crate) struct RemoteHub {
+    writer: Mutex<UnixStream>,
+    /// Data frames the parent routed to this rank, in arrival order.
+    inbound: Mutex<VecDeque<Vec<u8>>>,
+    /// Machine-wide count of locally-completed exchanges (monotonic:
+    /// updated with `fetch_max`, because parent reader threads may
+    /// interleave their `ExchangeTotal` broadcasts).
+    exchange_total: AtomicU64,
+    barrier: Mutex<BarrierProgress>,
+    barrier_cv: Condvar,
+    /// The frame bytes [`RelayStore`] staged since the last barrier,
+    /// shipped with the next `BarrierEnter`.
+    staged: Mutex<Option<Vec<u8>>>,
+    /// Flushed after every barrier release so a later SIGKILL still
+    /// leaves an on-disk bundle.
+    postmortem: Option<Arc<ChildPostmortem>>,
+}
+
+impl RemoteHub {
+    fn new(writer: UnixStream, postmortem: Option<Arc<ChildPostmortem>>) -> Arc<RemoteHub> {
+        Arc::new(RemoteHub {
+            writer: Mutex::new(writer),
+            inbound: Mutex::new(VecDeque::new()),
+            exchange_total: AtomicU64::new(0),
+            barrier: Mutex::new(BarrierProgress::default()),
+            barrier_cv: Condvar::new(),
+            staged: Mutex::new(None),
+            postmortem,
+        })
+    }
+
+    fn send(&self, msg: &CtlMsg) -> io::Result<()> {
+        write_ctl(&mut *lock(&self.writer), msg)
+    }
+
+    /// Routes one data-plane frame toward `dst` through the parent. A
+    /// dead stream (`EPIPE`, a closed parent) poisons the run locally;
+    /// the frame is reported "accepted" because the run is about to
+    /// unwind through the poison path anyway — never a panic.
+    pub(crate) fn send_data(&self, dst: usize, bytes: &[u8]) {
+        if self
+            .send(&CtlMsg::Data {
+                dst,
+                frame: bytes.to_vec(),
+            })
+            .is_err()
+        {
+            self.poison_local();
+        }
+    }
+
+    /// Pops the next parent-routed frame, if any.
+    pub(crate) fn recv_data(&self) -> Option<Vec<u8>> {
+        lock(&self.inbound).pop_front()
+    }
+
+    fn poison_local(&self) {
+        lock(&self.barrier).poisoned = true;
+        self.barrier_cv.notify_all();
+    }
+
+    /// Declares the run dead locally *and* tells the parent (which
+    /// broadcasts to the peers).
+    pub(crate) fn poison(&self) {
+        self.poison_local();
+        let _ = self.send(&CtlMsg::Poison);
+    }
+
+    /// Whether anyone — a peer, the parent, or a local stream failure
+    /// — declared the run dead.
+    pub(crate) fn is_poisoned(&self) -> bool {
+        lock(&self.barrier).poisoned
+    }
+
+    /// Reports one locally-completed exchange to the parent.
+    pub(crate) fn declare_exchange_done(&self) {
+        if self.send(&CtlMsg::ExchangeDone).is_err() {
+            self.poison_local();
+        }
+    }
+
+    /// The parent's latest machine-wide exchange count.
+    pub(crate) fn exchange_total(&self) -> u64 {
+        self.exchange_total.load(Ordering::Acquire)
+    }
+
+    /// Stashes staged checkpoint-frame bytes for the next
+    /// `BarrierEnter` (called by [`RelayStore::stage`]).
+    fn stage(&self, bytes: Vec<u8>) {
+        *lock(&self.staged) = Some(bytes);
+    }
+
+    /// The remote superstep exit barrier: announce arrival (shipping
+    /// any staged frame) and wait for the parent's release.
+    ///
+    /// # Errors
+    ///
+    /// [`EvalError::PeerFailure`] when the run is poisoned (before or
+    /// during the wait) or the stream dies;
+    /// [`EvalError::BarrierTimeout`] when `timeout` elapses first —
+    /// which also poisons the run, so peers unwind too.
+    pub(crate) fn barrier_enter(
+        &self,
+        superstep: u64,
+        timeout: Option<Duration>,
+    ) -> Result<(), EvalError> {
+        let staged = lock(&self.staged).take();
+        let target = {
+            let b = lock(&self.barrier);
+            if b.poisoned {
+                return Err(EvalError::PeerFailure);
+            }
+            b.releases + 1
+        };
+        // Flush *before* announcing arrival: the caller has already
+        // recorded this round's `BarrierEnter` in the ring, and a
+        // `KillSpec` SIGKILL can land any time after the parent sees
+        // the announcement — flushing first makes the bundle durable
+        // (events up to and including the fatal barrier entry) before
+        // the parent can possibly react.
+        if let Some(pm) = &self.postmortem {
+            pm.flush("", None, None);
+        }
+        if self
+            .send(&CtlMsg::BarrierEnter { superstep, staged })
+            .is_err()
+        {
+            self.poison_local();
+            return Err(EvalError::PeerFailure);
+        }
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let mut b = lock(&self.barrier);
+        loop {
+            if b.poisoned {
+                return Err(EvalError::PeerFailure);
+            }
+            if b.releases >= target {
+                break;
+            }
+            match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        b.poisoned = true;
+                        self.barrier_cv.notify_all();
+                        drop(b);
+                        let _ = self.send(&CtlMsg::Poison);
+                        // The caller's `timed_barrier` retags the
+                        // superstep; `waiting` is 1 because a rank
+                        // process only knows about itself.
+                        return Err(EvalError::BarrierTimeout {
+                            superstep,
+                            waiting: 1,
+                        });
+                    }
+                    b = self
+                        .barrier_cv
+                        .wait_timeout(b, d - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0;
+                }
+                None => {
+                    b = self
+                        .barrier_cv
+                        .wait(b)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        }
+        drop(b);
+        // A completed superstep is a durability point: flush the ring
+        // so a SIGKILL anywhere in the *next* superstep still leaves
+        // an analyzable bundle on disk.
+        if let Some(pm) = &self.postmortem {
+            pm.flush("", None, None);
+        }
+        Ok(())
+    }
+
+    /// Routes one parent→child message into the hub's state (the
+    /// reader thread's dispatch).
+    fn absorb(&self, msg: CtlMsg) {
+        match msg {
+            CtlMsg::Deliver { frame } => lock(&self.inbound).push_back(frame),
+            CtlMsg::ExchangeTotal { total } => {
+                self.exchange_total.fetch_max(total, Ordering::AcqRel);
+            }
+            CtlMsg::BarrierRelease { .. } => {
+                lock(&self.barrier).releases += 1;
+                self.barrier_cv.notify_all();
+            }
+            CtlMsg::Poison => self.poison_local(),
+            // Child→parent shapes on a parent→child stream: a protocol
+            // bug upstream; ignoring them is safe (the run's health is
+            // carried by the messages above).
+            _ => {}
+        }
+    }
+}
+
+/// The reader half of a rank process: routes every parent message into
+/// the hub until the stream dies, then poisons the run (a vanished
+/// parent must not leave the rank waiting forever).
+fn run_child_reader(hub: &RemoteHub, mut stream: UnixStream) {
+    loop {
+        match read_ctl(&mut stream) {
+            Ok(msg) => hub.absorb(msg),
+            Err(_) => {
+                hub.poison_local();
+                return;
+            }
+        }
+    }
+}
+
+/// The child-side [`CheckpointStore`]: staging hands the encoded frame
+/// to the hub (shipped with the next `BarrierEnter`); committing,
+/// loading and listing are the *parent's* job, so they are inert here.
+#[derive(Debug)]
+struct RelayStore {
+    hub: Arc<RemoteHub>,
+}
+
+impl CheckpointStore for RelayStore {
+    fn stage(&self, frame: &RankFrame) -> Result<u64, CheckpointError> {
+        let bytes = frame.encode();
+        let len = bytes.len() as u64;
+        self.hub.stage(bytes);
+        Ok(len)
+    }
+
+    fn commit(&self, _generation: u64, _p: usize) -> Result<u64, CheckpointError> {
+        // Unreachable in practice: the remote sync backend never takes
+        // the local commit path. Harmless if reached.
+        Ok(0)
+    }
+
+    fn generations(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn load(
+        &self,
+        generation: u64,
+        _p: usize,
+        _fingerprint: u64,
+    ) -> Result<Vec<RankFrame>, CheckpointError> {
+        Err(CheckpointError::NotCommitted { generation })
+    }
+
+    fn clear(&self) {}
+}
+
+// ---------------------------------------------------------------------------
+// Child side: the rank process entry point
+// ---------------------------------------------------------------------------
+
+fn env_string(name: &str) -> Result<String, String> {
+    std::env::var(name).map_err(|_| format!("{name} is not set — am I running under the launcher?"))
+}
+
+fn env_u64(name: &str) -> Result<u64, String> {
+    env_string(name)?
+        .trim()
+        .parse::<u64>()
+        .map_err(|e| format!("{name} does not parse: {e}"))
+}
+
+/// The `bsml-rank` binary's whole life: connect, handshake, run one
+/// rank, report. Returns the process exit code (0 = rank finished, 1 =
+/// rank failed and reported `Fatal`, 2 = could not even start).
+/// Factored out of the binary so the protocol is testable in-crate.
+#[must_use]
+pub fn rank_main() -> i32 {
+    match rank_process() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("bsml-rank: {msg}");
+            2
+        }
+    }
+}
+
+fn rank_process() -> Result<i32, String> {
+    let socket = env_string(RANK_SOCKET_ENV)?;
+    let rank = env_u64(RANK_ID_ENV)? as usize;
+    let p = env_u64(RANK_P_ENV)? as usize;
+    let fingerprint = env_u64(RANK_FINGERPRINT_ENV)?;
+    let mut stream =
+        UnixStream::connect(&socket).map_err(|e| format!("connect to {socket}: {e}"))?;
+    // The handshake deadline guards the child too: a parent that
+    // accepts but never welcomes must not hang the process.
+    stream
+        .set_read_timeout(Some(handshake_timeout_from_env()))
+        .map_err(|e| format!("socket timeout: {e}"))?;
+    write_ctl(&mut stream, &CtlMsg::hello(fingerprint, rank, p))
+        .map_err(|e| format!("send hello: {e}"))?;
+    let CtlMsg::Welcome {
+        program,
+        fuel,
+        barrier_timeout_ms,
+        mailbox_capacity,
+        retransmit_after,
+        retransmit_budget,
+        poll_sleep_us,
+        checkpoint_interval,
+        flight_capacity,
+        attempt,
+        faults,
+        resume_frame,
+    } = read_ctl(&mut stream).map_err(|e| format!("read welcome: {e}"))?
+    else {
+        return Err("parent rejected the handshake or sent an unexpected message".to_string());
+    };
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| format!("socket timeout: {e}"))?;
+
+    let parsed = bsml_syntax::parse(&program).map_err(|e| format!("program re-parse: {e}"))?;
+    let reparsed = program_fingerprint(&parsed, p);
+    if reparsed != fingerprint {
+        return Err(format!(
+            "program fingerprint mismatch: spawned for {fingerprint:#018x}, \
+             the welcomed program hashes to {reparsed:#018x}"
+        ));
+    }
+
+    // Flight recording: the welcomed capacity, or — like the
+    // supervisor — implied at the default capacity by a postmortem
+    // directory in the environment.
+    let postmortem_dir = std::env::var_os(POSTMORTEM_DIR_ENV).map(PathBuf::from);
+    let capacity = if flight_capacity > 0 {
+        flight_capacity as usize
+    } else if postmortem_dir.is_some() {
+        DEFAULT_FLIGHT_CAPACITY
+    } else {
+        0
+    };
+    let recorder = (capacity > 0).then(|| Arc::new(FlightRecorder::new(capacity)));
+    let postmortem = match (&postmortem_dir, &recorder) {
+        (Some(dir), Some(rec)) => ChildPostmortem::new(
+            dir,
+            rank,
+            p,
+            attempt,
+            fingerprint,
+            Arc::clone(rec),
+            capacity,
+        )
+        .map(Arc::new),
+        _ => None,
+    };
+    // An (empty) bundle exists before superstep 0 runs: even a rank
+    // SIGKILLed immediately leaves an analyzable trace.
+    if let Some(pm) = &postmortem {
+        pm.flush("", None, None);
+    }
+
+    let hub = RemoteHub::new(
+        stream
+            .try_clone()
+            .map_err(|e| format!("socket clone: {e}"))?,
+        postmortem.clone(),
+    );
+    let reader_hub = Arc::clone(&hub);
+    std::thread::spawn(move || run_child_reader(&reader_hub, stream));
+
+    let transport: Arc<dyn Transport> = Arc::new(SocketTransport::new(Arc::clone(&hub)));
+    let tuning = NetTuning {
+        mailbox_capacity: mailbox_capacity as usize,
+        retransmit_after: u32::try_from(retransmit_after).unwrap_or(u32::MAX),
+        retransmit_budget: u32::try_from(retransmit_budget).unwrap_or(u32::MAX),
+        poll_sleep: Duration::from_micros(poll_sleep_us),
+    };
+    let barrier_timeout =
+        (barrier_timeout_ms > 0).then(|| Duration::from_millis(barrier_timeout_ms));
+    let plan = (!faults.is_empty()).then(|| Arc::new(FaultPlan::from_faults(faults)));
+    let checkpoint = (checkpoint_interval > 0).then(|| {
+        (
+            checkpoint_interval,
+            Arc::new(RelayStore {
+                hub: Arc::clone(&hub),
+            }) as Arc<dyn CheckpointStore>,
+            fingerprint,
+        )
+    });
+    let replay = match resume_frame {
+        Some(bytes) => Some(RankFrame::decode(&bytes).map_err(|e| format!("resume frame: {e}"))?),
+        None => None,
+    };
+
+    let run_hub = Arc::clone(&hub);
+    let run_recorder = recorder.clone();
+    // The unwind guard mirrors `run_rank`: a panic (injected or real)
+    // must still poison the peers and report `Fatal`, not kill the
+    // process silently.
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_remote_rank(
+            rank,
+            p,
+            run_hub,
+            transport,
+            &parsed,
+            fuel,
+            tuning,
+            barrier_timeout,
+            plan,
+            attempt,
+            checkpoint,
+            run_recorder,
+            replay,
+        )
+    }));
+    let (result, ledger) = match caught {
+        Ok(pair) => pair,
+        Err(_) => {
+            hub.poison();
+            (Err(EvalError::PeerFailure), CtlLedger::default())
+        }
+    };
+
+    // Final black box + report. Flush before reporting so the on-disk
+    // bundle exists even if the parent is already gone.
+    let (flight_dropped, flight) = match (&postmortem, &recorder) {
+        (Some(pm), _) => {
+            match &result {
+                Ok(_) => pm.flush("", None, None),
+                Err(err) => {
+                    let (error_rank, error_superstep) = error_coordinate(err);
+                    pm.flush(&err.to_string(), error_rank, error_superstep);
+                }
+            }
+            pm.snapshot()
+        }
+        (None, Some(rec)) => (rec.dropped(), rec.drain()),
+        (None, None) => (0, Vec::new()),
+    };
+    match result {
+        Ok((value, stats, work)) => {
+            let _ = hub.send(&CtlMsg::Done {
+                value,
+                stats,
+                work,
+                ledger,
+                flight_dropped,
+                flight,
+            });
+            Ok(0)
+        }
+        Err(error) => {
+            let _ = hub.send(&CtlMsg::Fatal {
+                error,
+                ledger,
+                flight_dropped,
+                flight,
+            });
+            Ok(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parent side: launcher, router, crash detection
+// ---------------------------------------------------------------------------
+
+/// Distinguishes concurrently-created socket directories of one parent
+/// process (`std::process::id` distinguishes parents).
+static SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn launch_failure(rank: usize, detail: String) -> EvalError {
+    EvalError::TransportFailure {
+        rank,
+        superstep: 0,
+        detail,
+    }
+}
+
+/// Validates a claimed `Hello` against what the parent expects from
+/// the fleet it spawned (`taken[r]` marks ranks that already
+/// connected). Returns the authenticated rank id.
+///
+/// # Errors
+///
+/// A human-readable refusal (sent back as [`CtlMsg::Reject`]): wrong
+/// magic, version skew, fingerprint mismatch, wrong `p`, out-of-range
+/// or duplicate rank — and a non-`Hello` first message.
+pub fn validate_hello(
+    msg: &CtlMsg,
+    fingerprint: u64,
+    p: usize,
+    taken: &[bool],
+) -> Result<usize, String> {
+    let CtlMsg::Hello {
+        magic,
+        version,
+        fingerprint: theirs,
+        rank,
+        p: their_p,
+    } = msg
+    else {
+        return Err("first message is not a Hello".to_string());
+    };
+    if *magic != CTL_MAGIC {
+        return Err(format!(
+            "not a BSML rank: magic {magic:#018x}, expected {CTL_MAGIC:#018x}"
+        ));
+    }
+    if *version != PROTOCOL_VERSION {
+        return Err(format!(
+            "protocol version skew: rank speaks v{version}, parent speaks v{PROTOCOL_VERSION}"
+        ));
+    }
+    if *theirs != fingerprint {
+        return Err(format!(
+            "program fingerprint mismatch: rank was spawned for {theirs:#018x}, \
+             parent is running {fingerprint:#018x}"
+        ));
+    }
+    if *their_p != p {
+        return Err(format!(
+            "machine width mismatch: rank believes p = {their_p}, parent has p = {p}"
+        ));
+    }
+    if *rank >= p {
+        return Err(format!("rank {rank} out of range for p = {p}"));
+    }
+    if taken[*rank] {
+        return Err(format!("duplicate connection for rank {rank}"));
+    }
+    Ok(*rank)
+}
+
+/// Locates the rank-runner binary: explicit config, then
+/// [`RANK_BIN_ENV`], then a `bsml-rank` sibling of the current
+/// executable (covering both `target/<profile>/` and
+/// `target/<profile>/deps/` callers).
+fn discover_rank_binary(cfg: &ProcessConfig) -> Result<PathBuf, EvalError> {
+    if let Some(bin) = &cfg.rank_binary {
+        return Ok(bin.clone());
+    }
+    if let Some(bin) = std::env::var_os(RANK_BIN_ENV) {
+        return Ok(PathBuf::from(bin));
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut candidates = Vec::new();
+        if let Some(dir) = exe.parent() {
+            candidates.push(dir.join("bsml-rank"));
+            if let Some(up) = dir.parent() {
+                candidates.push(up.join("bsml-rank"));
+            }
+        }
+        for candidate in candidates {
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+        }
+    }
+    Err(launch_failure(
+        0,
+        format!(
+            "cannot locate the bsml-rank binary: set ProcessConfig::rank_binary or {RANK_BIN_ENV}"
+        ),
+    ))
+}
+
+/// One spawned-and-welcomed fleet, ready to route.
+struct Launch {
+    dir: PathBuf,
+    created_dir: bool,
+    socket: PathBuf,
+    /// Reader halves, by rank.
+    streams: Vec<UnixStream>,
+    /// Writer halves, by rank.
+    writers: Vec<Mutex<UnixStream>>,
+    children: Vec<Mutex<Child>>,
+}
+
+fn abort_children(children: &mut [Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+fn cleanup_socket(dir: &Path, socket: &Path, created_dir: bool) {
+    let _ = std::fs::remove_file(socket);
+    if created_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Binds, spawns `p` rank processes, handshakes every connection under
+/// the deadline, and welcomes the fleet. Any failure kills and reaps
+/// everything spawned so far and comes back as
+/// [`EvalError::TransportFailure`] — a never-connecting rank included.
+fn launch_ranks(
+    machine: &DistMachine,
+    cfg: &ProcessConfig,
+    e: &Expr,
+    attempt: u32,
+    fingerprint: u64,
+    resume: Option<&ResumePoint>,
+) -> Result<Launch, EvalError> {
+    let p = machine.p;
+    let handshake = cfg
+        .handshake_timeout
+        .unwrap_or_else(handshake_timeout_from_env);
+    let (dir, created_dir) = match &cfg.socket_dir {
+        Some(d) => (d.clone(), false),
+        None => (
+            std::env::temp_dir().join(format!(
+                "bsml-ranks-{}-{}",
+                std::process::id(),
+                SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+            )),
+            true,
+        ),
+    };
+    std::fs::create_dir_all(&dir)
+        .map_err(|err| launch_failure(0, format!("socket dir {}: {err}", dir.display())))?;
+    let socket = dir.join("coord.sock");
+    let _ = std::fs::remove_file(&socket);
+    let fail = |rank: usize, detail: String| {
+        cleanup_socket(&dir, &socket, created_dir);
+        launch_failure(rank, detail)
+    };
+    let listener = match UnixListener::bind(&socket) {
+        Ok(l) => l,
+        Err(err) => return Err(fail(0, format!("bind {}: {err}", socket.display()))),
+    };
+    if let Err(err) = listener.set_nonblocking(true) {
+        return Err(fail(0, format!("listener mode: {err}")));
+    }
+    let binary = discover_rank_binary(cfg)?;
+
+    let mut children: Vec<Child> = Vec::with_capacity(p);
+    for rank in 0..p {
+        let mut cmd = Command::new(&binary);
+        cmd.env(RANK_SOCKET_ENV, &socket)
+            .env(RANK_ID_ENV, rank.to_string())
+            .env(RANK_P_ENV, p.to_string())
+            .env(RANK_FINGERPRINT_ENV, fingerprint.to_string())
+            .stdin(Stdio::null());
+        if let Some(pm) = &cfg.postmortem_dir {
+            cmd.env(POSTMORTEM_DIR_ENV, pm);
+        }
+        match cmd.spawn() {
+            Ok(child) => children.push(child),
+            Err(err) => {
+                abort_children(&mut children);
+                return Err(fail(
+                    rank,
+                    format!("spawn rank {rank} ({}): {err}", binary.display()),
+                ));
+            }
+        }
+    }
+
+    // Accept + handshake under one deadline for the whole fleet.
+    let deadline = Instant::now() + handshake;
+    let mut slots: Vec<Option<(UnixStream, UnixStream)>> = (0..p).map(|_| None).collect();
+    let mut connected = 0;
+    while connected < p {
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let taken: Vec<bool> = slots.iter().map(Option::is_some).collect();
+                let step = (|| -> Result<usize, String> {
+                    stream
+                        .set_nonblocking(false)
+                        .map_err(|e| format!("stream mode: {e}"))?;
+                    let remaining = deadline
+                        .saturating_duration_since(Instant::now())
+                        .max(Duration::from_millis(1));
+                    stream
+                        .set_read_timeout(Some(remaining))
+                        .map_err(|e| format!("stream timeout: {e}"))?;
+                    let hello = read_ctl(&mut stream).map_err(|e| format!("read hello: {e}"))?;
+                    validate_hello(&hello, fingerprint, p, &taken)
+                })();
+                match step {
+                    Ok(rank) => {
+                        if let Err(err) = stream.set_read_timeout(None) {
+                            abort_children(&mut children);
+                            return Err(fail(rank, format!("stream timeout: {err}")));
+                        }
+                        let writer = match stream.try_clone() {
+                            Ok(w) => w,
+                            Err(err) => {
+                                abort_children(&mut children);
+                                return Err(fail(rank, format!("stream clone: {err}")));
+                            }
+                        };
+                        slots[rank] = Some((stream, writer));
+                        connected += 1;
+                    }
+                    Err(reason) => {
+                        let _ = write_ctl(
+                            &mut stream,
+                            &CtlMsg::Reject {
+                                reason: reason.clone(),
+                            },
+                        );
+                        abort_children(&mut children);
+                        return Err(fail(0, format!("handshake rejected: {reason}")));
+                    }
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                if Instant::now() >= deadline {
+                    let missing = slots.iter().position(Option::is_none).unwrap_or(0);
+                    abort_children(&mut children);
+                    return Err(fail(
+                        missing,
+                        format!(
+                            "handshake timeout: {connected}/{p} rank(s) connected within \
+                             {handshake:?} (rank {missing} never arrived)"
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(err) => {
+                abort_children(&mut children);
+                return Err(fail(0, format!("accept: {err}")));
+            }
+        }
+    }
+
+    // Welcome the fleet: program + full execution configuration.
+    let program = e.to_string();
+    for (rank, slot) in slots.iter_mut().enumerate() {
+        let (_, writer) = slot.as_mut().expect("all connected");
+        let welcome = CtlMsg::Welcome {
+            program: program.clone(),
+            fuel: machine.fuel,
+            barrier_timeout_ms: machine
+                .barrier_timeout
+                .map_or(0, |t| u64::try_from(t.as_millis()).unwrap_or(u64::MAX)),
+            mailbox_capacity: machine.tuning.mailbox_capacity as u64,
+            retransmit_after: u64::from(machine.tuning.retransmit_after),
+            retransmit_budget: u64::from(machine.tuning.retransmit_budget),
+            poll_sleep_us: u64::try_from(machine.tuning.poll_sleep.as_micros()).unwrap_or(u64::MAX),
+            checkpoint_interval: machine
+                .checkpoints
+                .as_ref()
+                .map_or(0, |(policy, _)| policy.interval()),
+            flight_capacity: machine.flight.unwrap_or(0) as u64,
+            attempt,
+            faults: machine
+                .faults
+                .as_ref()
+                .map_or_else(Vec::new, |plan| plan.faults().to_vec()),
+            resume_frame: resume.map(|rp| rp.frames[rank].encode()),
+        };
+        if let Err(err) = write_ctl(writer, &welcome) {
+            abort_children(&mut children);
+            return Err(fail(rank, format!("welcome rank {rank}: {err}")));
+        }
+    }
+
+    let mut streams = Vec::with_capacity(p);
+    let mut writers = Vec::with_capacity(p);
+    for slot in slots {
+        let (reader, writer) = slot.expect("all connected");
+        streams.push(reader);
+        writers.push(Mutex::new(writer));
+    }
+    Ok(Launch {
+        dir,
+        created_dir,
+        socket,
+        streams,
+        writers,
+        children: children.into_iter().map(Mutex::new).collect(),
+    })
+}
+
+/// What one rank shipped home in its `Done` or `Fatal`.
+struct RankReport {
+    result: Result<(PortableValue, CtlStats, u64), EvalError>,
+    ledger: CtlLedger,
+    flight_dropped: u64,
+    flight: Vec<TimedFlightEvent>,
+}
+
+/// The barrier round currently filling (BSP lockstep guarantees all
+/// `p` arrivals of round `t` precede any arrival of round `t + 1`).
+struct Round {
+    arrived: Vec<bool>,
+    count: usize,
+    /// The generation the arrivals of this round staged, if any.
+    staged_generation: Option<u64>,
+}
+
+/// Parent-side shared state: reader threads (one per rank) route
+/// frames and synchronization through it.
+struct ParentState {
+    p: usize,
+    attempt: u32,
+    writers: Vec<Mutex<UnixStream>>,
+    children: Vec<Mutex<Child>>,
+    /// Supersteps each rank has completed (its death coordinate).
+    completed: Vec<AtomicU64>,
+    round: Mutex<Round>,
+    exchange_total: AtomicU64,
+    reports: Mutex<Vec<Option<RankReport>>>,
+    /// Death notes for ranks whose stream died before any report.
+    deaths: Mutex<Vec<Option<String>>>,
+    store: Option<Arc<dyn CheckpointStore>>,
+    ckpt_written: AtomicU64,
+    ckpt_bytes: AtomicU64,
+    kills: Vec<KillSpec>,
+}
+
+impl ParentState {
+    fn send_to(&self, rank: usize, msg: &CtlMsg) {
+        // A dead child's stream errors here (`EPIPE`); that is fine —
+        // the death is detected and reported by its reader thread.
+        let _ = write_ctl(&mut *lock(&self.writers[rank]), msg);
+    }
+
+    fn broadcast(&self, msg: &CtlMsg) {
+        for rank in 0..self.p {
+            self.send_to(rank, msg);
+        }
+    }
+
+    /// SIGKILLs one rank process (the chaos grid's real crash).
+    fn kill(&self, rank: usize) {
+        let _ = lock(&self.children[rank]).kill();
+    }
+
+    fn killed_at(&self, rank: usize, superstep: u64) -> bool {
+        self.kills
+            .iter()
+            .any(|k| k.rank == rank && k.superstep == superstep && k.attempt == self.attempt)
+    }
+
+    /// One rank arrived at the exit barrier of `superstep`. The last
+    /// arrival commits any staged generation (the consistent cut:
+    /// every rank has arrived, none has been released) and broadcasts
+    /// the release — SIGKILLing instead any rank whose kill spec names
+    /// the superstep being entered.
+    fn handle_barrier(&self, rank: usize, superstep: u64, staged: Option<Vec<u8>>) {
+        self.completed[rank].fetch_max(superstep + 1, Ordering::Relaxed);
+        let staged_generation = staged.and_then(|bytes| {
+            let store = self.store.as_ref()?;
+            let frame = RankFrame::decode(&bytes).ok()?;
+            let generation = frame.superstep;
+            // Staging is best-effort, exactly like in-process.
+            store.stage(&frame).ok()?;
+            Some(generation)
+        });
+        let complete = {
+            let mut round = lock(&self.round);
+            if let Some(generation) = staged_generation {
+                round.staged_generation = Some(generation);
+            }
+            if !round.arrived[rank] {
+                round.arrived[rank] = true;
+                round.count += 1;
+            }
+            if round.count == self.p {
+                let generation = round.staged_generation.take();
+                round.arrived.iter_mut().for_each(|a| *a = false);
+                round.count = 0;
+                Some(generation)
+            } else {
+                None
+            }
+        };
+        if let Some(generation) = complete {
+            if let (Some(generation), Some(store)) = (generation, &self.store) {
+                if let Ok(bytes) = store.commit(generation, self.p) {
+                    self.ckpt_written.fetch_add(1, Ordering::Relaxed);
+                    self.ckpt_bytes.fetch_add(bytes, Ordering::Relaxed);
+                }
+            }
+            for r in 0..self.p {
+                if self.killed_at(r, superstep + 1) {
+                    self.kill(r);
+                } else {
+                    self.send_to(r, &CtlMsg::BarrierRelease { superstep });
+                }
+            }
+        }
+    }
+}
+
+/// One rank's reader loop: routes its child→parent stream until EOF.
+/// EOF without a prior `Done`/`Fatal` is a rank death: noted with the
+/// reaped exit status and broadcast as poison so the peers unwind.
+fn parent_reader(state: &ParentState, rank: usize, mut stream: UnixStream) {
+    loop {
+        match read_ctl(&mut stream) {
+            Ok(CtlMsg::Data { dst, frame }) => {
+                if dst < state.p {
+                    state.send_to(dst, &CtlMsg::Deliver { frame });
+                }
+            }
+            Ok(CtlMsg::ExchangeDone) => {
+                let total = state.exchange_total.fetch_add(1, Ordering::AcqRel) + 1;
+                state.broadcast(&CtlMsg::ExchangeTotal { total });
+            }
+            Ok(CtlMsg::BarrierEnter { superstep, staged }) => {
+                state.handle_barrier(rank, superstep, staged);
+            }
+            Ok(CtlMsg::Poison) => state.broadcast(&CtlMsg::Poison),
+            Ok(CtlMsg::Fatal {
+                error,
+                ledger,
+                flight_dropped,
+                flight,
+            }) => {
+                lock(&state.reports)[rank] = Some(RankReport {
+                    result: Err(error),
+                    ledger,
+                    flight_dropped,
+                    flight,
+                });
+                state.broadcast(&CtlMsg::Poison);
+            }
+            Ok(CtlMsg::Done {
+                value,
+                stats,
+                work,
+                ledger,
+                flight_dropped,
+                flight,
+            }) => {
+                state.completed[rank].fetch_max(stats.supersteps, Ordering::Relaxed);
+                lock(&state.reports)[rank] = Some(RankReport {
+                    result: Ok((value, stats, work)),
+                    ledger,
+                    flight_dropped,
+                    flight,
+                });
+            }
+            // Parent→child shapes echoed back: protocol bug upstream;
+            // ignore.
+            Ok(_) => {}
+            Err(err) => {
+                let reported = lock(&state.reports)[rank].is_some();
+                if !reported {
+                    // Rank death. Reap for the status (waitpid): the
+                    // child closed its socket only by exiting.
+                    let status = lock(&state.children[rank])
+                        .wait()
+                        .map_or_else(|e| format!("unreapable: {e}"), |s| s.to_string());
+                    lock(&state.deaths)[rank] =
+                        Some(format!("rank process died ({status}; stream: {err})"));
+                    state.broadcast(&CtlMsg::Poison);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn add_ledger(sum: &mut CtlLedger, one: &CtlLedger) {
+    sum.faults_injected += one.faults_injected;
+    sum.barrier_timeouts += one.barrier_timeouts;
+    sum.frames_sent += one.frames_sent;
+    sum.retransmits += one.retransmits;
+    sum.dups_dropped += one.dups_dropped;
+    sum.corrupt_frames += one.corrupt_frames;
+    sum.backpressure_waits += one.backpressure_waits;
+    sum.frames_lost += one.frames_lost;
+}
+
+/// Runs one attempt with every rank in its own OS process — the
+/// [`crate::Execution::Processes`] body of
+/// `DistMachine::run_attempt_with_resume`, with the same contract:
+/// the result, the furthest completed superstep, and the flight log.
+pub(crate) fn run_process_attempt(
+    machine: &DistMachine,
+    cfg: &ProcessConfig,
+    e: &Expr,
+    attempt: u32,
+    resume: Option<ResumePoint>,
+) -> (Result<DistOutcome, EvalError>, u64, Option<FlightLog>) {
+    let p = machine.p;
+    let fingerprint = program_fingerprint(e, p);
+    let resumed_from = resume.as_ref().map(|rp| rp.superstep);
+    let baseline = resumed_from.unwrap_or(0);
+    let launch = match launch_ranks(machine, cfg, e, attempt, fingerprint, resume.as_ref()) {
+        Ok(l) => l,
+        Err(err) => return (Err(err), baseline, None),
+    };
+    let state = ParentState {
+        p,
+        attempt,
+        writers: launch.writers,
+        children: launch.children,
+        completed: (0..p).map(|_| AtomicU64::new(baseline)).collect(),
+        round: Mutex::new(Round {
+            arrived: vec![false; p],
+            count: 0,
+            staged_generation: None,
+        }),
+        exchange_total: AtomicU64::new(0),
+        reports: Mutex::new((0..p).map(|_| None).collect()),
+        deaths: Mutex::new(vec![None; p]),
+        store: machine
+            .checkpoints
+            .as_ref()
+            .map(|(_, store)| Arc::clone(store)),
+        ckpt_written: AtomicU64::new(0),
+        ckpt_bytes: AtomicU64::new(0),
+        kills: cfg.kills.clone(),
+    };
+
+    // Superstep-0 kills: the rank never gets to run a superstep.
+    for spec in &cfg.kills {
+        if spec.attempt == attempt && spec.superstep == 0 && spec.rank < p {
+            state.kill(spec.rank);
+        }
+    }
+
+    // Route until every stream reaches EOF (clean completion or
+    // death). Children bound their own waits with the shipped barrier
+    // watchdog, and any death poisons the fleet, so the readers always
+    // come home.
+    std::thread::scope(|scope| {
+        for (rank, stream) in launch.streams.into_iter().enumerate() {
+            let state = &state;
+            scope.spawn(move || parent_reader(state, rank, stream));
+        }
+    });
+
+    // Reap whatever the death path has not already reaped (waitpid;
+    // kills leave zombies until here).
+    for child in &state.children {
+        let _ = lock(child).wait();
+    }
+    cleanup_socket(&launch.dir, &launch.socket, launch.created_dir);
+
+    let furthest = state
+        .completed
+        .iter()
+        .map(|c| c.load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(baseline);
+    let reports = state
+        .reports
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    let deaths = state
+        .deaths
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+
+    // Account exactly like the in-process backend: the shipped
+    // per-rank ledgers, plus the parent's own checkpoint commits.
+    let mut ledger_sum = CtlLedger::default();
+    for report in reports.iter().flatten() {
+        add_ledger(&mut ledger_sum, &report.ledger);
+    }
+    flush_counters(
+        &machine.telemetry,
+        &ledger_sum,
+        state.ckpt_written.load(Ordering::Relaxed),
+        state.ckpt_bytes.load(Ordering::Relaxed),
+        0,
+    );
+    let flight_log = machine.flight.map(|_| FlightLog {
+        ranks: reports
+            .iter()
+            .enumerate()
+            .map(|(rank, report)| match report {
+                Some(r) => RankFlightLog {
+                    rank,
+                    dropped: r.flight_dropped,
+                    events: r.flight.clone(),
+                },
+                // A dead rank ships nothing; its on-disk bundle (the
+                // child's own periodic flush) is the surviving trace.
+                None => RankFlightLog {
+                    rank,
+                    dropped: 0,
+                    events: Vec::new(),
+                },
+            })
+            .collect(),
+    });
+
+    // Death first: EOF-without-report maps to the failed
+    // (rank, superstep) coordinate.
+    if let Some((rank, detail)) = deaths
+        .iter()
+        .enumerate()
+        .find_map(|(r, d)| d.as_ref().map(|d| (r, d.clone())))
+    {
+        let superstep = state.completed[rank].load(Ordering::Relaxed);
+        return (
+            Err(EvalError::TransportFailure {
+                rank,
+                superstep,
+                detail,
+            }),
+            furthest,
+            flight_log,
+        );
+    }
+
+    // Then mirror `run_threads`: prefer a real error over the
+    // `PeerFailure` echoes of poisoned bystanders.
+    let results: Vec<Result<(PortableValue, CtlStats, u64), EvalError>> = reports
+        .into_iter()
+        .map(|r| r.map_or(Err(EvalError::PeerFailure), |report| report.result))
+        .collect();
+    if results.iter().any(Result::is_err) {
+        let mut first_peer_failure = None;
+        for r in &results {
+            match r {
+                Err(EvalError::PeerFailure) => {
+                    first_peer_failure = Some(EvalError::PeerFailure);
+                }
+                Err(real) => return (Err(real.clone()), furthest, flight_log),
+                Ok(_) => {}
+            }
+        }
+        return (
+            Err(first_peer_failure.expect("some error exists")),
+            furthest,
+            flight_log,
+        );
+    }
+    let oks: Vec<(PortableValue, CtlStats, u64)> =
+        results.into_iter().map(|r| r.expect("checked")).collect();
+    let supersteps = oks[0].1.supersteps;
+    assert!(
+        oks.iter().all(|(_, s, _)| s.supersteps == supersteps),
+        "ranks disagree on superstep count — SPMD replication broken"
+    );
+    let total_words_sent = oks.iter().map(|(_, s, _)| s.sent_words).sum();
+    let work = oks.iter().map(|(_, _, w)| *w).collect();
+    if machine.telemetry.is_enabled() {
+        let s = oks[0].1;
+        machine
+            .telemetry
+            .counter_add("bsp.supersteps", s.supersteps);
+        machine.telemetry.counter_add("bsp.puts", s.puts);
+        machine.telemetry.counter_add("bsp.ifats", s.ifats);
+        machine
+            .telemetry
+            .counter_add("bsp.words_sent", total_words_sent);
+    }
+    let value = match assemble(oks.iter().map(|(v, _, _)| v)) {
+        Ok(v) => v,
+        Err(err) => return (Err(err), furthest, flight_log),
+    };
+    (
+        Ok(DistOutcome {
+            value,
+            supersteps,
+            total_words_sent,
+            work,
+            resumed_from,
+        }),
+        furthest,
+        flight_log,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::SyncOutcome;
+
+    #[test]
+    fn handshake_timeout_env_knob() {
+        std::env::set_var(HANDSHAKE_TIMEOUT_ENV, "45000");
+        assert_eq!(handshake_timeout_from_env(), Duration::from_millis(45000));
+        std::env::set_var(HANDSHAKE_TIMEOUT_ENV, " 250 ");
+        assert_eq!(handshake_timeout_from_env(), Duration::from_millis(250));
+        std::env::set_var(HANDSHAKE_TIMEOUT_ENV, "soon");
+        assert_eq!(handshake_timeout_from_env(), DEFAULT_HANDSHAKE_TIMEOUT);
+        std::env::remove_var(HANDSHAKE_TIMEOUT_ENV);
+        assert_eq!(handshake_timeout_from_env(), DEFAULT_HANDSHAKE_TIMEOUT);
+    }
+
+    #[test]
+    fn hello_validation_accepts_the_genuine_article() {
+        let taken = vec![false, false, false];
+        let hello = CtlMsg::hello(0xF00D, 2, 3);
+        assert_eq!(validate_hello(&hello, 0xF00D, 3, &taken), Ok(2));
+    }
+
+    #[test]
+    fn hello_validation_rejects_every_mismatch() {
+        let taken = vec![true, false];
+        let cases: Vec<(CtlMsg, &str)> = vec![
+            (
+                CtlMsg::Hello {
+                    magic: 0,
+                    version: PROTOCOL_VERSION,
+                    fingerprint: 7,
+                    rank: 1,
+                    p: 2,
+                },
+                "magic",
+            ),
+            (
+                CtlMsg::Hello {
+                    magic: CTL_MAGIC,
+                    version: PROTOCOL_VERSION + 1,
+                    fingerprint: 7,
+                    rank: 1,
+                    p: 2,
+                },
+                "version skew",
+            ),
+            (
+                CtlMsg::Hello {
+                    magic: CTL_MAGIC,
+                    version: PROTOCOL_VERSION,
+                    fingerprint: 8,
+                    rank: 1,
+                    p: 2,
+                },
+                "fingerprint mismatch",
+            ),
+            (
+                CtlMsg::Hello {
+                    magic: CTL_MAGIC,
+                    version: PROTOCOL_VERSION,
+                    fingerprint: 7,
+                    rank: 1,
+                    p: 4,
+                },
+                "width mismatch",
+            ),
+            (
+                CtlMsg::Hello {
+                    magic: CTL_MAGIC,
+                    version: PROTOCOL_VERSION,
+                    fingerprint: 7,
+                    rank: 5,
+                    p: 2,
+                },
+                "out of range",
+            ),
+            (
+                CtlMsg::Hello {
+                    magic: CTL_MAGIC,
+                    version: PROTOCOL_VERSION,
+                    fingerprint: 7,
+                    rank: 0,
+                    p: 2,
+                },
+                "duplicate",
+            ),
+            (CtlMsg::Poison, "not a Hello"),
+        ];
+        for (msg, needle) in cases {
+            let err = validate_hello(&msg, 7, 2, &taken).expect_err("must reject");
+            assert!(
+                err.contains(needle),
+                "refusal {err:?} does not mention {needle:?}"
+            );
+        }
+    }
+
+    /// A hub over a socketpair: staged frames ride the next
+    /// `BarrierEnter`, and the release lets the barrier through.
+    #[test]
+    fn relay_store_ships_staged_frames_with_barrier_enter() {
+        let (ours, theirs) = UnixStream::pair().expect("socketpair");
+        let hub = RemoteHub::new(ours.try_clone().expect("clone"), None);
+        let reader_hub = Arc::clone(&hub);
+        std::thread::spawn(move || run_child_reader(&reader_hub, ours));
+
+        let frame = RankFrame {
+            fingerprint: 99,
+            rank: 0,
+            superstep: 4,
+            fuel_left: 1000,
+            sent_words: 3,
+            received_words: 3,
+            puts: 4,
+            ifats: 0,
+            outcomes: vec![SyncOutcome::IfAt { chosen: true }],
+        };
+        let store = RelayStore {
+            hub: Arc::clone(&hub),
+        };
+        assert!(store.stage(&frame).expect("stage") > 0);
+
+        // The "parent": expect BarrierEnter carrying the frame, then
+        // release.
+        let expected = frame.clone();
+        let mut parent_end = theirs;
+        let parent = std::thread::spawn(move || {
+            let msg = read_ctl(&mut parent_end).expect("barrier enter");
+            let CtlMsg::BarrierEnter { superstep, staged } = msg else {
+                panic!("expected BarrierEnter, got {msg:?}");
+            };
+            assert_eq!(superstep, 3);
+            let bytes = staged.expect("staged frame rides along");
+            assert_eq!(RankFrame::decode(&bytes).expect("decodes"), expected);
+            write_ctl(&mut parent_end, &CtlMsg::BarrierRelease { superstep }).expect("release");
+            parent_end
+        });
+        hub.barrier_enter(3, Some(Duration::from_secs(5)))
+            .expect("released");
+        let _keep_alive = parent.join().expect("parent thread");
+        // The stash is consumed: the next barrier ships nothing.
+        assert!(lock(&hub.staged).is_none());
+    }
+
+    #[test]
+    fn poisoned_hub_refuses_barrier_entry() {
+        let (ours, theirs) = UnixStream::pair().expect("socketpair");
+        let hub = RemoteHub::new(ours, None);
+        // Parent poison arrives (routed by the reader in production;
+        // absorbed directly here).
+        hub.absorb(CtlMsg::Poison);
+        assert!(hub.is_poisoned());
+        assert_eq!(
+            hub.barrier_enter(0, Some(Duration::from_secs(5))),
+            Err(EvalError::PeerFailure)
+        );
+        drop(theirs);
+    }
+
+    #[test]
+    fn unreleased_barrier_times_out_instead_of_hanging() {
+        let (ours, theirs) = UnixStream::pair().expect("socketpair");
+        let hub = RemoteHub::new(ours, None);
+        let result = hub.barrier_enter(2, Some(Duration::from_millis(30)));
+        assert_eq!(
+            result,
+            Err(EvalError::BarrierTimeout {
+                superstep: 2,
+                waiting: 1
+            })
+        );
+        // The timeout poisoned the run — later waits fail fast.
+        assert!(hub.is_poisoned());
+        drop(theirs);
+    }
+
+    #[test]
+    fn exchange_totals_are_monotonic_under_reordered_broadcasts() {
+        let (ours, theirs) = UnixStream::pair().expect("socketpair");
+        let hub = RemoteHub::new(ours, None);
+        hub.absorb(CtlMsg::ExchangeTotal { total: 3 });
+        hub.absorb(CtlMsg::ExchangeTotal { total: 2 });
+        assert_eq!(hub.exchange_total(), 3);
+        drop(theirs);
+    }
+}

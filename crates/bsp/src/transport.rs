@@ -413,6 +413,39 @@ impl Transport for LossyNet {
     }
 }
 
+/// A rank *process*'s view of the machine: every frame rides the
+/// control stream to the parent, which routes it to the destination
+/// rank's stream ([`crate::process`]). Sockets are stream-oriented and
+/// lossless, so the reliable layer runs with retransmission disabled —
+/// exactly like [`SharedMem`]. Mailbox depth is bounded by the kernel
+/// socket buffers rather than [`NetTuning::mailbox_capacity`], so
+/// `try_send` never reports backpressure.
+#[derive(Debug)]
+pub(crate) struct SocketTransport {
+    hub: std::sync::Arc<crate::process::RemoteHub>,
+}
+
+impl SocketTransport {
+    pub(crate) fn new(hub: std::sync::Arc<crate::process::RemoteHub>) -> SocketTransport {
+        SocketTransport { hub }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn try_send(&self, _src: usize, dst: usize, bytes: &[u8]) -> bool {
+        self.hub.send_data(dst, bytes);
+        true
+    }
+
+    fn recv(&self, _rank: usize) -> Option<Vec<u8>> {
+        self.hub.recv_data()
+    }
+
+    fn is_lossless(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,9 @@
 //! and subsequent phrases continue against the last good environment.
 
 use bsml_ast::{Expr, Ident};
-use bsml_bsp::{BspMachine, BspParams, CheckpointPolicy, CostSummary, RunReport, TransportConfig};
+use bsml_bsp::{
+    BspMachine, BspParams, CheckpointPolicy, CostSummary, Execution, RunReport, TransportConfig,
+};
 use bsml_eval::{Env, EvalError, Snapshot, Value};
 use bsml_infer::{Inferencer, TypeEnv};
 use bsml_obs::{MetricsSnapshot, Telemetry};
@@ -199,6 +201,7 @@ pub struct Session {
     telemetry: Telemetry,
     checkpoint_policy: Option<CheckpointPolicy>,
     transport: TransportConfig,
+    execution: Execution,
     flight_capacity: Option<usize>,
 }
 
@@ -256,6 +259,7 @@ impl Session {
             telemetry,
             checkpoint_policy: None,
             transport: TransportConfig::default(),
+            execution: Execution::default(),
             flight_capacity: None,
         }
     }
@@ -298,6 +302,29 @@ impl Session {
     #[must_use]
     pub fn transport(&self) -> &TransportConfig {
         &self.transport
+    }
+
+    /// Configures the rank placement this session *advertises* for
+    /// distributed execution, mirroring
+    /// [`with_transport`](Session::with_transport): frontends that
+    /// hand phrases to a `bsml_bsp::DistMachine` read it via
+    /// [`execution()`](Session::execution) and pass it to
+    /// `DistMachine::with_execution`. The default runs every rank as
+    /// an OS thread in-process; [`Execution::Processes`] runs each
+    /// rank as its own OS process over a Unix-domain socket, where
+    /// rank death is real and survivable. Note the transport
+    /// configuration is ignored under `Processes` — the socket
+    /// substrate is lossless.
+    #[must_use]
+    pub fn with_execution(mut self, execution: Execution) -> Session {
+        self.execution = execution;
+        self
+    }
+
+    /// The configured distributed-execution rank placement.
+    #[must_use]
+    pub fn execution(&self) -> &Execution {
+        &self.execution
     }
 
     /// Configures the flight-recorder ring capacity this session
@@ -673,6 +700,18 @@ mod tests {
                 assert_eq!(cfg.corrupt_permille, 50);
             }
             other => panic!("expected a lossy transport, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execution_is_configurable() {
+        use bsml_bsp::ProcessConfig;
+        let s = session();
+        assert!(matches!(s.execution(), Execution::InProcess));
+        let s = session().with_execution(Execution::Processes(ProcessConfig::default()));
+        match s.execution() {
+            Execution::Processes(cfg) => assert!(cfg.kills.is_empty()),
+            other => panic!("expected process placement, got {other:?}"),
         }
     }
 

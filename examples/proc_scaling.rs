@@ -1,0 +1,83 @@
+//! The EXPERIMENTS.md A6 measurement: one workload, three execution
+//! substrates (lockstep simulator, thread-per-rank shared memory,
+//! process-per-rank over a Unix socket), swept over p — so the cost
+//! of real process isolation is a number, not a vibe.
+//!
+//! ```console
+//! $ cargo build --release --bin bsml-rank   # the worker the launcher spawns
+//! $ cargo run --release --example proc_scaling
+//! ```
+//!
+//! The worker lands in `target/release/`, one directory above the
+//! example binary, where the launcher's sibling search finds it
+//! (`BSML_RANK_BIN` overrides).
+
+use std::time::{Duration, Instant};
+
+use bsml_bsp::{BspMachine, BspParams, DistMachine, Execution, ProcessConfig};
+use bsml_syntax::parse;
+
+/// Five chained total exchanges — the checkpoint grid's workload
+/// (`tests/process_chaos.rs`), heavy enough on communication that the
+/// transport is what's being measured.
+const EXCHANGE_5: &str = "
+    let sum = mkpar (fun i -> fun t ->
+        let acc = ref 0 in
+        (for j = 0 to bsp_p () - 1 do acc := !acc + t j done);
+        !acc) in
+    let next = fun v -> put (apply (mkpar (fun j -> fun v -> fun i -> v + j + 1), v)) in
+    let v1 = apply (sum, put (mkpar (fun j -> fun i -> j + i + 1))) in
+    let v2 = apply (sum, next v1) in
+    let v3 = apply (sum, next v2) in
+    let v4 = apply (sum, next v3) in
+    apply (sum, next v4)";
+
+const ITERS: usize = 5;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn time<F: FnMut() -> String>(mut f: F) -> (String, Duration) {
+    let mut value = String::new();
+    let mut samples = Vec::with_capacity(ITERS);
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        value = f();
+        samples.push(t0.elapsed());
+    }
+    (value, median(samples))
+}
+
+fn main() {
+    let e = parse(EXCHANGE_5).expect("workload parses");
+    println!("p   lockstep    threads     processes   (median of {ITERS}, value cross-checked)");
+    for p in [2usize, 4, 8, 16] {
+        let (lock_v, lockstep) = time(|| {
+            BspMachine::new(BspParams::new(p, 1, 1))
+                .run(&e)
+                .expect("lockstep run")
+                .value
+                .to_string()
+        });
+        let (thr_v, threads) = time(|| {
+            DistMachine::new(p)
+                .run(&e)
+                .expect("thread run")
+                .value
+                .to_string()
+        });
+        let (proc_v, processes) = time(|| {
+            DistMachine::new(p)
+                .with_execution(Execution::Processes(ProcessConfig::default()))
+                .run(&e)
+                .expect("process run")
+                .value
+                .to_string()
+        });
+        assert_eq!(lock_v, thr_v, "p={p}: thread backend diverged");
+        assert_eq!(lock_v, proc_v, "p={p}: process backend diverged");
+        println!("{p:<3} {lockstep:<11?} {threads:<11?} {processes:<11?}");
+    }
+}

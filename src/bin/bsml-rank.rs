@@ -1,0 +1,13 @@
+//! One BSP rank as one OS process: the worker half of
+//! [`bsml_bsp::Execution::Processes`].
+//!
+//! Not meant to be started by hand — the launcher spawns `p` copies,
+//! passing the coordination socket, rank id, machine width and program
+//! fingerprint through `BSML_RANK_*` environment variables, then
+//! drives the handshake described in `DESIGN.md` §13. Exit codes:
+//! `0` = rank finished and reported `Done`, `1` = rank failed and
+//! reported `Fatal`, `2` = could not even reach the handshake.
+
+fn main() {
+    std::process::exit(bsml_bsp::process::rank_main())
+}

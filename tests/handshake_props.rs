@@ -1,0 +1,329 @@
+//! Property tests for the process-handshake control codec
+//! (DESIGN.md §13), in the style of `tests/wire_props.rs`: every
+//! control message round-trips the length-prefixed checksummed stream
+//! format exactly, every truncation is rejected as an I/O error
+//! (never a panic, never partial acceptance), `Hello` validation
+//! accepts precisely the genuine article (magic + protocol version +
+//! program fingerprint + rank + width all matching, rank not already
+//! connected), and a stream chopped at *every* byte boundary across
+//! `read` calls still reassembles into the same frame sequence — the
+//! property that makes the parent/child routers immune to short
+//! socket reads.
+
+use std::io::{self, Read};
+
+use bsml_bsp::process::validate_hello;
+use bsml_bsp::wire::{
+    read_ctl, write_ctl, CtlLedger, CtlMsg, CtlStats, CTL_MAGIC, PROTOCOL_VERSION,
+};
+use bsml_bsp::{Fault, FaultKind};
+use bsml_eval::{EvalError, PortableValue};
+use bsml_obs::{FlightEvent, TimedFlightEvent};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Printable-ASCII strings (program texts, error details, refusal
+/// reasons — everything stringly in the protocol).
+const TEXT: &str = "[ -~]{0,40}";
+
+fn maybe_bytes() -> impl Strategy<Value = Option<Vec<u8>>> {
+    prop_oneof![Just(None), vec(any::<u8>(), 0..48).prop_map(Some),]
+}
+
+fn portable_value() -> impl Strategy<Value = PortableValue> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(PortableValue::Int),
+        any::<bool>().prop_map(PortableValue::Bool),
+        Just(PortableValue::Unit),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| PortableValue::Pair(Box::new(a), Box::new(b))),
+            vec(inner, 0..3).prop_map(PortableValue::Vector),
+        ]
+    })
+}
+
+fn eval_error() -> impl Strategy<Value = EvalError> {
+    prop_oneof![
+        Just(EvalError::PeerFailure),
+        Just(EvalError::OutOfFuel),
+        Just(EvalError::DivisionByZero),
+        Just(EvalError::RecursionLimit),
+        Just(EvalError::NestedParallelism),
+        (any::<u64>(), 0usize..64)
+            .prop_map(|(superstep, waiting)| EvalError::BarrierTimeout { superstep, waiting }),
+        (0usize..64, any::<u64>())
+            .prop_map(|(rank, superstep)| EvalError::InjectedFault { rank, superstep }),
+        (0usize..64, any::<u64>(), TEXT).prop_map(|(rank, superstep, detail)| {
+            EvalError::TransportFailure {
+                rank,
+                superstep,
+                detail,
+            }
+        }),
+        (0usize..64, any::<u64>(), TEXT).prop_map(|(rank, superstep, detail)| {
+            EvalError::CheckpointDiverged {
+                rank,
+                superstep,
+                detail,
+            }
+        }),
+        TEXT.prop_map(EvalError::NotSerializable),
+    ]
+}
+
+fn fault() -> impl Strategy<Value = Fault> {
+    let kind = prop_oneof![
+        (0usize..8, any::<u64>())
+            .prop_map(|(rank, superstep)| FaultKind::Crash { rank, superstep }),
+        (0usize..8, any::<u64>())
+            .prop_map(|(rank, superstep)| FaultKind::Panic { rank, superstep }),
+    ];
+    (kind, 0u32..4).prop_map(|(kind, attempt)| Fault { kind, attempt })
+}
+
+fn ctl_stats() -> impl Strategy<Value = CtlStats> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(sent_words, received_words, supersteps, puts, ifats)| CtlStats {
+                sent_words,
+                received_words,
+                supersteps,
+                puts,
+                ifats,
+            },
+        )
+}
+
+fn ctl_ledger() -> impl Strategy<Value = CtlLedger> {
+    vec(any::<u64>(), 8..9).prop_map(|v| CtlLedger {
+        faults_injected: v[0],
+        barrier_timeouts: v[1],
+        frames_sent: v[2],
+        retransmits: v[3],
+        dups_dropped: v[4],
+        corrupt_frames: v[5],
+        backpressure_waits: v[6],
+        frames_lost: v[7],
+    })
+}
+
+fn flight_events() -> impl Strategy<Value = Vec<TimedFlightEvent>> {
+    let event = prop_oneof![
+        any::<u64>().prop_map(|superstep| FlightEvent::BarrierEnter { superstep }),
+        any::<u64>().prop_map(|superstep| FlightEvent::BarrierExit { superstep }),
+        (any::<u64>(), any::<u64>()).prop_map(|(to, seq)| FlightEvent::AckSent { to, seq }),
+    ];
+    vec(
+        (any::<u64>(), event).prop_map(|(lamport, event)| TimedFlightEvent { lamport, event }),
+        0..4,
+    )
+}
+
+fn welcome() -> impl Strategy<Value = CtlMsg> {
+    (
+        TEXT,
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        vec(any::<u64>(), 4..5),
+        any::<u32>(),
+        vec(fault(), 0..3),
+        maybe_bytes(),
+    )
+        .prop_map(
+            |(
+                program,
+                (fuel, barrier_timeout_ms, checkpoint_interval, flight_capacity),
+                t,
+                attempt,
+                faults,
+                resume_frame,
+            )| {
+                CtlMsg::Welcome {
+                    program,
+                    fuel,
+                    barrier_timeout_ms,
+                    mailbox_capacity: t[0],
+                    retransmit_after: t[1],
+                    retransmit_budget: t[2],
+                    poll_sleep_us: t[3],
+                    checkpoint_interval,
+                    flight_capacity,
+                    attempt,
+                    faults,
+                    resume_frame,
+                }
+            },
+        )
+}
+
+fn ctl_msg() -> impl Strategy<Value = CtlMsg> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u32>(),
+            any::<u64>(),
+            (0usize..64, 0usize..64)
+        )
+            .prop_map(|(magic, version, fingerprint, (rank, p))| CtlMsg::Hello {
+                magic,
+                version,
+                fingerprint,
+                rank,
+                p,
+            }),
+        welcome(),
+        TEXT.prop_map(|reason| CtlMsg::Reject { reason }),
+        (0usize..64, vec(any::<u8>(), 0..64)).prop_map(|(dst, frame)| CtlMsg::Data { dst, frame }),
+        vec(any::<u8>(), 0..64).prop_map(|frame| CtlMsg::Deliver { frame }),
+        Just(CtlMsg::ExchangeDone),
+        any::<u64>().prop_map(|total| CtlMsg::ExchangeTotal { total }),
+        (any::<u64>(), maybe_bytes())
+            .prop_map(|(superstep, staged)| CtlMsg::BarrierEnter { superstep, staged }),
+        any::<u64>().prop_map(|superstep| CtlMsg::BarrierRelease { superstep }),
+        Just(CtlMsg::Poison),
+        (eval_error(), ctl_ledger(), any::<u64>(), flight_events()).prop_map(
+            |(error, ledger, flight_dropped, flight)| CtlMsg::Fatal {
+                error,
+                ledger,
+                flight_dropped,
+                flight,
+            }
+        ),
+        (
+            portable_value(),
+            ctl_stats(),
+            any::<u64>(),
+            ctl_ledger(),
+            any::<u64>(),
+            flight_events()
+        )
+            .prop_map(|(value, stats, work, ledger, flight_dropped, flight)| {
+                CtlMsg::Done {
+                    value,
+                    stats,
+                    work,
+                    ledger,
+                    flight_dropped,
+                    flight,
+                }
+            }),
+    ]
+}
+
+/// A reader that hands out at most `chunk` bytes per `read` call —
+/// the adversarial short-read socket.
+struct Chopped<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl Read for Chopped<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = buf.len().min(self.chunk).min(self.bytes.len() - self.pos);
+        buf[..n].copy_from_slice(&self.bytes[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ctl_messages_roundtrip(msg in ctl_msg()) {
+        let mut bytes = Vec::new();
+        write_ctl(&mut bytes, &msg).expect("vec write");
+        let back = read_ctl(&mut bytes.as_slice()).expect("self-encoded ctl decodes");
+        prop_assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn every_ctl_truncation_is_rejected(msg in ctl_msg()) {
+        // Cutting the stream anywhere — inside the length prefix or
+        // inside the body — must surface as an I/O error the routers
+        // treat as a dead peer. Never a panic, never a short parse.
+        let mut bytes = Vec::new();
+        write_ctl(&mut bytes, &msg).expect("vec write");
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                read_ctl(&mut &bytes[..cut]).is_err(),
+                "accepted a control frame truncated to {cut} of {} bytes",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn ctl_bit_flips_never_panic(msg in ctl_msg(), flip in any::<usize>()) {
+        // The control checksum rejects corruption; whatever the
+        // decoder returns, it must *return*.
+        let mut bytes = Vec::new();
+        write_ctl(&mut bytes, &msg).expect("vec write");
+        let bit = flip % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        let _ = read_ctl(&mut bytes.as_slice());
+    }
+
+    #[test]
+    fn hello_validation_accepts_exactly_the_matching_tuple(
+        magic in prop_oneof![Just(CTL_MAGIC), any::<u64>()],
+        version in prop_oneof![Just(PROTOCOL_VERSION), any::<u32>()],
+        claimed in prop_oneof![Just(0xF00Du64), any::<u64>()],
+        rank in 0usize..6,
+        p in 1usize..5,
+        taken in vec(any::<bool>(), 4..5),
+    ) {
+        let hello = CtlMsg::Hello { magic, version, fingerprint: claimed, rank, p };
+        let expected_fingerprint = 0xF00Du64;
+        let expected_p = 4usize;
+        let genuine = magic == CTL_MAGIC
+            && version == PROTOCOL_VERSION
+            && claimed == expected_fingerprint
+            && p == expected_p
+            && rank < expected_p
+            && !taken[rank.min(expected_p - 1)];
+        let verdict = validate_hello(&hello, expected_fingerprint, expected_p, &taken);
+        match verdict {
+            Ok(got) => {
+                prop_assert!(genuine, "accepted a mismatched Hello: {hello:?}");
+                prop_assert_eq!(got, rank);
+            }
+            Err(reason) => {
+                prop_assert!(!genuine, "rejected the genuine article: {reason}");
+                prop_assert!(!reason.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn streams_reassemble_across_any_read_chunking(
+        msgs in vec(ctl_msg(), 1..5),
+        chunk in 1usize..9,
+    ) {
+        // One buffer, many frames, delivered `chunk` bytes at a time —
+        // with chunk = 1 every byte boundary is a read boundary. The
+        // routers must see exactly the original sequence.
+        let mut bytes = Vec::new();
+        for msg in &msgs {
+            write_ctl(&mut bytes, msg).expect("vec write");
+        }
+        let mut stream = Chopped { bytes: &bytes, pos: 0, chunk };
+        for (i, msg) in msgs.iter().enumerate() {
+            let back = read_ctl(&mut stream)
+                .unwrap_or_else(|e| panic!("frame {i} failed under chunk={chunk}: {e}"));
+            prop_assert_eq!(&back, msg);
+        }
+        // And the stream is fully consumed: a further read is a clean
+        // EOF error, not garbage.
+        prop_assert!(read_ctl(&mut stream).is_err());
+    }
+}
