@@ -93,12 +93,14 @@ pub const BARRIER_TIMEOUT_ENV: &str = "BSML_BARRIER_TIMEOUT_MS";
 
 /// The watchdog timeout [`DistMachine::new`] starts from: the
 /// [`BARRIER_TIMEOUT_ENV`] override when set and parsable, else
-/// [`DEFAULT_BARRIER_TIMEOUT`].
+/// [`DEFAULT_BARRIER_TIMEOUT`] (malformed values are counted under
+/// `config.bad_env_values` by `bsml_obs::env`).
 fn barrier_timeout_from_env() -> Duration {
-    std::env::var(BARRIER_TIMEOUT_ENV)
-        .ok()
-        .and_then(|raw| raw.trim().parse::<u64>().ok())
-        .map_or(DEFAULT_BARRIER_TIMEOUT, Duration::from_millis)
+    bsml_obs::env::duration_ms_knob(
+        BARRIER_TIMEOUT_ENV,
+        DEFAULT_BARRIER_TIMEOUT,
+        &Telemetry::disabled(),
+    )
 }
 
 /// The environment variable enabling the per-rank flight recorder and
@@ -113,11 +115,10 @@ pub const FLIGHT_CAPACITY_ENV: &str = "BSML_FLIGHT_CAPACITY";
 pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
 
 /// The flight capacity [`DistMachine::new`] starts from: the
-/// [`FLIGHT_CAPACITY_ENV`] override when set and parsable, else off.
+/// [`FLIGHT_CAPACITY_ENV`] override when set and parsable, else off
+/// (malformed values are counted under `config.bad_env_values`).
 fn flight_capacity_from_env() -> Option<usize> {
-    std::env::var(FLIGHT_CAPACITY_ENV)
-        .ok()
-        .and_then(|raw| raw.trim().parse::<usize>().ok())
+    bsml_obs::env::parse_knob_opt(FLIGHT_CAPACITY_ENV, &Telemetry::disabled())
 }
 
 /// Locks a mutex whose protected data stays valid across a peer

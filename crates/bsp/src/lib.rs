@@ -56,7 +56,9 @@ pub use checkpoint::{
     ResumePoint, SyncOutcome,
 };
 pub use cost::{Barrier, Cost, CostSummary, SuperstepRecord};
-pub use distributed::{DistMachine, DistOutcome, Execution};
+pub use distributed::{
+    DistMachine, DistOutcome, Execution, BARRIER_TIMEOUT_ENV, FLIGHT_CAPACITY_ENV,
+};
 pub use faults::{Fault, FaultKind, FaultPlan};
 pub use hooks::BspCostHooks;
 pub use machine::{BspMachine, BspParams, RunReport};
@@ -64,9 +66,13 @@ pub use postmortem::{
     Analysis, CausalViolation, FailureReport, FlightLog, PostmortemBundle, PostmortemError,
     RankFlightLog, SuperstepObservation,
 };
-pub use process::{KillSpec, ProcessConfig};
+pub use process::{
+    KillSpec, ProcessConfig, HANDSHAKE_TIMEOUT_ENV, RANK_BIN_ENV, RANK_FINGERPRINT_ENV,
+    RANK_ID_ENV, RANK_P_ENV, RANK_SOCKET_ENV,
+};
 pub use supervisor::{
     backoff_delay, RecordingSleeper, Sleeper, SupervisedOutcome, Supervisor, ThreadSleeper,
+    POSTMORTEM_DIR_ENV,
 };
 pub use transport::{LossyConfig, NetTuning, TransportConfig};
 pub use wire::{Frame, FramePayload, WireError};

@@ -1,9 +1,10 @@
 //! The simulated BSP machine: parameters and the run entry point.
 
 use std::fmt;
+use std::sync::Arc;
 
 use bsml_ast::Expr;
-use bsml_eval::{EvalError, Evaluator, TeeHooks, TracingHooks, Value};
+use bsml_eval::{EvalError, Evaluator, FuelCell, TeeHooks, TracingHooks, Value};
 use bsml_obs::{FieldValue, Telemetry};
 
 use crate::cost::{Barrier, CostSummary, SuperstepRecord};
@@ -103,6 +104,9 @@ impl RunReport {
 pub struct BspMachine {
     params: BspParams,
     fuel: u64,
+    /// When set, every run draws its fuel from this shared cell in
+    /// scheduler-granted slices instead of the flat `fuel` budget.
+    fuel_cell: Option<Arc<FuelCell>>,
     telemetry: Telemetry,
 }
 
@@ -113,6 +117,7 @@ impl BspMachine {
         BspMachine {
             params,
             fuel: bsml_eval::bigstep::DEFAULT_FUEL,
+            fuel_cell: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -121,6 +126,17 @@ impl BspMachine {
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> BspMachine {
         self.fuel = fuel;
+        self
+    }
+
+    /// Makes every run draw fuel from a shared [`FuelCell`] in
+    /// scheduler-granted slices (parking between grants) instead of
+    /// the flat budget — the hosting side of `bsml-serve`'s
+    /// fuel-sliced preemption. Cancellation through the cell surfaces
+    /// as [`EvalError::Cancelled`].
+    #[must_use]
+    pub fn with_fuel_cell(mut self, cell: Arc<FuelCell>) -> BspMachine {
+        self.fuel_cell = Some(cell);
         self
     }
 
@@ -168,9 +184,15 @@ impl BspMachine {
             let mut tracing = TracingHooks::new(self.telemetry.clone());
             let mut tee = TeeHooks::new(&mut hooks, &mut tracing);
             let mut ev = Evaluator::with_fuel(self.params.p, &mut tee, self.fuel);
+            if let Some(cell) = &self.fuel_cell {
+                ev = ev.with_fuel_cell(Arc::clone(cell));
+            }
             ev.eval_with_env(env, e)?
         } else {
             let mut ev = Evaluator::with_fuel(self.params.p, &mut hooks, self.fuel);
+            if let Some(cell) = &self.fuel_cell {
+                ev = ev.with_fuel_cell(Arc::clone(cell));
+            }
             ev.eval_with_env(env, e)?
         };
         let trace = hooks.finish();

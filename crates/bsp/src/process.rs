@@ -57,12 +57,14 @@ pub const HANDSHAKE_TIMEOUT_ENV: &str = "BSML_HANDSHAKE_TIMEOUT_MS";
 pub const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// The handshake deadline: the [`HANDSHAKE_TIMEOUT_ENV`] override when
-/// set and parsable, else [`DEFAULT_HANDSHAKE_TIMEOUT`].
+/// set and parsable, else [`DEFAULT_HANDSHAKE_TIMEOUT`] (malformed
+/// values are counted under `config.bad_env_values`).
 fn handshake_timeout_from_env() -> Duration {
-    std::env::var(HANDSHAKE_TIMEOUT_ENV)
-        .ok()
-        .and_then(|raw| raw.trim().parse::<u64>().ok())
-        .map_or(DEFAULT_HANDSHAKE_TIMEOUT, Duration::from_millis)
+    bsml_obs::env::duration_ms_knob(
+        HANDSHAKE_TIMEOUT_ENV,
+        DEFAULT_HANDSHAKE_TIMEOUT,
+        &bsml_obs::Telemetry::disabled(),
+    )
 }
 
 /// Overrides where the parent looks for the rank-runner binary when
@@ -573,7 +575,7 @@ fn rank_process() -> Result<i32, String> {
     // Flight recording: the welcomed capacity, or — like the
     // supervisor — implied at the default capacity by a postmortem
     // directory in the environment.
-    let postmortem_dir = std::env::var_os(POSTMORTEM_DIR_ENV).map(PathBuf::from);
+    let postmortem_dir = bsml_obs::env::path_knob(POSTMORTEM_DIR_ENV);
     let capacity = if flight_capacity > 0 {
         flight_capacity as usize
     } else if postmortem_dir.is_some() {

@@ -189,7 +189,7 @@ impl Supervisor {
     /// check enabled.
     #[must_use]
     pub fn new(machine: DistMachine) -> Supervisor {
-        let postmortem_dir = std::env::var_os(POSTMORTEM_DIR_ENV).map(PathBuf::from);
+        let postmortem_dir = bsml_obs::env::path_knob(POSTMORTEM_DIR_ENV);
         // A postmortem is drained from the flight recorder, so the
         // env knob implies recording (at the default ring capacity)
         // unless the machine already configured it.

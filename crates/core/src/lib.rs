@@ -27,6 +27,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod knobs;
 pub mod session;
 
 use std::fmt;

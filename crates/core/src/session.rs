@@ -347,6 +347,19 @@ impl Session {
         self.flight_capacity
     }
 
+    /// Makes every phrase evaluation draw fuel from a shared
+    /// [`bsml_eval::FuelCell`] in scheduler-granted slices instead of
+    /// a flat budget. This is the hosting half of `bsml-serve`'s
+    /// fuel-sliced preemption: the session's host thread parks between
+    /// grants, and cancellation through the cell fails the phrase with
+    /// [`EvalError::Cancelled`] — a contained dynamic failure like any
+    /// other, so the session itself stays usable.
+    #[must_use]
+    pub fn with_fuel_cell(mut self, cell: std::sync::Arc<bsml_eval::FuelCell>) -> Session {
+        self.machine = self.machine.with_fuel_cell(cell);
+        self
+    }
+
     /// Captures the session's toplevel state — a deep, identity-free
     /// copy of every binding (see [`SessionSnapshot`]).
     #[must_use]

@@ -11,12 +11,14 @@
 //! `bsml-infer`) never trigger it — that is Theorem 1.
 
 use std::rc::Rc;
+use std::sync::Arc;
 
 use bsml_ast::{Const, Expr, ExprKind, Op};
 
 use crate::driver::{Applier, GlobalDriver, ParallelDriver};
 use crate::env::Env;
 use crate::error::EvalError;
+use crate::fuel::FuelCell;
 use crate::hooks::{EvalHooks, Mode, NoHooks};
 use crate::value::Value;
 
@@ -47,6 +49,10 @@ pub struct Evaluator<'h, H: EvalHooks> {
     /// The parallel backend (`None` only transiently while a driver
     /// method is running).
     driver: Option<Box<dyn ParallelDriver>>,
+    /// When set, an exhausted local budget draws the next fuel slice
+    /// from this shared cell (parking the thread) instead of failing
+    /// with [`EvalError::OutOfFuel`]. See [`crate::fuel`].
+    fuel_cell: Option<Arc<FuelCell>>,
 }
 
 /// Default limit on non-tail recursion depth. Tail calls (recursive
@@ -108,7 +114,20 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
             max_depth: DEFAULT_MAX_DEPTH,
             hooks,
             driver: Some(driver),
+            fuel_cell: None,
         }
+    }
+
+    /// Attaches a shared [`FuelCell`]: the evaluator starts with zero
+    /// local fuel and draws every slice from the cell, parking between
+    /// grants. The constructor's fuel argument is ignored — the cell
+    /// is the budget authority, and cancellation through it surfaces
+    /// as [`EvalError::Cancelled`] at the next tick.
+    #[must_use]
+    pub fn with_fuel_cell(mut self, cell: Arc<FuelCell>) -> Self {
+        self.fuel = 0;
+        self.fuel_cell = Some(cell);
+        self
     }
 
     /// Runs a driver method with the evaluator as its [`Applier`].
@@ -161,7 +180,10 @@ impl<'h, H: EvalHooks> Evaluator<'h, H> {
 
     fn tick(&mut self, mode: Mode) -> Result<(), EvalError> {
         if self.fuel == 0 {
-            return Err(EvalError::OutOfFuel);
+            match &self.fuel_cell {
+                Some(cell) => self.fuel = cell.request()?,
+                None => return Err(EvalError::OutOfFuel),
+            }
         }
         self.fuel -= 1;
         self.hooks.on_step(mode);
@@ -922,5 +944,67 @@ mod tests {
             run_err("x", 1),
             EvalError::Unbound(bsml_ast::Ident::new("x"))
         );
+    }
+
+    #[test]
+    fn fuel_cell_slices_a_real_evaluation() {
+        use crate::fuel::Quiescence;
+        use std::time::Duration;
+
+        // A loop long enough to need several slices at 1000 fuel each.
+        let src = "let rec loop n = if n = 0 then 42 else loop (n - 1) in loop 2000";
+        let e = parse(src).expect("parse");
+        let cell = FuelCell::new();
+        let c2 = Arc::clone(&cell);
+        let t = std::thread::spawn(move || {
+            let mut hooks = NoHooks;
+            let mut ev = Evaluator::new(1, &mut hooks).with_fuel_cell(Arc::clone(&c2));
+            // `Value` is `Rc`-based (not `Send`): only a rendering
+            // crosses back — exactly the pattern `bsml-serve` uses.
+            let out = ev.eval(&e).map(|v| v.to_string());
+            c2.finish();
+            out
+        });
+        let mut slices = 0u32;
+        loop {
+            match cell.wait_quiescent(Duration::from_secs(10)) {
+                Quiescence::Finished => break,
+                Quiescence::Parked => {
+                    cell.grant(1000);
+                    slices += 1;
+                    assert!(slices < 1000, "evaluation never finished");
+                }
+                Quiescence::TimedOut => panic!("evaluator stopped ticking"),
+            }
+        }
+        assert_eq!(t.join().unwrap().unwrap(), "42");
+        assert!(slices > 1, "expected multiple slices, got {slices}");
+        assert!(cell.drawn() >= u64::from(slices - 1) * 1000);
+    }
+
+    #[test]
+    fn fuel_cell_cancellation_surfaces_as_cancelled() {
+        use crate::fuel::Quiescence;
+        use std::time::Duration;
+
+        // A genuinely divergent phrase: only cancellation stops it.
+        let src = "let rec loop n = loop (n + 1) in loop 0";
+        let e = parse(src).expect("parse");
+        let cell = FuelCell::new();
+        let c2 = Arc::clone(&cell);
+        let t = std::thread::spawn(move || {
+            let mut hooks = NoHooks;
+            let mut ev = Evaluator::new(1, &mut hooks).with_fuel_cell(Arc::clone(&c2));
+            let out = ev.eval(&e).map(|v| v.to_string());
+            c2.finish();
+            out
+        });
+        cell.grant(500);
+        assert_eq!(
+            cell.wait_quiescent(Duration::from_secs(10)),
+            Quiescence::Parked
+        );
+        cell.cancel();
+        assert_eq!(t.join().unwrap(), Err(EvalError::Cancelled));
     }
 }

@@ -33,6 +33,11 @@ pub enum EvalError {
     PidOutOfRange(i64, usize),
     /// The step/fuel budget ran out (the program may diverge).
     OutOfFuel,
+    /// The evaluation was cancelled from outside through its
+    /// [`crate::FuelCell`] (deadline enforcement, load shedding, or
+    /// shutdown). Unlike [`EvalError::OutOfFuel`] this says nothing
+    /// about the program — the scheduler pulled the plug.
+    Cancelled,
     /// Non-tail recursion nested deeper than the evaluator's limit.
     RecursionLimit,
     /// A message sent through `put` (or a final result gathered by
@@ -121,6 +126,7 @@ impl fmt::Display for EvalError {
                 write!(f, "process id {n} outside the machine size 0..{p}")
             }
             EvalError::OutOfFuel => f.write_str("evaluation fuel exhausted"),
+            EvalError::Cancelled => f.write_str("evaluation cancelled by the scheduler"),
             EvalError::RecursionLimit => {
                 f.write_str("non-tail recursion exceeded the evaluator depth limit")
             }

@@ -31,6 +31,7 @@ pub mod bigstep;
 pub mod driver;
 pub mod env;
 pub mod error;
+pub mod fuel;
 pub mod hooks;
 pub mod smallstep;
 pub mod snapshot;
@@ -40,6 +41,7 @@ pub use bigstep::{eval_closed, Evaluator};
 pub use driver::{Applier, GlobalDriver, ParallelDriver};
 pub use env::Env;
 pub use error::EvalError;
+pub use fuel::{FuelCell, Quiescence};
 pub use hooks::{CountingHooks, EvalHooks, Mode, NoHooks, TeeHooks, TracingHooks};
 pub use smallstep::{run, step, StepOutcome};
 pub use snapshot::{Snapshot, ValueSnapshot};

@@ -1,0 +1,177 @@
+//! Centralized `BSML_*` environment-knob parsing.
+//!
+//! Every knob in the workspace is read through these helpers so that
+//! malformed values are handled one way, everywhere: the knob falls
+//! back to its default **and the rejection is counted** — once per
+//! knob name per process — under the `config.bad_env_values` counter
+//! instead of being silently swallowed.
+//!
+//! Two sinks receive the warning:
+//!
+//! * a process-global tally, readable via [`bad_env_values`] /
+//!   [`bad_env_names`] (knob parsing often happens at machine
+//!   construction, before any [`Telemetry`] handle is enabled);
+//! * the [`Telemetry`] handle passed to the call, when one is
+//!   available and enabled (no-op otherwise).
+//!
+//! The consolidated registry of every knob — names, defaults,
+//! meanings — lives in `bsml-core::knobs`; this module is the parsing
+//! *mechanism* and sits in `bsml-obs` because it is the one crate
+//! below every knob consumer in the dependency graph.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use crate::Telemetry;
+
+/// The counter name bumped when a set-but-malformed knob is rejected.
+pub const BAD_ENV_COUNTER: &str = "config.bad_env_values";
+
+static BAD_VALUES: AtomicU64 = AtomicU64::new(0);
+
+fn warned() -> &'static Mutex<BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// How many distinct malformed knob values this process has rejected
+/// so far (at most one per knob name).
+#[must_use]
+pub fn bad_env_values() -> u64 {
+    BAD_VALUES.load(Ordering::Relaxed)
+}
+
+/// The knob names whose values were rejected, sorted.
+#[must_use]
+pub fn bad_env_names() -> Vec<String> {
+    warned()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .iter()
+        .cloned()
+        .collect()
+}
+
+/// Records one malformed knob. First rejection of each name bumps the
+/// process-global tally; every call forwards to `telemetry` (no-op
+/// when disabled) so servers with an enabled sink see the counter in
+/// their own metrics.
+fn note_bad(name: &str, raw: &str, telemetry: &Telemetry) {
+    let fresh = warned()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(name.to_string());
+    if fresh {
+        BAD_VALUES.fetch_add(1, Ordering::Relaxed);
+        eprintln!("warning: ignoring malformed {name}={raw:?}; using the default");
+    }
+    telemetry.counter_add(BAD_ENV_COUNTER, 1);
+}
+
+/// Reads an environment knob parsed with [`FromStr`], falling back to
+/// `default` when unset, and to `default` **with a counted warning**
+/// when set but malformed. Leading/trailing whitespace is tolerated.
+pub fn parse_knob<T: FromStr>(name: &str, default: T, telemetry: &Telemetry) -> T {
+    match std::env::var(name) {
+        Err(_) => default,
+        Ok(raw) => match raw.trim().parse::<T>() {
+            Ok(v) => v,
+            Err(_) => {
+                note_bad(name, &raw, telemetry);
+                default
+            }
+        },
+    }
+}
+
+/// Like [`parse_knob`] but with no default: `None` when unset *or*
+/// malformed (malformed still counts a warning).
+pub fn parse_knob_opt<T: FromStr>(name: &str, telemetry: &Telemetry) -> Option<T> {
+    match std::env::var(name) {
+        Err(_) => None,
+        Ok(raw) => match raw.trim().parse::<T>() {
+            Ok(v) => Some(v),
+            Err(_) => {
+                note_bad(name, &raw, telemetry);
+                None
+            }
+        },
+    }
+}
+
+/// A duration knob expressed in milliseconds.
+#[must_use]
+pub fn duration_ms_knob(name: &str, default: Duration, telemetry: &Telemetry) -> Duration {
+    Duration::from_millis(parse_knob(
+        name,
+        u64::try_from(default.as_millis()).unwrap_or(u64::MAX),
+        telemetry,
+    ))
+}
+
+/// A path knob. Any set value is accepted verbatim (paths have no
+/// malformed form worth rejecting at parse time).
+#[must_use]
+pub fn path_knob(name: &str) -> Option<PathBuf> {
+    std::env::var_os(name).map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises the whole module: the warned-set and the
+    // global tally are process-wide, so splitting into several #[test]
+    // functions would race on them.
+    #[test]
+    fn knob_parsing_defaults_counts_and_warns_once() {
+        let tel = Telemetry::enabled_logical();
+
+        std::env::remove_var("BSML_TEST_KNOB_A");
+        assert_eq!(parse_knob("BSML_TEST_KNOB_A", 7u64, &tel), 7);
+        assert_eq!(tel.counter_value(BAD_ENV_COUNTER), 0);
+
+        std::env::set_var("BSML_TEST_KNOB_A", " 42 ");
+        assert_eq!(parse_knob("BSML_TEST_KNOB_A", 7u64, &tel), 42);
+        assert_eq!(tel.counter_value(BAD_ENV_COUNTER), 0);
+
+        let before = bad_env_values();
+        std::env::set_var("BSML_TEST_KNOB_A", "soon");
+        assert_eq!(parse_knob("BSML_TEST_KNOB_A", 7u64, &tel), 7);
+        assert_eq!(bad_env_values(), before + 1);
+        assert!(bad_env_names().contains(&"BSML_TEST_KNOB_A".to_string()));
+        // A second malformed read of the same knob does not grow the
+        // process tally (warn once), but the telemetry sink still sees
+        // each rejection.
+        assert_eq!(parse_knob("BSML_TEST_KNOB_A", 7u64, &tel), 7);
+        assert_eq!(bad_env_values(), before + 1);
+        assert_eq!(tel.counter_value(BAD_ENV_COUNTER), 2);
+
+        std::env::set_var("BSML_TEST_KNOB_B", "99");
+        assert_eq!(parse_knob_opt::<u64>("BSML_TEST_KNOB_B", &tel), Some(99));
+        std::env::set_var("BSML_TEST_KNOB_B", "nope");
+        assert_eq!(parse_knob_opt::<u64>("BSML_TEST_KNOB_B", &tel), None);
+
+        std::env::set_var("BSML_TEST_KNOB_C", "250");
+        assert_eq!(
+            duration_ms_knob("BSML_TEST_KNOB_C", Duration::from_millis(1), &tel),
+            Duration::from_millis(250)
+        );
+
+        std::env::set_var("BSML_TEST_KNOB_D", "/tmp/somewhere");
+        assert_eq!(
+            path_knob("BSML_TEST_KNOB_D"),
+            Some(PathBuf::from("/tmp/somewhere"))
+        );
+        std::env::remove_var("BSML_TEST_KNOB_D");
+        assert_eq!(path_knob("BSML_TEST_KNOB_D"), None);
+
+        for name in ["BSML_TEST_KNOB_A", "BSML_TEST_KNOB_B", "BSML_TEST_KNOB_C"] {
+            std::env::remove_var(name);
+        }
+    }
+}

@@ -41,6 +41,7 @@
 //! [`Telemetry::enabled_logical`] uses a deterministic tick-per-query
 //! clock — golden tests and reproducible traces use the latter.
 
+pub mod env;
 mod export;
 mod flight;
 mod metrics;

@@ -1,0 +1,160 @@
+//! Server tuning: every bound the admission controller and scheduler
+//! enforce lives here, explicit and finite.
+
+use std::time::Duration;
+
+use bsml_bsp::BspParams;
+use bsml_core::knobs;
+use bsml_obs::Telemetry;
+
+/// All the knobs of a [`crate::Server`]. Defaults are deliberately
+/// small: a server that sheds early under test load is one whose
+/// shedding paths are actually exercised.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// BSP machine parameters for every tenant session.
+    pub params: BspParams,
+    /// Worker threads driving fuel slices (not hosting sessions —
+    /// each tenant session lives on its own dedicated host thread).
+    pub workers: usize,
+    /// Global admission-queue bound across all tenants
+    /// (`BSML_QUEUE_DEPTH`).
+    pub queue_depth: usize,
+    /// Per-tenant bound on queued requests.
+    pub tenant_quota: usize,
+    /// Per-request wall-clock deadline, measured from admission;
+    /// `None` disables (`BSML_DEADLINE_MS`, `0` to disable).
+    pub deadline: Option<Duration>,
+    /// Fuel units granted per slice — the preemption granularity.
+    pub fuel_slice: u64,
+    /// Deficit-round-robin quantum: fuel credited to a tenant each
+    /// time the scheduler visits it.
+    pub quantum: u64,
+    /// Hard fuel budget per request; exceeding it cancels the
+    /// evaluation ([`crate::Outcome::BudgetExhausted`]).
+    pub fuel_budget: u64,
+    /// Watchdog leash: how long a worker waits for a host to either
+    /// park or finish before concluding it stopped ticking. Two
+    /// consecutive leashes (cancel, then abandon) bound how long a
+    /// stuck host can hold a worker.
+    pub leash: Duration,
+    /// Consecutive failed requests before a tenant is quarantined.
+    pub quarantine_after: u32,
+    /// How long a quarantined tenant is refused admission.
+    pub quarantine_cooldown: Duration,
+}
+
+impl ServerConfig {
+    /// Defaults for `p`-processor tenant machines.
+    #[must_use]
+    pub fn new(params: BspParams) -> ServerConfig {
+        ServerConfig {
+            params,
+            workers: 4,
+            queue_depth: knobs::DEFAULT_QUEUE_DEPTH,
+            tenant_quota: 32,
+            deadline: Some(knobs::DEFAULT_DEADLINE),
+            fuel_slice: 20_000,
+            quantum: 100_000,
+            fuel_budget: 5_000_000,
+            leash: Duration::from_secs(2),
+            quarantine_after: 3,
+            quarantine_cooldown: Duration::from_secs(5),
+        }
+    }
+
+    /// Defaults with the `BSML_QUEUE_DEPTH` and `BSML_DEADLINE_MS`
+    /// environment knobs applied (malformed values fall back with a
+    /// counted `config.bad_env_values` warning).
+    #[must_use]
+    pub fn from_env(params: BspParams, telemetry: &Telemetry) -> ServerConfig {
+        ServerConfig {
+            queue_depth: knobs::queue_depth_from_env(telemetry),
+            deadline: knobs::deadline_from_env(telemetry),
+            ..ServerConfig::new(params)
+        }
+    }
+
+    /// Overrides the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides the global queue depth (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_depth(mut self, depth: usize) -> ServerConfig {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Overrides the per-tenant quota (clamped to at least 1).
+    #[must_use]
+    pub fn with_tenant_quota(mut self, quota: usize) -> ServerConfig {
+        self.tenant_quota = quota.max(1);
+        self
+    }
+
+    /// Overrides (or with `None`, disables) the per-request deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Duration>) -> ServerConfig {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Overrides the fuel slice and DRR quantum together, keeping the
+    /// invariant `quantum >= slice` that makes a scheduler visit
+    /// always worth at least one grant.
+    #[must_use]
+    pub fn with_fuel_slice(mut self, slice: u64, quantum: u64) -> ServerConfig {
+        self.fuel_slice = slice.max(1);
+        self.quantum = quantum.max(self.fuel_slice);
+        self
+    }
+
+    /// Overrides the per-request fuel budget.
+    #[must_use]
+    pub fn with_fuel_budget(mut self, budget: u64) -> ServerConfig {
+        self.fuel_budget = budget.max(1);
+        self
+    }
+
+    /// Overrides the watchdog leash.
+    #[must_use]
+    pub fn with_leash(mut self, leash: Duration) -> ServerConfig {
+        self.leash = leash;
+        self
+    }
+
+    /// Overrides the quarantine policy.
+    #[must_use]
+    pub fn with_quarantine(mut self, after: u32, cooldown: Duration) -> ServerConfig {
+        self.quarantine_after = after.max(1);
+        self.quarantine_cooldown = cooldown;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_clamp() {
+        let c = ServerConfig::new(BspParams::new(2, 1, 10))
+            .with_workers(0)
+            .with_queue_depth(0)
+            .with_tenant_quota(0)
+            .with_fuel_slice(0, 0)
+            .with_fuel_budget(0)
+            .with_quarantine(0, Duration::from_secs(1));
+        assert_eq!(c.workers, 1);
+        assert_eq!(c.queue_depth, 1);
+        assert_eq!(c.tenant_quota, 1);
+        assert_eq!(c.fuel_slice, 1);
+        assert!(c.quantum >= c.fuel_slice);
+        assert_eq!(c.fuel_budget, 1);
+        assert_eq!(c.quarantine_after, 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Session hosts: one dedicated thread per tenant session.
+//!
+//! `Session` (and the `Value`s inside it) is `Rc`-based and cannot
+//! cross threads, so the server never moves it: each tenant's session
+//! is born, lives, and dies on its own host thread. Only `String`s
+//! (phrase sources, rendered results) and the shared
+//! [`FuelCell`] handle cross the boundary. Workers *drive* hosts by
+//! granting fuel through the cell; they never touch the session.
+//!
+//! A host runs one request at a time, **transactionally**: it
+//! snapshots the session before `load`, and restores that snapshot on
+//! *any* failure — static error, dynamic failure, cancellation, or a
+//! panic caught at the host's `catch_unwind` boundary. Only a fully
+//! successful request commits, which is what makes the server's
+//! replay transcripts deterministic: a transcript is exactly the
+//! sources that committed, and replaying them from scratch rebuilds
+//! the same session state.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bsml_core::{BsmlError, Session, SessionEvent};
+use bsml_eval::{EvalError, FuelCell};
+use bsml_obs::Telemetry;
+
+use crate::config::ServerConfig;
+
+/// What a host reports back for one request.
+#[derive(Clone, Debug)]
+pub(crate) enum HostOutcome {
+    /// Every phrase succeeded; the request committed.
+    Done { rendered: Vec<String> },
+    /// Parse or type error; rolled back (nothing had run).
+    Static { error: String },
+    /// A phrase failed dynamically; rolled back. `cancelled` is true
+    /// when the failure was [`EvalError::Cancelled`] — the scheduler
+    /// pulled the plug (deadline or budget), not the program.
+    Failed { error: String, cancelled: bool },
+    /// The evaluation panicked; the panic was contained and the
+    /// session restored.
+    Panicked,
+}
+
+pub(crate) enum HostCmd {
+    /// Run one request's source. The host replies exactly once on
+    /// `reply` and then calls [`FuelCell::finish`].
+    Run {
+        source: String,
+        reply: mpsc::Sender<HostOutcome>,
+    },
+    /// Exit the host loop.
+    Shutdown,
+}
+
+/// A handle to a live host thread.
+pub(crate) struct HostHandle {
+    pub(crate) cmd_tx: mpsc::Sender<HostCmd>,
+    pub(crate) cell: Arc<FuelCell>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl HostHandle {
+    /// Spawns a host for `tenant`, replaying `transcript` (the
+    /// tenant's committed sources) to rebuild prior session state.
+    /// The replay runs under plain generous fuel — every transcript
+    /// entry already completed within budget once, so replay cannot
+    /// hang on fuel.
+    pub(crate) fn spawn(
+        tenant: &str,
+        config: &ServerConfig,
+        telemetry: &Telemetry,
+        transcript: Vec<String>,
+    ) -> HostHandle {
+        let (cmd_tx, cmd_rx) = mpsc::channel::<HostCmd>();
+        let cell = FuelCell::new();
+        let thread_cell = Arc::clone(&cell);
+        let params = config.params;
+        let telemetry = telemetry.clone();
+        let name = format!("bsml-host-{tenant}");
+        let join = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || {
+                host_main(params, telemetry, transcript, &thread_cell, &cmd_rx);
+            })
+            .expect("spawn session host thread");
+        HostHandle {
+            cmd_tx,
+            cell,
+            join: Some(join),
+        }
+    }
+
+    /// Asks the host to exit and joins it. Never called on abandoned
+    /// hosts (those are detached by dropping the handle).
+    pub(crate) fn shutdown(mut self) {
+        let _ = self.cmd_tx.send(HostCmd::Shutdown);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+
+    /// Detaches the thread (used by watchdog abandon: the host is
+    /// stuck and will never join).
+    pub(crate) fn abandon(mut self) {
+        self.join.take();
+    }
+}
+
+fn host_main(
+    params: bsml_bsp::BspParams,
+    telemetry: Telemetry,
+    transcript: Vec<String>,
+    cell: &Arc<FuelCell>,
+    cmd_rx: &mpsc::Receiver<HostCmd>,
+) {
+    // Rebuild committed state first, on plain fuel (no cell): every
+    // transcript entry is a request that already succeeded, so this
+    // terminates without scheduler involvement.
+    let mut session = Session::with_telemetry(params, telemetry.clone());
+    for source in &transcript {
+        let _ = session.load(source);
+    }
+    // From here on, every evaluation draws fuel through the cell.
+    let mut session = session.with_fuel_cell(Arc::clone(cell));
+
+    while let Ok(HostCmd::Run { source, reply }) = cmd_rx.recv() {
+        let outcome = run_one(&mut session, &source);
+        let _ = reply.send(outcome);
+        cell.finish();
+    }
+}
+
+/// Runs one request transactionally against the session.
+fn run_one(session: &mut Session, source: &str) -> HostOutcome {
+    let before = session.snapshot();
+    let result = catch_unwind(AssertUnwindSafe(|| session.load(source)));
+    match result {
+        Err(_panic) => {
+            session.restore(&before);
+            HostOutcome::Panicked
+        }
+        Ok(Err(err)) => {
+            // Static errors are all-or-nothing in `Session::load`,
+            // but restore anyway: the transactional contract is
+            // "failure ⇒ bit-identical to never having loaded".
+            let error = render_error(&err, source);
+            session.restore(&before);
+            HostOutcome::Static { error }
+        }
+        Ok(Ok(events)) => {
+            if let Some(failure) = events.iter().find_map(|e| e.error()) {
+                let cancelled = *failure == EvalError::Cancelled;
+                let error = failure.to_string();
+                session.restore(&before);
+                HostOutcome::Failed { error, cancelled }
+            } else {
+                let rendered = events.iter().map(render_event).collect();
+                HostOutcome::Done { rendered }
+            }
+        }
+    }
+}
+
+fn render_error(err: &BsmlError, source: &str) -> String {
+    match err {
+        BsmlError::Parse(_) | BsmlError::Type(_) => err.render(source),
+        BsmlError::Eval(e) => e.to_string(),
+    }
+}
+
+fn render_event(event: &SessionEvent) -> String {
+    let name = event
+        .name()
+        .map_or_else(|| "-".to_string(), ToString::to_string);
+    match event.value() {
+        Some(v) => format!("{name} : {} = {v}", event.scheme()),
+        None => format!("{name} : {} (failed)", event.scheme()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsml_bsp::BspParams;
+
+    fn session() -> Session {
+        Session::new(BspParams::new(2, 1, 10))
+    }
+
+    #[test]
+    fn run_one_commits_success() {
+        let mut s = session();
+        let out = run_one(&mut s, "let x = 40 + 2");
+        match out {
+            HostOutcome::Done { rendered } => {
+                assert_eq!(rendered, vec!["x : int = 42"]);
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        assert_eq!(s.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn run_one_rolls_back_dynamic_failures_entirely() {
+        let mut s = session();
+        let _ = run_one(&mut s, "let base = 10");
+        // Second phrase fails: the WHOLE request (incl. `good`) rolls
+        // back, unlike a bare Session::load which would keep `good`.
+        let out = run_one(&mut s, "let good = 1\nlet bad = base / 0");
+        assert!(matches!(
+            out,
+            HostOutcome::Failed {
+                cancelled: false,
+                ..
+            }
+        ));
+        assert_eq!(s.snapshot().len(), 1, "only `base` survives");
+        assert!(s.scheme_of("good").is_none());
+    }
+
+    #[test]
+    fn run_one_reports_static_errors() {
+        let mut s = session();
+        let out = run_one(&mut s, "let x = mkpar (fun i -> mkpar (fun j -> j))");
+        assert!(matches!(out, HostOutcome::Static { .. }));
+        assert_eq!(s.snapshot().len(), 0);
+    }
+
+    #[test]
+    fn host_thread_round_trip() {
+        let config = ServerConfig::new(BspParams::new(2, 1, 10));
+        let telemetry = Telemetry::disabled();
+        let host = HostHandle::spawn("t0", &config, &telemetry, vec![]);
+        let (reply_tx, reply_rx) = mpsc::channel();
+        host.cell.reset();
+        host.cmd_tx
+            .send(HostCmd::Run {
+                source: "let x = 1 + 1".to_string(),
+                reply: reply_tx,
+            })
+            .unwrap();
+        // Drive it: grant generously until finished.
+        loop {
+            host.cell.grant(100_000);
+            if host.cell.wait_quiescent(std::time::Duration::from_secs(10))
+                == bsml_eval::Quiescence::Finished
+            {
+                break;
+            }
+        }
+        let out = reply_rx.recv().unwrap();
+        assert!(matches!(out, HostOutcome::Done { .. }));
+        assert!(host.cell.drawn() > 0);
+        host.shutdown();
+    }
+
+    #[test]
+    fn host_replays_transcript_on_spawn() {
+        let config = ServerConfig::new(BspParams::new(2, 1, 10));
+        let telemetry = Telemetry::disabled();
+        let host = HostHandle::spawn(
+            "t1",
+            &config,
+            &telemetry,
+            vec!["let a = 20".to_string(), "let b = a + 22".to_string()],
+        );
+        let (reply_tx, reply_rx) = mpsc::channel();
+        host.cell.reset();
+        host.cmd_tx
+            .send(HostCmd::Run {
+                source: "b".to_string(),
+                reply: reply_tx,
+            })
+            .unwrap();
+        loop {
+            host.cell.grant(100_000);
+            if host.cell.wait_quiescent(std::time::Duration::from_secs(10))
+                == bsml_eval::Quiescence::Finished
+            {
+                break;
+            }
+        }
+        match reply_rx.recv().unwrap() {
+            HostOutcome::Done { rendered } => assert_eq!(rendered, vec!["- : int = 42"]),
+            other => panic!("expected Done, got {other:?}"),
+        }
+        host.shutdown();
+    }
+}

@@ -1,0 +1,53 @@
+//! Load generator: drive the multi-tenant session server with seeded
+//! mixed traffic — well-typed, ill-typed, dynamically failing,
+//! divergent, and heavy phrases — under deliberate overload, and
+//! print the overload-behavior table rows recorded in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release --example load_gen
+//! ```
+
+use std::time::Duration;
+
+use bsml_bsp::BspParams;
+use bsml_obs::Telemetry;
+use bsml_repro::loadgen::{self, LoadMix, LoadPlan};
+use bsml_serve::{Server, ServerConfig};
+
+fn run_scenario(label: &str, workers: usize, queue_depth: usize, tenants: usize, mix: LoadMix) {
+    let telemetry = Telemetry::enabled();
+    let config = ServerConfig::new(BspParams::new(4, 2, 10))
+        .with_workers(workers)
+        .with_queue_depth(queue_depth)
+        .with_tenant_quota(8)
+        .with_deadline(Some(Duration::from_millis(1_500)));
+    let server = Server::start(config, telemetry);
+    let plan = LoadPlan {
+        tenants,
+        per_tenant: 6,
+        seed: 42,
+        mix,
+    };
+    let report = loadgen::run(&server, &plan);
+    println!("{}", report.markdown_row(label));
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.offered,
+        stats.admitted + stats.rejected(),
+        "accounting must be exact"
+    );
+    assert_eq!(stats.admitted, stats.completed, "every admission completes");
+}
+
+fn main() {
+    println!("| scenario | offered | admitted | rejected | done | p50 (ms) | p99 (ms) | shed |");
+    println!("|---|---|---|---|---|---|---|---|");
+    // Uncontended: plenty of workers and queue for clean traffic.
+    run_scenario("clean, uncontended", 4, 256, 8, LoadMix::clean());
+    // Stress mix at the same capacity: divergent and heavy tenants
+    // burn deadline budget but neighbors still complete.
+    run_scenario("stress, uncontended", 4, 256, 8, LoadMix::stress());
+    // Deliberate overload: a tiny queue forces admission control to
+    // shed at the door instead of buffering without bound.
+    run_scenario("stress, overloaded", 2, 8, 24, LoadMix::stress());
+}

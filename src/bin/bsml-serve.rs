@@ -1,0 +1,126 @@
+//! `bsml-serve`: run the multi-tenant session server under a seeded
+//! synthetic load and print its overload behavior.
+//!
+//! ```text
+//! bsml-serve [--tenants N] [--requests N] [--workers N] [--seed S]
+//!            [--deadline-ms MS] [--queue-depth N] [--clean]
+//! ```
+//!
+//! Offers `tenants × requests` phrases round-robin across tenants —
+//! by default a stress mix (divergent, failing, ill-typed, heavy and
+//! well-typed traffic) — waits for every admitted completion, then
+//! prints exact accounting, latency percentiles, and the shed rate.
+//!
+//! Exit status: 0 = accounting exact (`offered == admitted +
+//! rejected` and `admitted == completed`); 1 = usage error;
+//! 2 = accounting mismatch (a server bug, worth a loud CI failure).
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use bsml_bsp::BspParams;
+use bsml_obs::Telemetry;
+use bsml_repro::loadgen::{self, LoadMix, LoadPlan};
+use bsml_serve::{Server, ServerConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bsml-serve [--tenants N] [--requests N] [--workers N] [--seed S] \
+         [--deadline-ms MS] [--queue-depth N] [--clean]"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut tenants: usize = 8;
+    let mut requests: usize = 8;
+    let mut workers: usize = 4;
+    let mut seed: u64 = 42;
+    let mut deadline_ms: u64 = 2_000;
+    let mut queue_depth: usize = 256;
+    let mut mix = LoadMix::stress();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tenants" | "--requests" | "--workers" | "--seed" | "--deadline-ms"
+            | "--queue-depth" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    return usage();
+                };
+                match arg.as_str() {
+                    "--tenants" => tenants = v as usize,
+                    "--requests" => requests = v as usize,
+                    "--workers" => workers = v as usize,
+                    "--seed" => seed = v,
+                    "--deadline-ms" => deadline_ms = v,
+                    _ => queue_depth = v as usize,
+                }
+            }
+            "--clean" => mix = LoadMix::clean(),
+            _ => return usage(),
+        }
+    }
+
+    let telemetry = Telemetry::enabled();
+    let config = ServerConfig::from_env(BspParams::new(4, 2, 10), &telemetry)
+        .with_workers(workers)
+        .with_queue_depth(queue_depth)
+        .with_deadline(if deadline_ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(deadline_ms))
+        });
+    let server = Server::start(config, telemetry.clone());
+    let plan = LoadPlan {
+        tenants,
+        per_tenant: requests,
+        seed,
+        mix,
+    };
+    let report = loadgen::run(&server, &plan);
+    let stats = server.shutdown();
+
+    println!(
+        "offered {} = admitted {} + rejected {} (queue_full {}, tenant_quota {}, quarantined {})",
+        stats.offered,
+        stats.admitted,
+        stats.rejected(),
+        stats.rejected_queue_full,
+        stats.rejected_tenant_quota,
+        stats.rejected_quarantined,
+    );
+    println!(
+        "completed {}: done {}, static {}, failed {}, deadline {}, budget {}, \
+         panics {}, abandoned {}, shed {}",
+        stats.completed,
+        stats.done,
+        stats.static_errors,
+        stats.failed,
+        stats.deadline_exceeded,
+        stats.budget_exhausted,
+        stats.panics_contained,
+        stats.abandoned,
+        stats.shed,
+    );
+    println!(
+        "preemptions {}, quarantines {}",
+        stats.preemptions, stats.quarantines
+    );
+    println!(
+        "latency p50 {:.1} ms, p99 {:.1} ms (done-only p50 {:.1} ms), shed rate {:.1}%",
+        report.latency_percentile_us(50) as f64 / 1000.0,
+        report.latency_percentile_us(99) as f64 / 1000.0,
+        report.done_percentile_us(50) as f64 / 1000.0,
+        report.shed_rate() * 100.0,
+    );
+
+    let exact =
+        stats.offered == stats.admitted + stats.rejected() && stats.admitted == stats.completed;
+    if exact {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ACCOUNTING MISMATCH");
+        ExitCode::from(2)
+    }
+}

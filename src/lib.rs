@@ -2,4 +2,5 @@
 //! examples live here. The library part provides shared test
 //! support.
 
+pub mod loadgen;
 pub mod testgen;

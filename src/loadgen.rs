@@ -1,0 +1,232 @@
+//! A seeded load generator for the `bsml-serve` session server:
+//! mixed accept / reject / divergent traffic with exact accounting
+//! and latency percentiles.
+//!
+//! The generator is deterministic in its seed: the same
+//! [`LoadPlan`] against the same server configuration produces the
+//! same sequence of (tenant, source) offers, which is what makes the
+//! soak tests' accounting assertions meaningful.
+
+use bsml_serve::{Outcome, Server, ServerStats, Ticket};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::testgen::{self, Adversarial};
+
+/// Traffic mix, in percent of offered requests. Whatever the four
+/// adversarial shares leave over is well-typed traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadMix {
+    /// Divergent phrases (toplevel or single-component spins).
+    pub divergent: u32,
+    /// Dynamically failing phrases (division by zero).
+    pub failing: u32,
+    /// Statically rejected phrases (type or parse errors).
+    pub ill_typed: u32,
+    /// Heavy-but-terminating phrases (preemption pressure).
+    pub heavy: u32,
+}
+
+impl LoadMix {
+    /// A mix that exercises every server path: 10% divergent, 10%
+    /// failing, 10% ill-typed, 20% heavy, 50% well-typed.
+    #[must_use]
+    pub fn stress() -> LoadMix {
+        LoadMix {
+            divergent: 10,
+            failing: 10,
+            ill_typed: 10,
+            heavy: 20,
+        }
+    }
+
+    /// Only well-typed traffic.
+    #[must_use]
+    pub fn clean() -> LoadMix {
+        LoadMix {
+            divergent: 0,
+            failing: 0,
+            ill_typed: 0,
+            heavy: 0,
+        }
+    }
+}
+
+/// One load run: `tenants × per_tenant` offers, round-robin across
+/// tenants, drawn from `mix` with the given seed.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadPlan {
+    /// How many tenants offer traffic.
+    pub tenants: usize,
+    /// Offers per tenant.
+    pub per_tenant: usize,
+    /// RNG seed; same seed ⇒ same offer sequence.
+    pub seed: u64,
+    /// Traffic composition.
+    pub mix: LoadMix,
+}
+
+/// What one load run observed.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// Server accounting at the end of the run (drained).
+    pub stats: ServerStats,
+    /// Latencies of all completions, microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+    /// Latencies of successful ([`Outcome::Done`]) completions only,
+    /// microseconds, sorted ascending.
+    pub done_latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// The `p`-th percentile (0–100) of all completion latencies.
+    #[must_use]
+    pub fn latency_percentile_us(&self, p: u32) -> u64 {
+        percentile(&self.latencies_us, p)
+    }
+
+    /// The `p`-th percentile of successful-completion latencies.
+    #[must_use]
+    pub fn done_percentile_us(&self, p: u32) -> u64 {
+        percentile(&self.done_latencies_us, p)
+    }
+
+    /// Fraction of offers shed at admission (typed rejections).
+    #[must_use]
+    pub fn shed_rate(&self) -> f64 {
+        if self.stats.offered == 0 {
+            0.0
+        } else {
+            self.stats.rejected() as f64 / self.stats.offered as f64
+        }
+    }
+
+    /// One GitHub-markdown table row:
+    /// `| label | offered | admitted | rejected | done | p50 | p99 | shed |`.
+    #[must_use]
+    pub fn markdown_row(&self, label: &str) -> String {
+        format!(
+            "| {} | {} | {} | {} | {} | {:.1} | {:.1} | {:.1}% |",
+            label,
+            self.stats.offered,
+            self.stats.admitted,
+            self.stats.rejected(),
+            self.stats.done,
+            self.latency_percentile_us(50) as f64 / 1000.0,
+            self.latency_percentile_us(99) as f64 / 1000.0,
+            self.shed_rate() * 100.0,
+        )
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: u32) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (sorted_us.len() - 1) * p.min(100) as usize / 100;
+    sorted_us[rank]
+}
+
+/// Draws one phrase source according to the mix.
+fn draw_source(rng: &mut StdRng, mix: &LoadMix) -> String {
+    let roll: u32 = rng.gen_range(0..100);
+    let seed = rng.gen_range(0..u64::MAX / 2);
+    let d = mix.divergent;
+    let f = d + mix.failing;
+    let i = f + mix.ill_typed;
+    let h = i + mix.heavy;
+    if roll < d {
+        let family = if seed % 2 == 0 {
+            Adversarial::Divergent
+        } else {
+            Adversarial::DivergentLocal
+        };
+        testgen::adversarial(seed, family)
+    } else if roll < f {
+        testgen::adversarial(seed, Adversarial::DivisionByZero)
+    } else if roll < i {
+        let family = match seed % 4 {
+            0 => Adversarial::NestingBreach,
+            1 => Adversarial::LocalityBreach,
+            2 => Adversarial::ParseError,
+            _ => Adversarial::IllTyped,
+        };
+        testgen::adversarial(seed, family)
+    } else if roll < h {
+        testgen::adversarial(seed, Adversarial::Heavy)
+    } else {
+        testgen::well_typed_source(seed, 2)
+    }
+}
+
+/// Runs the plan against a live server: offers everything, waits for
+/// every admitted completion, drains, and reports. The server is left
+/// running (call [`Server::shutdown`] yourself for final accounting).
+#[must_use]
+pub fn run(server: &Server, plan: &LoadPlan) -> LoadReport {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for _round in 0..plan.per_tenant {
+        for t in 0..plan.tenants {
+            let tenant = format!("tenant{t:03}");
+            let source = draw_source(&mut rng, &plan.mix);
+            if let Ok(ticket) = server.submit(&tenant, &source) {
+                tickets.push(ticket);
+            }
+        }
+    }
+    let mut latencies_us = Vec::with_capacity(tickets.len());
+    let mut done_latencies_us = Vec::new();
+    for ticket in tickets {
+        let completion = ticket.wait();
+        let us = u64::try_from(completion.latency.as_micros()).unwrap_or(u64::MAX);
+        latencies_us.push(us);
+        if matches!(completion.outcome, Outcome::Done { .. }) {
+            done_latencies_us.push(us);
+        }
+    }
+    server.drain();
+    latencies_us.sort_unstable();
+    done_latencies_us.sort_unstable();
+    LoadReport {
+        stats: server.stats(),
+        latencies_us,
+        done_latencies_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_ranks() {
+        let xs = vec![10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&xs, 0), 10);
+        assert_eq!(percentile(&xs, 50), 50);
+        assert_eq!(percentile(&xs, 100), 100);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn draw_source_is_deterministic_per_seed() {
+        let mix = LoadMix::stress();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(draw_source(&mut a, &mix), draw_source(&mut b, &mix));
+        }
+    }
+
+    #[test]
+    fn clean_mix_only_draws_well_typed() {
+        let mix = LoadMix::clean();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let src = draw_source(&mut rng, &mix);
+            // Well-typed sources come from the typed generator and
+            // must parse.
+            assert!(bsml_syntax::parse(&src).is_ok(), "unparsable: {src}");
+        }
+    }
+}

@@ -263,3 +263,88 @@ pub fn generate(seed: u64, ty: GenTy, depth: u32) -> Expr {
     };
     g.gen(ty, depth, &[])
 }
+
+/// A family of *adversarial* phrases: programs a hostile or buggy
+/// tenant might throw at the session server. Unlike [`generate`],
+/// these are rendered to concrete source (the server's wire format).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Adversarial {
+    /// Dynamic nesting, the very thing the type system rejects: a
+    /// parallel primitive inside a vector component. Statically
+    /// rejected, so the server answers with a type error.
+    NestingBreach,
+    /// A locality violation: a parallel vector referenced from inside
+    /// another vector's component (paper §2.1's locality discipline).
+    LocalityBreach,
+    /// A plain type error (`int` meets `bool`).
+    IllTyped,
+    /// Concrete syntax that does not parse.
+    ParseError,
+    /// A well-typed phrase that diverges at the toplevel — the
+    /// deadline/fuel-budget stressor.
+    Divergent,
+    /// A well-typed phrase that diverges *inside* one vector
+    /// component, so only one simulated processor spins.
+    DivergentLocal,
+    /// A well-typed phrase that fails dynamically (division by zero)
+    /// — exercises transactional rollback without divergence.
+    DivisionByZero,
+    /// A heavy but terminating loop — burns many fuel slices and
+    /// exercises preemption without tripping the deadline.
+    Heavy,
+}
+
+/// All adversarial families, for sweep-style tests.
+pub const ADVERSARIAL_FAMILIES: [Adversarial; 8] = [
+    Adversarial::NestingBreach,
+    Adversarial::LocalityBreach,
+    Adversarial::IllTyped,
+    Adversarial::ParseError,
+    Adversarial::Divergent,
+    Adversarial::DivergentLocal,
+    Adversarial::DivisionByZero,
+    Adversarial::Heavy,
+];
+
+/// Renders a seeded phrase of the given adversarial family. The seed
+/// varies names and constants so a server sees distinct sources, but
+/// every seed of a family has the family's defining behavior.
+#[must_use]
+pub fn adversarial(seed: u64, family: Adversarial) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: i64 = rng.gen_range(1..100);
+    let m: i64 = rng.gen_range(2..50);
+    let x = format!("x{}", rng.gen_range(0..1000));
+    match family {
+        Adversarial::NestingBreach => {
+            format!("let {x} = mkpar (fun i -> let inner = mkpar (fun j -> j + {n}) in i)")
+        }
+        Adversarial::LocalityBreach => {
+            format!("let outer = mkpar (fun i -> i * {n})\nlet {x} = mkpar (fun i -> outer)")
+        }
+        Adversarial::IllTyped => format!("let {x} = {n} + (1 < {m})"),
+        Adversarial::ParseError => format!("let {x} = {n} + in *"),
+        Adversarial::Divergent => format!("let rec spin{n} k = spin{n} (k + {m}) in spin{n} 0"),
+        Adversarial::DivergentLocal => format!(
+            "let {x} = mkpar (fun i -> if i = 0 then \
+             (let rec w k = w (k + 1) in w {n}) else i)"
+        ),
+        Adversarial::DivisionByZero => format!("let {x} = {n} / ({m} - {m})"),
+        Adversarial::Heavy => format!(
+            "let rec burn k = if k = 0 then {n} else burn (k - 1) in burn {}",
+            50_000 + rng.gen_range(0..50_000)
+        ),
+    }
+}
+
+/// Renders a seeded *well-typed* phrase as source, for mixing with
+/// the adversarial families in load generators.
+#[must_use]
+pub fn well_typed_source(seed: u64, depth: u32) -> String {
+    let ty = match seed % 3 {
+        0 => GenTy::Int,
+        1 => GenTy::Bool,
+        _ => GenTy::IntPar,
+    };
+    bsml_ast::pretty::to_source(&generate(seed, ty, depth))
+}

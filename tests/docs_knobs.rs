@@ -1,0 +1,41 @@
+//! The README's consolidated `BSML_*` knob table is generated from
+//! `bsml_core::knobs::registry_markdown()`; this test diffs the two
+//! so docs cannot drift from the registry.
+
+use bsml_core::knobs;
+
+#[test]
+fn readme_knob_table_matches_the_registry() {
+    let readme = include_str!("../README.md");
+    let begin = readme
+        .find("<!-- knob-table:begin -->")
+        .expect("README has the knob-table begin marker");
+    let end = readme
+        .find("<!-- knob-table:end -->")
+        .expect("README has the knob-table end marker");
+    let in_readme = readme[begin..end]
+        .lines()
+        .skip(1) // the begin marker line itself
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_eq!(
+        in_readme.trim(),
+        knobs::registry_markdown().trim(),
+        "README knob table drifted from bsml_core::knobs::registry(); \
+         regenerate it with registry_markdown()"
+    );
+}
+
+#[test]
+fn every_knob_in_the_registry_names_a_real_env_var() {
+    // The registry is the single source of truth; each entry must at
+    // least look like one of ours and carry a non-empty doc line.
+    for knob in knobs::registry() {
+        assert!(
+            knob.name.starts_with("BSML_"),
+            "{} is not a BSML_* variable",
+            knob.name
+        );
+        assert!(!knob.doc.is_empty(), "{} has no doc line", knob.name);
+    }
+}

@@ -1,0 +1,204 @@
+//! Soak: ≥ 64 concurrent tenant sessions under deliberate overload
+//! with mixed hostile traffic. Asserts the server's hard operational
+//! invariants:
+//!
+//! * **Exact typed accounting** — `offered == admitted + rejected`,
+//!   with every rejection accounted under exactly one typed reason,
+//!   and every admission completing (`admitted == completed`).
+//! * **No watchdog bailouts, no escaped panics** — divergent phrases
+//!   die by cooperative cancellation (deadline / budget), never by
+//!   thread abandonment; evaluator panics stay contained.
+//! * **Bounded deadline overrun** — a deadline-exceeded request's
+//!   latency stays within deadline + one watchdog leash + scheduling
+//!   slack; the watchdog leash is the backstop, not the mechanism.
+//! * **No starvation** — a light tenant's small phrases complete
+//!   promptly while 63 neighbors spin, flood, and fail around it.
+//!
+//! The CI `server-soak` job runs this file in `--release` under a
+//! hard timeout; in plain `cargo test` the scaled-down debug profile
+//! still finishes in well under a minute.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use bsml_bsp::BspParams;
+use bsml_obs::Telemetry;
+use bsml_repro::testgen::{adversarial, well_typed_source, Adversarial};
+use bsml_serve::{Outcome, Rejected, Server, ServerConfig, Ticket};
+
+const TENANTS: usize = 64;
+const PER_TENANT: usize = 3;
+const DEADLINE: Duration = Duration::from_millis(600);
+const LEASH: Duration = Duration::from_millis(500);
+
+fn soak_config() -> ServerConfig {
+    ServerConfig::new(BspParams::new(2, 1, 10))
+        .with_workers(4)
+        .with_deadline(Some(DEADLINE))
+        .with_leash(LEASH)
+        // Small quantum: scheduler rounds stay short, so expired
+        // deadlines are noticed quickly even with 64 ready tenants.
+        .with_fuel_slice(5_000, 10_000)
+        .with_fuel_budget(2_000_000)
+}
+
+/// The per-tenant source mix: every fourth tenant is hostile.
+fn source_for(tenant: usize, round: usize) -> String {
+    let seed = (tenant * 131 + round) as u64;
+    match tenant % 8 {
+        0 => adversarial(seed, Adversarial::Divergent),
+        2 => adversarial(seed, Adversarial::DivisionByZero),
+        4 => adversarial(seed, Adversarial::IllTyped),
+        6 => adversarial(seed, Adversarial::Heavy),
+        _ => well_typed_source(seed, 2),
+    }
+}
+
+#[test]
+fn soak_overload_exact_typed_accounting() {
+    // Deliberate overload: a queue much smaller than the offered load
+    // plus a tight per-tenant quota, so all three live rejection
+    // reasons fire.
+    let server = Server::start(
+        soak_config().with_queue_depth(24).with_tenant_quota(2),
+        Telemetry::enabled(),
+    );
+    let telemetry = server.telemetry().clone();
+
+    let mut offered = 0u64;
+    let mut admitted: Vec<Ticket> = Vec::new();
+    let mut rejected: HashMap<&'static str, u64> = HashMap::new();
+    for round in 0..PER_TENANT {
+        for tenant in 0..TENANTS {
+            offered += 1;
+            match server.submit(&format!("t{tenant:03}"), &source_for(tenant, round)) {
+                Ok(ticket) => admitted.push(ticket),
+                Err(Rejected::QueueFull) => *rejected.entry("queue_full").or_default() += 1,
+                Err(Rejected::TenantQuota) => *rejected.entry("tenant_quota").or_default() += 1,
+                Err(Rejected::Quarantined) => *rejected.entry("quarantined").or_default() += 1,
+                Err(Rejected::ShuttingDown) => panic!("server is not shutting down"),
+            }
+        }
+    }
+
+    // Every admitted request completes with exactly one outcome.
+    let mut deadline_latencies: Vec<Duration> = Vec::new();
+    let admitted_count = admitted.len() as u64;
+    for ticket in admitted {
+        let c = ticket.wait();
+        match &c.outcome {
+            Outcome::DeadlineExceeded => deadline_latencies.push(c.latency),
+            Outcome::Abandoned => panic!("watchdog abandoned a host during the soak"),
+            _ => {}
+        }
+    }
+    server.drain();
+    let stats = server.shutdown();
+
+    // Submit-side ledger and server-side stats must agree, reason by
+    // reason — typed rejections are accounting, not best-effort hints.
+    assert_eq!(stats.offered, offered);
+    assert_eq!(stats.admitted, admitted_count);
+    assert_eq!(
+        stats.rejected_queue_full,
+        rejected.get("queue_full").copied().unwrap_or(0)
+    );
+    assert_eq!(
+        stats.rejected_tenant_quota,
+        rejected.get("tenant_quota").copied().unwrap_or(0)
+    );
+    assert_eq!(
+        stats.rejected_quarantined,
+        rejected.get("quarantined").copied().unwrap_or(0)
+    );
+    assert_eq!(stats.offered, stats.admitted + stats.rejected());
+    assert_eq!(stats.admitted, stats.completed, "every admission completes");
+    assert!(
+        stats.rejected() > 0,
+        "the overload was supposed to shed load"
+    );
+
+    // Containment invariants.
+    assert_eq!(stats.abandoned, 0, "cancellation must beat the watchdog");
+    assert_eq!(stats.panics_contained, 0, "nothing in the mix panics");
+
+    // Deadline overrun bound: cancellation fires at the next scheduler
+    // visit after expiry and the host unwinds within a leash.
+    let bound = DEADLINE + LEASH + Duration::from_secs(2);
+    for latency in &deadline_latencies {
+        assert!(
+            *latency <= bound,
+            "deadline overrun: latency {latency:?} exceeds {bound:?}"
+        );
+    }
+
+    // The admission queue really was bounded: the queue-depth
+    // histogram (sampled at every admission) never saw a sample
+    // beyond the configured capacity.
+    let metrics = telemetry.metrics();
+    let depth = metrics
+        .histograms
+        .get("server.queue_depth")
+        .expect("admissions record queue depth");
+    assert!(
+        depth.max <= 24,
+        "queue depth {} escaped its bound of 24",
+        depth.max
+    );
+}
+
+#[test]
+fn soak_light_tenant_never_starves() {
+    // 63 hostile/heavy tenants plus one light tenant, everyone
+    // admitted (big queue, roomy quota): the light tenant's phrases
+    // must complete — and complete as successes, not deadline kills —
+    // while the neighbors burn their budgets.
+    let server = Server::start(
+        soak_config()
+            .with_workers(4)
+            .with_deadline(Some(Duration::from_secs(3)))
+            .with_queue_depth(4096)
+            .with_tenant_quota(PER_TENANT + 1),
+        Telemetry::disabled(),
+    );
+
+    let mut noise: Vec<Ticket> = Vec::new();
+    let mut light: Vec<(Ticket, Instant)> = Vec::new();
+    for round in 0..PER_TENANT {
+        for tenant in 0..TENANTS - 1 {
+            noise.push(
+                server
+                    .submit(&format!("noise{tenant:03}"), &source_for(tenant, round))
+                    .expect("queue is big enough for everyone"),
+            );
+        }
+        light.push((
+            server
+                .submit("light", &format!("let v{round} = {round} + 1"))
+                .expect("light tenant admitted"),
+            Instant::now(),
+        ));
+    }
+
+    for (ticket, _) in light {
+        let c = ticket.wait();
+        assert!(
+            matches!(c.outcome, Outcome::Done { .. }),
+            "light tenant did not complete: {:?}",
+            c.outcome
+        );
+        assert!(
+            c.latency < Duration::from_secs(3),
+            "light tenant starved: {:?}",
+            c.latency
+        );
+    }
+    for ticket in noise {
+        let _ = ticket.wait();
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.offered, stats.admitted + stats.rejected());
+    assert_eq!(stats.admitted, stats.completed);
+    assert_eq!(stats.abandoned, 0);
+    assert!(stats.preemptions > 0, "heavy tenants were never preempted");
+}
