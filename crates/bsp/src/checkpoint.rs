@@ -35,13 +35,13 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use bsml_ast::Expr;
 use bsml_eval::PortableValue;
 
+use crate::storage::{Disk, StorageError};
 pub use crate::wire::fnv1a;
 use crate::wire::{decode_value, encode_value, put_u64, Reader, WireError};
 
@@ -169,6 +169,15 @@ impl fmt::Display for CheckpointError {
 }
 
 impl std::error::Error for CheckpointError {}
+
+impl From<StorageError> for CheckpointError {
+    /// Storage-backend failures (including injected faults) surface as
+    /// [`CheckpointError::Io`]: typed, and always leaving the previous
+    /// committed generation intact.
+    fn from(e: StorageError) -> CheckpointError {
+        CheckpointError::Io(e.to_string())
+    }
+}
 
 impl From<WireError> for CheckpointError {
     /// Codec-level failures (truncation, bad tags, count overflow)
@@ -537,25 +546,44 @@ impl CheckpointStore for MemoryStore {
 /// ```
 ///
 /// Staged frames live in memory; `commit` writes the whole generation
-/// in one pass and the trailing marker last, so an interrupted write
-/// is indistinguishable from "no checkpoint" — it can never be loaded.
+/// to a `.tmp` sibling with the trailing marker last, fsyncs it, and
+/// renames it into place ([`Disk::write_atomic`]) — so an interrupted
+/// commit is indistinguishable from "no checkpoint" even across a
+/// power cut, not merely across a process crash.
 #[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
+    disk: Arc<Disk>,
     staged: Mutex<BTreeMap<u64, BTreeMap<usize, Vec<u8>>>>,
 }
 
 impl FileStore {
-    /// Opens (creating if needed) a run directory.
+    /// Opens (creating if needed) a run directory on a fault-free
+    /// disk.
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Io`] if the directory cannot be created.
     pub fn open(dir: impl AsRef<Path>) -> Result<FileStore, CheckpointError> {
+        FileStore::open_with_disk(dir, Arc::new(Disk::new()))
+    }
+
+    /// Opens a run directory over an injectable [`Disk`] — the hook
+    /// the storage-fault grid uses to prove every disk fault degrades
+    /// to a typed error or an older committed generation.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] if the directory cannot be created.
+    pub fn open_with_disk(
+        dir: impl AsRef<Path>,
+        disk: Arc<Disk>,
+    ) -> Result<FileStore, CheckpointError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| CheckpointError::Io(e.to_string()))?;
         Ok(FileStore {
             dir,
+            disk,
             staged: Mutex::new(BTreeMap::new()),
         })
     }
@@ -567,13 +595,11 @@ impl FileStore {
     }
 
     fn read_generation(&self, generation: u64) -> Result<Vec<RankFrame>, CheckpointError> {
-        let bytes = match fs::read(self.generation_path(generation)) {
-            Ok(b) => b,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-                return Err(CheckpointError::NotCommitted { generation })
-            }
-            Err(e) => return Err(CheckpointError::Io(e.to_string())),
-        };
+        let path = self.generation_path(generation);
+        if !path.exists() {
+            return Err(CheckpointError::NotCommitted { generation });
+        }
+        let bytes = self.disk.read(&path)?;
         if bytes.len() < 8 * 4 {
             return Err(CheckpointError::Malformed(
                 "generation file too short".into(),
@@ -648,9 +674,9 @@ impl CheckpointStore for FileStore {
         put_u64(&mut out, COMMIT_MAGIC);
         let total = out.len() as u64;
         let path = self.generation_path(generation);
-        let mut file = fs::File::create(&path).map_err(|e| CheckpointError::Io(e.to_string()))?;
-        file.write_all(&out)
-            .map_err(|e| CheckpointError::Io(e.to_string()))?;
+        // tmp + fsync + rename + parent-dir fsync: a "committed"
+        // generation is durable, not merely written.
+        self.disk.write_atomic(&path, &out)?;
         Ok(total)
     }
 

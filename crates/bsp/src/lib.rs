@@ -45,6 +45,7 @@ pub mod hooks;
 pub mod machine;
 pub mod postmortem;
 pub mod process;
+pub mod storage;
 pub mod supervisor;
 pub mod symbolic;
 pub mod trace;
@@ -70,6 +71,7 @@ pub use process::{
     KillSpec, ProcessConfig, HANDSHAKE_TIMEOUT_ENV, RANK_BIN_ENV, RANK_FINGERPRINT_ENV,
     RANK_ID_ENV, RANK_P_ENV, RANK_SOCKET_ENV,
 };
+pub use storage::{Disk, StorageError, StorageFault, StorageFaultKind, StorageOp, StoragePlan};
 pub use supervisor::{
     backoff_delay, RecordingSleeper, Sleeper, SupervisedOutcome, Supervisor, ThreadSleeper,
     POSTMORTEM_DIR_ENV,

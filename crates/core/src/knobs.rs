@@ -11,6 +11,7 @@
 //! [`bsml_bsp::BARRIER_TIMEOUT_ENV`]); this registry re-lists them so
 //! there is exactly one place that *enumerates* the knob surface.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use bsml_obs::env as obs_env;
@@ -22,6 +23,18 @@ pub const DEADLINE_MS_ENV: &str = "BSML_DEADLINE_MS";
 
 /// Default per-phrase deadline when [`DEADLINE_MS_ENV`] is unset.
 pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(2);
+
+/// Directory for `bsml-serve`'s per-tenant write-ahead logs. Unset
+/// means sessions are in-memory only and do not survive a restart.
+pub const DURABLE_DIR_ENV: &str = "BSML_DURABLE_DIR";
+
+/// Commits between WAL compaction snapshots in `bsml-serve`
+/// (recovery replays at most this many phrases per tenant).
+pub const SNAPSHOT_EVERY_ENV: &str = "BSML_SNAPSHOT_EVERY";
+
+/// Default WAL compaction interval when [`SNAPSHOT_EVERY_ENV`] is
+/// unset.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 8;
 
 /// Bound on the `bsml-serve` admission queue (requests queued across
 /// all tenants before new offers are shed with `QueueFull`).
@@ -45,6 +58,21 @@ pub fn deadline_from_env(telemetry: &Telemetry) -> Option<Duration> {
 #[must_use]
 pub fn queue_depth_from_env(telemetry: &Telemetry) -> usize {
     obs_env::parse_knob(QUEUE_DEPTH_ENV, DEFAULT_QUEUE_DEPTH, telemetry).max(1)
+}
+
+/// The durable-session directory from the environment:
+/// [`DURABLE_DIR_ENV`] when set, else `None` (durability off).
+#[must_use]
+pub fn durable_dir_from_env() -> Option<PathBuf> {
+    obs_env::path_knob(DURABLE_DIR_ENV)
+}
+
+/// The WAL compaction interval from the environment:
+/// [`SNAPSHOT_EVERY_ENV`] when set and parsable, else
+/// [`DEFAULT_SNAPSHOT_EVERY`]. Clamped to at least 1.
+#[must_use]
+pub fn snapshot_every_from_env(telemetry: &Telemetry) -> u64 {
+    obs_env::parse_knob(SNAPSHOT_EVERY_ENV, DEFAULT_SNAPSHOT_EVERY, telemetry).max(1)
 }
 
 /// What kind of value a knob carries — documentation metadata for
@@ -97,6 +125,13 @@ pub fn registry() -> Vec<Knob> {
             kind: KnobKind::DurationMs,
             default: "2000",
             doc: "Per-phrase wall-clock deadline in bsml-serve (0 disables)",
+            internal: false,
+        },
+        Knob {
+            name: DURABLE_DIR_ENV,
+            kind: KnobKind::Path,
+            default: "—",
+            doc: "Directory for bsml-serve's durable tenant WALs (unset = in-memory only)",
             internal: false,
         },
         Knob {
@@ -161,6 +196,13 @@ pub fn registry() -> Vec<Knob> {
             default: "—",
             doc: "Launcher→rank Unix socket path (internal wiring)",
             internal: true,
+        },
+        Knob {
+            name: SNAPSHOT_EVERY_ENV,
+            kind: KnobKind::Integer,
+            default: "8",
+            doc: "Commits between WAL compaction snapshots in bsml-serve",
+            internal: false,
         },
     ]
 }
@@ -245,5 +287,19 @@ mod tests {
         std::env::set_var(QUEUE_DEPTH_ENV, "64");
         assert_eq!(queue_depth_from_env(&tel), 64);
         std::env::remove_var(QUEUE_DEPTH_ENV);
+
+        std::env::remove_var(DURABLE_DIR_ENV);
+        assert_eq!(durable_dir_from_env(), None);
+        std::env::set_var(DURABLE_DIR_ENV, "/tmp/bsml-wal");
+        assert_eq!(durable_dir_from_env(), Some(PathBuf::from("/tmp/bsml-wal")));
+        std::env::remove_var(DURABLE_DIR_ENV);
+
+        std::env::remove_var(SNAPSHOT_EVERY_ENV);
+        assert_eq!(snapshot_every_from_env(&tel), DEFAULT_SNAPSHOT_EVERY);
+        std::env::set_var(SNAPSHOT_EVERY_ENV, "0");
+        assert_eq!(snapshot_every_from_env(&tel), 1);
+        std::env::set_var(SNAPSHOT_EVERY_ENV, "32");
+        assert_eq!(snapshot_every_from_env(&tel), 32);
+        std::env::remove_var(SNAPSHOT_EVERY_ENV);
     }
 }

@@ -28,6 +28,7 @@
 //! ```
 
 pub mod knobs;
+pub mod persist;
 pub mod session;
 
 use std::fmt;

@@ -231,6 +231,21 @@ impl SessionSnapshot {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// Crate-internal parts view for the byte codec
+    /// ([`crate::persist`]).
+    pub(crate) fn parts(&self) -> (&TypeEnv, &Snapshot, &CostSummary) {
+        (&self.tenv, &self.values, &self.total)
+    }
+
+    /// Crate-internal assembly for the byte codec.
+    pub(crate) fn from_parts(tenv: TypeEnv, values: Snapshot, total: CostSummary) -> Self {
+        SessionSnapshot {
+            tenv,
+            values,
+            total,
+        }
+    }
 }
 
 impl Session {
@@ -405,6 +420,28 @@ impl Session {
     #[must_use]
     pub fn scheme_of(&self, name: &str) -> Option<&Scheme> {
         self.tenv.lookup(&Ident::new(name))
+    }
+
+    /// Renders every toplevel binding as `name : scheme = value`, one
+    /// per line, sorted by name. The output is deterministic, which is
+    /// what lets durability tests compare a recovered session against
+    /// a never-crashed oracle bit for bit.
+    #[must_use]
+    pub fn render_bindings(&self) -> String {
+        let mut out = String::new();
+        for name in self.tenv.domain() {
+            let scheme = self.tenv.lookup(name).expect("name came from the domain");
+            use std::fmt::Write;
+            match self.venv.lookup(name) {
+                Some(value) => {
+                    let _ = writeln!(out, "{name} : {scheme} = {value}");
+                }
+                None => {
+                    let _ = writeln!(out, "{name} : {scheme} = <unbound>");
+                }
+            }
+        }
+        out
     }
 
     /// Parses and processes a chunk of toplevel input (declarations

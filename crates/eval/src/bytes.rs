@@ -1,0 +1,224 @@
+//! A minimal little-endian byte codec shared by the persistence
+//! layers ([`crate::persist`] here, `SessionSnapshot` in `bsml-core`).
+//!
+//! The reader is *total*: every method is bounds-checked and returns a
+//! typed [`CodecError`] instead of panicking, whatever bytes it is
+//! fed — the property the durability fault grids lean on. Counts are
+//! validated against the bytes actually remaining, so a corrupted
+//! length can never drive an attempted multi-gigabyte allocation.
+
+use std::fmt;
+
+/// Why decoding failed. Decoders never panic on malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the announced structure did.
+    Truncated,
+    /// An unknown tag byte for the structure being decoded.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag.
+        tag: u8,
+    },
+    /// A declared count exceeds what the remaining bytes could hold.
+    BadCount,
+    /// An embedded string is not valid UTF-8.
+    BadUtf8,
+    /// Bytes remained after the announced structure ended.
+    Trailing(usize),
+    /// An embedded source fragment failed to re-parse.
+    Unparsable(String),
+    /// Nesting exceeded the decoder's depth bound (corrupt input could
+    /// otherwise overflow the stack — a panic in disguise).
+    TooDeep,
+    /// A back-reference to a structure the input never defined.
+    DanglingRef(u64),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => f.write_str("input truncated"),
+            CodecError::BadTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            CodecError::BadCount => f.write_str("declared count exceeds remaining bytes"),
+            CodecError::BadUtf8 => f.write_str("embedded string is not UTF-8"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing bytes"),
+            CodecError::Unparsable(what) => write!(f, "embedded source does not parse: {what}"),
+            CodecError::TooDeep => f.write_str("nesting exceeds decoder depth bound"),
+            CodecError::DanglingRef(id) => write!(f, "back-reference to undefined id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Appends length-prefixed raw bytes.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// A bounds-checked little-endian reader.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        let end = self.pos.checked_add(8).ok_or(CodecError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(self.u64()? as i64)
+    }
+
+    /// Reads a `u64` count, validated against the remaining length so
+    /// a corrupted count cannot drive a huge allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] or [`CodecError::BadCount`].
+    pub fn count(&mut self) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(CodecError::BadCount);
+        }
+        Ok(n as usize)
+    }
+
+    /// Takes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`].
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or(CodecError::Truncated)?;
+        let bytes = self.buf.get(self.pos..end).ok_or(CodecError::Truncated)?;
+        self.pos = end;
+        Ok(bytes)
+    }
+
+    /// Reads a length-prefixed string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`], [`CodecError::BadCount`], or
+    /// [`CodecError::BadUtf8`].
+    pub fn str(&mut self) -> Result<String, CodecError> {
+        let n = self.count()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Reads length-prefixed raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] or [`CodecError::BadCount`].
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.count()?;
+        self.take(n)
+    }
+
+    /// Fails with [`CodecError::Trailing`] unless fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Trailing`].
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::Trailing(self.remaining()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_strings() {
+        let mut out = Vec::new();
+        put_u64(&mut out, 42);
+        put_str(&mut out, "héllo");
+        put_bytes(&mut out, &[1, 2, 3]);
+        let mut r = ByteReader::new(&out);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_and_bad_counts_are_typed() {
+        let mut out = Vec::new();
+        put_u64(&mut out, u64::MAX); // absurd count
+        let mut r = ByteReader::new(&out);
+        assert_eq!(r.count(), Err(CodecError::BadCount));
+        let mut r = ByteReader::new(&out[..3]);
+        assert_eq!(r.u64(), Err(CodecError::Truncated));
+        let mut r = ByteReader::new(&[]);
+        assert_eq!(r.u8(), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn finish_reports_trailing_bytes() {
+        let mut r = ByteReader::new(&[0, 0]);
+        assert_eq!(r.finish(), Err(CodecError::Trailing(2)));
+        r.u8().unwrap();
+        r.u8().unwrap();
+        r.finish().unwrap();
+    }
+}

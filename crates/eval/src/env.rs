@@ -94,6 +94,24 @@ impl Env {
             cur: self.head.as_deref(),
         }
     }
+
+    /// Crate-internal spine walk for the byte codec
+    /// ([`crate::persist`]): the innermost binding together with the
+    /// tail environment and a stable node identity. Closures capture
+    /// suffixes of the toplevel spine, so memoizing on the identity
+    /// turns the codec's output linear in distinct nodes.
+    pub(crate) fn spine_head(&self) -> Option<(&Ident, &Value, Env, usize)> {
+        self.head.as_ref().map(|node| {
+            (
+                &node.name,
+                &node.value,
+                Env {
+                    head: node.next.clone(),
+                },
+                Rc::as_ptr(node) as usize,
+            )
+        })
+    }
 }
 
 struct EnvIter<'a> {

@@ -28,16 +28,19 @@
 //! ```
 
 pub mod bigstep;
+pub mod bytes;
 pub mod driver;
 pub mod env;
 pub mod error;
 pub mod fuel;
 pub mod hooks;
+pub mod persist;
 pub mod smallstep;
 pub mod snapshot;
 pub mod value;
 
 pub use bigstep::{eval_closed, Evaluator};
+pub use bytes::{ByteReader, CodecError};
 pub use driver::{Applier, GlobalDriver, ParallelDriver};
 pub use env::Env;
 pub use error::EvalError;

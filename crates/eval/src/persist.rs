@@ -1,0 +1,594 @@
+//! A byte codec for evaluator state ([`Value`], [`Env`],
+//! [`Snapshot`]) — the foundation of the serving layer's durable
+//! session snapshots.
+//!
+//! The encoding mirrors the structural care [`crate::snapshot`] takes
+//! in memory:
+//!
+//! * **Cell aliasing and cycles.** Reference cells are numbered on
+//!   first encounter (`CellDef`) and back-referenced afterwards
+//!   (`CellRef`), with the id registered *before* descending into the
+//!   contents so a cell whose contents capture the cell itself
+//!   encodes — and decodes — as a tied knot, not an infinite loop.
+//! * **Environment sharing.** Environments are persistent spines;
+//!   every closure created at the toplevel captures a *suffix* of the
+//!   session environment. Spine nodes are memoized by identity, so a
+//!   session with n bindings and k closures encodes in O(n + k), not
+//!   O(n·k), and decoding rebuilds the same sharing.
+//! * **Closure bodies** are stored as pretty-printed source and
+//!   re-parsed on decode. `crates/syntax/tests/roundtrip.rs` holds the
+//!   property this leans on: `parse(print(e)) = e` for every
+//!   generatable expression.
+//!
+//! Decoding is *total*: malformed bytes produce a typed
+//! [`CodecError`], never a panic — nesting is depth-bounded so corrupt
+//! input cannot overflow the stack, and counts are validated before
+//! allocation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use bsml_ast::{Ident, Op};
+
+use crate::bytes::{put_str, put_u64, ByteReader, CodecError};
+use crate::env::Env;
+use crate::hooks::Mode;
+use crate::snapshot::Snapshot;
+use crate::value::Value;
+
+/// Decoder nesting bound. Deep enough for any session the evaluator
+/// can realistically build (the in-memory deep copy in
+/// [`crate::snapshot`] recurses on the same structure, so values
+/// anywhere near this deep already strain the stack elsewhere),
+/// shallow enough that corrupt input cannot overflow a 2 MiB thread
+/// stack even in debug builds, where a decoder frame runs to a few
+/// KiB.
+const MAX_DEPTH: usize = 100;
+
+// Value tags.
+const T_INT: u8 = 0;
+const T_BOOL: u8 = 1;
+const T_UNIT: u8 = 2;
+const T_NOCOMM: u8 = 3;
+const T_NIL: u8 = 4;
+const T_PRIM: u8 = 5;
+const T_PAIR: u8 = 6;
+const T_CONS: u8 = 7;
+const T_INL: u8 = 8;
+const T_INR: u8 = 9;
+const T_VECTOR: u8 = 10;
+const T_MSGTABLE: u8 = 11;
+const T_FIX: u8 = 12;
+const T_CLOSURE: u8 = 13;
+const T_CELL_DEF: u8 = 14;
+const T_CELL_REF: u8 = 15;
+
+// Environment spine frame tags.
+const E_EMPTY: u8 = 0;
+const E_BINDING: u8 = 1;
+const E_TAIL_REF: u8 = 2;
+
+// Mode tags.
+const M_GLOBAL: u8 = 0;
+const M_ON_PROC: u8 = 1;
+
+/// Shared encoder state: ids for cells (by `RefCell` identity) and
+/// environment spine nodes (by node identity).
+#[derive(Default)]
+struct EncodeMemo {
+    cells: HashMap<usize, u64>,
+    nodes: HashMap<usize, u64>,
+}
+
+/// Shared decoder state: the structures each id resolved to.
+#[derive(Default)]
+struct DecodeMemo {
+    cells: HashMap<u64, Rc<RefCell<Value>>>,
+    envs: HashMap<u64, Env>,
+}
+
+/// Encodes a single value.
+#[must_use]
+pub fn value_to_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_value(&mut out, v, &mut EncodeMemo::default());
+    out
+}
+
+/// Decodes a single value.
+///
+/// # Errors
+///
+/// [`CodecError`] on any malformed input; never panics.
+pub fn value_from_bytes(bytes: &[u8]) -> Result<Value, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let v = decode_value(&mut r, &mut DecodeMemo::default(), 0)?;
+    r.finish()?;
+    Ok(v)
+}
+
+/// Encodes an environment, preserving spine sharing among any
+/// closures it contains.
+#[must_use]
+pub fn env_to_bytes(env: &Env) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_env(&mut out, env, &mut EncodeMemo::default());
+    out
+}
+
+/// Decodes an environment.
+///
+/// # Errors
+///
+/// [`CodecError`] on any malformed input; never panics.
+pub fn env_from_bytes(bytes: &[u8]) -> Result<Env, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let env = decode_env(&mut r, &mut DecodeMemo::default(), 0)?;
+    r.finish()?;
+    Ok(env)
+}
+
+impl Snapshot {
+    /// Serializes the snapshot to bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        env_to_bytes(self.env())
+    }
+
+    /// Deserializes a snapshot. The decoded environment is freshly
+    /// built, so the usual snapshot isolation guarantee holds.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on any malformed input; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Snapshot, CodecError> {
+        Ok(Snapshot::from_owned_env(env_from_bytes(bytes)?))
+    }
+}
+
+fn encode_value(out: &mut Vec<u8>, v: &Value, memo: &mut EncodeMemo) {
+    match v {
+        Value::Int(n) => {
+            out.push(T_INT);
+            put_u64(out, *n as u64);
+        }
+        Value::Bool(b) => {
+            out.push(T_BOOL);
+            out.push(u8::from(*b));
+        }
+        Value::Unit => out.push(T_UNIT),
+        Value::NoComm => out.push(T_NOCOMM),
+        Value::Nil => out.push(T_NIL),
+        Value::Prim(op) => {
+            out.push(T_PRIM);
+            let idx = Op::ALL
+                .iter()
+                .position(|o| o == op)
+                .expect("every Op appears in Op::ALL");
+            out.push(idx as u8);
+        }
+        Value::Pair(a, b) => {
+            out.push(T_PAIR);
+            encode_value(out, a, memo);
+            encode_value(out, b, memo);
+        }
+        Value::Cons(h, t) => {
+            out.push(T_CONS);
+            encode_value(out, h, memo);
+            encode_value(out, t, memo);
+        }
+        Value::Inl(inner) => {
+            out.push(T_INL);
+            encode_value(out, inner, memo);
+        }
+        Value::Inr(inner) => {
+            out.push(T_INR);
+            encode_value(out, inner, memo);
+        }
+        Value::Vector(vs) => {
+            out.push(T_VECTOR);
+            put_u64(out, vs.len() as u64);
+            for c in vs.iter() {
+                encode_value(out, c, memo);
+            }
+        }
+        Value::MsgTable(t) => {
+            out.push(T_MSGTABLE);
+            put_u64(out, t.len() as u64);
+            for c in t.iter() {
+                encode_value(out, c, memo);
+            }
+        }
+        Value::Fix(inner) => {
+            out.push(T_FIX);
+            encode_value(out, inner, memo);
+        }
+        Value::Closure { param, body, env } => {
+            out.push(T_CLOSURE);
+            put_str(out, param.as_str());
+            put_str(out, &body.to_string());
+            encode_env(out, env, memo);
+        }
+        Value::Cell { cell, origin } => {
+            let key = Rc::as_ptr(cell) as usize;
+            if let Some(id) = memo.cells.get(&key) {
+                // The origin tag lives on each occurrence (exactly as
+                // the in-memory deep copy preserves it per alias).
+                out.push(T_CELL_REF);
+                put_u64(out, *id);
+                encode_mode(out, *origin);
+                return;
+            }
+            let id = memo.cells.len() as u64;
+            // Register before descending so a cyclic cell hits the
+            // back-reference instead of recursing forever.
+            memo.cells.insert(key, id);
+            out.push(T_CELL_DEF);
+            put_u64(out, id);
+            encode_mode(out, *origin);
+            encode_value(out, &cell.borrow(), memo);
+        }
+    }
+}
+
+fn encode_env(out: &mut Vec<u8>, env: &Env, memo: &mut EncodeMemo) {
+    let mut cur = env.clone();
+    loop {
+        let Some((name, value, tail, key)) = cur.spine_head() else {
+            out.push(E_EMPTY);
+            return;
+        };
+        if let Some(id) = memo.nodes.get(&key) {
+            out.push(E_TAIL_REF);
+            put_u64(out, *id);
+            return;
+        }
+        let id = memo.nodes.len() as u64;
+        memo.nodes.insert(key, id);
+        out.push(E_BINDING);
+        put_u64(out, id);
+        put_str(out, name.as_str());
+        encode_value(out, value, memo);
+        cur = tail;
+    }
+}
+
+fn encode_mode(out: &mut Vec<u8>, mode: Mode) {
+    match mode {
+        Mode::Global => out.push(M_GLOBAL),
+        Mode::OnProc(i) => {
+            out.push(M_ON_PROC);
+            put_u64(out, i as u64);
+        }
+    }
+}
+
+fn decode_value(
+    r: &mut ByteReader<'_>,
+    memo: &mut DecodeMemo,
+    depth: usize,
+) -> Result<Value, CodecError> {
+    if depth > MAX_DEPTH {
+        return Err(CodecError::TooDeep);
+    }
+    let tag = r.u8()?;
+    match tag {
+        T_INT => Ok(Value::Int(r.i64()?)),
+        T_BOOL => Ok(Value::Bool(r.u8()? != 0)),
+        T_UNIT => Ok(Value::Unit),
+        T_NOCOMM => Ok(Value::NoComm),
+        T_NIL => Ok(Value::Nil),
+        T_PRIM => {
+            let idx = r.u8()? as usize;
+            Op::ALL
+                .get(idx)
+                .map(|op| Value::Prim(*op))
+                .ok_or(CodecError::BadTag {
+                    what: "primitive",
+                    tag: idx as u8,
+                })
+        }
+        T_PAIR => Ok(Value::Pair(
+            Rc::new(decode_value(r, memo, depth + 1)?),
+            Rc::new(decode_value(r, memo, depth + 1)?),
+        )),
+        T_CONS => Ok(Value::Cons(
+            Rc::new(decode_value(r, memo, depth + 1)?),
+            Rc::new(decode_value(r, memo, depth + 1)?),
+        )),
+        T_INL => Ok(Value::Inl(Rc::new(decode_value(r, memo, depth + 1)?))),
+        T_INR => Ok(Value::Inr(Rc::new(decode_value(r, memo, depth + 1)?))),
+        T_VECTOR => {
+            let n = r.count()?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(decode_value(r, memo, depth + 1)?);
+            }
+            Ok(Value::vector(vs))
+        }
+        T_MSGTABLE => {
+            let n = r.count()?;
+            let mut vs = Vec::with_capacity(n);
+            for _ in 0..n {
+                vs.push(decode_value(r, memo, depth + 1)?);
+            }
+            Ok(Value::MsgTable(Rc::new(vs)))
+        }
+        T_FIX => Ok(Value::Fix(Rc::new(decode_value(r, memo, depth + 1)?))),
+        T_CLOSURE => {
+            let param = r.str()?;
+            let source = r.str()?;
+            let body =
+                bsml_syntax::parse(&source).map_err(|e| CodecError::Unparsable(e.to_string()))?;
+            let env = decode_env(r, memo, depth + 1)?;
+            Ok(Value::Closure {
+                param: Ident::new(&param),
+                body: Rc::new(body),
+                env,
+            })
+        }
+        T_CELL_DEF => {
+            let id = r.u64()?;
+            let origin = decode_mode(r)?;
+            // Placeholder first, so a knot tied through the cell
+            // back-references it; patch the contents in afterwards.
+            let cell = Rc::new(RefCell::new(Value::Unit));
+            memo.cells.insert(id, Rc::clone(&cell));
+            let contents = decode_value(r, memo, depth + 1)?;
+            *cell.borrow_mut() = contents;
+            Ok(Value::Cell { cell, origin })
+        }
+        T_CELL_REF => {
+            let id = r.u64()?;
+            let origin = decode_mode(r)?;
+            let cell = memo.cells.get(&id).ok_or(CodecError::DanglingRef(id))?;
+            Ok(Value::Cell {
+                cell: Rc::clone(cell),
+                origin,
+            })
+        }
+        other => Err(CodecError::BadTag {
+            what: "value",
+            tag: other,
+        }),
+    }
+}
+
+fn decode_env(
+    r: &mut ByteReader<'_>,
+    memo: &mut DecodeMemo,
+    depth: usize,
+) -> Result<Env, CodecError> {
+    if depth > MAX_DEPTH {
+        return Err(CodecError::TooDeep);
+    }
+    // Collect innermost-first frames until the spine terminates.
+    let mut frames: Vec<(u64, String, Value)> = Vec::new();
+    let base = loop {
+        match r.u8()? {
+            E_EMPTY => break Env::new(),
+            E_TAIL_REF => {
+                let id = r.u64()?;
+                break memo
+                    .envs
+                    .get(&id)
+                    .cloned()
+                    .ok_or(CodecError::DanglingRef(id))?;
+            }
+            E_BINDING => {
+                let id = r.u64()?;
+                let name = r.str()?;
+                let value = decode_value(r, memo, depth + 1)?;
+                frames.push((id, name, value));
+            }
+            other => {
+                return Err(CodecError::BadTag {
+                    what: "environment frame",
+                    tag: other,
+                })
+            }
+        }
+    };
+    // Rebind outermost-first; each bind recreates the node whose id
+    // the encoder assigned, so later TailRefs resolve to it.
+    let mut env = base;
+    for (id, name, value) in frames.into_iter().rev() {
+        env = env.bind(Ident::new(&name), value);
+        memo.envs.insert(id, env.clone());
+    }
+    Ok(env)
+}
+
+fn decode_mode(r: &mut ByteReader<'_>) -> Result<Mode, CodecError> {
+    match r.u8()? {
+        M_GLOBAL => Ok(Mode::Global),
+        M_ON_PROC => Ok(Mode::OnProc(r.u64()? as usize)),
+        other => Err(CodecError::BadTag {
+            what: "mode",
+            tag: other,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        value_from_bytes(&value_to_bytes(v)).expect("roundtrip")
+    }
+
+    #[test]
+    fn first_order_values_roundtrip() {
+        for v in [
+            Value::Int(-7),
+            Value::Bool(true),
+            Value::Unit,
+            Value::NoComm,
+            Value::Nil,
+            Value::pair(Value::Int(1), Value::Bool(false)),
+            Value::list([Value::Int(1), Value::Int(2), Value::Int(3)]),
+            Value::Inl(Rc::new(Value::Unit)),
+            Value::Inr(Rc::new(Value::Int(9))),
+            Value::vector(vec![Value::Int(1), Value::Int(2)]),
+        ] {
+            assert_eq!(roundtrip(&v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn every_primitive_roundtrips() {
+        for op in Op::ALL {
+            let Value::Prim(back) = roundtrip(&Value::Prim(op)) else {
+                panic!("expected a primitive");
+            };
+            assert_eq!(back, op);
+        }
+    }
+
+    #[test]
+    fn closures_roundtrip_by_reparse() {
+        let body = bsml_syntax::parse("x + y").unwrap();
+        let v = Value::Closure {
+            param: Ident::new("x"),
+            body: Rc::new(body),
+            env: Env::new().bind(Ident::new("y"), Value::Int(41)),
+        };
+        let Value::Closure { param, body, env } = roundtrip(&v) else {
+            panic!("expected a closure");
+        };
+        assert_eq!(param.as_str(), "x");
+        assert_eq!(body.to_string(), "x + y");
+        assert_eq!(env.lookup(&Ident::new("y")).unwrap().to_string(), "41");
+    }
+
+    #[test]
+    fn cell_aliasing_survives_the_bytes() {
+        let shared = Value::cell(Value::Int(7), Mode::Global);
+        let v = Value::pair(shared.clone(), shared);
+        let Value::Pair(a, b) = roundtrip(&v) else {
+            panic!("expected a pair");
+        };
+        let (Value::Cell { cell: ca, .. }, Value::Cell { cell: cb, .. }) = (&*a, &*b) else {
+            panic!("expected cells");
+        };
+        assert!(Rc::ptr_eq(ca, cb), "aliases must stay aliases");
+        *ca.borrow_mut() = Value::Int(99);
+        assert_eq!(cb.borrow().to_string(), "99");
+    }
+
+    #[test]
+    fn cyclic_cells_roundtrip() {
+        // let r = ref (fun x -> x) in r := (fun y -> !r y) — the cell
+        // contents capture the cell.
+        let cell = Value::cell(Value::Unit, Mode::Global);
+        let closure = Value::Closure {
+            param: Ident::new("x"),
+            body: Rc::new(bsml_ast::build::var("x")),
+            env: Env::new().bind(Ident::new("r"), cell.clone()),
+        };
+        let Value::Cell { cell: rc, .. } = &cell else {
+            unreachable!()
+        };
+        *rc.borrow_mut() = closure;
+        let back = roundtrip(&cell);
+        let Value::Cell { cell: fresh, .. } = &back else {
+            panic!("expected a cell");
+        };
+        let contents = fresh.borrow();
+        let Value::Closure { env, .. } = &*contents else {
+            panic!("expected the closure");
+        };
+        let Some(Value::Cell { cell: inner, .. }) = env.lookup(&Ident::new("r")) else {
+            panic!("expected the captured cell");
+        };
+        assert!(Rc::ptr_eq(fresh, inner), "knot must close onto the copy");
+    }
+
+    #[test]
+    fn env_spine_sharing_is_linear_and_rebuilt() {
+        // A toplevel env with closures capturing suffixes: the shared
+        // spine must encode once and decode back into shared nodes.
+        let base = Env::new()
+            .bind(Ident::new("a"), Value::Int(1))
+            .bind(Ident::new("b"), Value::Int(2));
+        let clos = |env: &Env| Value::Closure {
+            param: Ident::new("x"),
+            body: Rc::new(bsml_ast::build::var("x")),
+            env: env.clone(),
+        };
+        let env = base
+            .bind(Ident::new("f"), clos(&base))
+            .bind(Ident::new("g"), clos(&base));
+        let bytes = env_to_bytes(&env);
+        let back = env_from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 4);
+        assert_eq!(back.lookup(&Ident::new("a")).unwrap().to_string(), "1");
+        // Sharing check: f's and g's captured envs are the same nodes.
+        let (Some(Value::Closure { env: ef, .. }), Some(Value::Closure { env: eg, .. })) =
+            (back.lookup(&Ident::new("f")), back.lookup(&Ident::new("g")))
+        else {
+            panic!("expected closures");
+        };
+        let (pf, pg) = match (ef.spine_head(), eg.spine_head()) {
+            (Some((.., a)), Some((.., b))) => (a, b),
+            _ => panic!("expected non-empty captured envs"),
+        };
+        assert_eq!(pf, pg, "captured spines must share nodes after decode");
+        // And the encoding is linear: a second closure over the same
+        // spine costs a back-reference, not a re-encoding.
+        let one = env_to_bytes(&base.bind(Ident::new("f"), clos(&base)));
+        assert!(bytes.len() < one.len() + one.len() / 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let env = Env::new()
+            .bind(Ident::new("x"), Value::Int(1))
+            .bind(Ident::new("x"), Value::Int(2)); // shadowing kept
+        let snap = Snapshot::of_env(&env);
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(
+            back.restore().lookup(&Ident::new("x")).unwrap().to_string(),
+            "2"
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors_not_panics() {
+        let good = value_to_bytes(&Value::pair(
+            Value::cell(Value::Int(5), Mode::OnProc(2)),
+            Value::list([Value::Int(1), Value::Int(2)]),
+        ));
+        // Truncation at every boundary.
+        for cut in 0..good.len() {
+            assert!(value_from_bytes(&good[..cut]).is_err());
+        }
+        // Every single-bit flip either decodes to something or errors;
+        // never panics.
+        for byte in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[byte] ^= 1 << bit;
+                let _ = value_from_bytes(&bad);
+            }
+        }
+        // A dangling back-reference is typed.
+        let mut bad = vec![T_CELL_REF];
+        put_u64(&mut bad, 42);
+        bad.push(M_GLOBAL);
+        assert!(matches!(
+            value_from_bytes(&bad),
+            Err(CodecError::DanglingRef(42))
+        ));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_a_stack_overflow() {
+        // 1 MiB of Inl tags: the decoder must refuse, not crash.
+        let bytes = vec![T_INL; 1 << 20];
+        assert!(matches!(value_from_bytes(&bytes), Err(CodecError::TooDeep)));
+    }
+}

@@ -81,6 +81,18 @@ impl Snapshot {
     pub fn is_empty(&self) -> bool {
         self.env.is_empty()
     }
+
+    /// Crate-internal view of the captured environment, for the byte
+    /// codec ([`crate::persist`]).
+    pub(crate) fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Wraps an environment the caller exclusively owns (a freshly
+    /// decoded one) without the deep copy `of_env` would make.
+    pub(crate) fn from_owned_env(env: Env) -> Snapshot {
+        Snapshot { env }
+    }
 }
 
 /// An isolated deep copy of a single [`Value`].

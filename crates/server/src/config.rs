@@ -1,9 +1,11 @@
 //! Server tuning: every bound the admission controller and scheduler
 //! enforce lives here, explicit and finite.
 
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
-use bsml_bsp::BspParams;
+use bsml_bsp::{BspParams, Disk};
 use bsml_core::knobs;
 use bsml_obs::Telemetry;
 
@@ -42,6 +44,15 @@ pub struct ServerConfig {
     pub quarantine_after: u32,
     /// How long a quarantined tenant is refused admission.
     pub quarantine_cooldown: Duration,
+    /// Directory for per-tenant write-ahead logs; `None` (the
+    /// default) keeps sessions in-memory only (`BSML_DURABLE_DIR`).
+    pub durable_dir: Option<PathBuf>,
+    /// Commits between WAL compaction snapshots — recovery replays at
+    /// most this many phrases per tenant (`BSML_SNAPSHOT_EVERY`).
+    pub snapshot_every: u64,
+    /// The storage backend all durable I/O goes through. The default
+    /// passthrough disk does real I/O; tests inject fault plans here.
+    pub disk: Arc<Disk>,
 }
 
 impl ServerConfig {
@@ -60,6 +71,9 @@ impl ServerConfig {
             leash: Duration::from_secs(2),
             quarantine_after: 3,
             quarantine_cooldown: Duration::from_secs(5),
+            durable_dir: None,
+            snapshot_every: knobs::DEFAULT_SNAPSHOT_EVERY,
+            disk: Arc::new(Disk::new()),
         }
     }
 
@@ -71,6 +85,8 @@ impl ServerConfig {
         ServerConfig {
             queue_depth: knobs::queue_depth_from_env(telemetry),
             deadline: knobs::deadline_from_env(telemetry),
+            durable_dir: knobs::durable_dir_from_env(),
+            snapshot_every: knobs::snapshot_every_from_env(telemetry),
             ..ServerConfig::new(params)
         }
     }
@@ -134,6 +150,28 @@ impl ServerConfig {
         self.quarantine_cooldown = cooldown;
         self
     }
+
+    /// Arms durable sessions: per-tenant WALs under `dir`.
+    #[must_use]
+    pub fn with_durable_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
+        self.durable_dir = Some(dir.into());
+        self
+    }
+
+    /// Overrides the WAL compaction interval (clamped to at least 1).
+    #[must_use]
+    pub fn with_snapshot_every(mut self, every: u64) -> ServerConfig {
+        self.snapshot_every = every.max(1);
+        self
+    }
+
+    /// Injects a storage backend (typically one armed with a
+    /// [`bsml_bsp::StoragePlan`] of faults) under all durable I/O.
+    #[must_use]
+    pub fn with_storage(mut self, disk: Arc<Disk>) -> ServerConfig {
+        self.disk = disk;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -148,7 +186,9 @@ mod tests {
             .with_tenant_quota(0)
             .with_fuel_slice(0, 0)
             .with_fuel_budget(0)
-            .with_quarantine(0, Duration::from_secs(1));
+            .with_quarantine(0, Duration::from_secs(1))
+            .with_snapshot_every(0)
+            .with_durable_dir("/tmp/bsml-durable");
         assert_eq!(c.workers, 1);
         assert_eq!(c.queue_depth, 1);
         assert_eq!(c.tenant_quota, 1);
@@ -156,5 +196,7 @@ mod tests {
         assert!(c.quantum >= c.fuel_slice);
         assert_eq!(c.fuel_budget, 1);
         assert_eq!(c.quarantine_after, 1);
+        assert_eq!(c.snapshot_every, 1);
+        assert_eq!(c.durable_dir, Some(PathBuf::from("/tmp/bsml-durable")));
     }
 }

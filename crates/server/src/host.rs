@@ -21,11 +21,20 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use bsml_core::{BsmlError, Session, SessionEvent};
+use bsml_core::{BsmlError, Session, SessionEvent, SessionSnapshot};
 use bsml_eval::{EvalError, FuelCell};
 use bsml_obs::Telemetry;
 
 use crate::config::ServerConfig;
+use crate::wal::TenantWal;
+
+/// Durability context handed to a host at spawn: the armed per-tenant
+/// WAL handle, and (after a recovery) the serialized base state to
+/// restore before replaying the transcript.
+pub(crate) struct DurableCtx {
+    pub(crate) wal: TenantWal,
+    pub(crate) base: Option<Vec<u8>>,
+}
 
 /// What a host reports back for one request.
 #[derive(Clone, Debug)]
@@ -41,6 +50,9 @@ pub(crate) enum HostOutcome {
     /// The evaluation panicked; the panic was contained and the
     /// session restored.
     Panicked,
+    /// The phrase succeeded but its WAL append failed; the session
+    /// was rolled back so nothing is reported durable that is not.
+    DurabilityLost { error: String },
 }
 
 pub(crate) enum HostCmd {
@@ -72,6 +84,7 @@ impl HostHandle {
         config: &ServerConfig,
         telemetry: &Telemetry,
         transcript: Vec<String>,
+        durable: Option<DurableCtx>,
     ) -> HostHandle {
         let (cmd_tx, cmd_rx) = mpsc::channel::<HostCmd>();
         let cell = FuelCell::new();
@@ -82,7 +95,14 @@ impl HostHandle {
         let join = std::thread::Builder::new()
             .name(name)
             .spawn(move || {
-                host_main(params, telemetry, transcript, &thread_cell, &cmd_rx);
+                host_main(
+                    params,
+                    telemetry,
+                    transcript,
+                    durable,
+                    &thread_cell,
+                    &cmd_rx,
+                );
             })
             .expect("spawn session host thread");
         HostHandle {
@@ -112,28 +132,69 @@ fn host_main(
     params: bsml_bsp::BspParams,
     telemetry: Telemetry,
     transcript: Vec<String>,
+    durable: Option<DurableCtx>,
     cell: &Arc<FuelCell>,
     cmd_rx: &mpsc::Receiver<HostCmd>,
 ) {
-    // Rebuild committed state first, on plain fuel (no cell): every
-    // transcript entry is a request that already succeeded, so this
-    // terminates without scheduler involvement.
+    // Rebuild committed state first, on plain fuel (no cell): restore
+    // the recovered snapshot base (if any), then replay the
+    // transcript — every entry is a request that already succeeded,
+    // so this terminates without scheduler involvement.
     let mut session = Session::with_telemetry(params, telemetry.clone());
+    let mut wal = None;
+    if let Some(ctx) = durable {
+        if let Some(snap) = ctx
+            .base
+            .as_deref()
+            .and_then(|bytes| SessionSnapshot::from_bytes(bytes).ok())
+        {
+            session.restore(&snap);
+        }
+        wal = Some(ctx.wal);
+    }
     for source in &transcript {
         let _ = session.load(source);
     }
     // From here on, every evaluation draws fuel through the cell.
     let mut session = session.with_fuel_cell(Arc::clone(cell));
 
-    while let Ok(HostCmd::Run { source, reply }) = cmd_rx.recv() {
-        let outcome = run_one(&mut session, &source);
-        let _ = reply.send(outcome);
+    let mut graceful = false;
+    while let Ok(cmd) = cmd_rx.recv() {
+        let HostCmd::Run { source, reply } = cmd else {
+            graceful = true;
+            break;
+        };
+        let outcome = run_one(&mut session, &source, wal.as_mut());
+        let committed = matches!(outcome, HostOutcome::Done { .. });
+        let delivered = reply.send(outcome).is_ok();
         cell.finish();
+        // Compact after replying, off the request's latency path. A
+        // failed reply means the server abandoned us mid-request:
+        // never write a *new generation* from a zombie host — the
+        // server may have re-armed the tenant into one already.
+        if committed && delivered {
+            if let Some(w) = wal.as_mut().filter(|w| w.should_snapshot()) {
+                let _ = w.install_snapshot(&session.snapshot().to_bytes());
+            }
+        }
+        if !delivered {
+            return;
+        }
+    }
+    // Graceful drain: leave a fresh snapshot behind so the next
+    // recovery replays zero phrases for this tenant.
+    if graceful {
+        if let Some(w) = wal.as_mut().filter(|w| w.unsnapshotted() > 0) {
+            let _ = w.install_snapshot(&session.snapshot().to_bytes());
+        }
     }
 }
 
-/// Runs one request transactionally against the session.
-fn run_one(session: &mut Session, source: &str) -> HostOutcome {
+/// Runs one request transactionally against the session. A committed
+/// request is appended (and fsynced) to the WAL *before* it is
+/// reported done; if the append fails the session rolls back and the
+/// request reports [`HostOutcome::DurabilityLost`] instead.
+fn run_one(session: &mut Session, source: &str, wal: Option<&mut TenantWal>) -> HostOutcome {
     let before = session.snapshot();
     let result = catch_unwind(AssertUnwindSafe(|| session.load(source)));
     match result {
@@ -156,6 +217,14 @@ fn run_one(session: &mut Session, source: &str) -> HostOutcome {
                 session.restore(&before);
                 HostOutcome::Failed { error, cancelled }
             } else {
+                if let Some(w) = wal {
+                    if let Err(e) = w.append_commit(source) {
+                        session.restore(&before);
+                        return HostOutcome::DurabilityLost {
+                            error: e.to_string(),
+                        };
+                    }
+                }
                 let rendered = events.iter().map(render_event).collect();
                 HostOutcome::Done { rendered }
             }
@@ -192,7 +261,7 @@ mod tests {
     #[test]
     fn run_one_commits_success() {
         let mut s = session();
-        let out = run_one(&mut s, "let x = 40 + 2");
+        let out = run_one(&mut s, "let x = 40 + 2", None);
         match out {
             HostOutcome::Done { rendered } => {
                 assert_eq!(rendered, vec!["x : int = 42"]);
@@ -205,10 +274,10 @@ mod tests {
     #[test]
     fn run_one_rolls_back_dynamic_failures_entirely() {
         let mut s = session();
-        let _ = run_one(&mut s, "let base = 10");
+        let _ = run_one(&mut s, "let base = 10", None);
         // Second phrase fails: the WHOLE request (incl. `good`) rolls
         // back, unlike a bare Session::load which would keep `good`.
-        let out = run_one(&mut s, "let good = 1\nlet bad = base / 0");
+        let out = run_one(&mut s, "let good = 1\nlet bad = base / 0", None);
         assert!(matches!(
             out,
             HostOutcome::Failed {
@@ -223,7 +292,7 @@ mod tests {
     #[test]
     fn run_one_reports_static_errors() {
         let mut s = session();
-        let out = run_one(&mut s, "let x = mkpar (fun i -> mkpar (fun j -> j))");
+        let out = run_one(&mut s, "let x = mkpar (fun i -> mkpar (fun j -> j))", None);
         assert!(matches!(out, HostOutcome::Static { .. }));
         assert_eq!(s.snapshot().len(), 0);
     }
@@ -232,7 +301,7 @@ mod tests {
     fn host_thread_round_trip() {
         let config = ServerConfig::new(BspParams::new(2, 1, 10));
         let telemetry = Telemetry::disabled();
-        let host = HostHandle::spawn("t0", &config, &telemetry, vec![]);
+        let host = HostHandle::spawn("t0", &config, &telemetry, vec![], None);
         let (reply_tx, reply_rx) = mpsc::channel();
         host.cell.reset();
         host.cmd_tx
@@ -265,6 +334,7 @@ mod tests {
             &config,
             &telemetry,
             vec!["let a = 20".to_string(), "let b = a + 22".to_string()],
+            None,
         );
         let (reply_tx, reply_rx) = mpsc::channel();
         host.cell.reset();
@@ -287,5 +357,55 @@ mod tests {
             other => panic!("expected Done, got {other:?}"),
         }
         host.shutdown();
+    }
+
+    #[test]
+    fn run_one_appends_committed_phrases_to_the_wal() {
+        use crate::wal::DurableLog;
+        use bsml_bsp::Disk;
+        use bsml_obs::Telemetry;
+
+        let dir = std::env::temp_dir().join(format!("bsml-host-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let log = DurableLog::open(&dir, Arc::new(Disk::new()), 8, Telemetry::disabled()).unwrap();
+        let mut wal = log.tenant("t2", None).unwrap();
+        let mut s = session();
+        assert!(matches!(
+            run_one(&mut s, "let x = 1", Some(&mut wal)),
+            HostOutcome::Done { .. }
+        ));
+        // Failures never reach the log.
+        let _ = run_one(&mut s, "1 / 0", Some(&mut wal));
+        let recovered = log.recover(&|_| true);
+        assert_eq!(recovered[0].commits, vec!["let x = 1"]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_append_failure_rolls_the_session_back() {
+        use crate::wal::DurableLog;
+        use bsml_bsp::{Disk, StorageFault, StorageFaultKind, StorageOp, StoragePlan};
+        use bsml_obs::Telemetry;
+
+        let dir = std::env::temp_dir().join(format!("bsml-host-lost-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let disk = Arc::new(Disk::with_plan(StoragePlan::new().fault(StorageFault {
+            op: StorageOp::Append,
+            nth: 1, // header succeeds, first commit fails
+            kind: StorageFaultKind::Enospc,
+        })));
+        let log = DurableLog::open(&dir, disk, 8, Telemetry::disabled()).unwrap();
+        let mut wal = log.tenant("t3", None).unwrap();
+        let mut s = session();
+        let out = run_one(&mut s, "let x = 1", Some(&mut wal));
+        assert!(matches!(out, HostOutcome::DurabilityLost { .. }));
+        // The session is bit-identical to never having run the
+        // phrase: a success the log did not capture must not exist.
+        assert_eq!(s.snapshot().len(), 0);
+        // Once the disk recovers, the same phrase goes through.
+        let out = run_one(&mut s, "let x = 1", Some(&mut wal));
+        assert!(matches!(out, HostOutcome::Done { .. }));
+        assert_eq!(log.recover(&|_| true)[0].commits, vec!["let x = 1"]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -51,7 +51,9 @@ pub mod config;
 mod host;
 pub mod server;
 pub mod types;
+pub mod wal;
 
 pub use config::ServerConfig;
 pub use server::{Server, ServerStats};
 pub use types::{Completion, Outcome, Rejected, RequestId, Ticket};
+pub use wal::{frame_record, scan_records, DurableLog, RecoveredTenant, TenantWal, WalRecord};

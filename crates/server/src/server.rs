@@ -34,12 +34,14 @@ use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use bsml_core::SessionSnapshot;
 use bsml_eval::{FuelCell, Quiescence};
 use bsml_obs::Telemetry;
 
 use crate::config::ServerConfig;
-use crate::host::{HostCmd, HostHandle, HostOutcome};
+use crate::host::{DurableCtx, HostCmd, HostHandle, HostOutcome};
 use crate::types::{Completion, Outcome, Rejected, Ticket};
+use crate::wal::{DurableLog, TenantWal};
 
 /// How many consecutive watchdog leashes a host may spend neither
 /// parking nor finishing (e.g. a long un-fueled parse/inference
@@ -76,6 +78,13 @@ struct TenantState {
     current: Option<Drive>,
     host: Option<HostHandle>,
     transcript: Vec<String>,
+    /// Recovered snapshot base: the sequence number it covers and the
+    /// serialized state. `transcript` holds only commits *after* it.
+    base: Option<(u64, Vec<u8>)>,
+    /// The armed WAL handle, parked here until the next host spawn
+    /// moves it onto the host thread. `None` on a durable server
+    /// means the next spawn must re-arm via [`DurableLog::rearm`].
+    wal: Option<TenantWal>,
     strikes: u32,
     quarantined_until: Option<Instant>,
 }
@@ -122,6 +131,9 @@ pub struct ServerStats {
     pub panics_contained: u64,
     /// Completions with [`Outcome::Abandoned`] (watchdog).
     pub abandoned: u64,
+    /// Completions with [`Outcome::DurabilityLost`] (WAL append
+    /// failed; the request was rolled back, not silently kept).
+    pub durability_lost: u64,
     /// Completions with [`Outcome::Shed`].
     pub shed: u64,
     /// Times a tenant entered quarantine.
@@ -157,6 +169,7 @@ struct StatCells {
     budget_exhausted: AtomicU64,
     panics_contained: AtomicU64,
     abandoned: AtomicU64,
+    durability_lost: AtomicU64,
     shed: AtomicU64,
     quarantines: AtomicU64,
     preemptions: AtomicU64,
@@ -170,6 +183,10 @@ struct Inner {
     idle_cv: Condvar,
     next_id: AtomicU64,
     stats: StatCells,
+    /// Durable-session log; `None` when `durable_dir` is unset or the
+    /// directory could not be opened (the server degrades to
+    /// in-memory sessions rather than refusing to start).
+    log: Option<DurableLog>,
 }
 
 impl Inner {
@@ -194,13 +211,49 @@ pub struct Server {
 
 impl Server {
     /// Starts the worker pool and begins accepting submissions.
+    ///
+    /// With [`ServerConfig::durable_dir`] set, first scans the
+    /// durable directory and rebuilds every tenant recorded there:
+    /// checksums and name fingerprints are verified, torn tails
+    /// truncated, and each tenant's session will be reconstructed
+    /// (snapshot base + deterministic replay of committed phrases) on
+    /// its host thread at first use. A durable directory that cannot
+    /// be opened degrades the server to in-memory sessions (counted
+    /// as `server.wal_open_failed`) — start never fails.
     #[must_use]
     pub fn start(config: ServerConfig, telemetry: Telemetry) -> Server {
+        let log = config.durable_dir.as_ref().and_then(|dir| {
+            DurableLog::open(
+                dir,
+                Arc::clone(&config.disk),
+                config.snapshot_every,
+                telemetry.clone(),
+            )
+            .map_err(|_| telemetry.counter_add("server.wal_open_failed", 1))
+            .ok()
+        });
+        let mut tenants: BTreeMap<String, TenantState> = BTreeMap::new();
+        if let Some(log) = &log {
+            for r in log.recover(&|bytes| SessionSnapshot::from_bytes(bytes).is_ok()) {
+                telemetry.counter_add("server.recoveries", 1);
+                telemetry.counter_add("server.replayed_phrases", r.commits.len() as u64);
+                let wal = log.tenant(&r.name, Some(&r)).ok();
+                tenants.insert(
+                    r.name.clone(),
+                    TenantState {
+                        transcript: r.commits,
+                        base: r.base,
+                        wal,
+                        ..TenantState::default()
+                    },
+                );
+            }
+        }
         let inner = Arc::new(Inner {
             config,
             telemetry,
             state: Mutex::new(SchedState {
-                tenants: BTreeMap::new(),
+                tenants,
                 ready: VecDeque::new(),
                 queued_total: 0,
                 in_flight: 0,
@@ -210,6 +263,7 @@ impl Server {
             idle_cv: Condvar::new(),
             next_id: AtomicU64::new(1),
             stats: StatCells::default(),
+            log,
         });
         let workers = (0..inner.config.workers)
             .map(|i| {
@@ -332,6 +386,7 @@ impl Server {
             budget_exhausted: ld(&s.budget_exhausted),
             panics_contained: ld(&s.panics_contained),
             abandoned: ld(&s.abandoned),
+            durability_lost: ld(&s.durability_lost),
             shed: ld(&s.shed),
             quarantines: ld(&s.quarantines),
             preemptions: ld(&s.preemptions),
@@ -344,17 +399,42 @@ impl Server {
         &self.inner.telemetry
     }
 
+    /// Begins a graceful drain without consuming the server: new
+    /// offers are shed with [`Rejected::ShuttingDown`], everything
+    /// already admitted still completes. Call [`Server::shutdown`]
+    /// afterwards to join workers and hosts — on a durable server
+    /// each host then flushes a final compaction snapshot, so the
+    /// next start replays zero phrases. This is what a SIGTERM
+    /// handler should call.
+    pub fn initiate_shutdown(&self) {
+        {
+            let mut st = self.inner.lock();
+            st.shutdown = true;
+        }
+        self.inner.work_cv.notify_all();
+    }
+
+    /// Whether durable sessions are armed (the WAL directory opened).
+    #[must_use]
+    pub fn durable(&self) -> bool {
+        self.inner.log.is_some()
+    }
+
+    /// Names of every tenant the server knows — those recovered from
+    /// the durable directory at start plus those created by
+    /// submissions since. Sorted by name.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<String> {
+        self.inner.lock().tenants.keys().cloned().collect()
+    }
+
     /// Stops admitting, completes every already-admitted request,
     /// joins the workers and hosts, and returns the final accounting.
     /// After this, `offered == admitted + rejected` and
     /// `admitted == completed` hold exactly.
     #[must_use]
     pub fn shutdown(mut self) -> ServerStats {
-        {
-            let mut st = self.inner.lock();
-            st.shutdown = true;
-        }
-        self.inner.work_cv.notify_all();
+        self.initiate_shutdown();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -369,6 +449,22 @@ impl Server {
             }
         }
         self.stats()
+    }
+}
+
+/// Produces the [`DurableCtx`] for a host about to spawn: the parked
+/// WAL handle if the tenant still has one, else a re-armed fresh
+/// generation carrying the tenant's full in-memory history (the
+/// previous handle is unreachable inside an abandoned host thread).
+fn arm_durable(log: &DurableLog, t: &mut TenantState, tenant: &str) -> Result<DurableCtx, String> {
+    let base = t.base.as_ref().map(|(_, bytes)| bytes.clone());
+    if let Some(wal) = t.wal.take() {
+        return Ok(DurableCtx { wal, base });
+    }
+    let snapshot = t.base.as_ref().map(|(seq, bytes)| (*seq, bytes.as_slice()));
+    match log.rearm(tenant, snapshot, &t.transcript) {
+        Ok(wal) => Ok(DurableCtx { wal, base }),
+        Err(e) => Err(e.to_string()),
     }
 }
 
@@ -433,11 +529,26 @@ fn drive_round(inner: &Arc<Inner>, tenant: &str) {
             let t = st.tenants.get_mut(tenant).expect("tenant exists: driving");
             if t.host.is_none() {
                 let transcript = t.transcript.clone();
+                let durable = if let Some(log) = &inner.log {
+                    match arm_durable(log, t, tenant) {
+                        Ok(ctx) => Some(ctx),
+                        Err(error) => {
+                            // The WAL cannot be re-armed (disk fault):
+                            // refuse to run the request non-durably.
+                            complete(inner, job, Outcome::DurabilityLost { error }, 0);
+                            strike(inner, &mut st, tenant, 1);
+                            continue;
+                        }
+                    }
+                } else {
+                    None
+                };
                 t.host = Some(HostHandle::spawn(
                     tenant,
                     &inner.config,
                     &inner.telemetry,
                     transcript,
+                    durable,
                 ));
             }
             let host = t.host.as_ref().expect("host just ensured");
@@ -578,6 +689,7 @@ fn finish_cancelled(inner: &Arc<Inner>, tenant: &str, cell: &Arc<FuelCell>, over
         Some(HostOutcome::Static { error }) => Outcome::Static { error },
         Some(HostOutcome::Failed { error, .. }) => Outcome::Failed { error },
         Some(HostOutcome::Panicked) => Outcome::Panicked,
+        Some(HostOutcome::DurabilityLost { error }) => Outcome::DurabilityLost { error },
         None => Outcome::Abandoned,
     });
 }
@@ -595,6 +707,7 @@ fn finish_current(inner: &Arc<Inner>, tenant: &str, cell: &Arc<FuelCell>) {
             cancelled: true, ..
         }) => Outcome::DeadlineExceeded,
         Some(HostOutcome::Panicked) => Outcome::Panicked,
+        Some(HostOutcome::DurabilityLost { error }) => Outcome::DurabilityLost { error },
         None => Outcome::Abandoned,
     });
 }
@@ -669,7 +782,10 @@ fn apply_completion(
         // Static errors never ran and cannot poison a session; shed
         // requests never ran either.
         Outcome::Static { .. } | Outcome::Shed { .. } => {}
-        Outcome::Failed { .. } | Outcome::DeadlineExceeded | Outcome::BudgetExhausted => {
+        Outcome::Failed { .. }
+        | Outcome::DeadlineExceeded
+        | Outcome::BudgetExhausted
+        | Outcome::DurabilityLost { .. } => {
             strikes = 1;
         }
         Outcome::Panicked | Outcome::Abandoned => {
@@ -739,6 +855,7 @@ fn complete(inner: &Arc<Inner>, job: Job, outcome: Outcome, fuel: u64) {
         Outcome::BudgetExhausted => (&inner.stats.budget_exhausted, "server.budget_exhausted"),
         Outcome::Panicked => (&inner.stats.panics_contained, "server.panics_contained"),
         Outcome::Abandoned => (&inner.stats.abandoned, "server.abandoned"),
+        Outcome::DurabilityLost { .. } => (&inner.stats.durability_lost, "server.durability_lost"),
         Outcome::Shed { .. } => (&inner.stats.shed, "server.shed"),
     };
     inner.count(cell, metric);

@@ -78,6 +78,14 @@ pub enum Outcome {
     /// after cancellation; the tenant is quarantined and its session
     /// will be rebuilt from the replay transcript on next use.
     Abandoned,
+    /// The phrase evaluated, but its write-ahead-log append failed
+    /// (disk fault), so the result was rolled back rather than
+    /// reported as durable when it is not. The session is unchanged;
+    /// retry once the disk recovers.
+    DurabilityLost {
+        /// The rendered storage error.
+        error: String,
+    },
     /// The request was admitted but shed before (or instead of)
     /// running — its tenant got quarantined behind it, or the server
     /// drained on shutdown.
@@ -162,6 +170,9 @@ mod tests {
             Outcome::BudgetExhausted,
             Outcome::Panicked,
             Outcome::Abandoned,
+            Outcome::DurabilityLost {
+                error: String::new(),
+            },
             Outcome::Shed {
                 reason: String::new(),
             },

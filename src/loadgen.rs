@@ -155,8 +155,35 @@ fn draw_source(rng: &mut StdRng, mix: &LoadMix) -> String {
     } else if roll < h {
         testgen::adversarial(seed, Adversarial::Heavy)
     } else {
-        testgen::well_typed_source(seed, 2)
+        // Bind the result so the phrase leaves observable state in the
+        // session: durable-recovery tests diff `render_bindings`
+        // against a never-crashed oracle, which is only meaningful if
+        // the traffic actually binds names.
+        format!(
+            "let v{} = {}",
+            seed % 97,
+            testgen::well_typed_source(seed, 2)
+        )
     }
+}
+
+/// The plan's deterministic offer sequence, without a server: exactly
+/// the `(tenant, source)` pairs [`run`] would submit, in order. This
+/// is what makes a never-crashed oracle reconstructible — replaying a
+/// plan's offers into a fresh session must produce the same state a
+/// server that admitted them all reached.
+#[must_use]
+pub fn offers(plan: &LoadPlan) -> Vec<(String, String)> {
+    let mut rng = StdRng::seed_from_u64(plan.seed);
+    let mut out = Vec::with_capacity(plan.tenants * plan.per_tenant);
+    for _round in 0..plan.per_tenant {
+        for t in 0..plan.tenants {
+            let tenant = format!("tenant{t:03}");
+            let source = draw_source(&mut rng, &plan.mix);
+            out.push((tenant, source));
+        }
+    }
+    out
 }
 
 /// Runs the plan against a live server: offers everything, waits for
@@ -164,15 +191,10 @@ fn draw_source(rng: &mut StdRng, mix: &LoadMix) -> String {
 /// running (call [`Server::shutdown`] yourself for final accounting).
 #[must_use]
 pub fn run(server: &Server, plan: &LoadPlan) -> LoadReport {
-    let mut rng = StdRng::seed_from_u64(plan.seed);
     let mut tickets: Vec<Ticket> = Vec::new();
-    for _round in 0..plan.per_tenant {
-        for t in 0..plan.tenants {
-            let tenant = format!("tenant{t:03}");
-            let source = draw_source(&mut rng, &plan.mix);
-            if let Ok(ticket) = server.submit(&tenant, &source) {
-                tickets.push(ticket);
-            }
+    for (tenant, source) in offers(plan) {
+        if let Ok(ticket) = server.submit(&tenant, &source) {
+            tickets.push(ticket);
         }
     }
     let mut latencies_us = Vec::with_capacity(tickets.len());
@@ -219,14 +241,42 @@ mod tests {
     }
 
     #[test]
+    fn offers_are_deterministic_and_round_robin() {
+        let plan = LoadPlan {
+            tenants: 3,
+            per_tenant: 2,
+            seed: 11,
+            mix: LoadMix::clean(),
+        };
+        let a = offers(&plan);
+        let b = offers(&plan);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 6);
+        let tenants: Vec<&str> = a.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(
+            tenants,
+            vec![
+                "tenant000",
+                "tenant001",
+                "tenant002",
+                "tenant000",
+                "tenant001",
+                "tenant002"
+            ]
+        );
+    }
+
+    #[test]
     fn clean_mix_only_draws_well_typed() {
         let mix = LoadMix::clean();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..30 {
             let src = draw_source(&mut rng, &mix);
-            // Well-typed sources come from the typed generator and
-            // must parse.
-            assert!(bsml_syntax::parse(&src).is_ok(), "unparsable: {src}");
+            // Well-typed sources are `let`-binding phrases over the
+            // typed generator's expressions and must parse as module
+            // input (what `Session::load` feeds them to).
+            assert!(src.starts_with("let v"), "not a binding: {src}");
+            assert!(bsml_syntax::parse_module(&src).is_ok(), "unparsable: {src}");
         }
     }
 }
