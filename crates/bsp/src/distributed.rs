@@ -542,8 +542,10 @@ struct SpmdDriver {
     /// every local protocol event (stamping a frame, entering or
     /// leaving a barrier), and to `max(local, remote) + 1` on every
     /// received frame — so a receive is always strictly after its
-    /// send in Lamport order, across ranks.
-    clock: u64,
+    /// send in Lamport order, across ranks. Shared (atomically) with
+    /// the process-mode control hub, whose heartbeat and link events
+    /// must interleave correctly with the driver's stamps.
+    clock: Arc<AtomicU64>,
     /// This rank's flight recorder (`None` = recording disabled).
     flight: Option<Arc<FlightRecorder>>,
     /// Fuel remaining at the previous superstep boundary — the
@@ -565,15 +567,14 @@ impl SpmdDriver {
     /// Advances the Lamport clock for a local event and returns the
     /// new stamp.
     fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+        self.clock.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Advances the Lamport clock past a received remote stamp
     /// (`max(local, remote) + 1`) and returns the new stamp.
     fn observe(&mut self, remote: u64) -> u64 {
-        self.clock = self.clock.max(remote) + 1;
-        self.clock
+        self.clock.fetch_max(remote, Ordering::AcqRel);
+        self.tick()
     }
 
     /// Records one flight event at the given stamp (no-op when the
@@ -1618,6 +1619,11 @@ pub struct DistOutcome {
 }
 
 /// How a [`DistMachine`] places its `p` ranks.
+///
+/// One of these exists per machine, so the size gap between the
+/// unit-like `InProcess` and the full [`ProcessConfig`] is not worth
+/// boxing away at every construction site.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, Default)]
 pub enum Execution {
     /// One OS thread per rank inside this process (the default): the
@@ -2101,6 +2107,13 @@ fn run_rank_inner(
     let stats = Arc::new(Mutex::new(CommStats::default()));
     let record = net.checkpoint.as_ref().map(|_| Vec::new());
     let p = net.p;
+    // Process mode shares the control hub's Lamport clock, so the
+    // reader thread's heartbeat/link-event stamps and the driver's
+    // protocol stamps form one causal order per rank.
+    let clock = match &net.sync {
+        SyncBackend::Remote(hub) => Arc::clone(&hub.lamport),
+        SyncBackend::Local(_) => Arc::new(AtomicU64::new(0)),
+    };
     let driver = SpmdDriver {
         rank,
         net: Arc::clone(&net),
@@ -2111,7 +2124,7 @@ fn run_rank_inner(
         send_seq: vec![0; p],
         recv_seq: vec![0; p],
         exchanges: 0,
-        clock: 0,
+        clock,
         flight,
         fuel_mark: fuel,
         sent_mark: 0,

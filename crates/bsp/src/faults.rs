@@ -324,6 +324,72 @@ impl FaultPlan {
     }
 }
 
+/// What a [`LinkFault`] does to a live rank↔coordinator control
+/// stream. Unlike [`FaultKind`], which kills or perturbs the *rank*,
+/// a link fault perturbs only the *wire*: the rank process stays
+/// alive with its in-memory state intact, and the cheapest recovery
+/// rung — reconnect and replay from the egress buffers — applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkFaultKind {
+    /// Half-open: the coordinator shuts down its *write* side only.
+    /// The child reads EOF and reconnects; the parent keeps reading
+    /// whatever was in flight.
+    Drop,
+    /// The coordinator stops writing to the link without closing it —
+    /// a silent partition. The child's silence detector (no traffic
+    /// within the grace window) triggers the reconnect.
+    Freeze,
+    /// Both directions are shut down at once — what a TCP RST or a
+    /// dead middlebox looks like to the application.
+    Reset,
+    /// `n` consecutive severs: the initial one plus `n − 1` re-severs
+    /// of the child's reconnection attempts before one is finally
+    /// allowed to complete. Large `n` against a small rejoin budget is
+    /// how tests force demotion to the checkpoint-respawn rung.
+    Flap(u32),
+}
+
+impl LinkFaultKind {
+    /// The kind's stable wire code: 0 drop, 1 freeze, 2 reset, 3 flap.
+    #[must_use]
+    pub fn code(&self) -> u64 {
+        match self {
+            LinkFaultKind::Drop => 0,
+            LinkFaultKind::Freeze => 1,
+            LinkFaultKind::Reset => 2,
+            LinkFaultKind::Flap(_) => 3,
+        }
+    }
+
+    /// A short human-readable label for the kind.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            LinkFaultKind::Drop => "link-drop",
+            LinkFaultKind::Freeze => "link-freeze",
+            LinkFaultKind::Reset => "link-reset",
+            LinkFaultKind::Flap(_) => "link-flap",
+        }
+    }
+}
+
+/// One deterministic link sever: when the coordinator finishes the
+/// barrier of `superstep` on `attempt`, rank `rank`'s control stream
+/// suffers `kind` instead of (before) receiving its release. Carried
+/// in [`crate::process::ProcessConfig::link_faults`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFault {
+    /// The rank whose link is severed.
+    pub rank: usize,
+    /// The superstep whose barrier release the sever lands on
+    /// (`0` severs right after launch, before any barrier).
+    pub superstep: u64,
+    /// What happens to the wire.
+    pub kind: LinkFaultKind,
+    /// The attempt (0-based) on which this fault fires.
+    pub attempt: u32,
+}
+
 /// Sebastiano Vigna's SplitMix64 — tiny, seedable, and good enough to
 /// scatter faults, jitter supervisor backoff, and schedule the lossy
 /// transport's perturbations; avoids any external RNG dependency.
@@ -438,5 +504,29 @@ mod tests {
             }
         }
         assert_eq!(kinds, [true; 4], "64 seeds should hit all kinds");
+    }
+
+    #[test]
+    fn link_fault_kinds_have_stable_codes_and_labels() {
+        let kinds = [
+            LinkFaultKind::Drop,
+            LinkFaultKind::Freeze,
+            LinkFaultKind::Reset,
+            LinkFaultKind::Flap(3),
+        ];
+        assert_eq!(
+            kinds.iter().map(LinkFaultKind::code).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        for k in kinds {
+            assert!(k.label().starts_with("link-"));
+        }
+        let f = LinkFault {
+            rank: 1,
+            superstep: 2,
+            kind: LinkFaultKind::Flap(5),
+            attempt: 0,
+        };
+        assert_eq!(f.kind, LinkFaultKind::Flap(5));
     }
 }

@@ -60,7 +60,7 @@ pub use cost::{Barrier, Cost, CostSummary, SuperstepRecord};
 pub use distributed::{
     DistMachine, DistOutcome, Execution, BARRIER_TIMEOUT_ENV, FLIGHT_CAPACITY_ENV,
 };
-pub use faults::{Fault, FaultKind, FaultPlan};
+pub use faults::{Fault, FaultKind, FaultPlan, LinkFault, LinkFaultKind};
 pub use hooks::BspCostHooks;
 pub use machine::{BspMachine, BspParams, RunReport};
 pub use postmortem::{
@@ -68,13 +68,14 @@ pub use postmortem::{
     RankFlightLog, SuperstepObservation,
 };
 pub use process::{
-    KillSpec, ProcessConfig, HANDSHAKE_TIMEOUT_ENV, RANK_BIN_ENV, RANK_FINGERPRINT_ENV,
-    RANK_ID_ENV, RANK_P_ENV, RANK_SOCKET_ENV,
+    validate_rejoin, KillSpec, ProcessConfig, HANDSHAKE_TIMEOUT_ENV, HEARTBEAT_MS_ENV,
+    LINK_GRACE_MS_ENV, RANK_BIN_ENV, RANK_FINGERPRINT_ENV, RANK_ID_ENV, RANK_P_ENV,
+    RANK_SOCKET_ENV,
 };
 pub use storage::{Disk, StorageError, StorageFault, StorageFaultKind, StorageOp, StoragePlan};
 pub use supervisor::{
     backoff_delay, RecordingSleeper, Sleeper, SupervisedOutcome, Supervisor, ThreadSleeper,
     POSTMORTEM_DIR_ENV,
 };
-pub use transport::{LossyConfig, NetTuning, TransportConfig};
+pub use transport::{Bind, Listener, LossyConfig, NetTuning, RankStream, TransportConfig};
 pub use wire::{Frame, FramePayload, WireError};

@@ -173,6 +173,8 @@ const TAG_SUPERSTEP_END: u8 = 9;
 const TAG_CHECKPOINT_STAGED: u8 = 10;
 const TAG_CHECKPOINT_COMMITTED: u8 = 11;
 const TAG_FAULT_FIRED: u8 = 12;
+const TAG_LINK_DOWN: u8 = 13;
+const TAG_LINK_UP: u8 = 14;
 
 pub(crate) fn encode_event(out: &mut Vec<u8>, ev: &TimedFlightEvent) {
     let fields: (u8, [u64; 4], usize) = match ev.event {
@@ -218,6 +220,8 @@ pub(crate) fn encode_event(out: &mut Vec<u8>, ev: &TimedFlightEvent) {
         FlightEvent::FaultFired { superstep, kind } => {
             (TAG_FAULT_FIRED, [superstep, kind, 0, 0], 2)
         }
+        FlightEvent::LinkDown { rank, superstep } => (TAG_LINK_DOWN, [rank, superstep, 0, 0], 2),
+        FlightEvent::LinkUp { rank, superstep } => (TAG_LINK_UP, [rank, superstep, 0, 0], 2),
     };
     let (tag, vals, n) = fields;
     out.push(tag);
@@ -279,6 +283,14 @@ pub(crate) fn decode_event(r: &mut Reader<'_>) -> Result<TimedFlightEvent, Postm
         TAG_FAULT_FIRED => FlightEvent::FaultFired {
             superstep: r.u64()?,
             kind: r.u64()?,
+        },
+        TAG_LINK_DOWN => FlightEvent::LinkDown {
+            rank: r.u64()?,
+            superstep: r.u64()?,
+        },
+        TAG_LINK_UP => FlightEvent::LinkUp {
+            rank: r.u64()?,
+            superstep: r.u64()?,
         },
         other => {
             return Err(PostmortemError::Malformed(format!(
@@ -965,7 +977,9 @@ impl PostmortemBundle {
                 | FlightEvent::BarrierEnter { superstep }
                 | FlightEvent::BarrierExit { superstep }
                 | FlightEvent::SuperstepEnd { superstep, .. }
-                | FlightEvent::FaultFired { superstep, .. } => Some(superstep),
+                | FlightEvent::FaultFired { superstep, .. }
+                | FlightEvent::LinkDown { superstep, .. }
+                | FlightEvent::LinkUp { superstep, .. } => Some(superstep),
                 _ => None,
             })
             .unwrap_or(0)
@@ -1188,6 +1202,14 @@ mod tests {
             FlightEvent::FaultFired {
                 superstep: 1,
                 kind: 2,
+            },
+            FlightEvent::LinkDown {
+                rank: 1,
+                superstep: 2,
+            },
+            FlightEvent::LinkUp {
+                rank: 1,
+                superstep: 2,
             },
         ];
         let bundle = PostmortemBundle {

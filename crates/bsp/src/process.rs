@@ -2,11 +2,12 @@
 //! BSMLlib-over-MPI shape, where each rank is one OS process that can
 //! genuinely die.
 //!
-//! Topology is a star: the parent binds a Unix-domain socket, spawns
-//! `p` copies of the `bsml-rank` binary, handshakes each connection
-//! (magic + protocol version + program fingerprint + rank id + `p`,
-//! under [`HANDSHAKE_TIMEOUT_ENV`]), and then routes every data-plane
-//! frame and every synchronization message over the per-child control
+//! Topology is a star: the parent binds a listener (Unix-domain by
+//! default, TCP via [`ProcessConfig::bind`]), spawns `p` copies of the
+//! `bsml-rank` binary, handshakes each connection (magic + protocol
+//! version + program fingerprint + rank id + `p`, under
+//! [`HANDSHAKE_TIMEOUT_ENV`]), and then routes every data-plane frame
+//! and every synchronization message over the per-child control
 //! streams ([`crate::wire::CtlMsg`]). Rank death is detected as
 //! socket EOF and confirmed with `waitpid` ([`std::process::Child`]),
 //! then mapped to the failed (rank, superstep) coordinate as
@@ -16,19 +17,31 @@
 //! machinery: the whole fleet is respawned and resumed from the
 //! newest committed generation, demoting to a full restart on
 //! [`EvalError::CheckpointDiverged`] like the in-process ladder.
+//!
+//! Links themselves are *supervised* resources (DESIGN.md §16): every
+//! rank↔coordinator stream carries application heartbeats
+//! ([`CtlMsg::Ping`]/[`CtlMsg::Pong`] under [`HEARTBEAT_MS_ENV`]) and
+//! walks a per-link state machine `Healthy → Suspect → Disconnected →
+//! Rejoining`. A rank whose *socket* dies while its *process* lives
+//! reconnects within [`LINK_GRACE_MS_ENV`], re-handshakes with
+//! [`CtlMsg::Rejoin`], and both sides replay the frames the other
+//! never received from bounded per-link egress buffers — healing a
+//! transient partition without discarding a single superstep. Only
+//! when the grace window or the rejoin budget is exhausted does the
+//! link failure escalate to the rank-death path above.
 
 use std::collections::VecDeque;
-use std::io;
-use std::os::unix::net::{UnixListener, UnixStream};
+use std::io::{self, Read, Write};
+use std::net::Shutdown;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 use bsml_ast::Expr;
 use bsml_eval::{EvalError, PortableValue};
-use bsml_obs::{FlightRecorder, TimedFlightEvent};
+use bsml_obs::{FlightEvent, FlightRecorder, TimedFlightEvent};
 
 use crate::checkpoint::{
     program_fingerprint, CheckpointError, CheckpointStore, RankFrame, ResumePoint,
@@ -36,11 +49,13 @@ use crate::checkpoint::{
 use crate::distributed::{
     assemble, flush_counters, run_remote_rank, DistMachine, DistOutcome, DEFAULT_FLIGHT_CAPACITY,
 };
-use crate::faults::FaultPlan;
+use crate::faults::{FaultPlan, LinkFault, LinkFaultKind};
 use crate::postmortem::{error_coordinate, FlightLog, PostmortemBundle, RankFlightLog};
 use crate::supervisor::POSTMORTEM_DIR_ENV;
-use crate::transport::{NetTuning, SocketTransport, Transport};
-use crate::wire::{read_ctl, write_ctl, CtlLedger, CtlMsg, CtlStats, CTL_MAGIC, PROTOCOL_VERSION};
+use crate::transport::{Bind, Listener, NetTuning, RankStream, SocketTransport, Transport};
+use crate::wire::{
+    read_ctl, write_ctl, CtlLedger, CtlMsg, CtlStats, CTL_MAGIC, MAX_CTL_FRAME, PROTOCOL_VERSION,
+};
 
 /// The environment variable overriding the connect/handshake deadline
 /// (milliseconds). The companion of
@@ -63,6 +78,49 @@ fn handshake_timeout_from_env() -> Duration {
     bsml_obs::env::duration_ms_knob(
         HANDSHAKE_TIMEOUT_ENV,
         DEFAULT_HANDSHAKE_TIMEOUT,
+        &bsml_obs::Telemetry::disabled(),
+    )
+}
+
+/// The environment variable setting the link heartbeat period
+/// (milliseconds): how often the parent pings every live rank link
+/// ([`CtlMsg::Ping`]/[`CtlMsg::Pong`]). `0` disables heartbeats *and*
+/// the silence detection that depends on them — links then fail only
+/// on hard socket errors. Unset or unparsable values fall back to
+/// [`DEFAULT_HEARTBEAT`].
+pub const HEARTBEAT_MS_ENV: &str = "BSML_HEARTBEAT_MS";
+
+/// Heartbeat period when [`HEARTBEAT_MS_ENV`] is unset.
+pub const DEFAULT_HEARTBEAT: Duration = Duration::from_millis(500);
+
+/// The environment variable setting the link grace window
+/// (milliseconds): how long a severed link may stay down before the
+/// parent gives up on a rejoin and escalates to the rank-death path
+/// (and how long a silent link may go without traffic before the child
+/// treats it as severed). `0` disables link healing entirely: the
+/// first socket error is final, exactly the pre-supervision behavior.
+/// Unset or unparsable values fall back to [`DEFAULT_LINK_GRACE`].
+pub const LINK_GRACE_MS_ENV: &str = "BSML_LINK_GRACE_MS";
+
+/// Grace window when [`LINK_GRACE_MS_ENV`] is unset.
+pub const DEFAULT_LINK_GRACE: Duration = Duration::from_millis(5000);
+
+/// Rejoin attempts the parent accepts per link per attempt before it
+/// answers [`CtlMsg::Reject`] (see [`ProcessConfig::rejoin_budget`]).
+pub const DEFAULT_REJOIN_BUDGET: u32 = 16;
+
+fn heartbeat_from_env() -> Duration {
+    bsml_obs::env::duration_ms_knob(
+        HEARTBEAT_MS_ENV,
+        DEFAULT_HEARTBEAT,
+        &bsml_obs::Telemetry::disabled(),
+    )
+}
+
+fn link_grace_from_env() -> Duration {
+    bsml_obs::env::duration_ms_knob(
+        LINK_GRACE_MS_ENV,
+        DEFAULT_LINK_GRACE,
         &bsml_obs::Telemetry::disabled(),
     )
 }
@@ -122,6 +180,33 @@ pub struct ProcessConfig {
     /// bundles (exported to children as `BSML_POSTMORTEM_DIR`). `None`
     /// lets children inherit the parent's environment.
     pub postmortem_dir: Option<PathBuf>,
+    /// Where the coordinator listens: a Unix-domain path or a TCP
+    /// address. `None` binds `coord.sock` inside the socket directory,
+    /// the pre-TCP behavior.
+    pub bind: Option<Bind>,
+    /// Link severs to inject at specific (rank, superstep, attempt)
+    /// coordinates — the partition-chaos counterpart of `kills`.
+    pub link_faults: Vec<LinkFault>,
+    /// Heartbeat period. `None` reads [`HEARTBEAT_MS_ENV`] (default
+    /// [`DEFAULT_HEARTBEAT`]).
+    pub heartbeat: Option<Duration>,
+    /// Link grace window. `None` reads [`LINK_GRACE_MS_ENV`] (default
+    /// [`DEFAULT_LINK_GRACE`]).
+    pub link_grace: Option<Duration>,
+    /// Accepted rejoin attempts per link per attempt before the parent
+    /// rejects further reconnects and lets the rank die (demoting the
+    /// failure to a respawn-from-checkpoint). `None` means
+    /// [`DEFAULT_REJOIN_BUDGET`].
+    pub rejoin_budget: Option<u32>,
+}
+
+impl ProcessConfig {
+    /// Sets where the coordinator listens (builder-style).
+    #[must_use]
+    pub fn bind(mut self, bind: Bind) -> ProcessConfig {
+        self.bind = Some(bind);
+        self
+    }
 }
 
 /// Locks a mutex, recovering the guard if a holder panicked (all
@@ -239,6 +324,53 @@ struct BarrierProgress {
     poisoned: bool,
 }
 
+/// Frames the per-link egress buffer retains for replay. 4096 frames
+/// comfortably covers everything in flight across one sever (a
+/// superstep's worth of deliveries plus control traffic) without
+/// letting a long run grow without bound.
+const EGRESS_CAPACITY: usize = 4096;
+
+/// A bounded ring of encoded session frames already handed to one
+/// link, indexed by cumulative send count. After a reconnect, the
+/// peer's resume token (how many session frames *it* received) selects
+/// the suffix to replay: exactly the frames that were in flight or
+/// buffered when the socket died. Heartbeats and rejoin-handshake
+/// messages bypass the ring (they are link-scoped, not session-scoped),
+/// which keeps the two sides' counts in agreement.
+#[derive(Debug, Default)]
+struct EgressRing {
+    /// Cumulative index of `frames[0]` (frames evicted so far).
+    base: u64,
+    frames: VecDeque<Vec<u8>>,
+}
+
+impl EgressRing {
+    fn push(&mut self, bytes: Vec<u8>) {
+        if self.frames.len() == EGRESS_CAPACITY {
+            self.frames.pop_front();
+            self.base += 1;
+        }
+        self.frames.push_back(bytes);
+    }
+
+    /// Cumulative count of frames ever pushed.
+    fn sent(&self) -> u64 {
+        self.base + self.frames.len() as u64
+    }
+
+    /// The frames the peer has not seen, oldest first — `None` when
+    /// the token predates the ring (the missing frames are gone, the
+    /// link cannot be healed) or claims more than was ever sent (a
+    /// protocol violation).
+    fn replay_from(&self, token: u64) -> Option<Vec<&Vec<u8>>> {
+        if token < self.base || token > self.sent() {
+            return None;
+        }
+        let skip = (token - self.base) as usize;
+        Some(self.frames.iter().skip(skip).collect())
+    }
+}
+
 /// A rank process's end of the parent's control stream: the writer
 /// half plus everything the reader thread routes off the stream
 /// (delivered frames, exchange totals, barrier releases, poison).
@@ -246,7 +378,7 @@ struct BarrierProgress {
 /// [`SocketTransport`] talk to.
 #[derive(Debug)]
 pub(crate) struct RemoteHub {
-    writer: Mutex<UnixStream>,
+    writer: Mutex<RankStream>,
     /// Data frames the parent routed to this rank, in arrival order.
     inbound: Mutex<VecDeque<Vec<u8>>>,
     /// Machine-wide count of locally-completed exchanges (monotonic:
@@ -261,10 +393,62 @@ pub(crate) struct RemoteHub {
     /// Flushed after every barrier release so a later SIGKILL still
     /// leaves an on-disk bundle.
     postmortem: Option<Arc<ChildPostmortem>>,
+    /// Where to reconnect when the link dies. `None` (the in-crate
+    /// test harness over a socketpair) disables healing: the first
+    /// stream error poisons, as before link supervision.
+    endpoint: Option<String>,
+    rank: usize,
+    fingerprint: u64,
+    /// Welcomed heartbeat period: `ZERO` disables silence detection
+    /// (the reader then blocks without a deadline).
+    heartbeat: Duration,
+    /// Welcomed grace window bounding both silence detection and the
+    /// heal loop. `ZERO` disables healing.
+    link_grace: Duration,
+    /// Session frames already written to the parent, kept for replay.
+    egress: Mutex<EgressRing>,
+    /// Session frames received from the parent — the resume token this
+    /// side offers in its `Rejoin`.
+    recvd: AtomicU64,
+    /// Supersteps this rank has entered the exit barrier of — the
+    /// claim a `Rejoin` carries, validated against the parent's count.
+    completed: AtomicU64,
+    /// Bumped (under `link_generation`) each time the link is healed;
+    /// senders parked on a dead writer wake on the bump and rely on
+    /// the replay instead of re-writing.
+    link_generation: Mutex<u64>,
+    link_cv: Condvar,
+    /// The rank's Lamport clock, shared with the driver so heartbeat
+    /// and flight-recorder stamps interleave correctly with protocol
+    /// events (DESIGN.md §12).
+    pub(crate) lamport: Arc<AtomicU64>,
+    /// Where `LinkDown`/`LinkUp` are recorded (the driver's ring).
+    recorder: Mutex<Option<Arc<FlightRecorder>>>,
 }
 
 impl RemoteHub {
-    fn new(writer: UnixStream, postmortem: Option<Arc<ChildPostmortem>>) -> Arc<RemoteHub> {
+    #[cfg(test)]
+    fn new(writer: RankStream, postmortem: Option<Arc<ChildPostmortem>>) -> Arc<RemoteHub> {
+        RemoteHub::with_link(
+            writer,
+            postmortem,
+            None,
+            0,
+            0,
+            Duration::ZERO,
+            Duration::ZERO,
+        )
+    }
+
+    fn with_link(
+        writer: RankStream,
+        postmortem: Option<Arc<ChildPostmortem>>,
+        endpoint: Option<String>,
+        rank: usize,
+        fingerprint: u64,
+        heartbeat: Duration,
+        link_grace: Duration,
+    ) -> Arc<RemoteHub> {
         Arc::new(RemoteHub {
             writer: Mutex::new(writer),
             inbound: Mutex::new(VecDeque::new()),
@@ -273,11 +457,83 @@ impl RemoteHub {
             barrier_cv: Condvar::new(),
             staged: Mutex::new(None),
             postmortem,
+            endpoint,
+            rank,
+            fingerprint,
+            heartbeat,
+            link_grace,
+            egress: Mutex::new(EgressRing::default()),
+            recvd: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            link_generation: Mutex::new(0),
+            link_cv: Condvar::new(),
+            lamport: Arc::new(AtomicU64::new(0)),
+            recorder: Mutex::new(None),
         })
     }
 
+    fn set_recorder(&self, recorder: Option<Arc<FlightRecorder>>) {
+        *lock(&self.recorder) = recorder;
+    }
+
+    /// Records a link event at a fresh Lamport stamp, if recording.
+    fn flight(&self, event: FlightEvent) {
+        if let Some(rec) = lock(&self.recorder).as_ref() {
+            let stamp = self.lamport.fetch_add(1, Ordering::AcqRel) + 1;
+            rec.record(stamp, event);
+        }
+    }
+
+    /// Sends one *session* frame: pushed to the egress ring first (so
+    /// a replay can resend it), then written. A write error does not
+    /// fail the send outright — the frame is already in the ring, so
+    /// the sender parks until the reader thread heals the link (the
+    /// replay delivers the frame; re-writing here would duplicate it)
+    /// and only errors when healing gives up.
     fn send(&self, msg: &CtlMsg) -> io::Result<()> {
-        write_ctl(&mut *lock(&self.writer), msg)
+        let bytes = msg.encode();
+        let mut w = lock(&self.writer);
+        lock(&self.egress).push(bytes.clone());
+        let seen = *lock(&self.link_generation);
+        match w.write_all(&bytes) {
+            Ok(()) => Ok(()),
+            Err(err) => {
+                drop(w);
+                self.await_heal(seen, err)
+            }
+        }
+    }
+
+    /// Writes one *link-scoped* frame (heartbeat replies): never
+    /// buffered, never replayed, failures ignored — the read side
+    /// notices a dead link soon enough.
+    fn send_bypass(&self, msg: &CtlMsg) {
+        let _ = write_ctl(&mut *lock(&self.writer), msg);
+    }
+
+    /// Parks a sender whose write failed until the reader thread heals
+    /// the link (generation bump) or the run is poisoned. Bounded by
+    /// twice the grace window as a backstop against a reader that can
+    /// make no progress at all.
+    fn await_heal(&self, seen: u64, err: io::Error) -> io::Result<()> {
+        if self.endpoint.is_none() || self.link_grace.is_zero() {
+            return Err(err);
+        }
+        let deadline = Instant::now() + self.link_grace * 2;
+        let mut generation = lock(&self.link_generation);
+        loop {
+            if *generation > seen {
+                return Ok(());
+            }
+            if self.is_poisoned() || Instant::now() >= deadline {
+                return Err(err);
+            }
+            generation = self
+                .link_cv
+                .wait_timeout(generation, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
     }
 
     /// Routes one data-plane frame toward `dst` through the parent. A
@@ -368,6 +624,13 @@ impl RemoteHub {
         if let Some(pm) = &self.postmortem {
             pm.flush("", None, None);
         }
+        // Count *before* sending: the parent counts the superstep
+        // completed the instant it reads the `BarrierEnter`, and the
+        // reader thread may present a `Rejoin` claim in the window
+        // between our send and our bookkeeping — counting first keeps
+        // this side's claim at least as new as the parent's, so a
+        // genuine rejoin is never rejected as stale.
+        self.completed.fetch_max(superstep + 1, Ordering::AcqRel);
         if self
             .send(&CtlMsg::BarrierEnter { superstep, staged })
             .is_err()
@@ -443,19 +706,216 @@ impl RemoteHub {
             _ => {}
         }
     }
+
+    /// Tries to heal a dead link: reconnect to the parent's endpoint,
+    /// re-handshake with `Rejoin`, replay our egress suffix from the
+    /// parent's resume token, swap the writer, and wake parked
+    /// senders. Returns the new reader half, or `None` when healing is
+    /// off, the grace window expired, or the parent rejected us.
+    ///
+    /// The connect deadline resets on every *accepted* connection: a
+    /// flap storm (the parent deliberately severing accepted rejoins)
+    /// is bounded by the parent's rejoin budget, not by this window.
+    fn heal_link(&self) -> Option<RankStream> {
+        let endpoint = self.endpoint.as_deref()?;
+        if self.link_grace.is_zero() {
+            return None;
+        }
+        self.flight(FlightEvent::LinkDown {
+            rank: self.rank as u64,
+            superstep: self.completed.load(Ordering::Acquire),
+        });
+        let mut deadline = Instant::now() + self.link_grace;
+        loop {
+            if self.is_poisoned() || Instant::now() >= deadline {
+                return None;
+            }
+            let Ok(mut stream) = RankStream::connect(endpoint) else {
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            };
+            deadline = Instant::now() + self.link_grace;
+            match self.rejoin_over(&mut stream) {
+                RejoinResult::Healed => {
+                    self.flight(FlightEvent::LinkUp {
+                        rank: self.rank as u64,
+                        superstep: self.completed.load(Ordering::Acquire),
+                    });
+                    return Some(stream);
+                }
+                RejoinResult::Rejected => return None,
+                RejoinResult::Retry => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// One rejoin handshake over a fresh connection: offer our resume
+    /// token, learn the parent's, replay our unseen suffix, swap the
+    /// writer and bump the link generation.
+    fn rejoin_over(&self, stream: &mut RankStream) -> RejoinResult {
+        if stream.set_read_timeout(Some(self.link_grace)).is_err() {
+            return RejoinResult::Retry;
+        }
+        let rejoin = CtlMsg::Rejoin {
+            rank: self.rank,
+            fingerprint: self.fingerprint,
+            completed_superstep: self.completed.load(Ordering::Acquire),
+            resume_token: self.recvd.load(Ordering::Acquire),
+        };
+        if write_ctl(stream, &rejoin).is_err() {
+            return RejoinResult::Retry;
+        }
+        let token = match read_ctl(stream) {
+            Ok(CtlMsg::RejoinOk { resume_token }) => resume_token,
+            Ok(CtlMsg::Reject { .. }) => return RejoinResult::Rejected,
+            // A severed accept (flap) or a torn reply: reconnect.
+            Ok(_) | Err(_) => return RejoinResult::Retry,
+        };
+        if stream.set_read_timeout(None).is_err() {
+            return RejoinResult::Retry;
+        }
+        let Ok(mut writer) = stream.try_clone() else {
+            return RejoinResult::Retry;
+        };
+        {
+            let mut w = lock(&self.writer);
+            let egress = lock(&self.egress);
+            // A token outside the ring cannot be honored; the link is
+            // beyond healing (the parent will escalate to rank death).
+            let frames = match egress.replay_from(token) {
+                Some(frames) => frames,
+                None => return RejoinResult::Rejected,
+            };
+            for frame in frames {
+                if writer.write_all(frame).is_err() {
+                    return RejoinResult::Retry;
+                }
+            }
+            drop(egress);
+            *w = writer;
+        }
+        let mut generation = lock(&self.link_generation);
+        *generation += 1;
+        drop(generation);
+        self.link_cv.notify_all();
+        RejoinResult::Healed
+    }
+}
+
+enum RejoinResult {
+    Healed,
+    Rejected,
+    Retry,
+}
+
+/// Reads one control frame with a silence deadline: short read
+/// timeouts accumulate bytes, and a gap of more than `grace` since the
+/// last traffic is reported as a timeout error (the heal trigger for
+/// links that die silently, like a frozen parent writer). A frame
+/// abandoned half-read is safe: the resume token only counts complete
+/// frames, so the replay resends it whole.
+fn read_ctl_deadline(
+    stream: &mut RankStream,
+    grace: Duration,
+    last_traffic: &mut Instant,
+) -> io::Result<CtlMsg> {
+    let mut frame = vec![0u8; 4];
+    let mut have = 0usize;
+    loop {
+        match stream.read(&mut frame[have..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "parent closed the control stream",
+                ))
+            }
+            Ok(n) => {
+                have += n;
+                *last_traffic = Instant::now();
+                if have == 4 && frame.len() == 4 {
+                    let len = u32::from_le_bytes([frame[0], frame[1], frame[2], frame[3]]) as usize;
+                    if len == 0 || len > MAX_CTL_FRAME {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("control frame of {len} byte(s) is outside the legal range"),
+                        ));
+                    }
+                    frame.resize(4 + len, 0);
+                }
+                if have == frame.len() && frame.len() > 4 {
+                    return CtlMsg::decode(&frame)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+                }
+            }
+            Err(err)
+                if err.kind() == io::ErrorKind::WouldBlock
+                    || err.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_traffic.elapsed() > grace {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("no link traffic within the {grace:?} grace window"),
+                    ));
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+            Err(err) => return Err(err),
+        }
+    }
 }
 
 /// The reader half of a rank process: routes every parent message into
-/// the hub until the stream dies, then poisons the run (a vanished
-/// parent must not leave the rank waiting forever).
-fn run_child_reader(hub: &RemoteHub, mut stream: UnixStream) {
+/// the hub until the stream dies, then tries to *heal* the link
+/// (reconnect + rejoin + replay) before giving up and poisoning the
+/// run (a vanished parent must not leave the rank waiting forever).
+/// Heartbeat pings are answered here, so the rank stays observably
+/// alive even while its driver thread is parked at a barrier.
+fn run_child_reader(hub: &RemoteHub, mut stream: RankStream) {
+    // Silence detection needs both knobs: no heartbeats means silence
+    // is normal, no grace means supervision is off.
+    let silence = (!hub.heartbeat.is_zero() && !hub.link_grace.is_zero()).then_some(hub.link_grace);
+    if silence.is_some()
+        && stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .is_err()
+    {
+        hub.poison_local();
+        return;
+    }
+    let mut last_traffic = Instant::now();
     loop {
-        match read_ctl(&mut stream) {
-            Ok(msg) => hub.absorb(msg),
-            Err(_) => {
-                hub.poison_local();
-                return;
+        let next = match silence {
+            Some(grace) => read_ctl_deadline(&mut stream, grace, &mut last_traffic),
+            None => read_ctl(&mut stream),
+        };
+        match next {
+            Ok(CtlMsg::Ping { lamport }) => {
+                hub.lamport.fetch_max(lamport, Ordering::AcqRel);
+                let stamp = hub.lamport.fetch_add(1, Ordering::AcqRel) + 1;
+                hub.send_bypass(&CtlMsg::Pong { lamport: stamp });
             }
+            Ok(msg) => {
+                hub.recvd.fetch_add(1, Ordering::AcqRel);
+                hub.absorb(msg);
+            }
+            Err(_) => match hub.heal_link() {
+                Some(healed) => {
+                    if silence.is_some()
+                        && healed
+                            .set_read_timeout(Some(Duration::from_millis(50)))
+                            .is_err()
+                    {
+                        hub.poison_local();
+                        return;
+                    }
+                    stream = healed;
+                    last_traffic = Instant::now();
+                }
+                None => {
+                    hub.poison_local();
+                    return;
+                }
+            },
         }
     }
 }
@@ -534,7 +994,7 @@ fn rank_process() -> Result<i32, String> {
     let p = env_u64(RANK_P_ENV)? as usize;
     let fingerprint = env_u64(RANK_FINGERPRINT_ENV)?;
     let mut stream =
-        UnixStream::connect(&socket).map_err(|e| format!("connect to {socket}: {e}"))?;
+        RankStream::connect(&socket).map_err(|e| format!("connect to {socket}: {e}"))?;
     // The handshake deadline guards the child too: a parent that
     // accepts but never welcomes must not hang the process.
     stream
@@ -552,6 +1012,8 @@ fn rank_process() -> Result<i32, String> {
         poll_sleep_us,
         checkpoint_interval,
         flight_capacity,
+        heartbeat_ms,
+        link_grace_ms,
         attempt,
         faults,
         resume_frame,
@@ -603,12 +1065,18 @@ fn rank_process() -> Result<i32, String> {
         pm.flush("", None, None);
     }
 
-    let hub = RemoteHub::new(
+    let hub = RemoteHub::with_link(
         stream
             .try_clone()
             .map_err(|e| format!("socket clone: {e}"))?,
         postmortem.clone(),
+        Some(socket.clone()),
+        rank,
+        fingerprint,
+        Duration::from_millis(heartbeat_ms),
+        Duration::from_millis(link_grace_ms),
     );
+    hub.set_recorder(recorder.clone());
     let reader_hub = Arc::clone(&hub);
     std::thread::spawn(move || run_child_reader(&reader_hub, stream));
 
@@ -777,6 +1245,53 @@ pub fn validate_hello(
     Ok(*rank)
 }
 
+/// Validates a claimed `Rejoin` against the fleet the parent is
+/// supervising: `completed[r]` is the parent's count of supersteps
+/// rank `r` has entered the exit barrier of. The rejoining side's
+/// claim may be *newer* (its `BarrierEnter` can be lost in flight —
+/// the replay redelivers it) but never older: a stale claim means the
+/// connecting process is not the rank the parent has been talking to.
+/// Returns the authenticated rank id.
+///
+/// # Errors
+///
+/// A human-readable refusal (sent back as [`CtlMsg::Reject`]): wrong
+/// fingerprint, out-of-range rank, a stale superstep claim — and a
+/// non-`Rejoin` first message.
+pub fn validate_rejoin(
+    msg: &CtlMsg,
+    fingerprint: u64,
+    p: usize,
+    completed: &[u64],
+) -> Result<usize, String> {
+    let CtlMsg::Rejoin {
+        rank,
+        fingerprint: theirs,
+        completed_superstep,
+        ..
+    } = msg
+    else {
+        return Err("first message on a rejoin connection is not a Rejoin".to_string());
+    };
+    if *theirs != fingerprint {
+        return Err(format!(
+            "program fingerprint mismatch: rejoin claims {theirs:#018x}, \
+             parent is running {fingerprint:#018x}"
+        ));
+    }
+    if *rank >= p {
+        return Err(format!("rank {rank} out of range for p = {p}"));
+    }
+    if *completed_superstep < completed[*rank] {
+        return Err(format!(
+            "stale rejoin: rank {rank} claims {completed_superstep} completed superstep(s), \
+             the parent has seen {}",
+            completed[*rank]
+        ));
+    }
+    Ok(*rank)
+}
+
 /// Locates the rank-runner binary: explicit config, then
 /// [`RANK_BIN_ENV`], then a `bsml-rank` sibling of the current
 /// executable (covering both `target/<profile>/` and
@@ -815,11 +1330,16 @@ struct Launch {
     dir: PathBuf,
     created_dir: bool,
     socket: PathBuf,
+    /// The coordinator's listener, kept open for the whole attempt so
+    /// severed ranks can reconnect and rejoin.
+    listener: Box<dyn Listener>,
     /// Reader halves, by rank.
-    streams: Vec<UnixStream>,
+    streams: Vec<RankStream>,
     /// Writer halves, by rank.
-    writers: Vec<Mutex<UnixStream>>,
+    writers: Vec<RankStream>,
     children: Vec<Mutex<Child>>,
+    heartbeat: Duration,
+    link_grace: Duration,
 }
 
 fn abort_children(children: &mut [Child]) {
@@ -866,24 +1386,33 @@ fn launch_ranks(
     std::fs::create_dir_all(&dir)
         .map_err(|err| launch_failure(0, format!("socket dir {}: {err}", dir.display())))?;
     let socket = dir.join("coord.sock");
-    let _ = std::fs::remove_file(&socket);
+    let bind = cfg
+        .bind
+        .clone()
+        .unwrap_or_else(|| Bind::Unix(socket.clone()));
     let fail = |rank: usize, detail: String| {
         cleanup_socket(&dir, &socket, created_dir);
         launch_failure(rank, detail)
     };
-    let listener = match UnixListener::bind(&socket) {
+    // `Bind::listen` probes apparently-stale Unix sockets before
+    // reclaiming them: a path held by a *live* listener comes back as
+    // a typed `AddrInUse` refusal here, never a hang or a hijack.
+    let listener = match bind.listen() {
         Ok(l) => l,
-        Err(err) => return Err(fail(0, format!("bind {}: {err}", socket.display()))),
+        Err(err) => return Err(fail(0, format!("bind {bind:?}: {err}"))),
     };
+    let endpoint = listener.endpoint();
     if let Err(err) = listener.set_nonblocking(true) {
         return Err(fail(0, format!("listener mode: {err}")));
     }
     let binary = discover_rank_binary(cfg)?;
+    let heartbeat = cfg.heartbeat.unwrap_or_else(heartbeat_from_env);
+    let link_grace = cfg.link_grace.unwrap_or_else(link_grace_from_env);
 
     let mut children: Vec<Child> = Vec::with_capacity(p);
     for rank in 0..p {
         let mut cmd = Command::new(&binary);
-        cmd.env(RANK_SOCKET_ENV, &socket)
+        cmd.env(RANK_SOCKET_ENV, &endpoint)
             .env(RANK_ID_ENV, rank.to_string())
             .env(RANK_P_ENV, p.to_string())
             .env(RANK_FINGERPRINT_ENV, fingerprint.to_string())
@@ -905,11 +1434,11 @@ fn launch_ranks(
 
     // Accept + handshake under one deadline for the whole fleet.
     let deadline = Instant::now() + handshake;
-    let mut slots: Vec<Option<(UnixStream, UnixStream)>> = (0..p).map(|_| None).collect();
+    let mut slots: Vec<Option<(RankStream, RankStream)>> = (0..p).map(|_| None).collect();
     let mut connected = 0;
     while connected < p {
         match listener.accept() {
-            Ok((mut stream, _)) => {
+            Ok(mut stream) => {
                 let taken: Vec<bool> = slots.iter().map(Option::is_some).collect();
                 let step = (|| -> Result<usize, String> {
                     stream
@@ -992,6 +1521,8 @@ fn launch_ranks(
                 .as_ref()
                 .map_or(0, |(policy, _)| policy.interval()),
             flight_capacity: machine.flight.unwrap_or(0) as u64,
+            heartbeat_ms: u64::try_from(heartbeat.as_millis()).unwrap_or(u64::MAX),
+            link_grace_ms: u64::try_from(link_grace.as_millis()).unwrap_or(u64::MAX),
             attempt,
             faults: machine
                 .faults
@@ -1010,15 +1541,18 @@ fn launch_ranks(
     for slot in slots {
         let (reader, writer) = slot.expect("all connected");
         streams.push(reader);
-        writers.push(Mutex::new(writer));
+        writers.push(writer);
     }
     Ok(Launch {
         dir,
         created_dir,
         socket,
+        listener,
         streams,
         writers,
         children: children.into_iter().map(Mutex::new).collect(),
+        heartbeat,
+        link_grace,
     })
 }
 
@@ -1039,12 +1573,86 @@ struct Round {
     staged_generation: Option<u64>,
 }
 
+/// One rank↔coordinator link's supervision state (DESIGN.md §16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum LinkState {
+    /// Traffic within the heartbeat window.
+    Healthy,
+    /// Silent past two heartbeat periods, not yet past grace.
+    Suspect,
+    /// The socket errored; waiting for a reconnect within grace.
+    Disconnected,
+    /// A rejoin handshake is in progress.
+    Rejoining,
+}
+
+/// Everything the parent supervises per rank link: the writer and its
+/// replay ring, the state machine, and the handoff slot the rejoin
+/// acceptor uses to give the reader thread its healed stream.
+struct Link {
+    writer: Mutex<RankStream>,
+    /// Session frames written toward this rank, kept for replay.
+    egress: Mutex<EgressRing>,
+    /// Session frames received from this rank — the resume token the
+    /// parent offers in its `RejoinOk`.
+    recvd: AtomicU64,
+    state: Mutex<LinkState>,
+    /// Bumped per heal; readers parked on a dead stream wake on it.
+    generation: Mutex<u64>,
+    generation_cv: Condvar,
+    /// The healed reader half, parked here by the acceptor until the
+    /// rank's reader thread picks it up.
+    pending_reader: Mutex<Option<RankStream>>,
+    last_seen: Mutex<Instant>,
+    /// A `Freeze` fault is in force: writes are withheld (buffered in
+    /// the ring) until the rank rejoins.
+    frozen: AtomicBool,
+    /// Accepted rejoins the acceptor still severs before letting one
+    /// through (the `Flap(n)` fault's storm counter).
+    flap_remaining: AtomicU32,
+    /// Valid rejoin attempts consumed against the budget.
+    rejoin_attempts: AtomicU32,
+}
+
+impl Link {
+    fn new(writer: RankStream) -> Link {
+        Link {
+            writer: Mutex::new(writer),
+            egress: Mutex::new(EgressRing::default()),
+            recvd: AtomicU64::new(0),
+            state: Mutex::new(LinkState::Healthy),
+            generation: Mutex::new(0),
+            generation_cv: Condvar::new(),
+            pending_reader: Mutex::new(None),
+            last_seen: Mutex::new(Instant::now()),
+            frozen: AtomicBool::new(false),
+            flap_remaining: AtomicU32::new(0),
+            rejoin_attempts: AtomicU32::new(0),
+        }
+    }
+}
+
+/// Link-supervision counters, flushed into the machine's telemetry as
+/// `net.*` at the end of the attempt.
+#[derive(Default)]
+struct LinkCounters {
+    heartbeats_sent: AtomicU64,
+    heartbeats_missed: AtomicU64,
+    /// Link-state transitions (any edge of the FSM).
+    link_state: AtomicU64,
+    /// Completed rejoins: `RejoinOk` sent *and* the replay finished.
+    rejoins: AtomicU64,
+    /// Frames replayed from parent-side egress rings.
+    egress_replayed: AtomicU64,
+}
+
 /// Parent-side shared state: reader threads (one per rank) route
 /// frames and synchronization through it.
 struct ParentState {
     p: usize,
     attempt: u32,
-    writers: Vec<Mutex<UnixStream>>,
+    fingerprint: u64,
+    links: Vec<Link>,
     children: Vec<Mutex<Child>>,
     /// Supersteps each rank has completed (its death coordinate).
     completed: Vec<AtomicU64>,
@@ -1057,13 +1665,43 @@ struct ParentState {
     ckpt_written: AtomicU64,
     ckpt_bytes: AtomicU64,
     kills: Vec<KillSpec>,
+    link_faults: Vec<LinkFault>,
+    heartbeat: Duration,
+    link_grace: Duration,
+    rejoin_budget: u32,
+    counters: LinkCounters,
+    /// The parent's Lamport clock, stamping heartbeats.
+    lamport: AtomicU64,
+    /// Raised once every reader is home: stops the acceptor and the
+    /// heartbeat monitor.
+    shutdown: AtomicBool,
 }
 
 impl ParentState {
+    /// Moves one link's FSM, counting the transition.
+    fn set_state(&self, rank: usize, next: LinkState) {
+        let mut state = lock(&self.links[rank].state);
+        if *state != next {
+            *state = next;
+            self.counters.link_state.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     fn send_to(&self, rank: usize, msg: &CtlMsg) {
-        // A dead child's stream errors here (`EPIPE`); that is fine —
-        // the death is detected and reported by its reader thread.
-        let _ = write_ctl(&mut *lock(&self.writers[rank]), msg);
+        // Ring first, then write, both under the writer lock: the
+        // rejoin acceptor swaps the writer under the same lock, so a
+        // frame is either written to the stream the resume token
+        // describes or replayed from the ring — never duplicated,
+        // never lost. A dead child's stream errors here (`EPIPE`);
+        // that is fine — the death is detected and reported by its
+        // reader thread. A frozen link buffers without writing.
+        let link = &self.links[rank];
+        let bytes = msg.encode();
+        let mut w = lock(&link.writer);
+        lock(&link.egress).push(bytes.clone());
+        if !link.frozen.load(Ordering::Acquire) {
+            let _ = w.write_all(&bytes);
+        }
     }
 
     fn broadcast(&self, msg: &CtlMsg) {
@@ -1081,6 +1719,78 @@ impl ParentState {
         self.kills
             .iter()
             .any(|k| k.rank == rank && k.superstep == superstep && k.attempt == self.attempt)
+    }
+
+    fn link_fault_at(&self, rank: usize, superstep: u64) -> Option<LinkFaultKind> {
+        self.link_faults
+            .iter()
+            .find(|f| f.rank == rank && f.superstep == superstep && f.attempt == self.attempt)
+            .map(|f| f.kind)
+    }
+
+    /// Applies one link fault: severs (or freezes) the real socket
+    /// under the rank while its process lives.
+    fn sever(&self, rank: usize, kind: LinkFaultKind) {
+        let link = &self.links[rank];
+        let w = lock(&link.writer);
+        match kind {
+            // Half-open: our writes die, the child reads EOF and
+            // reconnects — the classic one-sided partition.
+            LinkFaultKind::Drop => {
+                let _ = w.shutdown(Shutdown::Write);
+            }
+            // Writes are silently withheld until the child notices
+            // the heartbeat silence and rejoins.
+            LinkFaultKind::Freeze => link.frozen.store(true, Ordering::Release),
+            LinkFaultKind::Reset => {
+                let _ = w.shutdown(Shutdown::Both);
+            }
+            // `n` total severs: this one plus `n - 1` accepted-then-
+            // severed rejoin attempts.
+            LinkFaultKind::Flap(n) => {
+                link.flap_remaining
+                    .store(n.saturating_sub(1), Ordering::Release);
+                let _ = w.shutdown(Shutdown::Both);
+            }
+        }
+        drop(w);
+        self.set_state(rank, LinkState::Disconnected);
+    }
+
+    /// Blocks (grace-bounded) until the given link heals past
+    /// `seen_generation`. Called at the fault-injection site so a
+    /// deliberately severed rank rejoins *before* its peers are
+    /// released into the next superstep — which is what makes the
+    /// chaos grid's replay accounting exact. Returns whether the link
+    /// healed.
+    fn await_heal(&self, rank: usize, seen_generation: u64) -> bool {
+        let link = &self.links[rank];
+        let deadline = Instant::now() + self.link_grace * 2;
+        let mut generation = lock(&link.generation);
+        loop {
+            if *generation > seen_generation {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            // Slices, not one long wait: the child can die mid-rejoin
+            // (budget exhausted, or a kill racing the fault) and its
+            // reader thread needs the poison broadcast to go out —
+            // give up early once the child is gone.
+            if lock(&self.children[rank])
+                .try_wait()
+                .is_ok_and(|s| s.is_some())
+            {
+                return false;
+            }
+            generation = self.links[rank]
+                .generation_cv
+                .wait_timeout(generation, Duration::from_millis(20))
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
     }
 
     /// One rank arrived at the exit barrier of `superstep`. The last
@@ -1123,7 +1833,37 @@ impl ParentState {
                     self.ckpt_bytes.fetch_add(bytes, Ordering::Relaxed);
                 }
             }
+            // Faulted links first, un-faulted releases second: a rank
+            // released *before* a peer's link is severed could race
+            // fresh deliveries into that peer's egress ring while it
+            // rejoins, blurring the replay accounting.
             for r in 0..self.p {
+                let Some(kind) = self.link_fault_at(r, superstep + 1) else {
+                    continue;
+                };
+                // Sever first, then queue the release: the write
+                // lands on the dead (or frozen) socket, so the
+                // release is exactly the frame the rejoin replay
+                // redelivers.
+                let seen = *lock(&self.links[r].generation);
+                self.sever(r, kind);
+                if self.killed_at(r, superstep + 1) {
+                    // A kill racing the fault: the rank dies
+                    // mid-rejoin; the reader escalates as usual.
+                    self.kill(r);
+                    continue;
+                }
+                self.send_to(r, &CtlMsg::BarrierRelease { superstep });
+                // Hold the fleet at the barrier until the severed
+                // rank rejoins (everyone is parked anyway): peers
+                // then cannot race fresh deliveries into the
+                // replay window, keeping the accounting exact.
+                self.await_heal(r, seen);
+            }
+            for r in 0..self.p {
+                if self.link_fault_at(r, superstep + 1).is_some() {
+                    continue;
+                }
                 if self.killed_at(r, superstep + 1) {
                     self.kill(r);
                 } else {
@@ -1135,70 +1875,317 @@ impl ParentState {
 }
 
 /// One rank's reader loop: routes its child→parent stream until EOF.
-/// EOF without a prior `Done`/`Fatal` is a rank death: noted with the
-/// reaped exit status and broadcast as poison so the peers unwind.
-fn parent_reader(state: &ParentState, rank: usize, mut stream: UnixStream) {
+///
+/// A stream error is no longer immediately fatal: if the child
+/// *process* still lives, the reader parks (grace-bounded) waiting for
+/// the rejoin acceptor to hand it a healed stream, and only escalates
+/// to the rank-death path — reaped exit status, death note, poison
+/// broadcast — when the process is gone or the grace window expires.
+fn parent_reader(state: &ParentState, rank: usize, mut stream: RankStream) {
     loop {
         match read_ctl(&mut stream) {
-            Ok(CtlMsg::Data { dst, frame }) => {
-                if dst < state.p {
-                    state.send_to(dst, &CtlMsg::Deliver { frame });
+            Ok(msg) => {
+                *lock(&state.links[rank].last_seen) = Instant::now();
+                // Heartbeat replies are link traffic, not session
+                // traffic: they refresh liveness but stay out of the
+                // resume-token accounting.
+                if let CtlMsg::Pong { lamport } = &msg {
+                    state.lamport.fetch_max(*lamport, Ordering::AcqRel);
+                    state.lamport.fetch_add(1, Ordering::AcqRel);
+                    continue;
+                }
+                state.links[rank].recvd.fetch_add(1, Ordering::AcqRel);
+                match msg {
+                    CtlMsg::Data { dst, frame } if dst < state.p => {
+                        state.send_to(dst, &CtlMsg::Deliver { frame });
+                    }
+                    CtlMsg::ExchangeDone => {
+                        let total = state.exchange_total.fetch_add(1, Ordering::AcqRel) + 1;
+                        state.broadcast(&CtlMsg::ExchangeTotal { total });
+                    }
+                    CtlMsg::BarrierEnter { superstep, staged } => {
+                        state.handle_barrier(rank, superstep, staged);
+                    }
+                    CtlMsg::Poison => state.broadcast(&CtlMsg::Poison),
+                    CtlMsg::Fatal {
+                        error,
+                        ledger,
+                        flight_dropped,
+                        flight,
+                    } => {
+                        lock(&state.reports)[rank] = Some(RankReport {
+                            result: Err(error),
+                            ledger,
+                            flight_dropped,
+                            flight,
+                        });
+                        state.broadcast(&CtlMsg::Poison);
+                    }
+                    CtlMsg::Done {
+                        value,
+                        stats,
+                        work,
+                        ledger,
+                        flight_dropped,
+                        flight,
+                    } => {
+                        state.completed[rank].fetch_max(stats.supersteps, Ordering::Relaxed);
+                        lock(&state.reports)[rank] = Some(RankReport {
+                            result: Ok((value, stats, work)),
+                            ledger,
+                            flight_dropped,
+                            flight,
+                        });
+                    }
+                    // Parent→child shapes echoed back: protocol bug
+                    // upstream; ignore.
+                    _ => {}
                 }
             }
-            Ok(CtlMsg::ExchangeDone) => {
-                let total = state.exchange_total.fetch_add(1, Ordering::AcqRel) + 1;
-                state.broadcast(&CtlMsg::ExchangeTotal { total });
-            }
-            Ok(CtlMsg::BarrierEnter { superstep, staged }) => {
-                state.handle_barrier(rank, superstep, staged);
-            }
-            Ok(CtlMsg::Poison) => state.broadcast(&CtlMsg::Poison),
-            Ok(CtlMsg::Fatal {
-                error,
-                ledger,
-                flight_dropped,
-                flight,
-            }) => {
-                lock(&state.reports)[rank] = Some(RankReport {
-                    result: Err(error),
-                    ledger,
-                    flight_dropped,
-                    flight,
-                });
-                state.broadcast(&CtlMsg::Poison);
-            }
-            Ok(CtlMsg::Done {
-                value,
-                stats,
-                work,
-                ledger,
-                flight_dropped,
-                flight,
-            }) => {
-                state.completed[rank].fetch_max(stats.supersteps, Ordering::Relaxed);
-                lock(&state.reports)[rank] = Some(RankReport {
-                    result: Ok((value, stats, work)),
-                    ledger,
-                    flight_dropped,
-                    flight,
-                });
-            }
-            // Parent→child shapes echoed back: protocol bug upstream;
-            // ignore.
-            Ok(_) => {}
             Err(err) => {
-                let reported = lock(&state.reports)[rank].is_some();
-                if !reported {
-                    // Rank death. Reap for the status (waitpid): the
-                    // child closed its socket only by exiting.
-                    let status = lock(&state.children[rank])
-                        .wait()
-                        .map_or_else(|e| format!("unreapable: {e}"), |s| s.to_string());
-                    lock(&state.deaths)[rank] =
-                        Some(format!("rank process died ({status}; stream: {err})"));
-                    state.broadcast(&CtlMsg::Poison);
+                if lock(&state.reports)[rank].is_some() {
+                    // Clean EOF after `Done`/`Fatal`.
+                    return;
                 }
+                match wait_for_rejoin(state, rank) {
+                    Some(healed) => stream = healed,
+                    None => {
+                        // Rank death (or an unhealable link, which the
+                        // grace expiry just converted into one by
+                        // SIGKILL). Reap for the status (waitpid): the
+                        // exit is what severed the socket for good.
+                        let status = lock(&state.children[rank])
+                            .wait()
+                            .map_or_else(|e| format!("unreapable: {e}"), |s| s.to_string());
+                        lock(&state.deaths)[rank] =
+                            Some(format!("rank process died ({status}; stream: {err})"));
+                        state.broadcast(&CtlMsg::Poison);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The reader's side of partition healing: park (in slices, polling
+/// for process death) until the rejoin acceptor bumps the link's
+/// generation and parks a healed stream, or the grace window expires —
+/// in which case the still-live child is SIGKILLed so the link failure
+/// becomes an honest rank death.
+fn wait_for_rejoin(state: &ParentState, rank: usize) -> Option<RankStream> {
+    let link = &state.links[rank];
+    if state.link_grace.is_zero() {
+        return None;
+    }
+    state.set_state(rank, LinkState::Disconnected);
+    let deadline = Instant::now() + state.link_grace * 2;
+    loop {
+        // The parked reader half *is* the heal signal (the generation
+        // condvar is only a wakeup): checking it directly also covers
+        // an acceptor that healed the link before this thread even
+        // noticed the old stream was dead.
+        if let Some(healed) = lock(&link.pending_reader).take() {
+            return Some(healed);
+        }
+        // A dead process cannot rejoin; take the death path now.
+        if lock(&state.children[rank])
+            .try_wait()
+            .is_ok_and(|s| s.is_some())
+        {
+            return None;
+        }
+        if Instant::now() >= deadline {
+            state.kill(rank);
+            return None;
+        }
+        let generation = lock(&link.generation);
+        let _ = link
+            .generation_cv
+            .wait_timeout(generation, Duration::from_millis(10))
+            .unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// The rejoin acceptor: keeps the coordinator's listener open for the
+/// whole attempt, validating every late connection as a `Rejoin` and
+/// healing the named link — `RejoinOk` with the parent's resume token,
+/// replay of the parent-side egress suffix, writer swap, reader
+/// handoff. Invalid or over-budget claims are refused with `Reject`;
+/// a pending `Flap` storm severs accepted rejoins until its count is
+/// exhausted.
+fn rejoin_acceptor(state: &ParentState, listener: &dyn Listener) {
+    while !state.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok(stream) => {
+                let _ = handle_rejoin(state, stream);
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_rejoin(state: &ParentState, mut stream: RankStream) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    // A connection that never identifies itself must not wedge the
+    // acceptor: one bounded read.
+    stream.set_read_timeout(Some(state.link_grace.max(Duration::from_millis(100))))?;
+    let claim = read_ctl(&mut stream)?;
+    let completed: Vec<u64> = state
+        .completed
+        .iter()
+        .map(|c| c.load(Ordering::Acquire))
+        .collect();
+    let rank = match validate_rejoin(&claim, state.fingerprint, state.p, &completed) {
+        Ok(rank) => rank,
+        Err(reason) => {
+            let _ = write_ctl(&mut stream, &CtlMsg::Reject { reason });
+            return Ok(());
+        }
+    };
+    let link = &state.links[rank];
+    let attempts = link.rejoin_attempts.fetch_add(1, Ordering::AcqRel) + 1;
+    if attempts > state.rejoin_budget {
+        let reason = format!(
+            "rejoin budget exhausted: rank {rank} reconnected {attempts} time(s), \
+             budget is {} — escalating to respawn",
+            state.rejoin_budget
+        );
+        let _ = write_ctl(&mut stream, &CtlMsg::Reject { reason });
+        return Ok(());
+    }
+    // A flap storm in force: accept, then slam the door. The child's
+    // heal loop retries (resetting its deadline per connect), so the
+    // storm consumes rejoin budget, not correctness.
+    let flaps = lock(&link.writer);
+    if link.flap_remaining.load(Ordering::Acquire) > 0 {
+        link.flap_remaining.fetch_sub(1, Ordering::AcqRel);
+        drop(flaps);
+        let _ = stream.shutdown(Shutdown::Both);
+        return Ok(());
+    }
+    drop(flaps);
+    state.set_state(rank, LinkState::Rejoining);
+    let CtlMsg::Rejoin { resume_token, .. } = claim else {
+        unreachable!("validate_rejoin only accepts Rejoin");
+    };
+    let mut writer = stream.try_clone()?;
+    write_ctl(
+        &mut writer,
+        &CtlMsg::RejoinOk {
+            resume_token: link.recvd.load(Ordering::Acquire),
+        },
+    )?;
+    {
+        let mut w = lock(&link.writer);
+        let egress = lock(&link.egress);
+        let Some(frames) = egress.replay_from(resume_token) else {
+            drop(egress);
+            drop(w);
+            let _ = write_ctl(
+                &mut stream,
+                &CtlMsg::Reject {
+                    reason: format!(
+                        "resume token {resume_token} predates the egress ring — \
+                         the missing frames are gone"
+                    ),
+                },
+            );
+            return Ok(());
+        };
+        for frame in frames {
+            writer.write_all(frame)?;
+            state
+                .counters
+                .egress_replayed
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        drop(egress);
+        *w = writer;
+        link.frozen.store(false, Ordering::Release);
+    }
+    stream.set_read_timeout(None)?;
+    *lock(&link.pending_reader) = Some(stream);
+    // Every link gets a fresh liveness stamp, not just the healed one:
+    // the barrier hold stalled the peers' reader threads, so their
+    // stale `last_seen` says nothing about their ranks.
+    for peer in &state.links {
+        *lock(&peer.last_seen) = Instant::now();
+    }
+    state.set_state(rank, LinkState::Healthy);
+    {
+        let mut generation = lock(&link.generation);
+        *generation += 1;
+    }
+    link.generation_cv.notify_all();
+    state.counters.rejoins.fetch_add(1, Ordering::Relaxed);
+    Ok(())
+}
+
+/// The heartbeat monitor: every heartbeat period, pings every link
+/// that is still in play (no report, no death note, not frozen, not
+/// mid-heal) and grades its silence — two missed periods demote the
+/// link to `Suspect`, a full grace window of silence on an
+/// *apparently-connected* link SIGKILLs the rank (the reader's own
+/// grace handles links that errored outright).
+fn link_monitor(state: &ParentState) {
+    let period = state.heartbeat;
+    while !state.shutdown.load(Ordering::Acquire) {
+        // Sleep in slices so shutdown is prompt even with long periods.
+        let wake = Instant::now() + period;
+        while Instant::now() < wake {
+            if state.shutdown.load(Ordering::Acquire) {
                 return;
+            }
+            std::thread::sleep(Duration::from_millis(20).min(period));
+        }
+        // While any link is mid-heal the fleet is deliberately parked:
+        // the barrier hold can leave reader threads (and therefore
+        // `last_seen` stamps) stalled through no fault of their ranks,
+        // so silence is not evidence and grace-kills are suspended.
+        let healing = (0..state.p).any(|r| {
+            matches!(
+                *lock(&state.links[r].state),
+                LinkState::Disconnected | LinkState::Rejoining
+            )
+        });
+        for rank in 0..state.p {
+            let link = &state.links[rank];
+            if lock(&state.reports)[rank].is_some()
+                || lock(&state.deaths)[rank].is_some()
+                || link.frozen.load(Ordering::Acquire)
+            {
+                continue;
+            }
+            let fsm = *lock(&link.state);
+            if matches!(fsm, LinkState::Disconnected | LinkState::Rejoining) {
+                // The reader's rejoin wait owns this link's fate.
+                continue;
+            }
+            let stamp = state.lamport.fetch_add(1, Ordering::AcqRel) + 1;
+            // Pings bypass the egress ring: they are link probes, not
+            // session frames, and must not skew resume tokens.
+            let _ = write_ctl(&mut *lock(&link.writer), &CtlMsg::Ping { lamport: stamp });
+            state
+                .counters
+                .heartbeats_sent
+                .fetch_add(1, Ordering::Relaxed);
+            let silent = lock(&link.last_seen).elapsed();
+            if !healing && !state.link_grace.is_zero() && silent > state.link_grace {
+                // Connected but silent past grace: a wedged or
+                // partitioned rank. Make it an honest death.
+                state.kill(rank);
+            } else if silent > period * 2 {
+                state
+                    .counters
+                    .heartbeats_missed
+                    .fetch_add(1, Ordering::Relaxed);
+                state.set_state(rank, LinkState::Suspect);
+            } else if fsm == LinkState::Suspect {
+                state.set_state(rank, LinkState::Healthy);
             }
         }
     }
@@ -1237,7 +2224,8 @@ pub(crate) fn run_process_attempt(
     let state = ParentState {
         p,
         attempt,
-        writers: launch.writers,
+        fingerprint,
+        links: launch.writers.into_iter().map(Link::new).collect(),
         children: launch.children,
         completed: (0..p).map(|_| AtomicU64::new(baseline)).collect(),
         round: Mutex::new(Round {
@@ -1255,6 +2243,13 @@ pub(crate) fn run_process_attempt(
         ckpt_written: AtomicU64::new(0),
         ckpt_bytes: AtomicU64::new(0),
         kills: cfg.kills.clone(),
+        link_faults: cfg.link_faults.clone(),
+        heartbeat: launch.heartbeat,
+        link_grace: launch.link_grace,
+        rejoin_budget: cfg.rejoin_budget.unwrap_or(DEFAULT_REJOIN_BUDGET),
+        counters: LinkCounters::default(),
+        lamport: AtomicU64::new(0),
+        shutdown: AtomicBool::new(false),
     };
 
     // Superstep-0 kills: the rank never gets to run a superstep.
@@ -1263,16 +2258,46 @@ pub(crate) fn run_process_attempt(
             state.kill(spec.rank);
         }
     }
+    // Superstep-0 link faults: severed right after the handshake, like
+    // the kills above — the rank heals before (or while) running its
+    // first superstep.
+    for fault in &cfg.link_faults {
+        if fault.attempt == attempt && fault.superstep == 0 && fault.rank < p {
+            state.sever(fault.rank, fault.kind);
+        }
+    }
 
     // Route until every stream reaches EOF (clean completion or
     // death). Children bound their own waits with the shipped barrier
     // watchdog, and any death poisons the fleet, so the readers always
-    // come home.
+    // come home. The rejoin acceptor and the heartbeat monitor run
+    // alongside the readers for the whole attempt and stand down once
+    // every reader is home.
+    let listener = launch.listener;
     std::thread::scope(|scope| {
-        for (rank, stream) in launch.streams.into_iter().enumerate() {
+        let supervision = !state.link_grace.is_zero();
+        if supervision {
             let state = &state;
-            scope.spawn(move || parent_reader(state, rank, stream));
+            let listener = &listener;
+            scope.spawn(move || rejoin_acceptor(state, listener.as_ref()));
         }
+        if !state.heartbeat.is_zero() {
+            let state = &state;
+            scope.spawn(move || link_monitor(state));
+        }
+        let readers: Vec<_> = launch
+            .streams
+            .into_iter()
+            .enumerate()
+            .map(|(rank, stream)| {
+                let state = &state;
+                scope.spawn(move || parent_reader(state, rank, stream))
+            })
+            .collect();
+        for reader in readers {
+            let _ = reader.join();
+        }
+        state.shutdown.store(true, Ordering::Release);
     });
 
     // Reap whatever the death path has not already reaped (waitpid;
@@ -1310,6 +2335,24 @@ pub(crate) fn run_process_attempt(
         state.ckpt_bytes.load(Ordering::Relaxed),
         0,
     );
+    if machine.telemetry.is_enabled() {
+        let t = &machine.telemetry;
+        let c = &state.counters;
+        t.counter_add(
+            "net.heartbeats_sent",
+            c.heartbeats_sent.load(Ordering::Relaxed),
+        );
+        t.counter_add(
+            "net.heartbeats_missed",
+            c.heartbeats_missed.load(Ordering::Relaxed),
+        );
+        t.counter_add("net.link_state", c.link_state.load(Ordering::Relaxed));
+        t.counter_add("net.rejoins", c.rejoins.load(Ordering::Relaxed));
+        t.counter_add(
+            "net.egress_replayed",
+            c.egress_replayed.load(Ordering::Relaxed),
+        );
+    }
     let flight_log = machine.flight.map(|_| FlightLog {
         ranks: reports
             .iter()
@@ -1414,6 +2457,7 @@ pub(crate) fn run_process_attempt(
 mod tests {
     use super::*;
     use crate::checkpoint::SyncOutcome;
+    use std::os::unix::net::UnixStream;
 
     #[test]
     fn handshake_timeout_env_knob() {
@@ -1514,9 +2558,9 @@ mod tests {
     #[test]
     fn relay_store_ships_staged_frames_with_barrier_enter() {
         let (ours, theirs) = UnixStream::pair().expect("socketpair");
-        let hub = RemoteHub::new(ours.try_clone().expect("clone"), None);
+        let hub = RemoteHub::new(RankStream::Unix(ours.try_clone().expect("clone")), None);
         let reader_hub = Arc::clone(&hub);
-        std::thread::spawn(move || run_child_reader(&reader_hub, ours));
+        std::thread::spawn(move || run_child_reader(&reader_hub, RankStream::Unix(ours)));
 
         let frame = RankFrame {
             fingerprint: 99,
@@ -1559,7 +2603,7 @@ mod tests {
     #[test]
     fn poisoned_hub_refuses_barrier_entry() {
         let (ours, theirs) = UnixStream::pair().expect("socketpair");
-        let hub = RemoteHub::new(ours, None);
+        let hub = RemoteHub::new(RankStream::Unix(ours), None);
         // Parent poison arrives (routed by the reader in production;
         // absorbed directly here).
         hub.absorb(CtlMsg::Poison);
@@ -1574,7 +2618,7 @@ mod tests {
     #[test]
     fn unreleased_barrier_times_out_instead_of_hanging() {
         let (ours, theirs) = UnixStream::pair().expect("socketpair");
-        let hub = RemoteHub::new(ours, None);
+        let hub = RemoteHub::new(RankStream::Unix(ours), None);
         let result = hub.barrier_enter(2, Some(Duration::from_millis(30)));
         assert_eq!(
             result,
@@ -1591,10 +2635,118 @@ mod tests {
     #[test]
     fn exchange_totals_are_monotonic_under_reordered_broadcasts() {
         let (ours, theirs) = UnixStream::pair().expect("socketpair");
-        let hub = RemoteHub::new(ours, None);
+        let hub = RemoteHub::new(RankStream::Unix(ours), None);
         hub.absorb(CtlMsg::ExchangeTotal { total: 3 });
         hub.absorb(CtlMsg::ExchangeTotal { total: 2 });
         assert_eq!(hub.exchange_total(), 3);
         drop(theirs);
+    }
+
+    #[test]
+    fn heartbeat_and_grace_env_knobs() {
+        std::env::set_var(HEARTBEAT_MS_ENV, "125");
+        assert_eq!(heartbeat_from_env(), Duration::from_millis(125));
+        std::env::set_var(HEARTBEAT_MS_ENV, "pulse");
+        assert_eq!(heartbeat_from_env(), DEFAULT_HEARTBEAT);
+        std::env::remove_var(HEARTBEAT_MS_ENV);
+        assert_eq!(heartbeat_from_env(), DEFAULT_HEARTBEAT);
+        std::env::set_var(LINK_GRACE_MS_ENV, "2750");
+        assert_eq!(link_grace_from_env(), Duration::from_millis(2750));
+        std::env::remove_var(LINK_GRACE_MS_ENV);
+        assert_eq!(link_grace_from_env(), DEFAULT_LINK_GRACE);
+    }
+
+    #[test]
+    fn rejoin_validation_accepts_equal_and_newer_claims() {
+        let completed = vec![3, 5];
+        let equal = CtlMsg::Rejoin {
+            rank: 1,
+            fingerprint: 0xBEEF,
+            completed_superstep: 5,
+            resume_token: 40,
+        };
+        assert_eq!(validate_rejoin(&equal, 0xBEEF, 2, &completed), Ok(1));
+        // Newer is legal: the rank's BarrierEnter can be lost in
+        // flight — the replay redelivers it.
+        let newer = CtlMsg::Rejoin {
+            rank: 0,
+            fingerprint: 0xBEEF,
+            completed_superstep: 4,
+            resume_token: 0,
+        };
+        assert_eq!(validate_rejoin(&newer, 0xBEEF, 2, &completed), Ok(0));
+    }
+
+    #[test]
+    fn rejoin_validation_rejects_every_mismatch() {
+        let completed = vec![3, 5];
+        let cases: Vec<(CtlMsg, &str)> = vec![
+            (
+                CtlMsg::Rejoin {
+                    rank: 0,
+                    fingerprint: 0xDEAD,
+                    completed_superstep: 3,
+                    resume_token: 0,
+                },
+                "fingerprint mismatch",
+            ),
+            (
+                CtlMsg::Rejoin {
+                    rank: 2,
+                    fingerprint: 0xBEEF,
+                    completed_superstep: 0,
+                    resume_token: 0,
+                },
+                "out of range",
+            ),
+            (
+                CtlMsg::Rejoin {
+                    rank: 1,
+                    fingerprint: 0xBEEF,
+                    completed_superstep: 4,
+                    resume_token: 0,
+                },
+                "stale rejoin",
+            ),
+            (CtlMsg::Poison, "not a Rejoin"),
+        ];
+        for (msg, needle) in cases {
+            let err =
+                validate_rejoin(&msg, 0xBEEF, 2, &completed).expect_err("claim must be refused");
+            assert!(
+                err.contains(needle),
+                "refusal {err:?} does not mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn egress_ring_replays_exactly_the_unseen_suffix() {
+        let mut ring = EgressRing::default();
+        for i in 0..5u8 {
+            ring.push(vec![i]);
+        }
+        assert_eq!(ring.sent(), 5);
+        // The peer saw 3 of 5: the replay is frames 3 and 4.
+        let frames = ring.replay_from(3).expect("in range");
+        assert_eq!(frames, vec![&vec![3u8], &vec![4u8]]);
+        // Everything seen: an empty replay, not a refusal.
+        assert_eq!(ring.replay_from(5).expect("in range").len(), 0);
+        // Claiming more than was ever sent is a protocol violation.
+        assert!(ring.replay_from(6).is_none());
+    }
+
+    #[test]
+    fn egress_ring_refuses_tokens_older_than_its_base() {
+        let mut ring = EgressRing::default();
+        for i in 0..(EGRESS_CAPACITY + 10) {
+            ring.push(vec![u8::try_from(i % 251).expect("fits")]);
+        }
+        assert_eq!(ring.sent() as usize, EGRESS_CAPACITY + 10);
+        // The first 10 frames were evicted: a peer that far behind
+        // cannot be healed.
+        assert!(ring.replay_from(9).is_none());
+        let frames = ring.replay_from(10).expect("exactly the base");
+        assert_eq!(frames.len(), EGRESS_CAPACITY);
     }
 }

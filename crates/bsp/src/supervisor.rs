@@ -25,7 +25,13 @@
 //!   total communication volume) — a *silently* corrupted run is
 //!   thereby detected and retried like any other failure.
 //!
-//! **The recovery ladder.** On each retry the supervisor walks the
+//! **The recovery ladder.** The cheapest rung never reaches this
+//! type at all: under [`crate::Execution::Processes`] a severed
+//! control link is healed *inside* the attempt by reconnect-and-
+//! replay (DESIGN.md §16), costing a few frames and zero supersteps —
+//! only a dead rank process (or a link whose rejoin budget is
+//! exhausted) fails the attempt and engages the supervisor. From
+//! there, on each retry the supervisor walks the
 //! store's committed generations newest-first: a generation that
 //! fails integrity verification is counted (`bsp.checkpoints_corrupt`)
 //! and skipped in favour of the next-older one; if no generation

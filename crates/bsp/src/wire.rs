@@ -466,9 +466,9 @@ pub struct CtlLedger {
 /// and trailing garbage.
 ///
 /// Direction conventions: `Hello`/`Data`/`ExchangeDone`/`BarrierEnter`
-/// /`Fatal`/`Done` flow child → parent; `Welcome`/`Reject`/`Deliver`/
-/// `ExchangeTotal`/`BarrierRelease` flow parent → child; `Poison`
-/// flows both ways.
+/// /`Fatal`/`Done`/`Pong`/`Rejoin` flow child → parent; `Welcome`/
+/// `Reject`/`Deliver`/`ExchangeTotal`/`BarrierRelease`/`Ping`/
+/// `RejoinOk` flow parent → child; `Poison` flows both ways.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CtlMsg {
     /// First message on a new connection: the child identifies itself.
@@ -509,6 +509,11 @@ pub enum CtlMsg {
         checkpoint_interval: u64,
         /// Flight-recorder ring capacity; `0` = recorder off.
         flight_capacity: u64,
+        /// Heartbeat (`Ping`) period in milliseconds.
+        heartbeat_ms: u64,
+        /// Grace window for healing a severed link before the rank is
+        /// given up on, milliseconds.
+        link_grace_ms: u64,
         /// Which attempt this is (faults arm per attempt).
         attempt: u32,
         /// The fault plan, so seeded chaos reproduces identically in
@@ -587,6 +592,44 @@ pub enum CtlMsg {
         /// The recorded tail, oldest first.
         flight: Vec<TimedFlightEvent>,
     },
+    /// Parent → child: an application-level heartbeat. The child
+    /// answers `Pong` even while its driver is parked at a barrier,
+    /// so a live-but-idle rank is distinguishable from a partitioned
+    /// one in bounded time.
+    Ping {
+        /// The parent's Lamport clock at the send.
+        lamport: u64,
+    },
+    /// Child → parent: the heartbeat answer.
+    Pong {
+        /// The child's Lamport clock at the send.
+        lamport: u64,
+    },
+    /// Child → parent, first message on a *re*-connection: the rank
+    /// lost its control stream but its process (and in-memory state)
+    /// survived, and it wants the link healed rather than the fleet
+    /// respawned. The parent validates the identity fields against the
+    /// original handshake and answers `RejoinOk` or `Reject`.
+    Rejoin {
+        /// The rank id reconnecting.
+        rank: usize,
+        /// The program fingerprint it was welcomed under.
+        fingerprint: u64,
+        /// Supersteps this rank has completed (barrier releases seen).
+        completed_superstep: u64,
+        /// Count of session frames this rank had *received* on the old
+        /// stream — the parent replays its egress buffer from here.
+        resume_token: u64,
+    },
+    /// Parent → child: the rejoin is accepted. Frames the child sent
+    /// but the parent never received follow `resume_token` in the
+    /// other direction: the child replays its own egress buffer from
+    /// the parent's count.
+    RejoinOk {
+        /// Count of session frames the parent had received from this
+        /// rank on the old stream.
+        resume_token: u64,
+    },
 }
 
 const CTL_HELLO: u8 = 0;
@@ -601,6 +644,10 @@ const CTL_BARRIER_RELEASE: u8 = 8;
 const CTL_POISON: u8 = 9;
 const CTL_FATAL: u8 = 10;
 const CTL_DONE: u8 = 11;
+const CTL_PING: u8 = 12;
+const CTL_PONG: u8 = 13;
+const CTL_REJOIN: u8 = 14;
+const CTL_REJOIN_OK: u8 = 15;
 
 fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
     put_u64(out, bytes.len() as u64);
@@ -862,6 +909,8 @@ impl CtlMsg {
                 poll_sleep_us,
                 checkpoint_interval,
                 flight_capacity,
+                heartbeat_ms,
+                link_grace_ms,
                 attempt,
                 faults,
                 resume_frame,
@@ -877,6 +926,8 @@ impl CtlMsg {
                     *poll_sleep_us,
                     *checkpoint_interval,
                     *flight_capacity,
+                    *heartbeat_ms,
+                    *link_grace_ms,
                 ] {
                     put_u64(&mut out, v);
                 }
@@ -963,6 +1014,30 @@ impl CtlMsg {
                 put_u64(&mut out, *flight_dropped);
                 encode_flight(&mut out, flight);
             }
+            CtlMsg::Ping { lamport } => {
+                out.push(CTL_PING);
+                put_u64(&mut out, *lamport);
+            }
+            CtlMsg::Pong { lamport } => {
+                out.push(CTL_PONG);
+                put_u64(&mut out, *lamport);
+            }
+            CtlMsg::Rejoin {
+                rank,
+                fingerprint,
+                completed_superstep,
+                resume_token,
+            } => {
+                out.push(CTL_REJOIN);
+                put_u64(&mut out, *rank as u64);
+                put_u64(&mut out, *fingerprint);
+                put_u64(&mut out, *completed_superstep);
+                put_u64(&mut out, *resume_token);
+            }
+            CtlMsg::RejoinOk { resume_token } => {
+                out.push(CTL_REJOIN_OK);
+                put_u64(&mut out, *resume_token);
+            }
         }
         let len = u32::try_from(out.len() - 4 + 8).expect("control frames fit in u32");
         out[0..4].copy_from_slice(&len.to_le_bytes());
@@ -1010,6 +1085,8 @@ impl CtlMsg {
                 let poll_sleep_us = r.u64()?;
                 let checkpoint_interval = r.u64()?;
                 let flight_capacity = r.u64()?;
+                let heartbeat_ms = r.u64()?;
+                let link_grace_ms = r.u64()?;
                 let attempt = r.u32()?;
                 let n = r.count()?;
                 let mut faults = Vec::with_capacity(n);
@@ -1031,6 +1108,8 @@ impl CtlMsg {
                     poll_sleep_us,
                     checkpoint_interval,
                     flight_capacity,
+                    heartbeat_ms,
+                    link_grace_ms,
                     attempt,
                     faults,
                     resume_frame,
@@ -1079,6 +1158,17 @@ impl CtlMsg {
                 ledger: decode_ledger(&mut r)?,
                 flight_dropped: r.u64()?,
                 flight: decode_flight(&mut r)?,
+            },
+            CTL_PING => CtlMsg::Ping { lamport: r.u64()? },
+            CTL_PONG => CtlMsg::Pong { lamport: r.u64()? },
+            CTL_REJOIN => CtlMsg::Rejoin {
+                rank: r.u64()? as usize,
+                fingerprint: r.u64()?,
+                completed_superstep: r.u64()?,
+                resume_token: r.u64()?,
+            },
+            CTL_REJOIN_OK => CtlMsg::RejoinOk {
+                resume_token: r.u64()?,
             },
             tag => return Err(WireError::UnknownTag(tag)),
         };
@@ -1246,6 +1336,8 @@ mod tests {
                 poll_sleep_us: 100,
                 checkpoint_interval: 2,
                 flight_capacity: 4096,
+                heartbeat_ms: 500,
+                link_grace_ms: 5000,
                 attempt: 1,
                 faults: vec![
                     Fault {
@@ -1326,6 +1418,15 @@ mod tests {
                 flight_dropped: 0,
                 flight: vec![],
             },
+            CtlMsg::Ping { lamport: 99 },
+            CtlMsg::Pong { lamport: 100 },
+            CtlMsg::Rejoin {
+                rank: 3,
+                fingerprint: 0xdead_beef,
+                completed_superstep: 7,
+                resume_token: 31,
+            },
+            CtlMsg::RejoinOk { resume_token: 28 },
         ]
     }
 

@@ -142,6 +142,23 @@ pub enum FlightEvent {
         /// The fault kind's wire code (see `bsml_bsp::faults`).
         kind: u64,
     },
+    /// A rank↔coordinator control link was lost (read error, EOF, or
+    /// heartbeat silence) and healing began. Recorded by whichever
+    /// side noticed.
+    LinkDown {
+        /// The rank whose link dropped.
+        rank: u64,
+        /// Supersteps that rank had completed when the link dropped.
+        superstep: u64,
+    },
+    /// The control link was healed: the rejoin handshake completed and
+    /// the egress buffers were replayed.
+    LinkUp {
+        /// The rank whose link healed.
+        rank: u64,
+        /// Supersteps that rank had completed at the heal.
+        superstep: u64,
+    },
 }
 
 /// A [`FlightEvent`] with the Lamport stamp it was recorded at.

@@ -4,10 +4,31 @@
 //! Not meant to be started by hand — the launcher spawns `p` copies,
 //! passing the coordination socket, rank id, machine width and program
 //! fingerprint through `BSML_RANK_*` environment variables, then
-//! drives the handshake described in `DESIGN.md` §13. Exit codes:
-//! `0` = rank finished and reported `Done`, `1` = rank failed and
-//! reported `Fatal`, `2` = could not even reach the handshake.
+//! drives the handshake described in `DESIGN.md` §13. `--connect
+//! <endpoint>` overrides the socket from the command line (a Unix
+//! path, or `tcp://host:port` for a TCP coordinator — DESIGN.md §16).
+//! Exit codes: `0` = rank finished and reported `Done`, `1` = rank
+//! failed and reported `Fatal`, `2` = could not even reach the
+//! handshake.
 
 fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--connect" => match args.next() {
+                Some(endpoint) => std::env::set_var(bsml_bsp::RANK_SOCKET_ENV, endpoint),
+                None => {
+                    eprintln!(
+                        "bsml-rank: --connect requires an endpoint (path or tcp://host:port)"
+                    );
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("bsml-rank: unknown argument {other:?} (only --connect <endpoint>)");
+                std::process::exit(2);
+            }
+        }
+    }
     std::process::exit(bsml_bsp::process::rank_main())
 }

@@ -49,6 +49,10 @@ fn event() -> impl Strategy<Value = FlightEvent> {
         any::<u64>().prop_map(|generation| FlightEvent::CheckpointCommitted { generation }),
         (any::<u64>(), 0u64..4)
             .prop_map(|(superstep, kind)| FlightEvent::FaultFired { superstep, kind }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(rank, superstep)| FlightEvent::LinkDown { rank, superstep }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(rank, superstep)| FlightEvent::LinkUp { rank, superstep }),
     ]
 }
 

@@ -13,6 +13,7 @@
 use std::io::{self, Read};
 
 use bsml_bsp::process::validate_hello;
+use bsml_bsp::validate_rejoin;
 use bsml_bsp::wire::{
     read_ctl, write_ctl, CtlLedger, CtlMsg, CtlStats, CTL_MAGIC, PROTOCOL_VERSION,
 };
@@ -132,7 +133,7 @@ fn welcome() -> impl Strategy<Value = CtlMsg> {
     (
         TEXT,
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
-        vec(any::<u64>(), 4..5),
+        vec(any::<u64>(), 6..7),
         any::<u32>(),
         vec(fault(), 0..3),
         maybe_bytes(),
@@ -156,6 +157,8 @@ fn welcome() -> impl Strategy<Value = CtlMsg> {
                     poll_sleep_us: t[3],
                     checkpoint_interval,
                     flight_capacity,
+                    heartbeat_ms: t[4],
+                    link_grace_ms: t[5],
                     attempt,
                     faults,
                     resume_frame,
@@ -189,6 +192,17 @@ fn ctl_msg() -> impl Strategy<Value = CtlMsg> {
             .prop_map(|(superstep, staged)| CtlMsg::BarrierEnter { superstep, staged }),
         any::<u64>().prop_map(|superstep| CtlMsg::BarrierRelease { superstep }),
         Just(CtlMsg::Poison),
+        any::<u64>().prop_map(|lamport| CtlMsg::Ping { lamport }),
+        any::<u64>().prop_map(|lamport| CtlMsg::Pong { lamport }),
+        (0usize..64, any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(rank, fingerprint, completed_superstep, resume_token)| CtlMsg::Rejoin {
+                rank,
+                fingerprint,
+                completed_superstep,
+                resume_token,
+            }
+        ),
+        any::<u64>().prop_map(|resume_token| CtlMsg::RejoinOk { resume_token }),
         (eval_error(), ctl_ledger(), any::<u64>(), flight_events()).prop_map(
             |(error, ledger, flight_dropped, flight)| CtlMsg::Fatal {
                 error,
@@ -301,6 +315,57 @@ proptest! {
                 prop_assert!(!genuine, "rejected the genuine article: {reason}");
                 prop_assert!(!reason.is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn rejoin_validation_accepts_exactly_the_matching_claim(
+        fingerprint in prop_oneof![Just(0xF00Du64), any::<u64>()],
+        rank in 0usize..6,
+        ahead in 0u64..3,
+        behind in prop_oneof![Just(0u64), 1u64..4],
+        completed in vec(0u64..16, 4..5),
+        resume_token in any::<u64>(),
+    ) {
+        // The genuine claim is `completed[rank] + ahead` (a child may
+        // be *ahead* of the parent's count when its BarrierEnter was
+        // lost in flight); any claim *behind* the parent's count is a
+        // stale process that must be rejected, as is a wrong
+        // fingerprint or an out-of-range rank.
+        let expected_fingerprint = 0xF00Du64;
+        let p = completed.len();
+        let claim = if behind == 0 {
+            completed.get(rank).copied().unwrap_or(0) + ahead
+        } else {
+            completed.get(rank).copied().unwrap_or(0).saturating_sub(behind)
+        };
+        let genuine = fingerprint == expected_fingerprint
+            && rank < p
+            && claim >= completed[rank.min(p - 1)];
+        let msg = CtlMsg::Rejoin {
+            rank,
+            fingerprint,
+            completed_superstep: claim,
+            resume_token,
+        };
+        match validate_rejoin(&msg, expected_fingerprint, p, &completed) {
+            Ok(got) => {
+                prop_assert!(genuine, "accepted a bogus rejoin: {msg:?}");
+                prop_assert_eq!(got, rank);
+            }
+            Err(reason) => {
+                prop_assert!(!genuine, "rejected the genuine claim: {reason}");
+                prop_assert!(!reason.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn rejoin_validation_rejects_every_non_rejoin_first_message(msg in ctl_msg()) {
+        // A reconnection whose first frame is anything but Rejoin is
+        // a confused or malicious peer, never a panic.
+        if !matches!(msg, CtlMsg::Rejoin { .. }) {
+            prop_assert!(validate_rejoin(&msg, 0, 4, &[0, 0, 0, 0]).is_err());
         }
     }
 
